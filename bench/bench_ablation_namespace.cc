@@ -1,0 +1,74 @@
+// Ablation A1: the split-namespace L-DNS and non-MEC traffic.
+//
+// §3 P1 argues the MEC DNS can answer MEC-CDN domains at the first hop
+// while forwarding (or multicasting) everything else to the provider's
+// L-DNS, "adding only a small overhead to CDN accesses for
+// non-latency-critical content". This bench quantifies all four paths:
+//
+//   MEC domain   via MEC L-DNS      (the win: first-hop resolution)
+//   MEC domain   via provider L-DNS (what clients get today)
+//   web domain   via MEC L-DNS      (forwarded: the "small overhead")
+//   web domain   via provider L-DNS (baseline for that overhead)
+//
+// and the multicast variant where the UE races both servers.
+#include <cstdio>
+
+#include "core/fig5.h"
+
+using namespace mecdns;
+
+int main() {
+  core::Fig5Testbed::Config config;
+  config.deployment = core::Fig5Deployment::kMecLdnsMecCdns;
+  config.provider_fallback = true;
+  core::Fig5Testbed testbed(config);
+
+  const simnet::SimTime spacing = simnet::SimTime::seconds(2);
+
+  std::printf("=== A1: split-namespace MEC L-DNS vs provider L-DNS ===\n");
+  std::printf("%-34s %10s\n", "path", "mean(ms)");
+
+  // MEC content through the MEC L-DNS (default UE configuration).
+  const double mec_via_mec =
+      testbed.measure_name(testbed.content_name(), 40, spacing).totals().mean();
+  std::printf("%-34s %10.1f\n", "MEC domain via MEC L-DNS", mec_via_mec);
+
+  // MEC content through the provider path (re-target the stub).
+  testbed.ue().resolver().set_server(testbed.provider_endpoint());
+  const double mec_via_provider =
+      testbed.measure_name(testbed.content_name(), 40, spacing).totals().mean();
+  std::printf("%-34s %10.1f\n", "MEC domain via provider L-DNS",
+              mec_via_provider);
+
+  // Non-MEC web content through the provider (today's baseline).
+  const double web_via_provider =
+      testbed.measure_name(testbed.web_name(), 40, spacing).totals().mean();
+  std::printf("%-34s %10.1f\n", "web domain via provider L-DNS",
+              web_via_provider);
+
+  // Non-MEC web content through the MEC L-DNS (forwarded upstream).
+  testbed.ue().resolver().set_server(testbed.site().ldns_endpoint());
+  const double web_via_mec =
+      testbed.measure_name(testbed.web_name(), 40, spacing).totals().mean();
+  std::printf("%-34s %10.1f\n", "web domain via MEC L-DNS (forward)",
+              web_via_mec);
+
+  // Multicast: race MEC L-DNS and provider L-DNS; first useful answer wins.
+  testbed.ue().resolver().set_secondary(testbed.provider_endpoint());
+  const double web_multicast =
+      testbed.measure_name(testbed.web_name(), 40, spacing).totals().mean();
+  const double mec_multicast =
+      testbed.measure_name(testbed.content_name(), 40, spacing)
+          .totals()
+          .mean();
+  testbed.ue().resolver().set_secondary(std::nullopt);
+  std::printf("%-34s %10.1f\n", "web domain, multicast both", web_multicast);
+  std::printf("%-34s %10.1f\n", "MEC domain, multicast both", mec_multicast);
+
+  std::printf("\nMEC-domain speedup from MEC L-DNS:   %.1fx (paper: ~3.9x)\n",
+              mec_via_provider / mec_via_mec);
+  std::printf("web-domain overhead through MEC L-DNS: +%.1f ms (%.0f%%)\n",
+              web_via_mec - web_via_provider,
+              100.0 * (web_via_mec - web_via_provider) / web_via_provider);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// §4 ECS experiment: "We also evaluated the use of the EDNS Client Subnet
+// feature (ECS), implemented by enabling ECS support at L-DNS and C-DNS for
+// the first three deployment scenarios. ECS changed the measurements by
+// 1.01x, 1.08x and 0.95x, respectively ... In these experiments the DNS
+// query was always correctly resolved to the appropriate CDN cache server
+// at the MEC."
+#include <cstdio>
+
+#include "core/fig5.h"
+
+using namespace mecdns;
+
+namespace {
+double run_mean(core::Fig5Deployment deployment, bool ecs,
+                double* mec_share = nullptr) {
+  core::Fig5Testbed::Config config;
+  config.deployment = deployment;
+  config.enable_ecs = ecs;
+  core::Fig5Testbed testbed(config);
+  const core::SeriesResult result = testbed.measure(50);
+  if (mec_share != nullptr) {
+    *mec_share = result.answer_share(
+        [&](simnet::Ipv4Address a) { return testbed.is_mec_cache(a); });
+  }
+  return result.totals().mean();
+}
+}  // namespace
+
+int main() {
+  std::printf("=== ECS impact on the first three Figure 5 deployments ===\n");
+  std::printf("%-24s %12s %12s %8s %12s\n", "deployment", "no-ECS(ms)",
+              "ECS(ms)", "ratio", "MEC-correct");
+
+  const core::Fig5Deployment scenarios[] = {
+      core::Fig5Deployment::kMecLdnsMecCdns,
+      core::Fig5Deployment::kMecLdnsLanCdns,
+      core::Fig5Deployment::kMecLdnsWanCdns,
+  };
+  const double paper_ratios[] = {1.01, 1.08, 0.95};
+  int i = 0;
+  for (const auto deployment : scenarios) {
+    const double base = run_mean(deployment, false);
+    double mec_share = 0.0;
+    const double with_ecs = run_mean(deployment, true, &mec_share);
+    std::printf("%-24s %12.1f %12.1f %7.2fx %11.0f%%  (paper: %.2fx)\n",
+                core::to_string(deployment).c_str(), base, with_ecs,
+                with_ecs / base, 100.0 * mec_share, paper_ratios[i++]);
+  }
+  std::printf(
+      "\npaper: ECS is a wash (~1x) for MEC-CDN — the split-namespace design "
+      "already localizes without it;\nanswers remain correctly pinned to the "
+      "MEC cache servers in every run\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Microbenchmarks (google-benchmark) for the hot paths under the
+// simulation: DNS wire codec, cache, consistent hashing, zone lookup, the
+// event loop, and Zipf sampling.
+#include <benchmark/benchmark.h>
+
+#include "cdn/consistent_hash.h"
+#include "dns/cache.h"
+#include "dns/wire.h"
+#include "dns/zone.h"
+#include "simnet/simulator.h"
+#include "util/rng.h"
+#include "workload/zipf.h"
+
+using namespace mecdns;
+
+namespace {
+
+dns::Message sample_message(std::size_t answers) {
+  dns::Message msg = dns::make_query(
+      1234, dns::DnsName::must_parse("video.demo1.mycdn.ciab.test"),
+      dns::RecordType::kA);
+  msg.header.qr = true;
+  msg.header.aa = true;
+  for (std::size_t i = 0; i < answers; ++i) {
+    msg.answers.push_back(dns::make_a(
+        msg.questions.front().name,
+        simnet::Ipv4Address(static_cast<std::uint32_t>(0x0a600000 + i)), 30));
+  }
+  msg.edns = dns::Edns{};
+  dns::ClientSubnet ecs;
+  ecs.address = simnet::Ipv4Address::must_parse("203.0.113.0");
+  msg.edns->client_subnet = ecs;
+  return msg;
+}
+
+void BM_WireEncode(benchmark::State& state) {
+  const dns::Message msg =
+      sample_message(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::encode(msg));
+  }
+}
+BENCHMARK(BM_WireEncode)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_WireDecode(benchmark::State& state) {
+  const auto wire =
+      dns::encode(sample_message(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    auto decoded = dns::decode(wire);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_WireDecode)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_CacheLookup(benchmark::State& state) {
+  dns::DnsCache cache(8192);
+  const auto now = simnet::SimTime::seconds(1);
+  for (int i = 0; i < 1024; ++i) {
+    const auto name =
+        dns::DnsName::must_parse("host" + std::to_string(i) + ".example.com");
+    cache.insert(name, dns::RecordType::kA,
+                 {dns::make_a(name, simnet::Ipv4Address(0x0a000001u + i), 300)},
+                 now);
+  }
+  const auto qname = dns::DnsName::must_parse("host512.example.com");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(qname, dns::RecordType::kA, now));
+  }
+}
+BENCHMARK(BM_CacheLookup);
+
+void BM_ConsistentHashPick(benchmark::State& state) {
+  cdn::ConsistentHashRing ring(64);
+  for (int i = 0; i < state.range(0); ++i) {
+    ring.add("cache-" + std::to_string(i));
+  }
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.pick("object-" + std::to_string(++i)));
+  }
+}
+BENCHMARK(BM_ConsistentHashPick)->Arg(4)->Arg(64)->Arg(256);
+
+void BM_ZoneLookup(benchmark::State& state) {
+  dns::Zone zone(dns::DnsName::must_parse("example.com"));
+  zone.must_add(dns::make_soa(dns::DnsName::must_parse("example.com"),
+                              dns::DnsName::must_parse("ns1.example.com"), 1,
+                              300, 3600));
+  for (int i = 0; i < 512; ++i) {
+    zone.must_add(dns::make_a(
+        dns::DnsName::must_parse("h" + std::to_string(i) + ".example.com"),
+        simnet::Ipv4Address(0xc0000200u + i), 60));
+  }
+  const auto qname = dns::DnsName::must_parse("h300.example.com");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zone.lookup(qname, dns::RecordType::kA));
+  }
+}
+BENCHMARK(BM_ZoneLookup);
+
+void BM_SimulatorEvents(benchmark::State& state) {
+  for (auto _ : state) {
+    simnet::Simulator sim;
+    std::uint64_t counter = 0;
+    for (int i = 0; i < state.range(0); ++i) {
+      sim.schedule_at(simnet::SimTime::micros(static_cast<double>(i)),
+                      [&counter] { ++counter; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorEvents)->Arg(1024)->Arg(16384);
+
+void BM_ZipfSample(benchmark::State& state) {
+  workload::ZipfGenerator zipf(static_cast<std::size_t>(state.range(0)), 0.9);
+  util::Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// AR/VR latency budget: which DNS deployments leave room for sub-20 ms
+// content access?
+//
+// The paper motivates MEC-CDN with "the sub 20 ms requirements of emerging
+// workloads such as AR/VR ... and autonomous driving". This example runs an
+// AR client fetching small scene assets (one DNS lookup + one fetch each,
+// uncached names as CDN routers use tiny TTLs) across the six Figure 5
+// deployments, on LTE and on 5G NR, and reports how many requests fit a
+// 20 ms / 50 ms end-to-end budget.
+#include <cstdio>
+
+#include "core/fig5.h"
+
+using namespace mecdns;
+
+namespace {
+
+struct BudgetReport {
+  double mean_ms = 0;
+  double p99_ms = 0;
+  double within_20ms = 0;
+  double within_50ms = 0;
+};
+
+BudgetReport run(core::Fig5Deployment deployment, bool use_5g) {
+  core::Fig5Testbed::Config config;
+  config.deployment = deployment;
+  if (use_5g) config.access = ran::nr5g();
+  core::Fig5Testbed testbed(config);
+
+  util::SampleSet totals;
+  int done = 0;
+  const int requests = 40;
+  for (int i = 0; i < requests; ++i) {
+    const std::string path = "/segment" + std::string(4 - std::to_string(i % 16).size(), '0') +
+                             std::to_string(i % 16);
+    testbed.network().simulator().schedule_after(
+        simnet::SimTime::millis(250.0 * (i + 1)), [&, path] {
+          cdn::Url url;
+          url.host = testbed.content_name();
+          url.path = path;
+          testbed.ue().resolve_and_fetch(
+              url, [&](const ran::UserEquipment::FetchOutcome& outcome) {
+                ++done;
+                if (outcome.ok) totals.add(outcome.total.to_millis());
+              });
+        });
+  }
+  testbed.network().simulator().run();
+
+  BudgetReport report;
+  report.mean_ms = totals.mean();
+  report.p99_ms = totals.percentile(99);
+  int in20 = 0;
+  int in50 = 0;
+  for (const double v : totals.values()) {
+    if (v <= 20.0) ++in20;
+    if (v <= 50.0) ++in50;
+  }
+  report.within_20ms = totals.empty() ? 0 : 100.0 * in20 / totals.size();
+  report.within_50ms = totals.empty() ? 0 : 100.0 * in50 / totals.size();
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== AR/VR asset fetch (DNS + GET) against a 20 ms budget ===\n\n");
+  for (const bool use_5g : {false, true}) {
+    std::printf("--- access network: %s ---\n", use_5g ? "5G NR" : "4G LTE");
+    std::printf("%-24s %10s %10s %8s %8s\n", "deployment", "mean(ms)",
+                "p99(ms)", "<=20ms", "<=50ms");
+    for (const auto deployment : core::all_fig5_deployments()) {
+      const BudgetReport report = run(deployment, use_5g);
+      std::printf("%-24s %10.1f %10.1f %7.0f%% %7.0f%%\n",
+                  core::to_string(deployment).c_str(), report.mean_ms,
+                  report.p99_ms, report.within_20ms, report.within_50ms);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "reading: on LTE no deployment meets 20 ms (the air interface alone "
+      "is ~20 ms RTT), and only\nthe MEC deployments meet 50 ms; on 5G the "
+      "MEC-CDN deployment fits the whole DNS+fetch inside\n20 ms while every "
+      "non-MEC deployment still blows the budget on resolver distance "
+      "alone.\n");
+  return 0;
+}

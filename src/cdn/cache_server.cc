@@ -1,0 +1,208 @@
+#include "cdn/cache_server.h"
+
+namespace mecdns::cdn {
+
+CacheServer::CacheServer(simnet::Network& net, simnet::NodeId node,
+                         std::string name, Config config,
+                         simnet::Ipv4Address addr)
+    : net_(net), name_(std::move(name)), config_(std::move(config)),
+      rng_(0x8f1bbcdc ^ (static_cast<std::uint64_t>(node) << 21)) {
+  socket_ = net_.open_socket(
+      node, kContentPort,
+      [this](const simnet::Packet& packet) { on_packet(packet); }, addr);
+  // Separate ephemeral socket for parent fetches so parent responses are
+  // not confused with client requests.
+  parent_socket_ = net_.open_socket(
+      node, 0, [this](const simnet::Packet& packet) {
+        auto response = decode_response(packet.payload);
+        if (!response.ok()) return;
+        const auto it = pending_.find(response.value().id);
+        if (it == pending_.end()) return;
+        PendingFetch fetch = std::move(it->second);
+        pending_.erase(it);
+        if (response.value().status == 200) {
+          insert(ContentObject{fetch.request.url,
+                               response.value().size_bytes});
+          respond(fetch.request, fetch.client, 200,
+                  response.value().size_bytes, /*from_cache=*/false);
+        } else {
+          ++stats_.not_found;
+          respond(fetch.request, fetch.client, 404, 0, false);
+        }
+      });
+}
+
+CacheServer::~CacheServer() {
+  *alive_ = false;
+  net_.close_socket(socket_);
+  net_.close_socket(parent_socket_);
+}
+
+void CacheServer::warm(const ContentObject& object) { insert(object); }
+
+void CacheServer::on_packet(const simnet::Packet& packet) {
+  auto request = decode_request(packet.payload);
+  if (!request.ok()) return;
+  ++stats_.requests;
+  const simnet::SimTime service = config_.service_time.sample(rng_);
+  net_.simulator().schedule_after(
+      service, [this, alive = alive_, request = std::move(request.value()),
+                client = packet.src] {
+        if (!*alive) return;
+        serve(request, client);
+      });
+}
+
+void CacheServer::serve(const ContentRequest& request,
+                        const simnet::Endpoint& client) {
+  const auto it = index_.find(request.url);
+  if (it != index_.end()) {
+    ++stats_.hits;
+    touch(request.url);
+    respond(request, client, 200, it->second->size_bytes, true);
+    return;
+  }
+  ++stats_.misses;
+  if (!config_.parent.has_value()) {
+    ++stats_.not_found;
+    respond(request, client, 404, 0, false);
+    return;
+  }
+  ++stats_.parent_fetches;
+  const std::uint64_t fetch_id = next_fetch_id_++;
+  pending_.emplace(fetch_id, PendingFetch{request, client, fetch_id});
+  ContentRequest upstream{fetch_id, request.url};
+  parent_socket_->send_to(*config_.parent, encode(upstream));
+  net_.simulator().schedule_after(config_.parent_timeout, [this,
+                                                           alive = alive_,
+                                                           fetch_id] {
+    if (!*alive) return;
+    const auto pending_it = pending_.find(fetch_id);
+    if (pending_it == pending_.end()) return;
+    PendingFetch fetch = std::move(pending_it->second);
+    pending_.erase(pending_it);
+    ++stats_.parent_failures;
+    respond(fetch.request, fetch.client, 404, 0, false);
+  });
+}
+
+void CacheServer::respond(const ContentRequest& request,
+                          const simnet::Endpoint& client, std::uint16_t status,
+                          std::uint64_t size, bool from_cache) {
+  ContentResponse response;
+  response.id = request.id;
+  response.url = request.url;
+  response.status = status;
+  response.size_bytes = size;
+  response.served_from_cache = from_cache;
+  if (status == 200) stats_.bytes_served += size;
+  // The response stands in for the whole object: bandwidth-limited links
+  // charge its full transfer size.
+  socket_->send_to(client, encode(response),
+                   static_cast<std::size_t>(size));
+}
+
+void CacheServer::touch(const Url& url) {
+  const auto it = index_.find(url);
+  if (it == index_.end()) return;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  index_[url] = lru_.begin();
+}
+
+void CacheServer::insert(const ContentObject& object) {
+  if (index_.count(object.url) != 0) {
+    touch(object.url);
+    return;
+  }
+  if (object.size_bytes > config_.capacity_bytes) return;  // uncacheable
+  while (used_bytes_ + object.size_bytes > config_.capacity_bytes &&
+         !lru_.empty()) {
+    const ContentObject& victim = lru_.back();
+    used_bytes_ -= victim.size_bytes;
+    index_.erase(victim.url);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(object);
+  index_[object.url] = lru_.begin();
+  used_bytes_ += object.size_bytes;
+}
+
+OriginServer::OriginServer(simnet::Network& net, simnet::NodeId node,
+                           std::string name, ContentCatalog catalog,
+                           simnet::LatencyModel service_time,
+                           simnet::Ipv4Address addr)
+    : net_(net), name_(std::move(name)), catalog_(std::move(catalog)),
+      service_time_(std::move(service_time)),
+      rng_(0xca62c1d6 ^ (static_cast<std::uint64_t>(node) << 13)) {
+  socket_ = net_.open_socket(
+      node, kContentPort,
+      [this](const simnet::Packet& packet) { on_packet(packet); }, addr);
+}
+
+OriginServer::~OriginServer() { net_.close_socket(socket_); }
+
+void OriginServer::on_packet(const simnet::Packet& packet) {
+  auto request = decode_request(packet.payload);
+  if (!request.ok()) return;
+  ++requests_;
+  const simnet::SimTime service = service_time_.sample(rng_);
+  net_.simulator().schedule_after(
+      service, [this, request = std::move(request.value()),
+                client = packet.src] {
+        const auto object = catalog_.find(request.url);
+        ContentResponse response;
+        response.id = request.id;
+        response.url = request.url;
+        if (object.has_value()) {
+          response.status = 200;
+          response.size_bytes = object->size_bytes;
+        } else {
+          response.status = 404;
+        }
+        socket_->send_to(client, encode(response),
+                         static_cast<std::size_t>(response.size_bytes));
+      });
+}
+
+ContentClient::ContentClient(simnet::Network& net, simnet::NodeId node)
+    : net_(net) {
+  socket_ = net_.open_socket(node, 0, [this](const simnet::Packet& packet) {
+    on_packet(packet);
+  });
+}
+
+ContentClient::~ContentClient() {
+  *alive_ = false;
+  net_.close_socket(socket_);
+}
+
+void ContentClient::get(const simnet::Endpoint& server, const Url& url,
+                        Callback callback, simnet::SimTime timeout) {
+  const std::uint64_t id = next_id_++;
+  const std::uint64_t generation = next_generation_++;
+  pending_.emplace(id, Pending{std::move(callback), net_.now(), generation});
+  socket_->send_to(server, encode(ContentRequest{id, url}));
+  net_.simulator().schedule_after(timeout, [this, alive = alive_, id,
+                                            generation] {
+    if (!*alive) return;
+    const auto it = pending_.find(id);
+    if (it == pending_.end() || it->second.generation != generation) return;
+    Pending pending = std::move(it->second);
+    pending_.erase(it);
+    pending.callback(util::Err("content fetch timed out"),
+                     net_.now() - pending.sent);
+  });
+}
+
+void ContentClient::on_packet(const simnet::Packet& packet) {
+  auto response = decode_response(packet.payload);
+  if (!response.ok()) return;
+  const auto it = pending_.find(response.value().id);
+  if (it == pending_.end()) return;
+  Pending pending = std::move(it->second);
+  pending_.erase(it);
+  pending.callback(std::move(response), net_.now() - pending.sent);
+}
+
+}  // namespace mecdns::cdn

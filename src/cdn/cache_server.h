@@ -1,0 +1,162 @@
+// CDN cache server: LRU object cache with parent/origin miss fetch.
+//
+// The edge tier of the MEC-CDN (and the mid/cloud tiers behind it). On a
+// miss the server fetches from its configured parent — origin or a
+// higher-tier cache — then answers the client; the extra round trip is what
+// makes cache locality visible in end-to-end latency.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "cdn/content.h"
+#include "simnet/latency.h"
+#include "simnet/network.h"
+#include "util/rng.h"
+
+namespace mecdns::cdn {
+
+struct CacheServerStats {
+  std::uint64_t requests = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t parent_fetches = 0;
+  std::uint64_t parent_failures = 0;
+  std::uint64_t not_found = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t bytes_served = 0;
+
+  double hit_rate() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(hits) /
+                               static_cast<double>(requests);
+  }
+};
+
+class CacheServer {
+ public:
+  struct Config {
+    std::uint64_t capacity_bytes = 256ull * 1024 * 1024;
+    /// Per-request service time (lookup + response serialization).
+    simnet::LatencyModel service_time =
+        simnet::LatencyModel::constant(simnet::SimTime::micros(200));
+    /// Parent to fetch misses from; unset means answer 404 on miss.
+    std::optional<simnet::Endpoint> parent;
+    simnet::SimTime parent_timeout = simnet::SimTime::millis(2000);
+  };
+
+  CacheServer(simnet::Network& net, simnet::NodeId node, std::string name,
+              Config config, simnet::Ipv4Address addr = simnet::Ipv4Address());
+  ~CacheServer();
+  CacheServer(const CacheServer&) = delete;
+  CacheServer& operator=(const CacheServer&) = delete;
+
+  const std::string& name() const { return name_; }
+  simnet::Endpoint endpoint() const { return socket_->endpoint(); }
+  const CacheServerStats& stats() const { return stats_; }
+
+  /// Pre-populates the cache (content pushed to the edge at deploy time).
+  void warm(const ContentObject& object);
+  bool cached(const Url& url) const { return index_.count(url) != 0; }
+  std::uint64_t used_bytes() const { return used_bytes_; }
+
+  void set_parent(std::optional<simnet::Endpoint> parent) {
+    config_.parent = parent;
+  }
+
+ private:
+  void on_packet(const simnet::Packet& packet);
+  void serve(const ContentRequest& request, const simnet::Endpoint& client);
+  void respond(const ContentRequest& request, const simnet::Endpoint& client,
+               std::uint16_t status, std::uint64_t size, bool from_cache);
+  void touch(const Url& url);
+  void insert(const ContentObject& object);
+
+  simnet::Network& net_;
+  std::string name_;
+  Config config_;
+  simnet::UdpSocket* socket_;
+  simnet::UdpSocket* parent_socket_;
+  util::Rng rng_;
+  /// Disarms scheduled service/timeout events after destruction.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+
+  // LRU: most-recent at front.
+  std::list<ContentObject> lru_;
+  std::map<Url, std::list<ContentObject>::iterator> index_;
+  std::uint64_t used_bytes_ = 0;
+
+  struct PendingFetch {
+    ContentRequest request;
+    simnet::Endpoint client;
+    std::uint64_t generation;
+  };
+  std::map<std::uint64_t, PendingFetch> pending_;
+  std::uint64_t next_fetch_id_ = 1;
+  CacheServerStats stats_;
+};
+
+/// Origin server: owns a catalog, never misses (the content's home).
+class OriginServer {
+ public:
+  OriginServer(simnet::Network& net, simnet::NodeId node, std::string name,
+               ContentCatalog catalog,
+               simnet::LatencyModel service_time =
+                   simnet::LatencyModel::constant(simnet::SimTime::millis(2)),
+               simnet::Ipv4Address addr = simnet::Ipv4Address());
+  ~OriginServer();
+  OriginServer(const OriginServer&) = delete;
+  OriginServer& operator=(const OriginServer&) = delete;
+
+  simnet::Endpoint endpoint() const { return socket_->endpoint(); }
+  const ContentCatalog& catalog() const { return catalog_; }
+  std::uint64_t requests() const { return requests_; }
+
+ private:
+  void on_packet(const simnet::Packet& packet);
+
+  simnet::Network& net_;
+  std::string name_;
+  ContentCatalog catalog_;
+  simnet::LatencyModel service_time_;
+  simnet::UdpSocket* socket_;
+  util::Rng rng_;
+  std::uint64_t requests_ = 0;
+};
+
+/// Client-side fetch helper (used by the UE and by examples).
+class ContentClient {
+ public:
+  using Callback = std::function<void(util::Result<ContentResponse>,
+                                      simnet::SimTime latency)>;
+
+  ContentClient(simnet::Network& net, simnet::NodeId node);
+  ~ContentClient();
+  ContentClient(const ContentClient&) = delete;
+  ContentClient& operator=(const ContentClient&) = delete;
+
+  void get(const simnet::Endpoint& server, const Url& url, Callback callback,
+           simnet::SimTime timeout = simnet::SimTime::millis(3000));
+
+ private:
+  void on_packet(const simnet::Packet& packet);
+
+  simnet::Network& net_;
+  simnet::UdpSocket* socket_;
+  /// Disarms scheduled timeout events once this client is destroyed.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  struct Pending {
+    Callback callback;
+    simnet::SimTime sent;
+    std::uint64_t generation;
+  };
+  std::map<std::uint64_t, Pending> pending_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_generation_ = 1;
+};
+
+}  // namespace mecdns::cdn

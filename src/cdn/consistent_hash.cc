@@ -1,0 +1,83 @@
+#include "cdn/consistent_hash.h"
+
+namespace mecdns::cdn {
+
+std::uint64_t ConsistentHashRing::hash(const std::string& text) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  // FNV-1a alone avalanches poorly for near-identical keys ("cache-1#7" vs
+  // "cache-2#7"), which skews ring arcs badly; a murmur3-style finalizer
+  // decorrelates the positions.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+void ConsistentHashRing::add(const std::string& member) {
+  if (contains(member)) return;
+  for (unsigned i = 0; i < vnodes_; ++i) {
+    ring_.emplace(hash(member + "#" + std::to_string(i)), member);
+  }
+  ++members_;
+}
+
+void ConsistentHashRing::remove(const std::string& member) {
+  if (!contains(member)) return;
+  for (unsigned i = 0; i < vnodes_; ++i) {
+    const std::uint64_t position = hash(member + "#" + std::to_string(i));
+    const auto [lo, hi] = ring_.equal_range(position);
+    for (auto it = lo; it != hi;) {
+      if (it->second == member) {
+        it = ring_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  --members_;
+}
+
+bool ConsistentHashRing::contains(const std::string& member) const {
+  for (unsigned i = 0; i < vnodes_; ++i) {
+    const auto it = ring_.find(hash(member + "#" + std::to_string(i)));
+    if (it != ring_.end() && it->second == member) return true;
+  }
+  return false;
+}
+
+std::optional<std::string> ConsistentHashRing::pick(
+    const std::string& key) const {
+  if (ring_.empty()) return std::nullopt;
+  auto it = ring_.lower_bound(hash(key));
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+std::vector<std::string> ConsistentHashRing::pick_n(const std::string& key,
+                                                    std::size_t n) const {
+  std::vector<std::string> out;
+  if (ring_.empty() || n == 0) return out;
+  auto it = ring_.lower_bound(hash(key));
+  for (std::size_t steps = 0; steps < ring_.size() && out.size() < n;
+       ++steps) {
+    if (it == ring_.end()) it = ring_.begin();
+    bool seen = false;
+    for (const auto& member : out) {
+      if (member == it->second) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out.push_back(it->second);
+    ++it;
+  }
+  return out;
+}
+
+}  // namespace mecdns::cdn

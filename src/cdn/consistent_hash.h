@@ -1,0 +1,45 @@
+// Consistent hashing for cache-server selection.
+//
+// Apache Traffic Control's Traffic Router consistent-hashes request paths
+// onto the caches of the selected cache group so that each object lives on
+// a stable server — crucial at a small MEC site, where spraying requests
+// across caches would multiply the working set ("disaggregation of requests
+// ... may increase the cache miss rate", §2 observation 2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mecdns::cdn {
+
+class ConsistentHashRing {
+ public:
+  /// `vnodes` = virtual nodes per member; more gives smoother balance.
+  explicit ConsistentHashRing(unsigned vnodes = 64) : vnodes_(vnodes) {}
+
+  void add(const std::string& member);
+  void remove(const std::string& member);
+  bool contains(const std::string& member) const;
+  std::size_t size() const { return members_; }
+  bool empty() const { return members_ == 0; }
+
+  /// The member owning `key`, or nullopt when the ring is empty.
+  std::optional<std::string> pick(const std::string& key) const;
+
+  /// The first `n` distinct members clockwise from `key` (for replica
+  /// placement / failover ordering).
+  std::vector<std::string> pick_n(const std::string& key, std::size_t n) const;
+
+  /// Stable 64-bit hash used for ring positions and keys (FNV-1a).
+  static std::uint64_t hash(const std::string& text);
+
+ private:
+  unsigned vnodes_;
+  std::size_t members_ = 0;
+  std::map<std::uint64_t, std::string> ring_;
+};
+
+}  // namespace mecdns::cdn

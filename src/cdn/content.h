@@ -1,0 +1,90 @@
+// Content model and the minimal HTTP-like fetch protocol.
+//
+// CDN content is addressed by URL (host + path); the host is the CDN domain
+// the DNS layer resolves (Table 1 of the paper), the path names the object.
+// Fetches use a tiny GET/response protocol over simulated UDP — enough to
+// measure end-to-end "resolve then fetch" latencies and drive cache-miss
+// paths, without modelling TCP.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/name.h"
+#include "util/result.h"
+
+namespace mecdns::cdn {
+
+/// A parsed content URL: "video.demo1.mycdn.test/segments/0001.ts".
+struct Url {
+  dns::DnsName host;
+  std::string path;  ///< always begins with '/'
+
+  static util::Result<Url> parse(std::string_view text);
+  static Url must_parse(std::string_view text);
+
+  std::string to_string() const { return host.to_string() + path; }
+
+  friend bool operator==(const Url& a, const Url& b) {
+    return a.host == b.host && a.path == b.path;
+  }
+  friend bool operator<(const Url& a, const Url& b) {
+    if (a.host == b.host) return a.path < b.path;
+    return a.host < b.host;
+  }
+};
+
+/// Immutable description of one object.
+struct ContentObject {
+  Url url;
+  std::uint64_t size_bytes = 0;
+};
+
+/// The set of objects an origin (or a delivery service) owns.
+class ContentCatalog {
+ public:
+  void add(Url url, std::uint64_t size_bytes);
+  /// Adds `count` objects "<prefix>NNNN" under `host` with the given size.
+  void add_series(const dns::DnsName& host, const std::string& prefix,
+                  std::size_t count, std::uint64_t size_bytes);
+
+  std::optional<ContentObject> find(const Url& url) const;
+  bool contains(const Url& url) const { return find(url).has_value(); }
+  std::size_t size() const { return objects_.size(); }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+
+  const std::map<Url, ContentObject>& objects() const { return objects_; }
+
+ private:
+  std::map<Url, ContentObject> objects_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+// --- wire helpers for the GET protocol --------------------------------------
+
+inline constexpr std::uint16_t kContentPort = 80;
+
+struct ContentRequest {
+  std::uint64_t id = 0;
+  Url url;
+};
+
+struct ContentResponse {
+  std::uint64_t id = 0;
+  Url url;
+  std::uint16_t status = 200;  ///< 200 or 404
+  std::uint64_t size_bytes = 0;
+  bool served_from_cache = false;  ///< hit at the answering tier
+};
+
+std::vector<std::uint8_t> encode(const ContentRequest& request);
+std::vector<std::uint8_t> encode(const ContentResponse& response);
+util::Result<ContentRequest> decode_request(
+    const std::vector<std::uint8_t>& payload);
+util::Result<ContentResponse> decode_response(
+    const std::vector<std::uint8_t>& payload);
+
+}  // namespace mecdns::cdn

@@ -1,0 +1,30 @@
+#include "cdn/coverage.h"
+
+namespace mecdns::cdn {
+
+void CoverageZoneMap::add(simnet::Cidr subnet, std::string cache_group) {
+  zones_.push_back(ZoneEntry{subnet, std::move(cache_group)});
+}
+
+std::optional<std::string> CoverageZoneMap::lookup(
+    simnet::Ipv4Address addr) const {
+  const ZoneEntry* best = nullptr;
+  for (const auto& zone : zones_) {
+    if (!zone.subnet.contains(addr)) continue;
+    if (best == nullptr ||
+        zone.subnet.prefix_len() > best->subnet.prefix_len()) {
+      best = &zone;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->group;
+}
+
+std::optional<std::string> CoverageZoneMap::resolve(
+    simnet::Ipv4Address addr) const {
+  auto group = lookup(addr);
+  if (group.has_value()) return group;
+  return default_group_;
+}
+
+}  // namespace mecdns::cdn

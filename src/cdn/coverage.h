@@ -1,0 +1,46 @@
+// Coverage zone map: client subnet -> cache group.
+//
+// Apache Traffic Control resolves the requester's address against a
+// "coverage zone file" before falling back to geo lookup; the paper's
+// C-DNS-at-MEC gets its precision from exactly this: the MEC site's client
+// subnets map to the MEC cache group with certainty, rather than relying on
+// GeoIP ("limited accuracy", §1).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "simnet/ip.h"
+
+namespace mecdns::cdn {
+
+class CoverageZoneMap {
+ public:
+  /// Maps every address in `subnet` to `cache_group`.
+  void add(simnet::Cidr subnet, std::string cache_group);
+
+  /// Longest-prefix match; nullopt when no zone covers the address.
+  std::optional<std::string> lookup(simnet::Ipv4Address addr) const;
+
+  /// Group to use when lookup fails (the geo fallback's answer).
+  void set_default_group(std::string group) { default_group_ = group; }
+  const std::optional<std::string>& default_group() const {
+    return default_group_;
+  }
+
+  /// lookup() falling back to the default group.
+  std::optional<std::string> resolve(simnet::Ipv4Address addr) const;
+
+  std::size_t size() const { return zones_.size(); }
+
+ private:
+  struct ZoneEntry {
+    simnet::Cidr subnet;
+    std::string group;
+  };
+  std::vector<ZoneEntry> zones_;
+  std::optional<std::string> default_group_;
+};
+
+}  // namespace mecdns::cdn

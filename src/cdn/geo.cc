@@ -1,0 +1,41 @@
+#include "cdn/geo.h"
+
+namespace mecdns::cdn {
+
+void GeoIpDatabase::add(simnet::Cidr prefix, GeoPoint location,
+                        std::string label) {
+  entries_.push_back(GeoEntry{prefix, location, std::move(label)});
+}
+
+std::optional<GeoEntry> GeoIpDatabase::locate_exact(
+    simnet::Ipv4Address addr) const {
+  const GeoEntry* best = nullptr;
+  for (const auto& entry : entries_) {
+    if (!entry.prefix.contains(addr)) continue;
+    if (best == nullptr ||
+        entry.prefix.prefix_len() > best->prefix.prefix_len()) {
+      best = &entry;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+std::optional<GeoPoint> GeoIpDatabase::locate(simnet::Ipv4Address addr) {
+  auto exact = locate_exact(addr);
+  if (!exact.has_value()) return std::nullopt;
+  GeoPoint point = exact->location;
+  if (!entries_.empty() && accuracy_.mislocate_probability > 0.0 &&
+      rng_.bernoulli(accuracy_.mislocate_probability)) {
+    point = entries_[rng_.uniform_int(entries_.size())].location;
+  }
+  if (accuracy_.noise_radius_km > 0.0) {
+    const double angle = rng_.uniform(0.0, 6.283185307179586);
+    const double radius = rng_.uniform(0.0, accuracy_.noise_radius_km);
+    point.x_km += radius * std::cos(angle);
+    point.y_km += radius * std::sin(angle);
+  }
+  return point;
+}
+
+}  // namespace mecdns::cdn

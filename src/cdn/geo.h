@@ -1,0 +1,73 @@
+// GeoIP database model with configurable accuracy.
+//
+// Commercial CDNs localize requests by geo-locating the *resolver's* (or,
+// with ECS, the client subnet's) IP address via databases like MaxMind.
+// The paper stresses this is done "with limited accuracy" [18] and that
+// mobile gateways obscure the true client location. GeoIpDatabase models a
+// prefix -> coordinate table whose answers can be wrong with a configured
+// probability and noisy within an error radius.
+#pragma once
+
+#include <cmath>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "simnet/ip.h"
+#include "util/rng.h"
+
+namespace mecdns::cdn {
+
+/// Planar coordinates in kilometres (a flat map is plenty for a metro/
+/// continental simulation).
+struct GeoPoint {
+  double x_km = 0.0;
+  double y_km = 0.0;
+
+  friend bool operator==(const GeoPoint&, const GeoPoint&) = default;
+};
+
+inline double distance_km(const GeoPoint& a, const GeoPoint& b) {
+  const double dx = a.x_km - b.x_km;
+  const double dy = a.y_km - b.y_km;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+struct GeoEntry {
+  simnet::Cidr prefix;
+  GeoPoint location;
+  std::string label;
+};
+
+/// Error model for GeoIP answers.
+struct GeoAccuracy {
+  /// Probability a lookup returns a *different* entry's location (models
+  /// stale/incorrect database rows).
+  double mislocate_probability = 0.0;
+  /// Uniform noise radius applied to returned coordinates.
+  double noise_radius_km = 0.0;
+};
+
+class GeoIpDatabase {
+ public:
+  explicit GeoIpDatabase(GeoAccuracy accuracy = GeoAccuracy{},
+                         std::uint64_t seed = 1)
+      : accuracy_(accuracy), rng_(seed) {}
+
+  void add(simnet::Cidr prefix, GeoPoint location, std::string label);
+
+  /// Longest-prefix lookup with the configured error model applied.
+  std::optional<GeoPoint> locate(simnet::Ipv4Address addr);
+
+  /// Exact longest-prefix lookup (no error model); for tests/calibration.
+  std::optional<GeoEntry> locate_exact(simnet::Ipv4Address addr) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  GeoAccuracy accuracy_;
+  util::Rng rng_;
+  std::vector<GeoEntry> entries_;
+};
+
+}  // namespace mecdns::cdn

@@ -1,0 +1,82 @@
+// Traffic Monitor: cache-server health probing.
+//
+// Apache Traffic Control pairs its Traffic Router with a Traffic Monitor
+// that polls every cache and feeds availability into routing decisions.
+// TrafficMonitor probes each registered cache over the content protocol at
+// a fixed interval; after `down_threshold` consecutive failures the cache
+// is reported unhealthy to the router, and after `up_threshold` consecutive
+// successes it is restored — so cache failures heal without operator
+// action, which is what makes a small MEC cache group dependable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cdn/cache_server.h"
+#include "cdn/traffic_router.h"
+
+namespace mecdns::cdn {
+
+class TrafficMonitor {
+ public:
+  struct Config {
+    simnet::SimTime probe_interval = simnet::SimTime::seconds(1);
+    simnet::SimTime probe_timeout = simnet::SimTime::millis(400);
+    int down_threshold = 2;  ///< consecutive failures before marking down
+    int up_threshold = 2;    ///< consecutive successes before marking up
+    /// Probe rounds to run; 0 = keep probing until stop(). A bounded count
+    /// lets Simulator::run() drain; unbounded monitors need run_until().
+    std::size_t rounds = 0;
+  };
+
+  /// Probes run from `node`; health transitions are pushed to `router`.
+  TrafficMonitor(simnet::Network& net, simnet::NodeId node,
+                 TrafficRouter& router, Config config);
+
+  /// Registers a cache to watch. `probe_url` should be cheap and always
+  /// present (a health object warmed on every cache).
+  void watch(const std::string& group, const std::string& cache_name,
+             simnet::Endpoint endpoint, Url probe_url);
+
+  /// Starts the periodic probing loop.
+  void start();
+  /// Stops scheduling further rounds (in-flight probes still complete).
+  void stop() { running_ = false; }
+
+  ~TrafficMonitor() { *alive_ = false; }
+
+  bool healthy(const std::string& cache_name) const;
+  std::uint64_t transitions() const { return transitions_; }
+  std::uint64_t probes_sent() const { return probes_sent_; }
+
+ private:
+  struct Watched {
+    std::string group;
+    std::string name;
+    simnet::Endpoint endpoint;
+    Url probe_url;
+    bool healthy = true;
+    int failures = 0;
+    int successes = 0;
+  };
+
+  void probe_all();
+  void on_result(std::size_t index, bool success);
+
+  simnet::Network& net_;
+  TrafficRouter& router_;
+  Config config_;
+  std::unique_ptr<ContentClient> client_;
+  std::vector<Watched> watched_;
+  bool started_ = false;
+  bool running_ = false;
+  std::size_t rounds_done_ = 0;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  std::uint64_t transitions_ = 0;
+  std::uint64_t probes_sent_ = 0;
+};
+
+}  // namespace mecdns::cdn

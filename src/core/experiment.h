@@ -1,0 +1,71 @@
+// Measurement harness: drives DNS query series and collects the paper's
+// metrics.
+//
+// Reproduces the paper's methodology: dig-style repeated queries from the
+// client (client-observed latency) combined with a tcpdump-style tap at the
+// P-GW that splits each lookup into wireless vs beyond-P-GW time (Figure
+// 5's two bar segments).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dns/stub.h"
+#include "ran/tap.h"
+#include "simnet/network.h"
+#include "util/stats.h"
+
+namespace mecdns::core {
+
+struct QuerySample {
+  bool ok = false;
+  dns::RCode rcode = dns::RCode::kServFail;
+  simnet::Ipv4Address address;   ///< first A answer (if any)
+  double total_ms = 0.0;         ///< client-observed lookup latency
+  double wireless_ms = 0.0;      ///< UE<->P-GW portion (needs a tap)
+  double beyond_pgw_ms = 0.0;    ///< resolvers + core beyond the P-GW
+  bool breakdown_valid = false;  ///< tap saw both directions
+  std::string error;
+};
+
+struct SeriesResult {
+  std::vector<QuerySample> samples;
+
+  util::SampleSet totals() const;
+  util::SampleSet wireless() const;
+  util::SampleSet beyond_pgw() const;
+  std::size_t failures() const;
+  /// Share of successful answers whose address satisfies `pred`.
+  double answer_share(
+      const std::function<bool(simnet::Ipv4Address)>& pred) const;
+};
+
+/// Runs query series through a stub resolver, draining the simulator after
+/// scheduling, and correlates each transaction with the tap (when given).
+class QueryRunner {
+ public:
+  QueryRunner(simnet::Network& net, dns::StubResolver& stub,
+              ran::DnsTap* tap = nullptr)
+      : net_(net), stub_(stub), tap_(tap) {}
+
+  struct Options {
+    std::size_t queries = 12;
+    std::size_t warmup = 0;  ///< extra leading queries, excluded from results
+    simnet::SimTime spacing = simnet::SimTime::seconds(1);
+    bool with_ecs = false;
+    dns::ClientSubnet ecs;
+  };
+
+  /// Schedules `options.warmup + options.queries` lookups of (name, type)
+  /// and runs the simulator until all complete.
+  SeriesResult run(const dns::DnsName& name, dns::RecordType type,
+                   const Options& options);
+
+ private:
+  simnet::Network& net_;
+  dns::StubResolver& stub_;
+  ran::DnsTap* tap_;
+};
+
+}  // namespace mecdns::core

@@ -1,0 +1,149 @@
+// The Figure 5 LTE testbed: six DNS deployment scenarios.
+//
+// Recreates the paper's prototype — srsLTE RAN + NextEPC core + Kubernetes
+// + CoreDNS + Apache Traffic Control, all "collocated at the edge of
+// network" — as a simulated topology, and measures DNS lookup latency for
+// video.demo1.mycdn.ciab.test under each resolver deployment the paper
+// compares:
+//
+//   1. MEC L-DNS w/ MEC C-DNS   — the proposal (both in the MEC cluster)
+//   2. MEC L-DNS w/ LAN C-DNS   — ETSI/3GPP-style: C-DNS one LAN hop away
+//   3. MEC L-DNS w/ WAN C-DNS   — C-DNS at the CDN's cloud site
+//   4. LAN L-DNS                — provider L-DNS behind the cellular core
+//   5. Google DNS               — cloud public resolver (well-peered)
+//   6. Cloudflare DNS           — CDN-operated public resolver (the slow
+//                                 path from the paper's testbed)
+//
+// Every scenario carries real DNS wire traffic end to end; the breakdown
+// into "wireless" and "DNS query over LTE" segments comes from the DnsTap
+// at the P-GW, exactly like the paper's tcpdump.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cdn/cache_server.h"
+#include "cdn/traffic_router.h"
+#include "core/experiment.h"
+#include "core/mec_cdn.h"
+#include "dns/hierarchy.h"
+#include "dns/recursive.h"
+#include "ran/segment.h"
+#include "ran/tap.h"
+#include "ran/ue.h"
+
+namespace mecdns::core {
+
+enum class Fig5Deployment {
+  kMecLdnsMecCdns,
+  kMecLdnsLanCdns,
+  kMecLdnsWanCdns,
+  kProviderLdns,
+  kGoogleDns,
+  kCloudflareDns,
+};
+
+/// The paper's bar label.
+std::string to_string(Fig5Deployment deployment);
+
+/// All six, in the figure's order.
+const std::vector<Fig5Deployment>& all_fig5_deployments();
+
+class Fig5Testbed {
+ public:
+  struct Config {
+    Fig5Deployment deployment = Fig5Deployment::kMecLdnsMecCdns;
+    std::uint64_t seed = 42;
+    bool enable_ecs = false;
+    ran::AccessProfile access = ran::lte();
+
+    /// Always build the provider L-DNS and configure the MEC L-DNS to
+    /// forward non-MEC queries to it (the split-namespace ablation and the
+    /// overload fallback need both paths live at once).
+    bool provider_fallback = false;
+    /// Overload guard threshold for the MEC L-DNS public view (0 = off).
+    std::size_t overload_threshold_qps = 0;
+
+    // --- calibration knobs (defaults reproduce Figure 5's shape) --------
+    double pgw_to_mec_ms = 0.5;      ///< P-GW <-> cluster gateway, one way
+    double lan_cdns_ms = 3.3;        ///< MEC <-> LAN C-DNS, one way
+    double pgw_to_internet_ms = 4.0; ///< operator core <-> backbone
+    double wan_cdns_ms = 11.7;       ///< backbone <-> CDN cloud site
+    double provider_ldns_ms = 14.55; ///< P-GW <-> provider L-DNS
+    double google_ms = 14.0;         ///< backbone <-> Google (anycast: near)
+    double cloudflare_ms = 57.3;     ///< backbone <-> Cloudflare (the far,
+                                     ///< slow path the paper measured)
+  };
+
+  explicit Fig5Testbed(Config config);
+
+  /// Runs `queries` measured lookups (plus warmups) of the content name.
+  SeriesResult measure(std::size_t queries = 50,
+                       simnet::SimTime spacing = simnet::SimTime::seconds(2));
+
+  /// Measures lookups of an arbitrary name (ablation benches).
+  SeriesResult measure_name(const dns::DnsName& name, std::size_t queries,
+                            simnet::SimTime spacing, std::size_t warmup = 3);
+
+  /// The content's DNS name: video.demo1.mycdn.ciab.test.
+  const dns::DnsName& content_name() const { return content_name_; }
+
+  /// A regular (non-MEC) web CDN domain hosted across the WAN; resolvable
+  /// through the provider path. Only present with provider_fallback.
+  const dns::DnsName& web_name() const { return web_name_; }
+
+  /// Content of a delivery service deployed only at the parent CDN tier
+  /// (not at the MEC): resolving it through the MEC C-DNS yields a
+  /// cascading CNAME into the parent tier's domain. Only present with
+  /// provider_fallback.
+  const dns::DnsName& tier2_name() const { return tier2_name_; }
+
+  /// The provider L-DNS endpoint (when built).
+  simnet::Endpoint provider_endpoint() const {
+    return provider_ldns_->endpoint();
+  }
+
+  /// True if `addr` is one of the MEC edge caches' cluster IPs.
+  bool is_mec_cache(simnet::Ipv4Address addr) const;
+  /// True if `addr` is the cloud cache.
+  bool is_cloud_cache(simnet::Ipv4Address addr) const {
+    return addr == cloud_cache_addr_;
+  }
+
+  simnet::Network& network() { return *net_; }
+  ran::UserEquipment& ue() { return *ue_; }
+  ran::RanSegment& ran() { return *ran_; }
+  MecCdnSite& site() { return *site_; }
+  ran::DnsTap& tap() { return *tap_; }
+  const Config& config() const { return config_; }
+  /// The C-DNS the active scenario resolves through (for ECS toggling and
+  /// answer-correctness checks). The in-cluster router for scenario 1,
+  /// the LAN or WAN router otherwise.
+  cdn::TrafficRouter& active_router();
+
+ private:
+  void build();
+
+  Config config_;
+  dns::DnsName content_name_;
+  dns::DnsName web_name_;
+  dns::DnsName tier2_name_;
+  std::unique_ptr<simnet::Simulator> sim_;
+  std::unique_ptr<simnet::Network> net_;
+  std::unique_ptr<ran::RanSegment> ran_;
+  std::unique_ptr<ran::UserEquipment> ue_;
+  std::unique_ptr<ran::DnsTap> tap_;
+  std::unique_ptr<MecCdnSite> site_;
+  std::unique_ptr<dns::PublicDnsHierarchy> hierarchy_;
+  std::unique_ptr<cdn::TrafficRouter> lan_cdns_;
+  std::unique_ptr<cdn::TrafficRouter> wan_cdns_;
+  std::unique_ptr<cdn::TrafficRouter> mid_cdns_;
+  std::unique_ptr<dns::RecursiveResolver> provider_ldns_;
+  std::unique_ptr<dns::RecursiveResolver> public_resolver_;
+  std::unique_ptr<cdn::OriginServer> origin_;
+  std::unique_ptr<cdn::CacheServer> cloud_cache_;
+  simnet::NodeId backbone_ = simnet::kInvalidNode;
+  simnet::Ipv4Address cloud_cache_addr_;
+};
+
+}  // namespace mecdns::core

@@ -1,0 +1,161 @@
+#include "core/mec_cdn.h"
+
+#include <stdexcept>
+
+namespace mecdns::core {
+
+namespace {
+/// kube-dns traditionally gets service host .10 (10.96.0.10).
+constexpr std::uint32_t kCoreDnsServiceHost = 10;
+/// Fixed cluster IP host for the Traffic Router service.
+constexpr std::uint32_t kRouterServiceHost = 53;
+
+constexpr const char* kEdgeGroup = "mec-edge";
+}  // namespace
+
+MecCdnSite::MecCdnSite(simnet::Network& net, Config config)
+    : net_(net), config_(std::move(config)) {
+  orchestrator_ =
+      std::make_unique<mec::Orchestrator>(net_, config_.orchestrator);
+  mec::MecCluster& cluster = orchestrator_->cluster();
+
+  // --- CoreDNS (MEC L-DNS) -------------------------------------------------
+  const simnet::NodeId infra = cluster.add_worker("infra");
+  const mec::Deployment coredns = orchestrator_->deploy(
+      "kube-dns", "kube-system", infra, kCoreDnsServiceHost);
+  ldns_ip_ = coredns.cluster_ip;
+
+  // --- C-DNS (Traffic Router) ----------------------------------------------
+  simnet::NodeId router_node = simnet::kInvalidNode;
+  if (!config_.external_cdns.has_value()) {
+    router_node = cluster.add_worker("router");
+    const mec::Deployment tr = orchestrator_->deploy(
+        "traffic-router", "cdn", router_node, kRouterServiceHost);
+    cdns_ip_ = tr.cluster_ip;
+
+    cdn::TrafficRouter::Config rc;
+    rc.cdn_domain = config_.cdn_domain;
+    rc.answer_ttl = config_.answer_ttl;
+    rc.use_ecs = config_.enable_ecs;
+    if (config_.parent_cdn_domain.has_value()) {
+      rc.parent_domain = config_.parent_cdn_domain;
+    }
+    router_ = std::make_unique<cdn::TrafficRouter>(
+        net_, router_node, "mec-cdns", config_.cdns_processing, std::move(rc),
+        cdns_ip_);
+    router_->add_cache_group(kEdgeGroup);
+    // The edge router's scope is only this site: everything it is asked
+    // about resolves to the MEC cache group.
+    router_->coverage().set_default_group(kEdgeGroup);
+    router_->coverage().add(cluster.config().node_cidr, kEdgeGroup);
+    router_->coverage().add(cluster.config().service_cidr, kEdgeGroup);
+  }
+
+  // --- edge caches -----------------------------------------------------------
+  for (std::size_t i = 0; i < config_.edge_caches; ++i) {
+    const std::string cache_name = "edge-cache-" + std::to_string(i);
+    const simnet::NodeId worker = cluster.add_worker(cache_name);
+    const mec::Deployment dep =
+        orchestrator_->deploy(cache_name, "cdn", worker);
+    cache_ips_.push_back(dep.cluster_ip);
+
+    cdn::CacheServer::Config cc;
+    cc.capacity_bytes = config_.cache_capacity_bytes;
+    cc.parent = config_.origin;
+    caches_.push_back(std::make_unique<cdn::CacheServer>(
+        net_, worker, cache_name, std::move(cc), dep.cluster_ip));
+    if (router_ != nullptr) {
+      router_->add_cache(kEdgeGroup,
+                         cdn::CacheInfo{cache_name, dep.cluster_ip, true});
+    }
+  }
+
+  // --- split-namespace L-DNS -------------------------------------------------
+  ldns_ = std::make_unique<dns::PluginChainServer>(
+      net_, infra, "mec-coredns", config_.ldns_processing, ldns_ip_);
+  public_cache_ = std::make_shared<dns::DnsCache>(4096);
+
+  // Internal view: VNF service discovery, exactly what the orchestrator's
+  // DNS existed for. Matched by cluster-internal source addresses.
+  dns::PluginChain& internal = ldns_->add_view(
+      "internal",
+      {cluster.config().node_cidr, cluster.config().service_cidr});
+  internal.add(std::make_unique<dns::ZonePlugin>(
+      orchestrator_->registry().zone()));
+  if (config_.provider_ldns.has_value()) {
+    internal.add(std::make_unique<dns::ForwardPlugin>(
+        dns::DnsName::root(),
+        std::vector<simnet::Endpoint>{*config_.provider_ldns},
+        ldns_->transport()));
+  } else {
+    internal.add(std::make_unique<dns::RefusePlugin>());
+  }
+
+  // Public view: the mobile-facing namespace. Populated when MEC-CDN
+  // deploys; the CDN apex is stub-domain-forwarded to the C-DNS so the
+  // whole resolution stays inside the MEC.
+  dns::PluginChain& pub = ldns_->add_default_view("public");
+  if (config_.overload_threshold_qps > 0) {
+    auto guard = std::make_unique<mec::OverloadGuardPlugin>(
+        orchestrator_->ingress(), config_.overload_threshold_qps);
+    guard_ = guard.get();
+    pub.add(std::move(guard));
+  }
+  pub.add(std::make_unique<dns::CachePlugin>(public_cache_));
+  const simnet::Endpoint cdns_target =
+      config_.external_cdns.value_or(simnet::Endpoint{cdns_ip_, dns::kDnsPort});
+  auto cdn_forward = std::make_unique<dns::ForwardPlugin>(
+      config_.cdn_domain, std::vector<simnet::Endpoint>{cdns_target},
+      ldns_->transport());
+  if (config_.enable_ecs) cdn_forward->set_add_ecs(true);
+  cdn_forward_ = cdn_forward.get();
+  pub.add(std::move(cdn_forward));
+  pub.add(std::make_unique<dns::ZonePlugin>(orchestrator_->public_zone()));
+  if (config_.provider_ldns.has_value()) {
+    pub.add(std::make_unique<dns::ForwardPlugin>(
+        dns::DnsName::root(),
+        std::vector<simnet::Endpoint>{*config_.provider_ldns},
+        ldns_->transport()));
+  } else {
+    pub.add(std::make_unique<dns::RefusePlugin>());
+  }
+}
+
+void MecCdnSite::add_delivery_service(const std::string& id,
+                                      const cdn::ContentCatalog& content,
+                                      bool warm_caches) {
+  auto domain = dns::DnsName::must_parse(id).under(config_.cdn_domain);
+  if (!domain.ok()) {
+    throw std::invalid_argument("bad delivery service id: " + id);
+  }
+  if (router_ != nullptr) {
+    router_->add_delivery_service(cdn::DeliveryService{
+        id, domain.value(), {kEdgeGroup}});
+  }
+  if (warm_caches) {
+    // Push the catalog to the edge (deploy-time content placement). With
+    // consistent hashing each object really lives on one cache, but warming
+    // all replicas keeps the first measured query representative.
+    for (const auto& [url, object] : content.objects()) {
+      for (auto& cache : caches_) cache->warm(object);
+    }
+  }
+}
+
+simnet::Endpoint MecCdnSite::ldns_endpoint() const {
+  return simnet::Endpoint{ldns_ip_, dns::kDnsPort};
+}
+
+simnet::Endpoint MecCdnSite::cdns_endpoint() const {
+  if (config_.external_cdns.has_value()) return *config_.external_cdns;
+  return simnet::Endpoint{cdns_ip_, dns::kDnsPort};
+}
+
+std::vector<cdn::CacheServer*> MecCdnSite::caches() {
+  std::vector<cdn::CacheServer*> out;
+  out.reserve(caches_.size());
+  for (auto& cache : caches_) out.push_back(cache.get());
+  return out;
+}
+
+}  // namespace mecdns::core

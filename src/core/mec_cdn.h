@@ -1,0 +1,127 @@
+// MecCdnSite: the paper's proposed system, assembled.
+//
+// One MEC location hosting:
+//  * a Kubernetes-like cluster (mec::Orchestrator) with CoreDNS as the
+//    split-namespace MEC L-DNS (dns::PluginChainServer with an "internal"
+//    view for VNF service discovery and a "public" view for mobile
+//    clients),
+//  * the CDN's request router C-DNS (cdn::TrafficRouter) at a fixed cluster
+//    IP, chained behind the L-DNS by a stub-domain forward — P2's
+//    "combines the L-DNS lookup with a C-DNS lookup carried out at the
+//    first hop, in the MEC",
+//  * edge cache servers registered with the router and warmed/backed by an
+//    origin,
+//  * optional overload fallback (P1's DoS mitigation) and optional parent
+//    CDN tier for content not deployed at the edge.
+//
+// Mobile clients only ever see cluster IPs — the public-IP-reuse property
+// §5 highlights.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cdn/cache_server.h"
+#include "cdn/traffic_router.h"
+#include "dns/plugin.h"
+#include "mec/ingress.h"
+#include "mec/orchestrator.h"
+
+namespace mecdns::core {
+
+class MecCdnSite {
+ public:
+  struct Config {
+    mec::Orchestrator::Config orchestrator;
+
+    /// CDN apex served at this site, e.g. "mycdn.ciab.test".
+    dns::DnsName cdn_domain = dns::DnsName::must_parse("mycdn.ciab.test");
+
+    /// Where the C-DNS runs. In-cluster (nullopt) is the paper's proposal;
+    /// an external endpoint models the ETSI/3GPP "L-DNS at MEC only"
+    /// deployments of Figure 5 (LAN or WAN C-DNS).
+    std::optional<simnet::Endpoint> external_cdns;
+
+    std::size_t edge_caches = 2;
+    std::uint64_t cache_capacity_bytes = 256ull * 1024 * 1024;
+
+    /// TTL on routed A answers. 0 forces per-query routing (every lookup
+    /// reaches the C-DNS), matching the testbed measurements.
+    std::uint32_t answer_ttl = 0;
+
+    bool enable_ecs = false;
+
+    /// Provider L-DNS to forward non-MEC queries to (unset: REFUSED, which
+    /// multicast-mode stubs treat as "ask your provider").
+    std::optional<simnet::Endpoint> provider_ldns;
+
+    /// Parent-tier CDN domain for delivery services not deployed here.
+    std::optional<dns::DnsName> parent_cdn_domain;
+
+    /// Origin (or mid-tier cache) the edge caches fetch misses from.
+    std::optional<simnet::Endpoint> origin;
+
+    /// Queries/second above which the overload guard sheds to the provider
+    /// path. 0 disables the guard.
+    std::size_t overload_threshold_qps = 0;
+
+    /// DNS server processing-time models (per query).
+    simnet::LatencyModel ldns_processing = simnet::LatencyModel::normal(
+        simnet::SimTime::millis(1.1), simnet::SimTime::micros(200),
+        simnet::SimTime::micros(200));
+    simnet::LatencyModel cdns_processing = simnet::LatencyModel::normal(
+        simnet::SimTime::millis(1.6), simnet::SimTime::micros(300),
+        simnet::SimTime::micros(300));
+  };
+
+  MecCdnSite(simnet::Network& net, Config config);
+
+  /// Deploys a delivery service: content under "<id>.<cdn_domain>" served
+  /// by the edge cache group. Publishes the public namespace entry and
+  /// registers the service with the C-DNS (when in-cluster).
+  void add_delivery_service(const std::string& id,
+                            const cdn::ContentCatalog& content,
+                            bool warm_caches = true);
+
+  // --- endpoints mobile clients / the RAN need ----------------------------
+  /// The MEC L-DNS (CoreDNS public view) — what the UE's DNS is switched to.
+  simnet::Endpoint ldns_endpoint() const;
+  /// The C-DNS cluster IP (in-cluster deployments only).
+  simnet::Endpoint cdns_endpoint() const;
+
+  // --- component access ----------------------------------------------------
+  mec::Orchestrator& orchestrator() { return *orchestrator_; }
+  dns::PluginChainServer& ldns() { return *ldns_; }
+  /// Null when Config::external_cdns is set.
+  cdn::TrafficRouter* router() { return router_.get(); }
+  std::vector<cdn::CacheServer*> caches();
+  mec::OverloadGuardPlugin* overload_guard() { return guard_; }
+  /// The public view's stub-domain forward toward the C-DNS; toggle ECS on
+  /// it (with router()->set_use_ecs) for the §4 ECS experiment.
+  dns::ForwardPlugin* cdn_forward() { return cdn_forward_; }
+  std::shared_ptr<dns::DnsCache> public_dns_cache() { return public_cache_; }
+  const Config& site_config() const { return config_; }
+
+  /// The cluster-IP address of edge cache `i` (what the C-DNS answers).
+  simnet::Ipv4Address cache_address(std::size_t i) const {
+    return cache_ips_.at(i);
+  }
+
+ private:
+  simnet::Network& net_;
+  Config config_;
+  std::unique_ptr<mec::Orchestrator> orchestrator_;
+  std::unique_ptr<dns::PluginChainServer> ldns_;
+  std::unique_ptr<cdn::TrafficRouter> router_;
+  std::vector<std::unique_ptr<cdn::CacheServer>> caches_;
+  std::vector<simnet::Ipv4Address> cache_ips_;
+  std::shared_ptr<dns::DnsCache> public_cache_;
+  mec::OverloadGuardPlugin* guard_ = nullptr;
+  dns::ForwardPlugin* cdn_forward_ = nullptr;
+  simnet::Ipv4Address ldns_ip_;
+  simnet::Ipv4Address cdns_ip_;
+};
+
+}  // namespace mecdns::core

@@ -1,0 +1,50 @@
+#include "core/replay.h"
+
+#include <memory>
+
+namespace mecdns::core {
+
+ReplayOutcome TraceReplayer::run(const workload::MobilityTrace& mobility,
+                                 const workload::RequestTrace& requests,
+                                 bool retarget_dns) {
+  auto outcome = std::make_shared<ReplayOutcome>();
+  simnet::Network& net = ue_.network();
+  simnet::Simulator& sim = net.simulator();
+  const simnet::SimTime start = net.now();
+
+  for (const auto& event : mobility) {
+    if (handoff_ == nullptr) break;
+    sim.schedule_at(start + event.at, [this, event, retarget_dns, outcome] {
+      handoff_->attach(event.cell, retarget_dns);
+      outcome->handoffs = handoff_->handoffs();
+    });
+  }
+
+  for (const auto& event : requests) {
+    sim.schedule_at(start + event.at, [this, event, outcome] {
+      ue_.resolve_and_fetch(
+          event.url,
+          [event, outcome](const ran::UserEquipment::FetchOutcome& fetch) {
+            ++outcome->requests;
+            ReplayOutcome::PerRequest record;
+            record.at = event.at;
+            record.ok = fetch.ok;
+            record.total_ms = fetch.total.to_millis();
+            record.server = fetch.server;
+            outcome->log.push_back(record);
+            if (!fetch.ok) {
+              ++outcome->failures;
+              return;
+            }
+            outcome->dns_ms.add(fetch.dns_latency.to_millis());
+            outcome->fetch_ms.add(fetch.fetch_latency.to_millis());
+            outcome->total_ms.add(fetch.total.to_millis());
+          });
+    });
+  }
+
+  sim.run();
+  return std::move(*outcome);
+}
+
+}  // namespace mecdns::core

@@ -1,0 +1,56 @@
+// Trace replay: drive a UE through combined mobility and request traces.
+//
+// The replayer schedules every mobility event on a HandoffManager and every
+// request on the UE, then summarizes outcomes — the scenario engine for
+// "what does a driving user experience" studies (ablation A4's big sibling).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ran/handoff.h"
+#include "ran/ue.h"
+#include "util/stats.h"
+#include "workload/trace.h"
+
+namespace mecdns::core {
+
+struct ReplayOutcome {
+  std::size_t requests = 0;
+  std::size_t failures = 0;
+  std::size_t handoffs = 0;
+  util::SampleSet dns_ms;
+  util::SampleSet fetch_ms;
+  util::SampleSet total_ms;
+  /// Per-request records, in completion order.
+  struct PerRequest {
+    simnet::SimTime at;
+    bool ok = false;
+    double total_ms = 0;
+    simnet::Ipv4Address server;
+  };
+  std::vector<PerRequest> log;
+};
+
+class TraceReplayer {
+ public:
+  TraceReplayer(ran::UserEquipment& ue, ran::HandoffManager* handoff)
+      : ue_(ue), handoff_(handoff) {}
+
+  /// Classifier for per-request bookkeeping (e.g. "is this the local
+  /// cache"); optional.
+  using ServerClassifier = std::function<bool(simnet::Ipv4Address)>;
+
+  /// Schedules both traces and runs the simulator to completion. Mobility
+  /// events require a HandoffManager; `retarget_dns` selects the paper's
+  /// re-target-on-handoff behaviour vs a sticky resolver.
+  ReplayOutcome run(const workload::MobilityTrace& mobility,
+                    const workload::RequestTrace& requests,
+                    bool retarget_dns = true);
+
+ private:
+  ran::UserEquipment& ue_;
+  ran::HandoffManager* handoff_;
+};
+
+}  // namespace mecdns::core

@@ -1,0 +1,24 @@
+#include "core/roles.h"
+
+namespace mecdns::core {
+
+const std::vector<EcosystemRole>& ecosystem_roles() {
+  static const std::vector<EcosystemRole> kRoles = {
+      {"Cellular Providers", "Operating RAN and cellular core network"},
+      {"CDN Providers",
+       "Providing content caches on CDN domains hosted on some server nodes"},
+      {"DNS Provider", "Routing requests to closest CDN domain servers"},
+      {"Web Provider",
+       "Delivering web services that use CDNs to provide better services to "
+       "end users"},
+      {"Cloud Provider",
+       "Providing server infrastructure to one or more of the above"},
+      {"CDN Brokers",
+       "Providing a consolidated service spanning multiple CDNs to CDN "
+       "customers"},
+      {"MEC Provider", "Providing MEC servers that host CDN domains"},
+  };
+  return kRoles;
+}
+
+}  // namespace mecdns::core

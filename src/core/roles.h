@@ -1,0 +1,17 @@
+// Table 2: entities and roles in the MEC-CDN ecosystem.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mecdns::core {
+
+struct EcosystemRole {
+  std::string entity;
+  std::string role;
+};
+
+/// Table 2 verbatim.
+const std::vector<EcosystemRole>& ecosystem_roles();
+
+}  // namespace mecdns::core

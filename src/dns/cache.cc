@@ -1,0 +1,98 @@
+#include "dns/cache.h"
+
+#include <algorithm>
+
+namespace mecdns::dns {
+
+namespace {
+std::uint32_t min_ttl(const std::vector<ResourceRecord>& records) {
+  std::uint32_t ttl = ~std::uint32_t{0};
+  for (const auto& rr : records) ttl = std::min(ttl, rr.ttl);
+  return records.empty() ? 0 : ttl;
+}
+}  // namespace
+
+void DnsCache::insert(const DnsName& name, RecordType type,
+                      std::vector<ResourceRecord> records,
+                      simnet::SimTime now) {
+  const std::uint32_t ttl = min_ttl(records);
+  if (ttl == 0 || records.empty()) return;
+  evict_if_full();
+  Entry entry;
+  entry.answer.records = std::move(records);
+  entry.inserted = now;
+  entry.expires = now + simnet::SimTime::seconds(static_cast<double>(ttl));
+  entries_[{name, type}] = std::move(entry);
+  ++stats_.insertions;
+}
+
+void DnsCache::insert_negative(const DnsName& name, RecordType type,
+                               RCode rcode,
+                               std::vector<ResourceRecord> soa,
+                               simnet::SimTime now) {
+  std::uint32_t ttl = 0;
+  for (const auto& rr : soa) {
+    if (const auto* s = std::get_if<SoaRecord>(&rr.rdata)) {
+      // RFC 2308: negative TTL = min(SOA TTL, SOA.minimum).
+      ttl = std::min(rr.ttl, s->minimum);
+    }
+  }
+  if (ttl == 0) return;
+  evict_if_full();
+  Entry entry;
+  entry.answer.negative = true;
+  entry.answer.rcode = rcode;
+  entry.answer.soa = std::move(soa);
+  entry.inserted = now;
+  entry.expires = now + simnet::SimTime::seconds(static_cast<double>(ttl));
+  entries_[{name, type}] = std::move(entry);
+  ++stats_.insertions;
+}
+
+std::optional<CachedAnswer> DnsCache::lookup(const DnsName& name,
+                                             RecordType type,
+                                             simnet::SimTime now) {
+  const auto it = entries_.find({name, type});
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (it->second.expires <= now) {
+    entries_.erase(it);
+    ++stats_.expired;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  CachedAnswer answer = it->second.answer;
+  const auto elapsed_s = static_cast<std::uint32_t>(
+      (now - it->second.inserted).to_seconds());
+  for (auto& rr : answer.records) {
+    rr.ttl = rr.ttl > elapsed_s ? rr.ttl - elapsed_s : 0;
+  }
+  return answer;
+}
+
+void DnsCache::flush() { entries_.clear(); }
+
+void DnsCache::flush_name(const DnsName& name) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.first == name) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void DnsCache::evict_if_full() {
+  if (entries_.size() < max_entries_) return;
+  auto victim = entries_.begin();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->second.expires < victim->second.expires) victim = it;
+  }
+  entries_.erase(victim);
+  ++stats_.evictions;
+}
+
+}  // namespace mecdns::dns

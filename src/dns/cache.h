@@ -1,0 +1,87 @@
+// TTL-aware resolver cache with negative caching (RFC 2308).
+//
+// The paper's Figure 2 commentary leans on caching behaviour ("the A records
+// TTL never expires at L-DNS and the cached A records are used for lookup"),
+// and CDN routers defeat caching with tiny TTLs so every query reaches the
+// C-DNS — both effects fall out of an honest TTL cache.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "dns/message.h"
+#include "dns/name.h"
+#include "dns/rr.h"
+#include "simnet/time.h"
+
+namespace mecdns::dns {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t expired = 0;
+
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+/// A positive or negative cached answer.
+struct CachedAnswer {
+  bool negative = false;
+  RCode rcode = RCode::kNoError;              ///< for negative entries
+  std::vector<ResourceRecord> records;        ///< TTLs adjusted to remaining
+  std::vector<ResourceRecord> soa;            ///< for negative entries
+};
+
+/// Cache keyed by (qname, qtype). Entries expire by wall (simulated) time;
+/// when full, the entry closest to expiry is evicted.
+class DnsCache {
+ public:
+  explicit DnsCache(std::size_t max_entries = 4096)
+      : max_entries_(max_entries) {}
+
+  /// Caches a positive RRset. TTL used is the minimum across `records`;
+  /// TTL 0 answers are not cached (per RFC 1035 semantics).
+  void insert(const DnsName& name, RecordType type,
+              std::vector<ResourceRecord> records, simnet::SimTime now);
+
+  /// Caches a negative answer (NXDOMAIN or NODATA) for the SOA minimum TTL.
+  void insert_negative(const DnsName& name, RecordType type, RCode rcode,
+                       std::vector<ResourceRecord> soa, simnet::SimTime now);
+
+  /// Looks up a live entry; returns records with decremented TTLs.
+  std::optional<CachedAnswer> lookup(const DnsName& name, RecordType type,
+                                     simnet::SimTime now);
+
+  /// Drops every entry (used when a resolver is re-targeted on handoff).
+  void flush();
+
+  /// Drops entries for one name.
+  void flush_name(const DnsName& name);
+
+  std::size_t size() const { return entries_.size(); }
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    CachedAnswer answer;
+    simnet::SimTime inserted;
+    simnet::SimTime expires;
+  };
+  using Key = std::pair<DnsName, RecordType>;
+
+  void evict_if_full();
+
+  std::size_t max_entries_;
+  std::map<Key, Entry> entries_;
+  CacheStats stats_;
+};
+
+}  // namespace mecdns::dns

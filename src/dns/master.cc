@@ -1,0 +1,230 @@
+#include "dns/master.h"
+
+#include <charconv>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace mecdns::dns {
+
+namespace {
+
+struct ParserState {
+  DnsName origin;
+  std::uint32_t default_ttl;
+};
+
+util::Result<std::uint32_t> parse_u32(const std::string& text) {
+  std::uint32_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return util::Err("not a number: '" + text + "'");
+  }
+  return value;
+}
+
+bool is_number(const std::string& text) {
+  return !text.empty() &&
+         text.find_first_not_of("0123456789") == std::string::npos;
+}
+
+/// Tokenizes one line, honouring ';' comments and "quoted strings".
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  bool in_quotes = false;
+  for (const char c : line) {
+    if (in_quotes) {
+      if (c == '"') {
+        tokens.push_back("\"" + current);  // keep a quote marker prefix
+        current.clear();
+        in_quotes = false;
+      } else {
+        current.push_back(c);
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      continue;
+    }
+    if (c == ';') break;  // comment
+    if (c == ' ' || c == '\t' || c == '\r') {
+      if (!current.empty()) {
+        tokens.push_back(current);
+        current.clear();
+      }
+      continue;
+    }
+    current.push_back(c);
+  }
+  if (!current.empty()) tokens.push_back(current);
+  return tokens;
+}
+
+util::Result<DnsName> resolve_name(const std::string& token,
+                                   const ParserState& state) {
+  if (token == "@") return state.origin;
+  if (!token.empty() && token.back() == '.') {
+    return DnsName::parse(token);
+  }
+  auto relative = DnsName::parse(token);
+  if (!relative.ok()) return relative.error();
+  return relative.value().under(state.origin);
+}
+
+util::Result<void> parse_record(Zone& zone, ParserState& state,
+                                const std::vector<std::string>& tokens) {
+  std::size_t i = 0;
+  auto owner = resolve_name(tokens[i++], state);
+  if (!owner.ok()) return owner.error();
+
+  std::uint32_t ttl = state.default_ttl;
+  if (i < tokens.size() && is_number(tokens[i])) {
+    auto parsed = parse_u32(tokens[i++]);
+    if (!parsed.ok()) return parsed.error();
+    ttl = parsed.value();
+  }
+  if (i < tokens.size() && util::to_lower(tokens[i]) == "in") ++i;
+  // (TTL may also follow the class; accept both RFC orders.)
+  if (i < tokens.size() && is_number(tokens[i])) {
+    auto parsed = parse_u32(tokens[i++]);
+    if (!parsed.ok()) return parsed.error();
+    ttl = parsed.value();
+  }
+  if (i >= tokens.size()) return util::Err("missing record type");
+  const std::string type = util::to_lower(tokens[i++]);
+  const std::vector<std::string> rdata(tokens.begin() + static_cast<std::ptrdiff_t>(i),
+                                       tokens.end());
+
+  const auto need = [&](std::size_t n) -> util::Result<void> {
+    if (rdata.size() != n) {
+      return util::Err(type + " expects " + std::to_string(n) +
+                       " RDATA field(s), got " + std::to_string(rdata.size()));
+    }
+    return util::Ok();
+  };
+
+  if (type == "a") {
+    if (auto check = need(1); !check.ok()) return check;
+    auto addr = simnet::Ipv4Address::parse(rdata[0]);
+    if (!addr.ok()) return addr.error();
+    return zone.add(make_a(owner.value(), addr.value(), ttl));
+  }
+  if (type == "ns" || type == "cname" || type == "ptr") {
+    if (auto check = need(1); !check.ok()) return check;
+    auto target = resolve_name(rdata[0], state);
+    if (!target.ok()) return target.error();
+    if (type == "ns") {
+      return zone.add(make_ns(owner.value(), target.value(), ttl));
+    }
+    if (type == "cname") {
+      return zone.add(make_cname(owner.value(), target.value(), ttl));
+    }
+    return zone.add(make_ptr(owner.value(), target.value(), ttl));
+  }
+  if (type == "txt") {
+    if (rdata.empty()) return util::Err("TXT needs at least one string");
+    TxtRecord txt;
+    for (const auto& token : rdata) {
+      // Quoted tokens carry a '"' marker prefix from the tokenizer.
+      txt.strings.push_back(token.front() == '"' ? token.substr(1) : token);
+    }
+    return zone.add(ResourceRecord{owner.value(), RecordType::kTxt,
+                                   RecordClass::kIn, ttl, std::move(txt)});
+  }
+  if (type == "soa") {
+    if (auto check = need(7); !check.ok()) return check;
+    auto mname = resolve_name(rdata[0], state);
+    if (!mname.ok()) return mname.error();
+    auto rname = resolve_name(rdata[1], state);
+    if (!rname.ok()) return rname.error();
+    SoaRecord soa;
+    soa.mname = mname.value();
+    soa.rname = rname.value();
+    const util::Result<std::uint32_t> numbers[5] = {
+        parse_u32(rdata[2]), parse_u32(rdata[3]), parse_u32(rdata[4]),
+        parse_u32(rdata[5]), parse_u32(rdata[6])};
+    for (const auto& n : numbers) {
+      if (!n.ok()) return n.error();
+    }
+    soa.serial = numbers[0].value();
+    soa.refresh = numbers[1].value();
+    soa.retry = numbers[2].value();
+    soa.expire = numbers[3].value();
+    soa.minimum = numbers[4].value();
+    return zone.add(ResourceRecord{owner.value(), RecordType::kSoa,
+                                   RecordClass::kIn, ttl, std::move(soa)});
+  }
+  if (type == "srv") {
+    if (auto check = need(4); !check.ok()) return check;
+    const auto priority = parse_u32(rdata[0]);
+    const auto weight = parse_u32(rdata[1]);
+    const auto port = parse_u32(rdata[2]);
+    if (!priority.ok()) return priority.error();
+    if (!weight.ok()) return weight.error();
+    if (!port.ok()) return port.error();
+    auto target = resolve_name(rdata[3], state);
+    if (!target.ok()) return target.error();
+    return zone.add(make_srv(owner.value(),
+                             static_cast<std::uint16_t>(priority.value()),
+                             static_cast<std::uint16_t>(weight.value()),
+                             static_cast<std::uint16_t>(port.value()),
+                             target.value(), ttl));
+  }
+  return util::Err("unsupported record type '" + type + "'");
+}
+
+}  // namespace
+
+util::Result<void> load_master_text(Zone& zone, std::string_view text,
+                                    std::uint32_t default_ttl) {
+  ParserState state{zone.origin(), default_ttl};
+  std::size_t line_number = 0;
+  for (const auto& raw_line : util::split(text, '\n')) {
+    ++line_number;
+    if (raw_line.find('(') != std::string::npos) {
+      return util::Err("line " + std::to_string(line_number) +
+                       ": multi-line records are not supported");
+    }
+    const auto tokens = tokenize(raw_line);
+    if (tokens.empty()) continue;
+
+    if (tokens[0] == "$TTL") {
+      if (tokens.size() != 2) {
+        return util::Err("line " + std::to_string(line_number) +
+                         ": $TTL expects one value");
+      }
+      auto ttl = parse_u32(tokens[1]);
+      if (!ttl.ok()) {
+        return util::Err("line " + std::to_string(line_number) + ": " +
+                         ttl.error().message);
+      }
+      state.default_ttl = ttl.value();
+      continue;
+    }
+    if (tokens[0] == "$ORIGIN") {
+      if (tokens.size() != 2) {
+        return util::Err("line " + std::to_string(line_number) +
+                         ": $ORIGIN expects one name");
+      }
+      auto origin = DnsName::parse(tokens[1]);
+      if (!origin.ok()) return origin.error();
+      if (!origin.value().is_subdomain_of(zone.origin())) {
+        return util::Err("line " + std::to_string(line_number) +
+                         ": $ORIGIN outside the zone");
+      }
+      state.origin = origin.value();
+      continue;
+    }
+
+    if (auto result = parse_record(zone, state, tokens); !result.ok()) {
+      return util::Err("line " + std::to_string(line_number) + ": " +
+                       result.error().message);
+    }
+  }
+  return util::Ok();
+}
+
+}  // namespace mecdns::dns

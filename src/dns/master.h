@@ -1,0 +1,33 @@
+// Master-file (zone file) text format (RFC 1035 §5), single-line subset.
+//
+// Lets zones be authored as text — in tests, examples and scenario
+// configuration — instead of record-constructor calls:
+//
+//   $TTL 300
+//   @            IN SOA ns1 hostmaster 1 7200 900 1209600 60
+//   @            IN NS  ns1
+//   ns1          IN A   198.51.100.5
+//   www      60  IN A   198.18.0.1
+//   alias        IN CNAME www
+//   *.apps       IN A   198.18.0.7
+//
+// Supported: $TTL and $ORIGIN directives, '@' for the origin, relative
+// names (no trailing dot), per-record TTL, optional IN class, comments with
+// ';', and the A / NS / CNAME / PTR / TXT / SOA / SRV types. Multi-line
+// parenthesized records are not supported (keep each record on one line).
+#pragma once
+
+#include <string_view>
+
+#include "dns/zone.h"
+#include "util/result.h"
+
+namespace mecdns::dns {
+
+/// Parses `text` and adds every record to `zone`. Names are interpreted
+/// relative to the zone origin (or a $ORIGIN directive). On error, reports
+/// the offending line; records on earlier lines remain added.
+util::Result<void> load_master_text(Zone& zone, std::string_view text,
+                                    std::uint32_t default_ttl = 3600);
+
+}  // namespace mecdns::dns

@@ -1,0 +1,86 @@
+// DNS message structure (RFC 1035 §4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/edns.h"
+#include "dns/name.h"
+#include "dns/rr.h"
+
+namespace mecdns::dns {
+
+enum class Opcode : std::uint8_t {
+  kQuery = 0,
+  kStatus = 2,
+  kNotify = 4,
+  kUpdate = 5,
+};
+
+enum class RCode : std::uint8_t {
+  kNoError = 0,
+  kFormErr = 1,
+  kServFail = 2,
+  kNxDomain = 3,
+  kNotImp = 4,
+  kRefused = 5,
+};
+
+std::string to_string(RCode rcode);
+
+struct Header {
+  std::uint16_t id = 0;
+  bool qr = false;  ///< false = query, true = response
+  Opcode opcode = Opcode::kQuery;
+  bool aa = false;  ///< authoritative answer
+  bool tc = false;  ///< truncated
+  bool rd = false;  ///< recursion desired
+  bool ra = false;  ///< recursion available
+  RCode rcode = RCode::kNoError;
+
+  friend bool operator==(const Header&, const Header&) = default;
+};
+
+struct Question {
+  DnsName name;
+  RecordType type = RecordType::kA;
+  RecordClass cls = RecordClass::kIn;
+
+  friend bool operator==(const Question&, const Question&) = default;
+  std::string to_string() const;
+};
+
+struct Message {
+  Header header;
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authorities;
+  std::vector<ResourceRecord> additionals;
+  /// Parsed EDNS(0) state (from/for the OPT pseudo-record). When set, the
+  /// codec emits an OPT record in additionals; on decode the OPT record is
+  /// lifted out of additionals into this field.
+  std::optional<Edns> edns;
+
+  /// First question, or a default Question if none (callers that require a
+  /// question should check questions.empty() themselves).
+  const Question& question() const;
+
+  /// All answer records of the given type.
+  std::vector<ResourceRecord> answers_of(RecordType type) const;
+
+  /// First A-record address in the answer section, if any.
+  std::optional<simnet::Ipv4Address> first_a() const;
+
+  std::string to_string() const;
+};
+
+/// Builds a recursive-desired query for (name, type) with the given id.
+Message make_query(std::uint16_t id, const DnsName& name, RecordType type,
+                   bool recursion_desired = true);
+
+/// Builds a response skeleton echoing the query's id and question.
+Message make_response(const Message& query, RCode rcode = RCode::kNoError);
+
+}  // namespace mecdns::dns

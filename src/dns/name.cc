@@ -1,0 +1,173 @@
+#include "dns/name.h"
+
+#include <cctype>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace mecdns::dns {
+
+namespace {
+char fold(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+bool label_equal_icase(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (fold(a[i]) != fold(b[i])) return false;
+  }
+  return true;
+}
+}  // namespace
+
+util::Result<void> DnsName::validate_label(std::string_view label) {
+  if (label.empty()) return util::Err("empty label");
+  if (label.size() > 63) {
+    return util::Err("label exceeds 63 octets: " + std::string(label));
+  }
+  // RFC 1035 hostnames are stricter, but DNS itself is 8-bit clean; we
+  // forbid only '.' (structural) and whitespace/control characters, which
+  // keeps presentation parsing unambiguous.
+  for (const char c : label) {
+    if (c == '.' || std::isspace(static_cast<unsigned char>(c)) ||
+        std::iscntrl(static_cast<unsigned char>(c))) {
+      return util::Err("invalid character in label");
+    }
+  }
+  return util::Ok();
+}
+
+util::Result<DnsName> DnsName::parse(std::string_view text) {
+  if (text.empty()) return util::Err("empty name");
+  if (text == ".") return DnsName();
+  if (text.back() == '.') text.remove_suffix(1);
+  std::vector<std::string> labels;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t dot = text.find('.', start);
+    const std::string_view label =
+        dot == std::string_view::npos ? text.substr(start)
+                                      : text.substr(start, dot - start);
+    auto valid = validate_label(label);
+    if (!valid.ok()) return valid.error();
+    labels.emplace_back(label);
+    if (dot == std::string_view::npos) break;
+    start = dot + 1;
+  }
+  return from_labels(std::move(labels));
+}
+
+DnsName DnsName::must_parse(std::string_view text) {
+  auto result = parse(text);
+  if (!result.ok()) {
+    throw std::invalid_argument("invalid DNS name '" + std::string(text) +
+                                "': " + result.error().message);
+  }
+  return std::move(result).value();
+}
+
+util::Result<DnsName> DnsName::from_labels(std::vector<std::string> labels) {
+  DnsName name;
+  name.labels_ = std::move(labels);
+  for (const auto& label : name.labels_) {
+    auto valid = validate_label(label);
+    if (!valid.ok()) return valid.error();
+  }
+  if (name.wire_length() > 255) return util::Err("name exceeds 255 octets");
+  return name;
+}
+
+std::size_t DnsName::wire_length() const {
+  std::size_t length = 1;  // terminating root label
+  for (const auto& label : labels_) length += 1 + label.size();
+  return length;
+}
+
+bool DnsName::is_subdomain_of(const DnsName& ancestor) const {
+  if (ancestor.labels_.size() > labels_.size()) return false;
+  const std::size_t offset = labels_.size() - ancestor.labels_.size();
+  for (std::size_t i = 0; i < ancestor.labels_.size(); ++i) {
+    if (!label_equal_icase(labels_[offset + i], ancestor.labels_[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+DnsName DnsName::parent() const {
+  DnsName result;
+  if (labels_.size() <= 1) return result;
+  result.labels_.assign(labels_.begin() + 1, labels_.end());
+  return result;
+}
+
+util::Result<DnsName> DnsName::with_prefix(std::string_view label) const {
+  auto valid = validate_label(label);
+  if (!valid.ok()) return valid.error();
+  std::vector<std::string> labels;
+  labels.reserve(labels_.size() + 1);
+  labels.emplace_back(label);
+  labels.insert(labels.end(), labels_.begin(), labels_.end());
+  return from_labels(std::move(labels));
+}
+
+util::Result<DnsName> DnsName::under(const DnsName& suffix) const {
+  std::vector<std::string> labels = labels_;
+  labels.insert(labels.end(), suffix.labels_.begin(), suffix.labels_.end());
+  return from_labels(std::move(labels));
+}
+
+DnsName DnsName::wildcard_sibling() const {
+  DnsName result = is_root() ? DnsName() : parent();
+  result.labels_.insert(result.labels_.begin(), "*");
+  return result;
+}
+
+std::string DnsName::to_string() const {
+  if (labels_.empty()) return ".";
+  return util::join(labels_, ".");
+}
+
+bool operator==(const DnsName& a, const DnsName& b) {
+  if (a.labels_.size() != b.labels_.size()) return false;
+  for (std::size_t i = 0; i < a.labels_.size(); ++i) {
+    if (!label_equal_icase(a.labels_[i], b.labels_[i])) return false;
+  }
+  return true;
+}
+
+bool operator<(const DnsName& a, const DnsName& b) {
+  // Compare right-to-left by label, case-folded.
+  std::size_t ia = a.labels_.size();
+  std::size_t ib = b.labels_.size();
+  while (ia > 0 && ib > 0) {
+    const std::string& la = a.labels_[ia - 1];
+    const std::string& lb = b.labels_[ib - 1];
+    const std::size_t n = std::min(la.size(), lb.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const char ca = fold(la[i]);
+      const char cb = fold(lb[i]);
+      if (ca != cb) return ca < cb;
+    }
+    if (la.size() != lb.size()) return la.size() < lb.size();
+    --ia;
+    --ib;
+  }
+  return ia < ib;
+}
+
+std::size_t DnsName::hash() const {
+  std::size_t h = 14695981039346656037ULL;
+  for (const auto& label : labels_) {
+    for (const char c : label) {
+      h ^= static_cast<std::size_t>(fold(c));
+      h *= 1099511628211ULL;
+    }
+    h ^= 0xff;  // label separator so {"ab","c"} != {"a","bc"}
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace mecdns::dns

@@ -1,0 +1,88 @@
+// DNS domain names (RFC 1035 §2.3 / §3.1).
+//
+// A DnsName is a sequence of labels; comparison is ASCII case-insensitive
+// per RFC 4343. Names are validated on construction: labels of 1..63
+// octets, total wire length <= 255.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace mecdns::dns {
+
+class DnsName {
+ public:
+  /// The root name (zero labels).
+  DnsName() = default;
+
+  /// Parses presentation format ("www.example.com" or "www.example.com.").
+  /// A trailing dot is accepted and ignored; "." parses to the root.
+  static util::Result<DnsName> parse(std::string_view text);
+
+  /// Parses, throwing std::invalid_argument on failure; for literals.
+  static DnsName must_parse(std::string_view text);
+
+  static DnsName root() { return DnsName(); }
+
+  /// Builds from already-validated labels (front = leftmost label).
+  static util::Result<DnsName> from_labels(std::vector<std::string> labels);
+
+  bool is_root() const { return labels_.empty(); }
+  std::size_t label_count() const { return labels_.size(); }
+  const std::vector<std::string>& labels() const { return labels_; }
+  const std::string& label(std::size_t i) const { return labels_.at(i); }
+
+  /// Wire-format length in octets (labels + length bytes + root byte).
+  std::size_t wire_length() const;
+
+  /// True if this name is `ancestor` or a subdomain of it.
+  bool is_subdomain_of(const DnsName& ancestor) const;
+
+  /// Strips the leftmost label ("www.example.com" -> "example.com").
+  /// Calling on the root returns the root.
+  DnsName parent() const;
+
+  /// Prepends a label ("www" + "example.com" -> "www.example.com").
+  util::Result<DnsName> with_prefix(std::string_view label) const;
+
+  /// Concatenates: this name becomes relative to `suffix`.
+  util::Result<DnsName> under(const DnsName& suffix) const;
+
+  /// Replaces the leftmost label with "*", for wildcard lookups. The root
+  /// yields "*".
+  DnsName wildcard_sibling() const;
+
+  /// Presentation format without trailing dot; "." for the root.
+  std::string to_string() const;
+
+  /// Case-insensitive equality.
+  friend bool operator==(const DnsName& a, const DnsName& b);
+  friend bool operator!=(const DnsName& a, const DnsName& b) {
+    return !(a == b);
+  }
+  /// Canonical ordering (case-folded, right-to-left by label) — the DNSSEC
+  /// canonical order, also handy for using DnsName as a map key.
+  friend bool operator<(const DnsName& a, const DnsName& b);
+
+  /// Case-folded hash consistent with operator==.
+  std::size_t hash() const;
+
+ private:
+  static util::Result<void> validate_label(std::string_view label);
+
+  std::vector<std::string> labels_;
+};
+
+}  // namespace mecdns::dns
+
+template <>
+struct std::hash<mecdns::dns::DnsName> {
+  std::size_t operator()(const mecdns::dns::DnsName& n) const noexcept {
+    return n.hash();
+  }
+};

@@ -1,0 +1,317 @@
+#include "dns/plugin.h"
+
+#include <utility>
+
+namespace mecdns::dns {
+
+// --- ZonePlugin --------------------------------------------------------------
+
+void ZonePlugin::serve(const PluginContext& ctx, Respond respond, Next next) {
+  const Question& q = ctx.query.question();
+  if (!q.name.is_subdomain_of(zone_->origin())) {
+    next(std::move(respond));
+    return;
+  }
+  Message response = make_response(ctx.query);
+  response.header.aa = true;
+
+  DnsName qname = q.name;
+  for (int depth = 0; depth < 8; ++depth) {
+    const LookupResult result = zone_->lookup(qname, q.type);
+    switch (result.status) {
+      case LookupStatus::kSuccess:
+      case LookupStatus::kCname:
+        response.answers.insert(response.answers.end(), result.records.begin(),
+                                result.records.end());
+        if (result.status == LookupStatus::kCname) {
+          const auto* cname =
+              std::get_if<CnameRecord>(&result.records.front().rdata);
+          if (cname != nullptr &&
+              cname->target.is_subdomain_of(zone_->origin())) {
+            qname = cname->target;
+            continue;
+          }
+        }
+        respond(std::move(response));
+        return;
+      case LookupStatus::kDelegation:
+        response.header.aa = false;
+        response.authorities.insert(response.authorities.end(),
+                                    result.records.begin(),
+                                    result.records.end());
+        response.additionals.insert(response.additionals.end(),
+                                    result.glue.begin(), result.glue.end());
+        respond(std::move(response));
+        return;
+      case LookupStatus::kNoData:
+        response.authorities.insert(response.authorities.end(),
+                                    result.soa.begin(), result.soa.end());
+        respond(std::move(response));
+        return;
+      case LookupStatus::kNxDomain:
+        response.header.rcode = RCode::kNxDomain;
+        response.authorities.insert(response.authorities.end(),
+                                    result.soa.begin(), result.soa.end());
+        respond(std::move(response));
+        return;
+      case LookupStatus::kOutOfZone:
+        next(std::move(respond));
+        return;
+    }
+  }
+  respond(make_response(ctx.query, RCode::kServFail));
+}
+
+// --- ForwardPlugin -----------------------------------------------------------
+
+ForwardPlugin::ForwardPlugin(DnsName match,
+                             std::vector<simnet::Endpoint> upstreams,
+                             DnsTransport& transport,
+                             DnsTransport::Options options)
+    : match_(std::move(match)), upstreams_(std::move(upstreams)),
+      transport_(transport), options_(options) {
+  if (upstreams_.empty()) {
+    throw std::invalid_argument("ForwardPlugin requires at least one upstream");
+  }
+}
+
+void ForwardPlugin::serve(const PluginContext& ctx, Respond respond,
+                          Next next) {
+  const Question& q = ctx.query.question();
+  if (!q.name.is_subdomain_of(match_)) {
+    next(std::move(respond));
+    return;
+  }
+  ++forwarded_;
+  Message upstream_query = ctx.query;
+  if (add_ecs_ && (!upstream_query.edns.has_value() ||
+                   !upstream_query.edns->client_subnet.has_value())) {
+    if (!upstream_query.edns.has_value()) upstream_query.edns = Edns{};
+    ClientSubnet ecs;
+    ecs.address = ctx.net.client.addr;
+    ecs.source_prefix = ecs_prefix_;
+    upstream_query.edns->client_subnet = ecs;
+  }
+  try_upstream(std::move(upstream_query), ctx.query.header.id, 0,
+               std::move(respond));
+}
+
+void ForwardPlugin::try_upstream(Message upstream_query,
+                                 std::uint16_t client_id, std::size_t attempt,
+                                 Respond respond) {
+  // Sequential policy starts every query at the primary; round-robin
+  // advances the starting upstream once per client query. Failover
+  // attempts walk onward from the chosen base in both policies.
+  if (policy_ == ForwardPolicy::kRoundRobin && attempt == 0) {
+    ++next_upstream_;
+  }
+  const std::size_t base =
+      policy_ == ForwardPolicy::kSequential ? 0 : next_upstream_;
+  const simnet::Endpoint upstream =
+      upstreams_[(base + attempt) % upstreams_.size()];
+  transport_.query(
+      upstream, upstream_query, options_,
+      [this, upstream_query, client_id, attempt,
+       respond = std::move(respond)](util::Result<Message> result,
+                                     simnet::SimTime) mutable {
+        if (!result.ok()) {
+          ++upstream_failures_;
+          // Fail over to the next configured upstream, if any remain.
+          if (attempt + 1 < upstreams_.size()) {
+            ++failovers_;
+            try_upstream(std::move(upstream_query), client_id, attempt + 1,
+                         std::move(respond));
+            return;
+          }
+          Message failure;
+          failure.header.id = client_id;
+          failure.header.qr = true;
+          failure.header.rcode = RCode::kServFail;
+          failure.questions = upstream_query.questions;
+          respond(std::move(failure));
+          return;
+        }
+        Message response = std::move(result.value());
+        response.header.id = client_id;
+        respond(std::move(response));
+      });
+}
+
+// --- CachePlugin -------------------------------------------------------------
+
+void CachePlugin::serve(const PluginContext& ctx, Respond respond, Next next) {
+  const Question& q = ctx.query.question();
+  const simnet::SimTime now = ctx.net.received;
+  auto cached = cache_->lookup(q.name, q.type, now);
+  if (cached.has_value()) {
+    Message response = make_response(
+        ctx.query, cached->negative ? cached->rcode : RCode::kNoError);
+    response.answers = cached->records;
+    response.authorities = cached->soa;
+    respond(std::move(response));
+    return;
+  }
+  next([this, q, now, respond = std::move(respond)](Message response) {
+    if (response.header.rcode == RCode::kNoError &&
+        !response.answers.empty()) {
+      cache_->insert(q.name, q.type, response.answers, now);
+    } else if (response.header.rcode == RCode::kNxDomain ||
+               (response.header.rcode == RCode::kNoError &&
+                response.answers.empty())) {
+      cache_->insert_negative(q.name, q.type, response.header.rcode,
+                              response.authorities, now);
+    }
+    respond(std::move(response));
+  });
+}
+
+// --- RewritePlugin -----------------------------------------------------------
+
+void RewritePlugin::serve(const PluginContext& ctx, Respond respond,
+                          Next next) {
+  const Question& q = ctx.query.question();
+  if (!q.name.is_subdomain_of(from_)) {
+    next(std::move(respond));
+    return;
+  }
+  // Re-root the qname under `to_`, preserving the relative labels.
+  std::vector<std::string> relative(
+      q.name.labels().begin(),
+      q.name.labels().end() -
+          static_cast<std::ptrdiff_t>(from_.label_count()));
+  auto relative_name = DnsName::from_labels(std::move(relative));
+  if (!relative_name.ok()) {
+    next(std::move(respond));
+    return;
+  }
+  auto rewritten = relative_name.value().under(to_);
+  if (!rewritten.ok()) {
+    next(std::move(respond));
+    return;
+  }
+
+  // This plugin rewrites the context for downstream plugins only; the chain
+  // runner passes ctx by const reference, so serve the rewritten query by
+  // invoking next with a responder that restores the original name.
+  const DnsName original = q.name;
+  const_cast<PluginContext&>(ctx).query.questions.front().name =
+      rewritten.value();
+  next([original, rewritten = rewritten.value(),
+        respond = std::move(respond)](Message response) {
+    for (auto& question : response.questions) {
+      if (question.name == rewritten) question.name = original;
+    }
+    for (auto& rr : response.answers) {
+      if (rr.name == rewritten) rr.name = original;
+    }
+    respond(std::move(response));
+  });
+}
+
+// --- LogPlugin ---------------------------------------------------------------
+
+void LogPlugin::serve(const PluginContext& ctx, Respond respond, Next next) {
+  LogEntry entry;
+  entry.at = ctx.net.received;
+  entry.qname = ctx.query.question().name;
+  entry.qtype = ctx.query.question().type;
+  entry.client = ctx.net.client;
+  next([this, entry = std::move(entry),
+        respond = std::move(respond)](Message response) mutable {
+    entry.rcode = response.header.rcode;
+    ++total_;
+    if (entries_.size() >= capacity_) entries_.pop_front();
+    entries_.push_back(std::move(entry));
+    respond(std::move(response));
+  });
+}
+
+std::size_t LogPlugin::count(const DnsName& qname) const {
+  std::size_t n = 0;
+  for (const auto& entry : entries_) {
+    if (entry.qname == qname) ++n;
+  }
+  return n;
+}
+
+// --- RefusePlugin ------------------------------------------------------------
+
+void RefusePlugin::serve(const PluginContext& ctx, Respond respond, Next) {
+  ++refused_;
+  respond(make_response(ctx.query, RCode::kRefused));
+}
+
+// --- PluginChain -------------------------------------------------------------
+
+void PluginChain::run(const PluginContext& ctx,
+                      Plugin::Respond respond) const {
+  run_from(0, ctx, std::move(respond));
+}
+
+void PluginChain::run_from(std::size_t index, const PluginContext& ctx,
+                           Plugin::Respond respond) const {
+  if (index >= plugins_.size()) {
+    respond(make_response(ctx.query, RCode::kRefused));
+    return;
+  }
+  Plugin::Next next = [this, index, &ctx](Plugin::Respond downstream) {
+    run_from(index + 1, ctx, std::move(downstream));
+  };
+  plugins_[index]->serve(ctx, std::move(respond), std::move(next));
+}
+
+// --- PluginChainServer -------------------------------------------------------
+
+PluginChainServer::PluginChainServer(simnet::Network& net,
+                                     simnet::NodeId node, std::string name,
+                                     simnet::LatencyModel processing_delay,
+                                     simnet::Ipv4Address addr)
+    : DnsServer(net, node, std::move(name), std::move(processing_delay),
+                addr) {
+  transport_ = std::make_unique<DnsTransport>(net, node);
+}
+
+PluginChain& PluginChainServer::add_view(
+    std::string view_name, std::vector<simnet::Cidr> client_subnets) {
+  views_.push_back(View{std::move(client_subnets),
+                        PluginChain(std::move(view_name)), 0});
+  return views_.back().chain;
+}
+
+PluginChain& PluginChainServer::add_default_view(std::string view_name) {
+  return add_view(std::move(view_name), {});
+}
+
+std::uint64_t PluginChainServer::view_queries(
+    const std::string& view_name) const {
+  for (const auto& view : views_) {
+    if (view.chain.name() == view_name) return view.queries;
+  }
+  return 0;
+}
+
+void PluginChainServer::handle(const Message& query, const QueryContext& ctx,
+                               Responder respond) {
+  for (auto& view : views_) {
+    const bool matches =
+        view.subnets.empty() ||
+        std::any_of(view.subnets.begin(), view.subnets.end(),
+                    [&](const simnet::Cidr& cidr) {
+                      return cidr.contains(ctx.client.addr);
+                    });
+    if (!matches) continue;
+    ++view.queries;
+    last_view_ = view.chain.name();
+    // The context must outlive asynchronous plugin completions (forward
+    // plugins respond on a later event), so heap-allocate it per query.
+    auto pctx = std::make_shared<PluginContext>();
+    pctx->query = query;
+    pctx->net = ctx;
+    view.chain.run(*pctx, [pctx, respond = std::move(respond)](
+                              Message response) { respond(std::move(response)); });
+    return;
+  }
+  respond(make_response(query, RCode::kRefused));
+}
+
+}  // namespace mecdns::dns

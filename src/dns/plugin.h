@@ -1,0 +1,267 @@
+// CoreDNS-style plugin-chain DNS server with split-horizon views.
+//
+// The paper's P1 design re-purposes the MEC orchestrator's internal service
+// DNS (CoreDNS in Kubernetes) as the mobile L-DNS, runs it with a *split
+// namespace* — one view for internal VNFs, one for publicly visible
+// MEC-CDN names — and chains the CDN's C-DNS behind a stub-domain
+// ("configuration of stub-domain and upstream nameserver using CoreDNS").
+// PluginChainServer implements exactly that composition model: an ordered
+// chain of plugins per view, with the view chosen by the client's source
+// address.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dns/cache.h"
+#include "dns/server.h"
+#include "dns/transport.h"
+#include "dns/zone.h"
+
+namespace mecdns::dns {
+
+/// Context handed down the plugin chain.
+struct PluginContext {
+  Message query;
+  QueryContext net;
+};
+
+/// One element of a chain. A plugin either answers (calls respond) or
+/// passes to the rest of the chain via next — optionally wrapping the
+/// responder to observe the downstream answer (how the cache plugin works).
+class Plugin {
+ public:
+  using Respond = std::function<void(Message)>;
+  using Next = std::function<void(Respond)>;
+
+  virtual ~Plugin() = default;
+  virtual std::string name() const = 0;
+  virtual void serve(const PluginContext& ctx, Respond respond,
+                     Next next) = 0;
+};
+
+/// Answers authoritatively from a Zone. With `registry zone` semantics this
+/// is CoreDNS's `kubernetes` plugin: the mec library writes service records
+/// into the zone and this plugin serves them. Out-of-zone queries fall
+/// through to the next plugin.
+class ZonePlugin : public Plugin {
+ public:
+  explicit ZonePlugin(std::shared_ptr<Zone> zone) : zone_(std::move(zone)) {}
+  std::string name() const override { return "zone(" + zone_->origin().to_string() + ")"; }
+  void serve(const PluginContext& ctx, Respond respond, Next next) override;
+
+  Zone& zone() { return *zone_; }
+
+ private:
+  std::shared_ptr<Zone> zone_;
+};
+
+/// How ForwardPlugin picks among multiple upstreams (CoreDNS `policy`).
+enum class ForwardPolicy {
+  kSequential,  ///< primary/backup: always start at the first upstream
+  kRoundRobin,  ///< rotate the starting upstream per query
+};
+
+/// Forwards queries under `match` to an upstream server (CoreDNS `forward`).
+/// `match` = root forwards everything (the default-upstream case). The
+/// upstream's response is relayed verbatim (with the client's id restored);
+/// failed upstreams fail over to the next per the policy's order.
+class ForwardPlugin : public Plugin {
+ public:
+  ForwardPlugin(DnsName match, std::vector<simnet::Endpoint> upstreams,
+                DnsTransport& transport,
+                DnsTransport::Options options = {});
+  std::string name() const override { return "forward(" + match_.to_string() + ")"; }
+  void serve(const PluginContext& ctx, Respond respond, Next next) override;
+
+  const DnsName& match() const { return match_; }
+  std::uint64_t forwarded() const { return forwarded_; }
+  std::uint64_t upstream_failures() const { return upstream_failures_; }
+  /// Queries answered by a later upstream after an earlier one failed.
+  std::uint64_t failovers() const { return failovers_; }
+
+  void set_policy(ForwardPolicy policy) { policy_ = policy; }
+  ForwardPolicy policy() const { return policy_; }
+
+  /// When enabled, attach an RFC 7871 Client Subnet option (synthesized
+  /// from the client's source address, `prefix` bits) to upstream queries
+  /// that lack one — "enabling ECS support at L-DNS" in §4's experiment.
+  void set_add_ecs(bool enable, std::uint8_t prefix = 24) {
+    add_ecs_ = enable;
+    ecs_prefix_ = prefix;
+  }
+  bool add_ecs() const { return add_ecs_; }
+
+ private:
+  void try_upstream(Message upstream_query, std::uint16_t client_id,
+                    std::size_t attempt, Respond respond);
+
+  DnsName match_;
+  bool add_ecs_ = false;
+  std::uint8_t ecs_prefix_ = 24;
+  ForwardPolicy policy_ = ForwardPolicy::kSequential;
+  std::vector<simnet::Endpoint> upstreams_;
+  std::size_t next_upstream_ = 0;
+  DnsTransport& transport_;
+  DnsTransport::Options options_;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t upstream_failures_ = 0;
+  std::uint64_t failovers_ = 0;
+};
+
+/// Serves positive answers from a shared DnsCache and inserts downstream
+/// answers into it (CoreDNS `cache`).
+class CachePlugin : public Plugin {
+ public:
+  explicit CachePlugin(std::shared_ptr<DnsCache> cache)
+      : cache_(std::move(cache)) {}
+  std::string name() const override { return "cache"; }
+  void serve(const PluginContext& ctx, Respond respond, Next next) override;
+
+  DnsCache& cache() { return *cache_; }
+
+ private:
+  std::shared_ptr<DnsCache> cache_;
+};
+
+/// Rewrites query names under `from` to the same labels under `to` before
+/// passing on, and un-rewrites answer owner names (CoreDNS `rewrite`).
+class RewritePlugin : public Plugin {
+ public:
+  RewritePlugin(DnsName from, DnsName to)
+      : from_(std::move(from)), to_(std::move(to)) {}
+  std::string name() const override { return "rewrite"; }
+  void serve(const PluginContext& ctx, Respond respond, Next next) override;
+
+ private:
+  DnsName from_;
+  DnsName to_;
+};
+
+/// Pass-through plugin that records a query log (CoreDNS `log`): arrival
+/// time, qname, qtype, client and rcode, kept in a bounded ring. Useful
+/// for debugging scenarios and asserting traffic in tests.
+class LogPlugin : public Plugin {
+ public:
+  struct LogEntry {
+    simnet::SimTime at;
+    DnsName qname;
+    RecordType qtype = RecordType::kA;
+    simnet::Endpoint client;
+    RCode rcode = RCode::kNoError;
+  };
+
+  explicit LogPlugin(std::size_t capacity = 512) : capacity_(capacity) {}
+  std::string name() const override { return "log"; }
+  void serve(const PluginContext& ctx, Respond respond, Next next) override;
+
+  const std::deque<LogEntry>& entries() const { return entries_; }
+  std::uint64_t total_logged() const { return total_; }
+  /// Entries matching a qname (for test assertions).
+  std::size_t count(const DnsName& qname) const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<LogEntry> entries_;
+  std::uint64_t total_ = 0;
+};
+
+/// Terminal plugin: REFUSED for anything that reaches it. Implements the
+/// paper's "have the MEC DNS ignore queries not related to MEC-CDN" policy
+/// boundary (clients then fall back to their provider L-DNS).
+class RefusePlugin : public Plugin {
+ public:
+  std::string name() const override { return "refuse"; }
+  void serve(const PluginContext& ctx, Respond respond, Next next) override;
+
+  std::uint64_t refused() const { return refused_; }
+
+ private:
+  std::uint64_t refused_ = 0;
+};
+
+/// Terminal plugin: silently drop (client times out). Models the multicast
+/// workaround where the MEC DNS simply never answers non-MEC queries.
+class DropPlugin : public Plugin {
+ public:
+  std::string name() const override { return "drop"; }
+  void serve(const PluginContext&, Respond, Next) override { ++dropped_; }
+
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  std::uint64_t dropped_ = 0;
+};
+
+/// A named, ordered plugin chain (one CoreDNS "server block").
+class PluginChain {
+ public:
+  explicit PluginChain(std::string name) : name_(std::move(name)) {}
+
+  PluginChain& add(std::unique_ptr<Plugin> plugin) {
+    plugins_.push_back(std::move(plugin));
+    return *this;
+  }
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return plugins_.size(); }
+  Plugin& plugin(std::size_t i) { return *plugins_.at(i); }
+
+  /// Runs the chain. If it falls off the end, responds REFUSED.
+  void run(const PluginContext& ctx, Plugin::Respond respond) const;
+
+ private:
+  void run_from(std::size_t index, const PluginContext& ctx,
+                Plugin::Respond respond) const;
+
+  std::string name_;
+  std::vector<std::unique_ptr<Plugin>> plugins_;
+};
+
+/// A DNS server hosting one or more views, each with its own plugin chain.
+/// The view is selected per query from the client's source address — the
+/// split-namespace mechanism of §3 P1.
+class PluginChainServer : public DnsServer {
+ public:
+  PluginChainServer(simnet::Network& net, simnet::NodeId node,
+                    std::string name, simnet::LatencyModel processing_delay,
+                    simnet::Ipv4Address addr = simnet::Ipv4Address());
+
+  /// Adds a view matching clients whose source address is inside any of
+  /// `client_subnets`. Views are evaluated in insertion order.
+  PluginChain& add_view(std::string view_name,
+                        std::vector<simnet::Cidr> client_subnets);
+
+  /// Adds the catch-all view (matches any client not matched earlier).
+  PluginChain& add_default_view(std::string view_name);
+
+  /// Transactions transport for this server's forward plugins.
+  DnsTransport& transport() { return *transport_; }
+
+  /// Which view answered the most recent query (test visibility).
+  const std::string& last_view() const { return last_view_; }
+
+  /// Per-view query counters.
+  std::uint64_t view_queries(const std::string& view_name) const;
+
+ protected:
+  void handle(const Message& query, const QueryContext& ctx,
+              Responder respond) override;
+
+ private:
+  struct View {
+    std::vector<simnet::Cidr> subnets;  ///< empty = match everything
+    PluginChain chain;
+    std::uint64_t queries = 0;
+  };
+
+  std::unique_ptr<DnsTransport> transport_;
+  std::vector<View> views_;
+  std::string last_view_;
+};
+
+}  // namespace mecdns::dns

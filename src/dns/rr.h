@@ -1,0 +1,137 @@
+// Resource records (RFC 1035 §3.2, RFC 3596, RFC 2782, RFC 6891).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "dns/name.h"
+#include "simnet/ip.h"
+
+namespace mecdns::dns {
+
+enum class RecordType : std::uint16_t {
+  kA = 1,
+  kNs = 2,
+  kCname = 5,
+  kSoa = 6,
+  kPtr = 12,
+  kTxt = 16,
+  kAaaa = 28,
+  kSrv = 33,
+  kOpt = 41,
+  kAny = 255,
+};
+
+enum class RecordClass : std::uint16_t {
+  kIn = 1,
+  kAny = 255,
+};
+
+std::string to_string(RecordType type);
+std::string to_string(RecordClass cls);
+
+// --- typed RDATA ------------------------------------------------------------
+
+struct ARecord {
+  simnet::Ipv4Address address;
+  friend bool operator==(const ARecord&, const ARecord&) = default;
+};
+
+struct AaaaRecord {
+  std::array<std::uint8_t, 16> address{};
+  friend bool operator==(const AaaaRecord&, const AaaaRecord&) = default;
+};
+
+struct NsRecord {
+  DnsName nameserver;
+  friend bool operator==(const NsRecord&, const NsRecord&) = default;
+};
+
+struct CnameRecord {
+  DnsName target;
+  friend bool operator==(const CnameRecord&, const CnameRecord&) = default;
+};
+
+struct PtrRecord {
+  DnsName target;
+  friend bool operator==(const PtrRecord&, const PtrRecord&) = default;
+};
+
+struct SoaRecord {
+  DnsName mname;  ///< primary nameserver
+  DnsName rname;  ///< responsible mailbox
+  std::uint32_t serial = 0;
+  std::uint32_t refresh = 0;
+  std::uint32_t retry = 0;
+  std::uint32_t expire = 0;
+  std::uint32_t minimum = 0;  ///< negative-caching TTL (RFC 2308)
+  friend bool operator==(const SoaRecord&, const SoaRecord&) = default;
+};
+
+struct TxtRecord {
+  std::vector<std::string> strings;
+  friend bool operator==(const TxtRecord&, const TxtRecord&) = default;
+};
+
+struct SrvRecord {
+  std::uint16_t priority = 0;
+  std::uint16_t weight = 0;
+  std::uint16_t port = 0;
+  DnsName target;
+  friend bool operator==(const SrvRecord&, const SrvRecord&) = default;
+};
+
+/// OPT pseudo-record RDATA: raw EDNS options (decoded by dns/edns.h).
+struct OptRecord {
+  std::vector<std::uint8_t> options;
+  friend bool operator==(const OptRecord&, const OptRecord&) = default;
+};
+
+/// Fallback for record types this library does not model structurally.
+struct RawRecord {
+  std::uint16_t type = 0;
+  std::vector<std::uint8_t> data;
+  friend bool operator==(const RawRecord&, const RawRecord&) = default;
+};
+
+using RData = std::variant<ARecord, AaaaRecord, NsRecord, CnameRecord,
+                           PtrRecord, SoaRecord, TxtRecord, SrvRecord,
+                           OptRecord, RawRecord>;
+
+/// RecordType corresponding to the alternative held by an RData.
+RecordType rdata_type(const RData& rdata);
+
+struct ResourceRecord {
+  DnsName name;
+  RecordType type = RecordType::kA;
+  RecordClass cls = RecordClass::kIn;
+  std::uint32_t ttl = 0;
+  RData rdata;
+
+  friend bool operator==(const ResourceRecord&, const ResourceRecord&) = default;
+  std::string to_string() const;
+};
+
+// --- construction helpers ----------------------------------------------------
+
+ResourceRecord make_a(const DnsName& name, simnet::Ipv4Address addr,
+                      std::uint32_t ttl);
+ResourceRecord make_cname(const DnsName& name, const DnsName& target,
+                          std::uint32_t ttl);
+ResourceRecord make_ns(const DnsName& name, const DnsName& nameserver,
+                       std::uint32_t ttl);
+ResourceRecord make_soa(const DnsName& name, const DnsName& mname,
+                        std::uint32_t serial, std::uint32_t minimum,
+                        std::uint32_t ttl);
+ResourceRecord make_txt(const DnsName& name, std::vector<std::string> strings,
+                        std::uint32_t ttl);
+ResourceRecord make_ptr(const DnsName& name, const DnsName& target,
+                        std::uint32_t ttl);
+ResourceRecord make_srv(const DnsName& name, std::uint16_t priority,
+                        std::uint16_t weight, std::uint16_t port,
+                        const DnsName& target, std::uint32_t ttl);
+
+}  // namespace mecdns::dns

@@ -1,0 +1,229 @@
+#include "dns/server.h"
+
+#include <algorithm>
+
+namespace mecdns::dns {
+
+DnsServer::DnsServer(simnet::Network& net, simnet::NodeId node,
+                     std::string name, simnet::LatencyModel processing_delay,
+                     simnet::Ipv4Address addr)
+    : net_(net), node_(node), name_(std::move(name)),
+      processing_delay_(std::move(processing_delay)),
+      rng_(0xd5a79147930aa725ULL ^ (static_cast<std::uint64_t>(node) << 17)) {
+  socket_ = net_.open_socket(
+      node, kDnsPort,
+      [this](const simnet::Packet& packet) { on_packet(packet); }, addr);
+}
+
+DnsServer::~DnsServer() {
+  *alive_ = false;
+  net_.close_socket(socket_);
+}
+
+void DnsServer::on_packet(const simnet::Packet& packet) {
+  auto decoded = decode(packet.payload);
+  if (!decoded.ok() || decoded.value().header.qr ||
+      decoded.value().questions.empty()) {
+    ++stats_.malformed;
+    return;
+  }
+  ++stats_.queries;
+
+  QueryContext ctx;
+  ctx.client = packet.src;
+  ctx.received = net_.now();
+
+  // RFC 1035 §4.2.1 / RFC 6891: the client's receive buffer is 512 octets
+  // unless it advertised more via EDNS.
+  const std::size_t payload_limit =
+      decoded.value().edns.has_value()
+          ? std::max<std::size_t>(512, decoded.value().edns->udp_payload_size)
+          : 512;
+
+  const simnet::SimTime delay = processing_delay_.sample(rng_);
+  // The responder captures where to send the reply; handle() may hold it
+  // across its own upstream queries.
+  Responder respond = [this, reply_to = packet.src,
+                       payload_limit](Message response) {
+    ++stats_.responses;
+    switch (response.header.rcode) {
+      case RCode::kRefused: ++stats_.refused; break;
+      case RCode::kNxDomain: ++stats_.nxdomain; break;
+      case RCode::kServFail: ++stats_.servfail; break;
+      default: break;
+    }
+    std::vector<std::uint8_t> wire = encode(response);
+    if (wire.size() > payload_limit) {
+      // Truncate per RFC 2181 §9: set TC and drop the record sections; the
+      // client re-queries with a larger EDNS buffer (or TCP, not modelled).
+      ++stats_.truncated;
+      response.header.tc = true;
+      response.answers.clear();
+      response.authorities.clear();
+      response.additionals.clear();
+      wire = encode(response);
+    }
+    socket_->send_to(reply_to, std::move(wire));
+  };
+
+  if (workers_ == 0) {
+    // Idealized server: every query gets its own processing slot.
+    net_.simulator().schedule_after(
+        delay, [this, alive = alive_, query = std::move(decoded.value()), ctx,
+                respond = std::move(respond)]() mutable {
+          if (!*alive) return;
+          handle(query, ctx, std::move(respond));
+        });
+    return;
+  }
+  enqueue(Work{std::move(decoded.value()), ctx, std::move(respond)});
+}
+
+void DnsServer::set_service_capacity(std::size_t workers,
+                                     std::size_t max_queue) {
+  workers_ = workers;
+  max_queue_ = max_queue;
+}
+
+void DnsServer::enqueue(Work work) {
+  if (work_queue_.size() >= max_queue_) {
+    ++dropped_overflow_;
+    return;
+  }
+  work_queue_.push_back(std::move(work));
+  pump();
+}
+
+void DnsServer::pump() {
+  while (busy_ < workers_ && !work_queue_.empty()) {
+    Work work = std::move(work_queue_.front());
+    work_queue_.pop_front();
+    ++busy_;
+    const simnet::SimTime delay = processing_delay_.sample(rng_);
+    net_.simulator().schedule_after(
+        delay, [this, alive = alive_, work = std::move(work)]() mutable {
+          if (!*alive) return;
+          // The worker is released when processing ends; any wait for
+          // upstream answers inside handle() is I/O, not CPU.
+          handle(work.query, work.ctx, std::move(work.respond));
+          --busy_;
+          pump();
+        });
+  }
+}
+
+AuthoritativeServer::AuthoritativeServer(simnet::Network& net,
+                                         simnet::NodeId node, std::string name,
+                                         simnet::LatencyModel processing_delay,
+                                         simnet::Ipv4Address addr)
+    : DnsServer(net, node, std::move(name), std::move(processing_delay),
+                addr) {}
+
+Zone& AuthoritativeServer::add_zone(DnsName origin) {
+  zones_.emplace_back(std::move(origin));
+  return zones_.back();
+}
+
+Zone* AuthoritativeServer::find_zone(const DnsName& name) {
+  Zone* best = nullptr;
+  for (auto& zone : zones_) {
+    if (!name.is_subdomain_of(zone.origin())) continue;
+    if (best == nullptr ||
+        zone.origin().label_count() > best->origin().label_count()) {
+      best = &zone;
+    }
+  }
+  return best;
+}
+
+const Zone* AuthoritativeServer::find_zone(const DnsName& name) const {
+  return const_cast<AuthoritativeServer*>(this)->find_zone(name);
+}
+
+void AuthoritativeServer::handle(const Message& query, const QueryContext& ctx,
+                                 Responder respond) {
+  (void)ctx;
+  const Question& q = query.question();
+  Zone* zone = find_zone(q.name);
+  if (zone == nullptr) {
+    respond(make_response(query, RCode::kRefused));
+    return;
+  }
+
+  Message response = make_response(query);
+  response.header.aa = true;
+  if (query.edns.has_value()) {
+    // Echo EDNS; an authoritative server that does not use ECS reports
+    // scope 0 ("answer valid everywhere"), per RFC 7871 §7.2.1.
+    response.edns = Edns{};
+    if (query.edns->client_subnet.has_value()) {
+      ClientSubnet ecs = *query.edns->client_subnet;
+      ecs.scope_prefix = 0;
+      response.edns->client_subnet = ecs;
+    }
+  }
+
+  // Chase in-zone CNAME chains, bounded to defeat loops.
+  DnsName qname = q.name;
+  for (int depth = 0; depth < 8; ++depth) {
+    LookupResult result = zone->lookup(qname, q.type);
+    switch (result.status) {
+      case LookupStatus::kSuccess:
+        if (rotate_answers_ && result.records.size() > 1) {
+          const std::size_t shift = rotation_++ % result.records.size();
+          std::rotate(result.records.begin(),
+                      result.records.begin() + static_cast<std::ptrdiff_t>(shift),
+                      result.records.end());
+        }
+        response.answers.insert(response.answers.end(), result.records.begin(),
+                                result.records.end());
+        respond(std::move(response));
+        return;
+      case LookupStatus::kCname: {
+        response.answers.insert(response.answers.end(), result.records.begin(),
+                                result.records.end());
+        const auto* cname =
+            std::get_if<CnameRecord>(&result.records.front().rdata);
+        if (cname == nullptr) {
+          respond(make_response(query, RCode::kServFail));
+          return;
+        }
+        qname = cname->target;
+        Zone* next_zone = find_zone(qname);
+        if (next_zone == nullptr) {
+          // Target is out of our authority: the client/resolver restarts.
+          respond(std::move(response));
+          return;
+        }
+        zone = next_zone;
+        continue;
+      }
+      case LookupStatus::kDelegation:
+        response.header.aa = false;
+        response.authorities.insert(response.authorities.end(),
+                                    result.records.begin(),
+                                    result.records.end());
+        response.additionals.insert(response.additionals.end(),
+                                    result.glue.begin(), result.glue.end());
+        respond(std::move(response));
+        return;
+      case LookupStatus::kNoData:
+        response.authorities.insert(response.authorities.end(),
+                                    result.soa.begin(), result.soa.end());
+        respond(std::move(response));
+        return;
+      case LookupStatus::kNxDomain:
+        response.header.rcode = RCode::kNxDomain;
+        response.authorities.insert(response.authorities.end(),
+                                    result.soa.begin(), result.soa.end());
+        respond(std::move(response));
+        return;
+      case LookupStatus::kOutOfZone:
+        respond(make_response(query, RCode::kRefused));
+        return;
+    }
+  }
+  respond(make_response(query, RCode::kServFail));  // CNAME chain too deep
+}
+
+}  // namespace mecdns::dns

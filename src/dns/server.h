@@ -1,0 +1,144 @@
+// DNS server base class and the authoritative server.
+//
+// A DnsServer binds UDP port 53 on a simulated node, decodes incoming
+// queries, applies a configurable processing delay (the "time spent in the
+// DNS resolvers" component the paper measures) and hands the query to a
+// subclass. Responses may be produced asynchronously, so servers that need
+// upstream lookups (forwarders, recursive resolvers, the CDN router's
+// mid-tier referral) fit the same interface.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dns/message.h"
+#include "dns/wire.h"
+#include "dns/zone.h"
+#include "simnet/latency.h"
+#include "simnet/network.h"
+#include "util/rng.h"
+
+namespace mecdns::dns {
+
+inline constexpr std::uint16_t kDnsPort = 53;
+
+struct ServerStats {
+  std::uint64_t queries = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t malformed = 0;
+  std::uint64_t refused = 0;
+  std::uint64_t nxdomain = 0;
+  std::uint64_t servfail = 0;
+  std::uint64_t truncated = 0;  ///< responses cut down to TC stubs
+};
+
+/// Network-level facts about a received query.
+struct QueryContext {
+  simnet::Endpoint client;      ///< source endpoint as seen by the server
+  simnet::SimTime received;     ///< arrival time (before processing delay)
+};
+
+class DnsServer {
+ public:
+  using Responder = std::function<void(Message)>;
+
+  /// Binds port 53 at `addr` on `node` (default: node's first address).
+  DnsServer(simnet::Network& net, simnet::NodeId node, std::string name,
+            simnet::LatencyModel processing_delay,
+            simnet::Ipv4Address addr = simnet::Ipv4Address());
+
+  virtual ~DnsServer();
+  DnsServer(const DnsServer&) = delete;
+  DnsServer& operator=(const DnsServer&) = delete;
+
+  const std::string& name() const { return name_; }
+  simnet::Endpoint endpoint() const { return socket_->endpoint(); }
+  simnet::NodeId node() const { return node_; }
+  simnet::Network& network() { return net_; }
+  const ServerStats& stats() const { return stats_; }
+
+  /// Bounds service concurrency: at most `workers` queries are in their
+  /// processing-delay phase at once; excess queries wait in a FIFO queue of
+  /// at most `max_queue` entries (overflow is silently dropped, like a full
+  /// socket buffer). `workers` = 0 restores the default: unlimited
+  /// concurrency (an idealized server). Queueing makes saturation visible:
+  /// latency rises smoothly with load until the server melts down — the
+  /// regime the paper's ingress-overload policy exists for.
+  void set_service_capacity(std::size_t workers, std::size_t max_queue = 256);
+
+  std::uint64_t dropped_overflow() const { return dropped_overflow_; }
+  std::size_t queue_depth() const { return work_queue_.size(); }
+
+ protected:
+  /// Subclass hook. Call `respond` at most once; not calling it drops the
+  /// query (the client's timeout handles it, as on a real network).
+  virtual void handle(const Message& query, const QueryContext& ctx,
+                      Responder respond) = 0;
+
+  util::Rng& rng() { return rng_; }
+
+ private:
+  struct Work {
+    Message query;
+    QueryContext ctx;
+    Responder respond;
+  };
+
+  void on_packet(const simnet::Packet& packet);
+  void enqueue(Work work);
+  void pump();
+
+  simnet::Network& net_;
+  simnet::NodeId node_;
+  std::string name_;
+  simnet::LatencyModel processing_delay_;
+  simnet::UdpSocket* socket_;
+  util::Rng rng_;
+  /// Disarms scheduled processing events after destruction.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  ServerStats stats_;
+  std::size_t workers_ = 0;  ///< 0 = unlimited
+  std::size_t max_queue_ = 256;
+  std::size_t busy_ = 0;
+  std::deque<Work> work_queue_;
+  std::uint64_t dropped_overflow_ = 0;
+};
+
+/// Serves one or more zones authoritatively; chases in-zone CNAME chains and
+/// emits referrals at zone cuts.
+class AuthoritativeServer : public DnsServer {
+ public:
+  AuthoritativeServer(simnet::Network& net, simnet::NodeId node,
+                      std::string name, simnet::LatencyModel processing_delay,
+                      simnet::Ipv4Address addr = simnet::Ipv4Address());
+
+  /// Adds a zone. Zones must not be nested within each other's origins
+  /// except via explicit delegation records.
+  Zone& add_zone(DnsName origin);
+
+  /// The zone with the longest origin matching `name`, or nullptr.
+  Zone* find_zone(const DnsName& name);
+  const Zone* find_zone(const DnsName& name) const;
+
+  std::vector<Zone>& zones() { return zones_; }
+
+  /// Rotates multi-record answer RRsets round-robin across responses — the
+  /// classic poor-man's load balancing; clients that "take the first A"
+  /// then spread across the set.
+  void set_rotate_answers(bool rotate) { rotate_answers_ = rotate; }
+
+ protected:
+  void handle(const Message& query, const QueryContext& ctx,
+              Responder respond) override;
+
+ private:
+  std::vector<Zone> zones_;
+  bool rotate_answers_ = false;
+  std::uint64_t rotation_ = 0;
+};
+
+}  // namespace mecdns::dns

@@ -1,0 +1,84 @@
+// Client-side stub resolver.
+//
+// What a UE runs: send the query to the configured L-DNS, wait, measure.
+// The configured server can be switched at runtime (the paper's "when an
+// end user connects to a particular base station, its target DNS is
+// switched to that of the MEC DNS"), and a secondary server can be queried
+// in parallel — the paper's multicast workaround for non-MEC domains.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "dns/message.h"
+#include "dns/transport.h"
+
+namespace mecdns::dns {
+
+/// Outcome of a stub resolution, with client-observed latency.
+struct StubResult {
+  bool ok = false;
+  RCode rcode = RCode::kServFail;
+  std::optional<simnet::Ipv4Address> address;  ///< first A record, if any
+  Message response;                            ///< full response when ok
+  simnet::SimTime latency;                     ///< query -> answer at client
+  std::string error;                           ///< when !ok
+  /// Which configured server produced the accepted answer (0 = primary,
+  /// 1 = secondary); meaningful for multicast mode.
+  int answered_by = 0;
+};
+
+class StubResolver {
+ public:
+  using Callback = std::function<void(const StubResult&)>;
+
+  StubResolver(simnet::Network& net, simnet::NodeId node,
+               simnet::Endpoint server,
+               DnsTransport::Options options = {});
+
+  /// Re-targets the primary DNS server (cellular handoff / MEC attach).
+  void set_server(simnet::Endpoint server) { server_ = server; }
+  simnet::Endpoint server() const { return server_; }
+
+  /// Configures a secondary server queried in parallel with the primary
+  /// ("have DNS requests be multicast to both MEC DNS and the network's
+  /// L-DNS"). The first usable answer wins; REFUSED answers lose to the
+  /// other server's answer.
+  void set_secondary(std::optional<simnet::Endpoint> server) {
+    secondary_ = server;
+  }
+
+  /// When enabled, a response whose answer ends at a CNAME with no address
+  /// is chased: the stub re-issues the query for the CNAME target (against
+  /// the same server set). This is how a client follows a MEC C-DNS's
+  /// cascading referral into a parent CDN tier ("C-DNS simply returns the
+  /// address of another C-DNS running at a different CDN tier").
+  void set_chase_cnames(bool enable, int max_hops = 4) {
+    chase_cnames_ = enable;
+    max_cname_hops_ = max_hops;
+  }
+
+  /// Resolves (name, type); invokes callback exactly once.
+  void resolve(const DnsName& name, RecordType type, Callback callback);
+
+  /// Resolve with an explicit EDNS Client Subnet attached.
+  void resolve_with_ecs(const DnsName& name, RecordType type,
+                        const ClientSubnet& ecs, Callback callback);
+
+ private:
+  void dispatch(Message query, Callback callback);
+  /// Wraps `callback` so that terminal-CNAME answers restart at the target.
+  Callback chase_wrapper(Callback callback, int hops_left,
+                         simnet::SimTime accumulated);
+
+  simnet::Network& net_;
+  std::unique_ptr<DnsTransport> transport_;
+  simnet::Endpoint server_;
+  std::optional<simnet::Endpoint> secondary_;
+  DnsTransport::Options options_;
+  bool chase_cnames_ = false;
+  int max_cname_hops_ = 4;
+};
+
+}  // namespace mecdns::dns

@@ -1,0 +1,147 @@
+#include "dns/transport.h"
+
+#include <cctype>
+#include <utility>
+
+namespace mecdns::dns {
+
+namespace {
+/// Randomizes ASCII letter case per label character (DNS-0x20).
+DnsName randomize_case(const DnsName& name, util::Rng& rng) {
+  std::vector<std::string> labels = name.labels();
+  for (auto& label : labels) {
+    for (char& c : label) {
+      if (std::isalpha(static_cast<unsigned char>(c)) && rng.bernoulli(0.5)) {
+        c = static_cast<char>(std::isupper(static_cast<unsigned char>(c))
+                                  ? std::tolower(c)
+                                  : std::toupper(c));
+      }
+    }
+  }
+  auto randomized = DnsName::from_labels(std::move(labels));
+  return randomized.ok() ? randomized.value() : name;
+}
+
+/// Byte-exact (case-sensitive) name equality, for 0x20 verification.
+bool exact_equal(const DnsName& a, const DnsName& b) {
+  return a.labels() == b.labels();
+}
+}  // namespace
+
+DnsTransport::DnsTransport(simnet::Network& net, simnet::NodeId node,
+                           std::uint64_t id_seed)
+    : net_(net),
+      rng_(0x20202020u ^ (static_cast<std::uint64_t>(node) << 24) ^ id_seed),
+      next_id_(static_cast<std::uint16_t>(id_seed * 40503u % 65535u + 1)) {
+  socket_ = net_.open_socket(node, 0, [this](const simnet::Packet& packet) {
+    on_packet(packet);
+  });
+}
+
+DnsTransport::~DnsTransport() {
+  // Sockets are owned by the Network; closing detaches our handler so late
+  // packets cannot call into a destroyed object. Pending timeout events
+  // are disarmed via the alive flag.
+  *alive_ = false;
+  net_.close_socket(socket_);
+}
+
+void DnsTransport::query(const simnet::Endpoint& server, Message query,
+                         const Options& options, Callback callback) {
+  // Pick an unused transaction id.
+  std::uint16_t id = next_id_;
+  while (pending_.count(id) != 0 || id == 0) ++id;
+  next_id_ = static_cast<std::uint16_t>(id + 1);
+  query.header.id = id;
+  if (options.use_0x20 && !query.questions.empty()) {
+    query.questions.front().name =
+        randomize_case(query.questions.front().name, rng_);
+  }
+
+  Pending pending;
+  pending.server = server;
+  pending.query = std::move(query);
+  pending.options = options;
+  pending.callback = std::move(callback);
+  pending.first_sent = net_.now();
+  pending.generation = next_generation_++;
+  pending_.emplace(id, std::move(pending));
+  send_attempt(id);
+}
+
+void DnsTransport::send_attempt(std::uint16_t id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  ++p.attempts;
+  p.generation = next_generation_++;
+  socket_->send_to(p.server, encode(p.query));
+  arm_timeout(id, p.generation);
+}
+
+void DnsTransport::arm_timeout(std::uint16_t id, std::uint64_t generation) {
+  net_.simulator().schedule_after(
+      pending_.at(id).options.timeout,
+      [this, alive = alive_, id, generation] {
+        if (!*alive) return;
+        const auto it = pending_.find(id);
+        if (it == pending_.end() || it->second.generation != generation) {
+          return;  // answered or retransmitted since this timer was armed
+        }
+        if (it->second.attempts <= it->second.options.max_retries) {
+          ++retransmissions_;
+          send_attempt(id);
+          return;
+        }
+        ++timeouts_;
+        Pending p = std::move(it->second);
+        pending_.erase(it);
+        p.callback(util::Err("query timed out after " +
+                             std::to_string(p.attempts) + " attempt(s)"),
+                   net_.now() - p.first_sent);
+      });
+}
+
+void DnsTransport::on_packet(const simnet::Packet& packet) {
+  auto decoded = decode(packet.payload);
+  if (!decoded.ok()) return;  // malformed response: ignore, timeout handles it
+  Message& response = decoded.value();
+  if (!response.header.qr) return;
+
+  const auto it = pending_.find(response.header.id);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  // Anti-spoofing checks a real resolver performs: the response must come
+  // from the queried server and echo the question.
+  if (packet.src != p.server) return;
+  if (!response.questions.empty() && !p.query.questions.empty()) {
+    if (!(response.questions.front() == p.query.questions.front())) {
+      return;
+    }
+    // 0x20 hardening: the echoed qname must match byte-exactly.
+    if (p.options.use_0x20 &&
+        !exact_equal(response.questions.front().name,
+                     p.query.questions.front().name)) {
+      return;
+    }
+  }
+
+  // Truncated answer: retry once with a bigger advertised buffer.
+  if (response.header.tc && p.options.bufsize_on_tc != 0) {
+    const std::uint16_t current =
+        p.query.edns.has_value() ? p.query.edns->udp_payload_size : 512;
+    if (current < p.options.bufsize_on_tc) {
+      ++tc_retries_;
+      if (!p.query.edns.has_value()) p.query.edns = Edns{};
+      p.query.edns->udp_payload_size = p.options.bufsize_on_tc;
+      send_attempt(response.header.id);
+      return;
+    }
+  }
+
+  Pending done = std::move(p);
+  pending_.erase(it);
+  done.callback(std::move(decoded), net_.now() - done.first_sent);
+}
+
+}  // namespace mecdns::dns

@@ -1,0 +1,89 @@
+// Client-side DNS-over-UDP transaction layer.
+//
+// Sends wire-encoded queries through the simulated network, matches
+// responses to pending transactions by (id, server, question), and applies
+// timeout/retransmission — the machinery under every resolver in this
+// library (stub, recursive, forwarding).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "dns/message.h"
+#include "dns/wire.h"
+#include "simnet/network.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace mecdns::dns {
+
+class DnsTransport {
+ public:
+  struct Options {
+    simnet::SimTime timeout = simnet::SimTime::millis(2000);
+    int max_retries = 0;  ///< retransmissions after the first attempt
+    /// On a truncated (TC=1) response, automatically retry once with an
+    /// EDNS buffer of `bufsize_on_tc` octets (the UDP analogue of falling
+    /// back to TCP). Disabled by setting bufsize_on_tc to 0.
+    std::uint16_t bufsize_on_tc = 4096;
+    /// DNS-0x20: randomize the case of the outgoing qname and require the
+    /// response to echo it byte-exactly, multiplying the work a blind
+    /// spoofer must do beyond guessing the 16-bit id.
+    bool use_0x20 = false;
+  };
+
+  /// Invoked exactly once per query(): with the response, or with an error
+  /// after the final timeout. `rtt` is time from first send to response.
+  using Callback =
+      std::function<void(util::Result<Message>, simnet::SimTime rtt)>;
+
+  /// Opens an ephemeral UDP socket on `node`.
+  DnsTransport(simnet::Network& net, simnet::NodeId node,
+               std::uint64_t id_seed = 1);
+
+  DnsTransport(const DnsTransport&) = delete;
+  DnsTransport& operator=(const DnsTransport&) = delete;
+  ~DnsTransport();
+
+  /// Sends `query` to `server`. A fresh transaction id is assigned
+  /// (overwriting query.header.id).
+  void query(const simnet::Endpoint& server, Message query,
+             const Options& options, Callback callback);
+
+  simnet::Endpoint local_endpoint() const { return socket_->endpoint(); }
+
+  std::uint64_t timeouts() const { return timeouts_; }
+  std::uint64_t retransmissions() const { return retransmissions_; }
+  std::uint64_t tc_retries() const { return tc_retries_; }
+
+ private:
+  struct Pending {
+    simnet::Endpoint server;
+    Message query;
+    Options options;
+    Callback callback;
+    simnet::SimTime first_sent;
+    int attempts = 0;
+    std::uint64_t generation = 0;  ///< guards stale timeout events
+  };
+
+  void on_packet(const simnet::Packet& packet);
+  void send_attempt(std::uint16_t id);
+  void arm_timeout(std::uint16_t id, std::uint64_t generation);
+
+  simnet::Network& net_;
+  simnet::UdpSocket* socket_;
+  util::Rng rng_;
+  /// Guards scheduled timeouts against running after destruction: the
+  /// timer lambdas hold a copy and bail out once the owner is gone.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  std::uint16_t next_id_;
+  std::uint64_t next_generation_ = 1;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t tc_retries_ = 0;
+  std::map<std::uint16_t, Pending> pending_;
+};
+
+}  // namespace mecdns::dns

@@ -1,0 +1,438 @@
+#include "dns/wire.h"
+
+#include <map>
+#include <string>
+
+#include "dns/edns.h"
+#include "util/bytes.h"
+#include "util/strings.h"
+
+namespace mecdns::dns {
+
+namespace {
+
+constexpr std::uint8_t kPointerTag = 0xc0;
+constexpr std::size_t kMaxPointerChases = 32;
+
+/// Tracks previously written names so later occurrences can point at them.
+class NameCompressor {
+ public:
+  void write_name(util::ByteWriter& out, const DnsName& name) {
+    // For each suffix of the name (longest first), check whether we already
+    // wrote it; if so emit a pointer, otherwise write the label and recurse.
+    const auto& labels = name.labels();
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      const std::string key = suffix_key(labels, i);
+      const auto it = offsets_.find(key);
+      if (it != offsets_.end() && it->second < 0x3fff) {
+        out.u16(static_cast<std::uint16_t>(0xc000 | it->second));
+        return;
+      }
+      if (out.size() < 0x3fff) {
+        offsets_.emplace(key, out.size());
+      }
+      out.u8(static_cast<std::uint8_t>(labels[i].size()));
+      out.bytes(labels[i]);
+    }
+    out.u8(0);  // root
+  }
+
+ private:
+  static std::string suffix_key(const std::vector<std::string>& labels,
+                                std::size_t from) {
+    std::string key;
+    for (std::size_t i = from; i < labels.size(); ++i) {
+      key += util::to_lower(labels[i]);
+      key += '.';
+    }
+    return key;
+  }
+
+  std::map<std::string, std::size_t> offsets_;
+};
+
+void write_uncompressed_name(util::ByteWriter& out, const DnsName& name) {
+  for (const auto& label : name.labels()) {
+    out.u8(static_cast<std::uint8_t>(label.size()));
+    out.bytes(label);
+  }
+  out.u8(0);
+}
+
+void write_record(util::ByteWriter& out, NameCompressor& names,
+                  const ResourceRecord& rr) {
+  names.write_name(out, rr.name);
+  out.u16(static_cast<std::uint16_t>(rr.type));
+  out.u16(static_cast<std::uint16_t>(rr.cls));
+  out.u32(rr.ttl);
+  const std::size_t rdlength_at = out.size();
+  out.u16(0);  // patched below
+  const std::size_t rdata_start = out.size();
+
+  struct RDataWriter {
+    util::ByteWriter& out;
+    NameCompressor& names;
+
+    void operator()(const ARecord& a) { out.u32(a.address.value()); }
+    void operator()(const AaaaRecord& a) {
+      for (const std::uint8_t b : a.address) out.u8(b);
+    }
+    void operator()(const NsRecord& ns) { names.write_name(out, ns.nameserver); }
+    void operator()(const CnameRecord& c) { names.write_name(out, c.target); }
+    void operator()(const PtrRecord& p) { names.write_name(out, p.target); }
+    void operator()(const SoaRecord& soa) {
+      names.write_name(out, soa.mname);
+      names.write_name(out, soa.rname);
+      out.u32(soa.serial);
+      out.u32(soa.refresh);
+      out.u32(soa.retry);
+      out.u32(soa.expire);
+      out.u32(soa.minimum);
+    }
+    void operator()(const TxtRecord& txt) {
+      for (const auto& s : txt.strings) {
+        const std::size_t n = std::min<std::size_t>(s.size(), 255);
+        out.u8(static_cast<std::uint8_t>(n));
+        out.bytes(s.substr(0, n));
+      }
+    }
+    void operator()(const SrvRecord& srv) {
+      out.u16(srv.priority);
+      out.u16(srv.weight);
+      out.u16(srv.port);
+      write_uncompressed_name(out, srv.target);  // RFC 2782: no compression
+    }
+    void operator()(const OptRecord& opt) {
+      out.bytes(std::span<const std::uint8_t>(opt.options));
+    }
+    void operator()(const RawRecord& raw) {
+      out.bytes(std::span<const std::uint8_t>(raw.data));
+    }
+  };
+  std::visit(RDataWriter{out, names}, rr.rdata);
+  out.patch_u16(rdlength_at,
+                static_cast<std::uint16_t>(out.size() - rdata_start));
+}
+
+/// Materializes the OPT pseudo-record described by Edns (RFC 6891 §6.1.2):
+/// owner = root, CLASS = requestor's UDP payload size, TTL = extended
+/// rcode/version/DO flags.
+ResourceRecord make_opt_record(const Edns& edns) {
+  ResourceRecord rr;
+  rr.name = DnsName::root();
+  rr.type = RecordType::kOpt;
+  rr.cls = static_cast<RecordClass>(edns.udp_payload_size);
+  rr.ttl = (static_cast<std::uint32_t>(edns.extended_rcode) << 24) |
+           (static_cast<std::uint32_t>(edns.version) << 16) |
+           (edns.dnssec_ok ? 0x8000u : 0u);
+  rr.rdata = OptRecord{encode_edns_options(edns)};
+  return rr;
+}
+
+util::Result<DnsName> read_name(util::ByteReader& reader) {
+  std::vector<std::string> labels;
+  std::size_t chases = 0;
+  bool jumped = false;
+  std::size_t resume_at = 0;
+
+  while (true) {
+    auto len_result = reader.u8();
+    if (!len_result.ok()) return len_result.error();
+    const std::uint8_t len = len_result.value();
+
+    if ((len & kPointerTag) == kPointerTag) {
+      auto low = reader.u8();
+      if (!low.ok()) return low.error();
+      const std::size_t target =
+          (static_cast<std::size_t>(len & 0x3f) << 8) | low.value();
+      if (!jumped) {
+        resume_at = reader.position();
+        jumped = true;
+      }
+      if (++chases > kMaxPointerChases) {
+        return util::Err("compression pointer loop");
+      }
+      if (target >= reader.size()) {
+        return util::Err("compression pointer past end");
+      }
+      auto seek = reader.seek(target);
+      if (!seek.ok()) return seek.error();
+      continue;
+    }
+    if ((len & kPointerTag) != 0) {
+      return util::Err("reserved label type");
+    }
+    if (len == 0) break;
+    auto label = reader.str(len);
+    if (!label.ok()) return label.error();
+    labels.push_back(std::move(label.value()));
+    if (labels.size() > 128) return util::Err("too many labels");
+  }
+
+  if (jumped) {
+    auto seek = reader.seek(resume_at);
+    if (!seek.ok()) return seek.error();
+  }
+  return DnsName::from_labels(std::move(labels));
+}
+
+util::Result<ResourceRecord> read_record(util::ByteReader& reader) {
+  ResourceRecord rr;
+  auto name = read_name(reader);
+  if (!name.ok()) return name.error();
+  rr.name = std::move(name.value());
+
+  auto type = reader.u16();
+  if (!type.ok()) return type.error();
+  auto cls = reader.u16();
+  if (!cls.ok()) return cls.error();
+  auto ttl = reader.u32();
+  if (!ttl.ok()) return ttl.error();
+  auto rdlength = reader.u16();
+  if (!rdlength.ok()) return rdlength.error();
+
+  rr.type = static_cast<RecordType>(type.value());
+  rr.cls = static_cast<RecordClass>(cls.value());
+  rr.ttl = ttl.value();
+  const std::size_t rdata_end = reader.position() + rdlength.value();
+  if (rdata_end > reader.size()) return util::Err("RDATA past end of message");
+
+  switch (rr.type) {
+    case RecordType::kA: {
+      if (rdlength.value() != 4) return util::Err("A RDATA must be 4 octets");
+      auto v = reader.u32();
+      if (!v.ok()) return v.error();
+      rr.rdata = ARecord{simnet::Ipv4Address(v.value())};
+      break;
+    }
+    case RecordType::kAaaa: {
+      if (rdlength.value() != 16) {
+        return util::Err("AAAA RDATA must be 16 octets");
+      }
+      AaaaRecord rec;
+      for (auto& b : rec.address) {
+        auto v = reader.u8();
+        if (!v.ok()) return v.error();
+        b = v.value();
+      }
+      rr.rdata = rec;
+      break;
+    }
+    case RecordType::kNs: {
+      auto target = read_name(reader);
+      if (!target.ok()) return target.error();
+      rr.rdata = NsRecord{std::move(target.value())};
+      break;
+    }
+    case RecordType::kCname: {
+      auto target = read_name(reader);
+      if (!target.ok()) return target.error();
+      rr.rdata = CnameRecord{std::move(target.value())};
+      break;
+    }
+    case RecordType::kPtr: {
+      auto target = read_name(reader);
+      if (!target.ok()) return target.error();
+      rr.rdata = PtrRecord{std::move(target.value())};
+      break;
+    }
+    case RecordType::kSoa: {
+      SoaRecord soa;
+      auto mname = read_name(reader);
+      if (!mname.ok()) return mname.error();
+      soa.mname = std::move(mname.value());
+      auto rname = read_name(reader);
+      if (!rname.ok()) return rname.error();
+      soa.rname = std::move(rname.value());
+      auto serial = reader.u32();
+      if (!serial.ok()) return serial.error();
+      auto refresh = reader.u32();
+      if (!refresh.ok()) return refresh.error();
+      auto retry = reader.u32();
+      if (!retry.ok()) return retry.error();
+      auto expire = reader.u32();
+      if (!expire.ok()) return expire.error();
+      auto minimum = reader.u32();
+      if (!minimum.ok()) return minimum.error();
+      soa.serial = serial.value();
+      soa.refresh = refresh.value();
+      soa.retry = retry.value();
+      soa.expire = expire.value();
+      soa.minimum = minimum.value();
+      rr.rdata = std::move(soa);
+      break;
+    }
+    case RecordType::kTxt: {
+      TxtRecord txt;
+      while (reader.position() < rdata_end) {
+        auto len = reader.u8();
+        if (!len.ok()) return len.error();
+        if (reader.position() + len.value() > rdata_end) {
+          return util::Err("TXT string past RDATA");
+        }
+        auto s = reader.str(len.value());
+        if (!s.ok()) return s.error();
+        txt.strings.push_back(std::move(s.value()));
+      }
+      rr.rdata = std::move(txt);
+      break;
+    }
+    case RecordType::kSrv: {
+      SrvRecord srv;
+      auto priority = reader.u16();
+      if (!priority.ok()) return priority.error();
+      auto weight = reader.u16();
+      if (!weight.ok()) return weight.error();
+      auto port = reader.u16();
+      if (!port.ok()) return port.error();
+      auto target = read_name(reader);
+      if (!target.ok()) return target.error();
+      srv.priority = priority.value();
+      srv.weight = weight.value();
+      srv.port = port.value();
+      srv.target = std::move(target.value());
+      rr.rdata = std::move(srv);
+      break;
+    }
+    case RecordType::kOpt: {
+      auto data = reader.bytes(rdlength.value());
+      if (!data.ok()) return data.error();
+      rr.rdata = OptRecord{std::move(data.value())};
+      break;
+    }
+    default: {
+      auto data = reader.bytes(rdlength.value());
+      if (!data.ok()) return data.error();
+      rr.rdata = RawRecord{type.value(), std::move(data.value())};
+      break;
+    }
+  }
+  if (reader.position() != rdata_end) {
+    return util::Err("RDATA length mismatch for " + to_string(rr.type));
+  }
+  return rr;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const Message& message) {
+  util::ByteWriter out;
+  NameCompressor names;
+
+  std::uint16_t flags = 0;
+  const Header& h = message.header;
+  if (h.qr) flags |= 0x8000;
+  flags |= static_cast<std::uint16_t>(static_cast<std::uint8_t>(h.opcode) & 0xf)
+           << 11;
+  if (h.aa) flags |= 0x0400;
+  if (h.tc) flags |= 0x0200;
+  if (h.rd) flags |= 0x0100;
+  if (h.ra) flags |= 0x0080;
+  flags |= static_cast<std::uint16_t>(static_cast<std::uint8_t>(h.rcode) & 0xf);
+
+  std::vector<ResourceRecord> additionals = message.additionals;
+  if (message.edns.has_value()) {
+    additionals.push_back(make_opt_record(*message.edns));
+  }
+
+  out.u16(h.id);
+  out.u16(flags);
+  out.u16(static_cast<std::uint16_t>(message.questions.size()));
+  out.u16(static_cast<std::uint16_t>(message.answers.size()));
+  out.u16(static_cast<std::uint16_t>(message.authorities.size()));
+  out.u16(static_cast<std::uint16_t>(additionals.size()));
+
+  for (const auto& q : message.questions) {
+    names.write_name(out, q.name);
+    out.u16(static_cast<std::uint16_t>(q.type));
+    out.u16(static_cast<std::uint16_t>(q.cls));
+  }
+  for (const auto& rr : message.answers) write_record(out, names, rr);
+  for (const auto& rr : message.authorities) write_record(out, names, rr);
+  for (const auto& rr : additionals) write_record(out, names, rr);
+  return out.take();
+}
+
+util::Result<Message> decode(std::span<const std::uint8_t> wire) {
+  util::ByteReader reader(wire);
+  Message msg;
+
+  auto id = reader.u16();
+  if (!id.ok()) return id.error();
+  auto flags_result = reader.u16();
+  if (!flags_result.ok()) return flags_result.error();
+  const std::uint16_t flags = flags_result.value();
+
+  msg.header.id = id.value();
+  msg.header.qr = (flags & 0x8000) != 0;
+  msg.header.opcode = static_cast<Opcode>((flags >> 11) & 0xf);
+  msg.header.aa = (flags & 0x0400) != 0;
+  msg.header.tc = (flags & 0x0200) != 0;
+  msg.header.rd = (flags & 0x0100) != 0;
+  msg.header.ra = (flags & 0x0080) != 0;
+  msg.header.rcode = static_cast<RCode>(flags & 0xf);
+
+  auto qdcount = reader.u16();
+  if (!qdcount.ok()) return qdcount.error();
+  auto ancount = reader.u16();
+  if (!ancount.ok()) return ancount.error();
+  auto nscount = reader.u16();
+  if (!nscount.ok()) return nscount.error();
+  auto arcount = reader.u16();
+  if (!arcount.ok()) return arcount.error();
+
+  for (std::uint16_t i = 0; i < qdcount.value(); ++i) {
+    Question q;
+    auto name = read_name(reader);
+    if (!name.ok()) return name.error();
+    q.name = std::move(name.value());
+    auto type = reader.u16();
+    if (!type.ok()) return type.error();
+    auto cls = reader.u16();
+    if (!cls.ok()) return cls.error();
+    q.type = static_cast<RecordType>(type.value());
+    q.cls = static_cast<RecordClass>(cls.value());
+    msg.questions.push_back(std::move(q));
+  }
+
+  const auto read_section = [&](std::uint16_t count,
+                                std::vector<ResourceRecord>& section)
+      -> util::Result<void> {
+    for (std::uint16_t i = 0; i < count; ++i) {
+      auto rr = read_record(reader);
+      if (!rr.ok()) return rr.error();
+      section.push_back(std::move(rr.value()));
+    }
+    return util::Ok();
+  };
+
+  if (auto r = read_section(ancount.value(), msg.answers); !r.ok()) {
+    return r.error();
+  }
+  if (auto r = read_section(nscount.value(), msg.authorities); !r.ok()) {
+    return r.error();
+  }
+  if (auto r = read_section(arcount.value(), msg.additionals); !r.ok()) {
+    return r.error();
+  }
+
+  // Lift the OPT pseudo-record (if any) into Message::edns.
+  for (auto it = msg.additionals.begin(); it != msg.additionals.end(); ++it) {
+    if (it->type != RecordType::kOpt) continue;
+    Edns edns;
+    edns.udp_payload_size = static_cast<std::uint16_t>(it->cls);
+    edns.extended_rcode = static_cast<std::uint8_t>(it->ttl >> 24);
+    edns.version = static_cast<std::uint8_t>(it->ttl >> 16);
+    edns.dnssec_ok = (it->ttl & 0x8000) != 0;
+    if (const auto* opt = std::get_if<OptRecord>(&it->rdata)) {
+      auto decoded = decode_edns_options(opt->options, edns);
+      if (!decoded.ok()) return decoded.error();
+    }
+    msg.edns = edns;
+    msg.additionals.erase(it);
+    break;
+  }
+  return msg;
+}
+
+}  // namespace mecdns::dns

@@ -1,0 +1,27 @@
+// RFC 1035 wire-format codec with §4.1.4 name compression.
+//
+// Every DNS message that crosses the simulated network is really encoded to
+// and decoded from these bytes, so protocol-level details (compression
+// pointers, OPT pseudo-records, truncation of malformed input) behave as
+// they would on a real wire.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dns/message.h"
+#include "util/result.h"
+
+namespace mecdns::dns {
+
+/// Encodes a message to wire bytes. Applies name compression to all owner
+/// names and to names embedded in NS/CNAME/PTR/SOA RDATA (the RFC 1035
+/// "well-known" types; SRV targets are left uncompressed per RFC 2782).
+std::vector<std::uint8_t> encode(const Message& message);
+
+/// Decodes wire bytes. Fails (never throws, never reads out of bounds) on
+/// truncated input, compression-pointer loops, or structural violations.
+util::Result<Message> decode(std::span<const std::uint8_t> wire);
+
+}  // namespace mecdns::dns

@@ -1,0 +1,203 @@
+#include "dns/zone.h"
+
+#include <stdexcept>
+
+namespace mecdns::dns {
+
+std::string to_string(LookupStatus status) {
+  switch (status) {
+    case LookupStatus::kSuccess: return "SUCCESS";
+    case LookupStatus::kCname: return "CNAME";
+    case LookupStatus::kDelegation: return "DELEGATION";
+    case LookupStatus::kNoData: return "NODATA";
+    case LookupStatus::kNxDomain: return "NXDOMAIN";
+    case LookupStatus::kOutOfZone: return "OUTOFZONE";
+  }
+  return "?";
+}
+
+util::Result<void> Zone::add(ResourceRecord rr) {
+  if (!rr.name.is_subdomain_of(origin_)) {
+    return util::Err("record " + rr.name.to_string() + " outside zone " +
+                     origin_.to_string());
+  }
+  if (rr.type == RecordType::kCname) {
+    // A CNAME must be the only data at its owner (SOA/NS checks included).
+    for (const auto& [key, rrs] : records_) {
+      if (key.first == rr.name) {
+        return util::Err("CNAME at " + rr.name.to_string() +
+                         " conflicts with existing " + to_string(key.second));
+      }
+    }
+  } else if (!find(rr.name, RecordType::kCname).empty()) {
+    return util::Err("data at " + rr.name.to_string() +
+                     " conflicts with existing CNAME");
+  }
+  records_[{rr.name, rr.type}].push_back(std::move(rr));
+  return util::Ok();
+}
+
+void Zone::must_add(ResourceRecord rr) {
+  auto result = add(std::move(rr));
+  if (!result.ok()) throw std::invalid_argument(result.error().message);
+}
+
+std::size_t Zone::remove(const DnsName& name, RecordType type) {
+  const auto it = records_.find({name, type});
+  if (it == records_.end()) return 0;
+  const std::size_t n = it->second.size();
+  records_.erase(it);
+  return n;
+}
+
+std::size_t Zone::remove_name(const DnsName& name) {
+  std::size_t n = 0;
+  for (auto it = records_.begin(); it != records_.end();) {
+    if (it->first.first == name) {
+      n += it->second.size();
+      it = records_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return n;
+}
+
+std::vector<ResourceRecord> Zone::find(const DnsName& name,
+                                       RecordType type) const {
+  const auto it = records_.find({name, type});
+  return it == records_.end() ? std::vector<ResourceRecord>{} : it->second;
+}
+
+bool Zone::name_exists(const DnsName& name) const {
+  // Records are ordered by (name, type); any key with matching name means
+  // the name exists. An empty non-terminal (a name that only exists as an
+  // ancestor of record owners) also "exists" per RFC 4592.
+  for (const auto& [key, rrs] : records_) {
+    if (key.first == name || key.first.is_subdomain_of(name)) return true;
+  }
+  return false;
+}
+
+const std::vector<ResourceRecord>* Zone::find_delegation(const DnsName& name,
+                                                         DnsName* cut) const {
+  // Walk from just below the apex down toward `name`, looking for NS RRsets
+  // at intermediate names (zone cuts). NS at the apex is authoritative data,
+  // not a cut.
+  const std::size_t apex_labels = origin_.label_count();
+  const std::size_t name_labels = name.label_count();
+  if (name_labels <= apex_labels) return nullptr;
+  for (std::size_t take = apex_labels + 1; take <= name_labels; ++take) {
+    // Candidate = last `take` labels of `name`.
+    std::vector<std::string> labels(
+        name.labels().end() - static_cast<std::ptrdiff_t>(take),
+        name.labels().end());
+    auto candidate = DnsName::from_labels(std::move(labels));
+    if (!candidate.ok()) continue;
+    const auto it = records_.find({candidate.value(), RecordType::kNs});
+    if (it != records_.end()) {
+      if (cut != nullptr) *cut = candidate.value();
+      return &it->second;
+    }
+  }
+  return nullptr;
+}
+
+LookupResult Zone::lookup(const DnsName& name, RecordType type) const {
+  LookupResult result;
+  if (!name.is_subdomain_of(origin_)) {
+    result.status = LookupStatus::kOutOfZone;
+    return result;
+  }
+
+  // Zone cut between the apex and the name => referral.
+  DnsName cut;
+  if (const auto* ns_set = find_delegation(name, &cut);
+      ns_set != nullptr && !(name == cut && type == RecordType::kNs)) {
+    result.status = LookupStatus::kDelegation;
+    result.records = *ns_set;
+    for (const auto& rr : *ns_set) {
+      if (const auto* ns = std::get_if<NsRecord>(&rr.rdata)) {
+        auto glue = find(ns->nameserver, RecordType::kA);
+        result.glue.insert(result.glue.end(), glue.begin(), glue.end());
+      }
+    }
+    return result;
+  }
+
+  const auto answer_at = [&](const DnsName& owner,
+                             bool wildcard) -> bool {
+    // CNAME indirection (unless the query is for the CNAME itself or ANY).
+    if (type != RecordType::kCname && type != RecordType::kAny) {
+      auto cname = find(owner, RecordType::kCname);
+      if (!cname.empty()) {
+        result.status = LookupStatus::kCname;
+        result.records = std::move(cname);
+        if (wildcard) {
+          for (auto& rr : result.records) rr.name = name;
+          result.from_wildcard = true;
+        }
+        return true;
+      }
+    }
+    if (type == RecordType::kAny) {
+      for (const auto& [key, rrs] : records_) {
+        if (key.first == owner) {
+          result.records.insert(result.records.end(), rrs.begin(), rrs.end());
+        }
+      }
+    } else {
+      result.records = find(owner, type);
+    }
+    if (!result.records.empty()) {
+      result.status = LookupStatus::kSuccess;
+      if (wildcard) {
+        for (auto& rr : result.records) rr.name = name;
+        result.from_wildcard = true;
+      }
+      return true;
+    }
+    return false;
+  };
+
+  if (answer_at(name, /*wildcard=*/false)) return result;
+
+  if (name_exists(name)) {
+    result.status = LookupStatus::kNoData;
+    result.soa = find(origin_, RecordType::kSoa);
+    return result;
+  }
+
+  // Wildcard synthesis (RFC 4592): the source of synthesis is the "*" child
+  // of the closest encloser. Try each ancestor from the closest first.
+  DnsName ancestor = name.parent();
+  while (ancestor.label_count() + 1 > origin_.label_count()) {
+    auto wildcard = ancestor.with_prefix("*");
+    if (wildcard.ok() && answer_at(wildcard.value(), /*wildcard=*/true)) {
+      return result;
+    }
+    if (name_exists(ancestor)) break;  // closest encloser reached; stop
+    if (ancestor.is_root()) break;
+    ancestor = ancestor.parent();
+  }
+
+  result.status = LookupStatus::kNxDomain;
+  result.soa = find(origin_, RecordType::kSoa);
+  return result;
+}
+
+std::size_t Zone::record_count() const {
+  std::size_t n = 0;
+  for (const auto& [key, rrs] : records_) n += rrs.size();
+  return n;
+}
+
+std::vector<ResourceRecord> Zone::all() const {
+  std::vector<ResourceRecord> out;
+  for (const auto& [key, rrs] : records_) {
+    out.insert(out.end(), rrs.begin(), rrs.end());
+  }
+  return out;
+}
+
+}  // namespace mecdns::dns

@@ -1,0 +1,90 @@
+// Authoritative zone data and lookup semantics (RFC 1034 §4.3.2).
+//
+// Supports exact matches, CNAME indirection, wildcard synthesis, zone cuts
+// (delegations with glue) and negative answers with the zone SOA — enough to
+// faithfully host the public hierarchy (root, TLD, CDN authoritative zones)
+// and the MEC cluster namespaces.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dns/name.h"
+#include "dns/rr.h"
+#include "util/result.h"
+
+namespace mecdns::dns {
+
+enum class LookupStatus {
+  kSuccess,     ///< records of the requested type found
+  kCname,       ///< a CNAME exists at the name (records holds it)
+  kDelegation,  ///< a zone cut is above/at the name (records holds NS)
+  kNoData,      ///< the name exists but has no records of the type
+  kNxDomain,    ///< the name does not exist in the zone
+  kOutOfZone,   ///< the name is not within this zone's origin
+};
+
+std::string to_string(LookupStatus status);
+
+struct LookupResult {
+  LookupStatus status = LookupStatus::kNxDomain;
+  /// Matched/synthesized records: answers for kSuccess/kCname, the NS set
+  /// for kDelegation, empty otherwise.
+  std::vector<ResourceRecord> records;
+  /// Glue A records for kDelegation nameservers when available in-zone.
+  std::vector<ResourceRecord> glue;
+  /// The zone SOA, populated for kNoData/kNxDomain (negative answers).
+  std::vector<ResourceRecord> soa;
+  /// True when the answer was synthesized from a wildcard.
+  bool from_wildcard = false;
+};
+
+/// One authoritative zone rooted at `origin`.
+class Zone {
+ public:
+  explicit Zone(DnsName origin) : origin_(std::move(origin)) {}
+
+  const DnsName& origin() const { return origin_; }
+
+  /// Adds a record. The owner name must be within the zone. Adding a CNAME
+  /// alongside other data at the same name is rejected (RFC 1034 §3.6.2),
+  /// as is a second CNAME at the same owner.
+  util::Result<void> add(ResourceRecord rr);
+
+  /// Convenience: adds, throwing on error. For static test/scenario data.
+  void must_add(ResourceRecord rr);
+
+  /// Removes all records at (name, type). Returns how many were removed.
+  std::size_t remove(const DnsName& name, RecordType type);
+
+  /// Removes every record whose owner is `name`.
+  std::size_t remove_name(const DnsName& name);
+
+  /// Full RFC 1034 lookup.
+  LookupResult lookup(const DnsName& name, RecordType type) const;
+
+  /// Direct RRset fetch without delegation/wildcard processing.
+  std::vector<ResourceRecord> find(const DnsName& name, RecordType type) const;
+
+  bool empty() const { return records_.empty(); }
+  std::size_t record_count() const;
+
+  /// All records, for iteration/debug.
+  std::vector<ResourceRecord> all() const;
+
+ private:
+  using Key = std::pair<DnsName, RecordType>;
+
+  /// Finds a zone cut strictly below the apex on the path from the apex to
+  /// `name`. Returns the NS RRset owner if found.
+  const std::vector<ResourceRecord>* find_delegation(const DnsName& name,
+                                                     DnsName* cut) const;
+
+  bool name_exists(const DnsName& name) const;
+
+  DnsName origin_;
+  std::map<Key, std::vector<ResourceRecord>> records_;
+};
+
+}  // namespace mecdns::dns

@@ -1,0 +1,38 @@
+#include "mec/ingress.h"
+
+namespace mecdns::mec {
+
+void IngressMonitor::record(simnet::SimTime now) {
+  prune(now);
+  events_.push_back(now);
+}
+
+std::size_t IngressMonitor::rate(simnet::SimTime now) const {
+  prune(now);
+  return events_.size();
+}
+
+void IngressMonitor::prune(simnet::SimTime now) const {
+  const simnet::SimTime cutoff = now - window_;
+  while (!events_.empty() && events_.front() < cutoff) {
+    events_.pop_front();
+  }
+}
+
+void OverloadGuardPlugin::serve(const dns::PluginContext& ctx,
+                                Respond respond, Next next) {
+  const simnet::SimTime now = ctx.net.received;
+  if (monitor_.rate(now) >= threshold_) {
+    ++shed_;
+    if (action_ == OverloadAction::kRefuse) {
+      respond(dns::make_response(ctx.query, dns::RCode::kRefused));
+    }
+    // kDrop: never respond; the client's timeout/fallback path handles it.
+    return;
+  }
+  monitor_.record(now);
+  ++admitted_;
+  next(std::move(respond));
+}
+
+}  // namespace mecdns::mec

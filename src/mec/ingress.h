@@ -1,0 +1,66 @@
+// Ingress-load monitoring and the overload fallback policy.
+//
+// §3 P1: "The MEC orchestrator, which has access to monitoring statistics
+// of the ingress network load to the MEC DNS, can simply switch (or only
+// unicast) to the provider's L-DNS during high ingress (above a threshold),
+// or deploy other more sophisticated mitigation policies." IngressMonitor
+// keeps a sliding-window query rate; OverloadGuardPlugin sits first in the
+// MEC DNS chain and sheds load above the threshold, so MEC-CDN degrades to
+// the provider path instead of becoming a DoS amplifier.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "dns/plugin.h"
+#include "simnet/time.h"
+
+namespace mecdns::mec {
+
+class IngressMonitor {
+ public:
+  explicit IngressMonitor(simnet::SimTime window = simnet::SimTime::seconds(1))
+      : window_(window) {}
+
+  void record(simnet::SimTime now);
+
+  /// Events within the window ending at `now`.
+  std::size_t rate(simnet::SimTime now) const;
+
+  simnet::SimTime window() const { return window_; }
+
+ private:
+  void prune(simnet::SimTime now) const;
+
+  simnet::SimTime window_;
+  mutable std::deque<simnet::SimTime> events_;
+};
+
+/// What the guard does with traffic above the threshold.
+enum class OverloadAction {
+  kRefuse,  ///< answer REFUSED; multicast/fallback clients use provider L-DNS
+  kDrop,    ///< silently drop; clients time out onto their fallback
+};
+
+class OverloadGuardPlugin : public dns::Plugin {
+ public:
+  OverloadGuardPlugin(IngressMonitor& monitor, std::size_t threshold_qps,
+                      OverloadAction action = OverloadAction::kRefuse)
+      : monitor_(monitor), threshold_(threshold_qps), action_(action) {}
+
+  std::string name() const override { return "overload-guard"; }
+  void serve(const dns::PluginContext& ctx, Respond respond,
+             Next next) override;
+
+  std::uint64_t shed() const { return shed_; }
+  std::uint64_t admitted() const { return admitted_; }
+
+ private:
+  IngressMonitor& monitor_;
+  std::size_t threshold_;
+  OverloadAction action_;
+  std::uint64_t shed_ = 0;
+  std::uint64_t admitted_ = 0;
+};
+
+}  // namespace mecdns::mec

@@ -1,0 +1,42 @@
+#include "mec/registry.h"
+
+namespace mecdns::mec {
+
+ServiceRegistry::ServiceRegistry(dns::DnsName cluster_domain)
+    : domain_(std::move(cluster_domain)),
+      zone_(std::make_shared<dns::Zone>(domain_)) {
+  zone_->must_add(dns::make_soa(
+      domain_, dns::DnsName::must_parse("kube-dns." + domain_.to_string()), 1,
+      30, 30));
+}
+
+dns::DnsName ServiceRegistry::service_name(const std::string& service,
+                                           const std::string& ns) const {
+  return dns::DnsName::must_parse(service + "." + ns + ".svc." +
+                                  domain_.to_string());
+}
+
+void ServiceRegistry::register_service(const std::string& service,
+                                       const std::string& ns,
+                                       simnet::Ipv4Address cluster_ip,
+                                       std::uint32_t ttl) {
+  const dns::DnsName name = service_name(service, ns);
+  if (zone_->remove(name, dns::RecordType::kA) == 0) {
+    ++count_;
+  }
+  zone_->must_add(dns::make_a(name, cluster_ip, ttl));
+}
+
+void ServiceRegistry::deregister_service(const std::string& service,
+                                         const std::string& ns) {
+  if (zone_->remove_name(service_name(service, ns)) > 0) {
+    --count_;
+  }
+}
+
+bool ServiceRegistry::has_service(const std::string& service,
+                                  const std::string& ns) const {
+  return !zone_->find(service_name(service, ns), dns::RecordType::kA).empty();
+}
+
+}  // namespace mecdns::mec

@@ -1,0 +1,50 @@
+// Service registry feeding the cluster's internal DNS namespace.
+//
+// CoreDNS's `kubernetes` plugin answers "<svc>.<ns>.svc.<cluster-domain>"
+// from the API server's service objects. ServiceRegistry plays the API
+// server: registered services materialize as A records in a shared Zone
+// that a dns::ZonePlugin serves — "the information needed to service DNS
+// requests in the MEC ... is readily available with the MEC orchestrator by
+// design, as part of the MEC orchestrator's dedicated, internal DNS".
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dns/zone.h"
+#include "simnet/ip.h"
+
+namespace mecdns::mec {
+
+class ServiceRegistry {
+ public:
+  /// `cluster_domain` is e.g. "cluster.local".
+  explicit ServiceRegistry(dns::DnsName cluster_domain);
+
+  const dns::DnsName& cluster_domain() const { return domain_; }
+
+  /// The zone a ZonePlugin can serve (shared; updated live).
+  std::shared_ptr<dns::Zone> zone() { return zone_; }
+
+  /// Fully qualified service name: <service>.<ns>.svc.<cluster-domain>.
+  dns::DnsName service_name(const std::string& service,
+                            const std::string& ns) const;
+
+  /// Registers (or re-registers) a service at a cluster IP.
+  void register_service(const std::string& service, const std::string& ns,
+                        simnet::Ipv4Address cluster_ip,
+                        std::uint32_t ttl = 30);
+
+  void deregister_service(const std::string& service, const std::string& ns);
+
+  bool has_service(const std::string& service, const std::string& ns) const;
+  std::size_t service_count() const { return count_; }
+
+ private:
+  dns::DnsName domain_;
+  std::shared_ptr<dns::Zone> zone_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace mecdns::mec

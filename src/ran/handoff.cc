@@ -1,0 +1,26 @@
+#include "ran/handoff.h"
+
+#include <stdexcept>
+
+namespace mecdns::ran {
+
+std::size_t HandoffManager::add_cell(Cell cell) {
+  cells_.push_back(std::move(cell));
+  return cells_.size() - 1;
+}
+
+void HandoffManager::attach(std::size_t cell_index, bool retarget_dns) {
+  if (cell_index >= cells_.size()) {
+    throw std::out_of_range("no such cell");
+  }
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    net_.set_link_up(cells_[i].air_link, i == cell_index);
+  }
+  if (retarget_dns) {
+    ue_.resolver().set_server(cells_[cell_index].mec_dns);
+  }
+  if (active_ != cell_index) ++handoffs_;
+  active_ = cell_index;
+}
+
+}  // namespace mecdns::ran

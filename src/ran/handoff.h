@@ -1,0 +1,52 @@
+// Cellular handoff with DNS re-targeting.
+//
+// §3 P1: "when an end user connects to a particular base station, its
+// target DNS is switched to that of the MEC DNS. This can be performed ...
+// as part of the cellular hand-off process." HandoffManager moves a UE's
+// air-interface link between cells and (optionally) re-points its stub
+// resolver at the new cell's MEC DNS — the behaviour the handoff ablation
+// bench compares against a sticky resolver.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ran/segment.h"
+#include "ran/ue.h"
+
+namespace mecdns::ran {
+
+class HandoffManager {
+ public:
+  struct Cell {
+    std::string name;
+    RanSegment* segment = nullptr;
+    simnet::LinkId air_link = 0;          ///< UE <-> this cell's eNB
+    simnet::Endpoint mec_dns;             ///< the cell's MEC L-DNS
+  };
+
+  HandoffManager(simnet::Network& net, UserEquipment& ue)
+      : net_(net), ue_(ue) {}
+
+  /// Registers a cell. The UE must already have an air link to the cell's
+  /// eNB (created up front; inactive cells' links are set down).
+  std::size_t add_cell(Cell cell);
+
+  /// Activates `cell_index`: brings its air link up, takes all others down,
+  /// and, if `retarget_dns`, points the UE's resolver at the cell's MEC DNS.
+  void attach(std::size_t cell_index, bool retarget_dns = true);
+
+  std::size_t active_cell() const { return active_; }
+  std::uint64_t handoffs() const { return handoffs_; }
+  const Cell& cell(std::size_t i) const { return cells_.at(i); }
+
+ private:
+  simnet::Network& net_;
+  UserEquipment& ue_;
+  std::vector<Cell> cells_;
+  std::size_t active_ = static_cast<std::size_t>(-1);
+  std::uint64_t handoffs_ = 0;
+};
+
+}  // namespace mecdns::ran

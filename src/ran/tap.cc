@@ -1,0 +1,48 @@
+#include "ran/tap.h"
+
+#include "dns/server.h"
+
+namespace mecdns::ran {
+
+DnsTap::DnsTap(simnet::Network& net, simnet::NodeId node, Filter filter)
+    : filter_(std::move(filter)) {
+  net.add_tap(node, [this](const simnet::Packet& packet, simnet::SimTime at) {
+    observe(packet, at);
+  });
+}
+
+void DnsTap::observe(const simnet::Packet& packet, simnet::SimTime at) {
+  // Only DNS traffic: to or from port 53.
+  if (packet.dst.port != dns::kDnsPort && packet.src.port != dns::kDnsPort) {
+    return;
+  }
+  if (filter_ && !filter_(packet)) return;
+  auto decoded = dns::decode(packet.payload);
+  if (!decoded.ok() || decoded.value().questions.empty()) return;
+  const dns::Message& msg = decoded.value();
+  const auto key = std::make_pair(msg.header.id,
+                                  msg.question().name.to_string());
+  Crossing& crossing = crossings_[key];
+  if (msg.header.qr) {
+    crossing.response_seen = at;
+    crossing.has_response = true;
+    ++observed_responses_;
+  } else {
+    if (!crossing.has_query) {
+      crossing.query_seen = at;
+      crossing.has_query = true;
+    }
+    ++observed_queries_;
+  }
+}
+
+std::optional<DnsTap::Crossing> DnsTap::crossing(
+    std::uint16_t dns_id, const std::string& qname) const {
+  const auto it = crossings_.find({dns_id, qname});
+  if (it == crossings_.end()) return std::nullopt;
+  return it->second;
+}
+
+void DnsTap::clear() { crossings_.clear(); }
+
+}  // namespace mecdns::ran

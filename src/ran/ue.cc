@@ -1,0 +1,54 @@
+#include "ran/ue.h"
+
+namespace mecdns::ran {
+
+UserEquipment::UserEquipment(simnet::Network& net, RanSegment& segment,
+                             std::string name, simnet::Ipv4Address addr,
+                             simnet::Endpoint dns_server,
+                             dns::DnsTransport::Options dns_options)
+    : net_(net), name_(std::move(name)), addr_(addr) {
+  node_ = segment.attach_ue(name_, addr);
+  resolver_ = std::make_unique<dns::StubResolver>(net_, node_, dns_server,
+                                                  dns_options);
+  content_ = std::make_unique<cdn::ContentClient>(net_, node_);
+}
+
+void UserEquipment::resolve_and_fetch(const cdn::Url& url,
+                                      FetchCallback callback) {
+  resolver_->resolve(
+      url.host, dns::RecordType::kA,
+      [this, url, callback = std::move(callback)](
+          const dns::StubResult& dns_result) {
+        FetchOutcome outcome;
+        outcome.dns_latency = dns_result.latency;
+        if (!dns_result.ok || !dns_result.address.has_value()) {
+          outcome.error = dns_result.ok ? "no A record in answer"
+                                        : dns_result.error;
+          outcome.total = dns_result.latency;
+          callback(outcome);
+          return;
+        }
+        outcome.server = *dns_result.address;
+        content_->get(
+            simnet::Endpoint{*dns_result.address, cdn::kContentPort}, url,
+            [outcome, callback](util::Result<cdn::ContentResponse> response,
+                                simnet::SimTime fetch_latency) mutable {
+              outcome.fetch_latency = fetch_latency;
+              outcome.total = outcome.dns_latency + fetch_latency;
+              if (!response.ok()) {
+                outcome.error = response.error().message;
+                callback(outcome);
+                return;
+              }
+              outcome.response = response.value();
+              outcome.ok = outcome.response.status == 200;
+              if (!outcome.ok) {
+                outcome.error = "status " +
+                                std::to_string(outcome.response.status);
+              }
+              callback(outcome);
+            });
+      });
+}
+
+}  // namespace mecdns::ran

@@ -1,0 +1,52 @@
+// User equipment: a mobile client with a stub resolver and content client.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cdn/cache_server.h"
+#include "dns/stub.h"
+#include "ran/segment.h"
+
+namespace mecdns::ran {
+
+class UserEquipment {
+ public:
+  /// Attaches a new UE to `segment`. `dns_server` is the initially
+  /// configured resolver (re-targetable via resolver().set_server()).
+  UserEquipment(simnet::Network& net, RanSegment& segment, std::string name,
+                simnet::Ipv4Address addr, simnet::Endpoint dns_server,
+                dns::DnsTransport::Options dns_options = {});
+
+  simnet::NodeId node() const { return node_; }
+  simnet::Ipv4Address address() const { return addr_; }
+  const std::string& name() const { return name_; }
+  simnet::Network& network() { return net_; }
+
+  dns::StubResolver& resolver() { return *resolver_; }
+  cdn::ContentClient& content() { return *content_; }
+
+  /// Resolves `url`'s host then fetches the object from the answered
+  /// address; reports combined and per-phase latency.
+  struct FetchOutcome {
+    bool ok = false;
+    std::string error;
+    simnet::SimTime dns_latency;
+    simnet::SimTime fetch_latency;
+    simnet::SimTime total;
+    simnet::Ipv4Address server;
+    cdn::ContentResponse response;
+  };
+  using FetchCallback = std::function<void(const FetchOutcome&)>;
+  void resolve_and_fetch(const cdn::Url& url, FetchCallback callback);
+
+ private:
+  simnet::Network& net_;
+  std::string name_;
+  simnet::Ipv4Address addr_;
+  simnet::NodeId node_;
+  std::unique_ptr<dns::StubResolver> resolver_;
+  std::unique_ptr<cdn::ContentClient> content_;
+};
+
+}  // namespace mecdns::ran

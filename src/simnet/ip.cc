@@ -1,0 +1,94 @@
+#include "simnet/ip.h"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace mecdns::simnet {
+
+namespace {
+util::Result<std::uint32_t> parse_octet(std::string_view text) {
+  if (text.empty() || text.size() > 3) return util::Err("bad octet");
+  std::uint32_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size() || value > 255) {
+    return util::Err("bad octet: " + std::string(text));
+  }
+  return value;
+}
+}  // namespace
+
+util::Result<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  const auto parts = util::split(text, '.');
+  if (parts.size() != 4) {
+    return util::Err("expected 4 octets: " + std::string(text));
+  }
+  std::uint32_t value = 0;
+  for (const auto& part : parts) {
+    auto octet = parse_octet(part);
+    if (!octet.ok()) return octet.error();
+    value = (value << 8) | octet.value();
+  }
+  return Ipv4Address(value);
+}
+
+Ipv4Address Ipv4Address::must_parse(std::string_view text) {
+  auto result = parse(text);
+  if (!result.ok()) {
+    throw std::invalid_argument("invalid IPv4 literal: " + std::string(text));
+  }
+  return result.value();
+}
+
+std::string Ipv4Address::to_string() const {
+  return std::to_string((value_ >> 24) & 0xff) + "." +
+         std::to_string((value_ >> 16) & 0xff) + "." +
+         std::to_string((value_ >> 8) & 0xff) + "." +
+         std::to_string(value_ & 0xff);
+}
+
+Cidr::Cidr(Ipv4Address base, int prefix_len) : prefix_len_(prefix_len) {
+  if (prefix_len < 0 || prefix_len > 32) {
+    throw std::invalid_argument("CIDR prefix length out of range");
+  }
+  mask_ = prefix_len == 0 ? 0 : (~std::uint32_t{0} << (32 - prefix_len));
+  network_ = base.value() & mask_;
+}
+
+util::Result<Cidr> Cidr::parse(std::string_view text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    return util::Err("CIDR missing '/': " + std::string(text));
+  }
+  auto addr = Ipv4Address::parse(text.substr(0, slash));
+  if (!addr.ok()) return addr.error();
+  const std::string_view len_text = text.substr(slash + 1);
+  int len = -1;
+  const auto [ptr, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), len);
+  if (ec != std::errc() || ptr != len_text.data() + len_text.size() ||
+      len < 0 || len > 32) {
+    return util::Err("bad prefix length: " + std::string(text));
+  }
+  return Cidr(addr.value(), len);
+}
+
+Cidr Cidr::must_parse(std::string_view text) {
+  auto result = parse(text);
+  if (!result.ok()) {
+    throw std::invalid_argument("invalid CIDR literal: " + std::string(text));
+  }
+  return result.value();
+}
+
+std::string Cidr::to_string() const {
+  return Ipv4Address(network_).to_string() + "/" + std::to_string(prefix_len_);
+}
+
+std::string Endpoint::to_string() const {
+  return addr.to_string() + ":" + std::to_string(port);
+}
+
+}  // namespace mecdns::simnet

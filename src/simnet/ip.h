@@ -1,0 +1,106 @@
+// IPv4 addresses and CIDR blocks.
+//
+// The paper's arguments revolve around who sees which IP (clients behind a
+// NAT'ing P-GW, resolvers identified by source address, CDN coverage zones
+// keyed by client subnet), so addresses are first-class values here.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace mecdns::simnet {
+
+/// An IPv4 address as a host-order 32-bit value.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  explicit constexpr Ipv4Address(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d)
+      : value_((static_cast<std::uint32_t>(a) << 24) |
+               (static_cast<std::uint32_t>(b) << 16) |
+               (static_cast<std::uint32_t>(c) << 8) |
+               static_cast<std::uint32_t>(d)) {}
+
+  /// Parses dotted-quad notation ("192.0.2.1").
+  static util::Result<Ipv4Address> parse(std::string_view text);
+
+  /// Parses dotted-quad, throwing std::invalid_argument on failure.
+  /// For literals in code and tests where the text is a constant.
+  static Ipv4Address must_parse(std::string_view text);
+
+  constexpr std::uint32_t value() const { return value_; }
+  constexpr bool is_unspecified() const { return value_ == 0; }
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A CIDR block: base address + prefix length.
+class Cidr {
+ public:
+  constexpr Cidr() = default;
+  Cidr(Ipv4Address base, int prefix_len);
+
+  /// Parses "a.b.c.d/len".
+  static util::Result<Cidr> parse(std::string_view text);
+  static Cidr must_parse(std::string_view text);
+
+  bool contains(Ipv4Address addr) const {
+    return (addr.value() & mask_) == network_;
+  }
+  bool contains(const Cidr& other) const {
+    return other.prefix_len_ >= prefix_len_ &&
+           contains(Ipv4Address(other.network_));
+  }
+
+  Ipv4Address network() const { return Ipv4Address(network_); }
+  int prefix_len() const { return prefix_len_; }
+  std::uint32_t mask() const { return mask_; }
+
+  /// The i-th host address within the block (i=0 is the network address).
+  Ipv4Address host(std::uint32_t i) const {
+    return Ipv4Address(network_ | (i & ~mask_));
+  }
+
+  /// Number of addresses in the block.
+  std::uint64_t size() const {
+    return std::uint64_t{1} << (32 - prefix_len_);
+  }
+
+  std::string to_string() const;
+
+  friend bool operator==(const Cidr&, const Cidr&) = default;
+
+ private:
+  std::uint32_t network_ = 0;
+  std::uint32_t mask_ = 0;
+  int prefix_len_ = 0;
+};
+
+/// A transport endpoint: address + UDP port.
+struct Endpoint {
+  Ipv4Address addr;
+  std::uint16_t port = 0;
+
+  friend constexpr auto operator<=>(const Endpoint&, const Endpoint&) = default;
+  std::string to_string() const;
+};
+
+}  // namespace mecdns::simnet
+
+template <>
+struct std::hash<mecdns::simnet::Ipv4Address> {
+  std::size_t operator()(mecdns::simnet::Ipv4Address a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

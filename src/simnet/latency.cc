@@ -1,0 +1,50 @@
+#include "simnet/latency.h"
+
+#include <cmath>
+
+namespace mecdns::simnet {
+
+LatencyModel LatencyModel::constant(SimTime delay) {
+  return LatencyModel([delay](util::Rng&) { return delay; }, delay,
+                      "constant(" + std::to_string(delay.to_millis()) + "ms)");
+}
+
+LatencyModel LatencyModel::uniform(SimTime lo, SimTime hi) {
+  const SimTime mean = SimTime::nanos((lo.count_nanos() + hi.count_nanos()) / 2);
+  return LatencyModel(
+      [lo, hi](util::Rng& rng) {
+        const double t = rng.uniform();
+        const double ns = static_cast<double>(lo.count_nanos()) +
+                          t * static_cast<double>((hi - lo).count_nanos());
+        return SimTime::nanos(static_cast<std::int64_t>(ns));
+      },
+      mean, "uniform");
+}
+
+LatencyModel LatencyModel::normal(SimTime mean, SimTime stddev, SimTime floor) {
+  return LatencyModel(
+      [mean, stddev, floor](util::Rng& rng) {
+        const double ns = rng.normal(static_cast<double>(mean.count_nanos()),
+                                     static_cast<double>(stddev.count_nanos()));
+        const auto v = SimTime::nanos(static_cast<std::int64_t>(ns));
+        return std::max(v, floor);
+      },
+      mean, "normal");
+}
+
+LatencyModel LatencyModel::lognormal(SimTime floor, SimTime median,
+                                     double sigma) {
+  // X = floor + LogNormal(mu, sigma) where exp(mu) = median.
+  const double mu = std::log(static_cast<double>(median.count_nanos()));
+  // E[LogNormal] = exp(mu + sigma^2/2).
+  const auto expected = SimTime::nanos(
+      static_cast<std::int64_t>(std::exp(mu + sigma * sigma / 2.0)));
+  return LatencyModel(
+      [floor, mu, sigma](util::Rng& rng) {
+        const double ns = rng.lognormal(mu, sigma);
+        return floor + SimTime::nanos(static_cast<std::int64_t>(ns));
+      },
+      floor + expected, "lognormal");
+}
+
+}  // namespace mecdns::simnet

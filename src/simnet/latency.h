@@ -1,0 +1,56 @@
+// One-way link delay models.
+//
+// Each access technology in the paper has a characteristic delay profile:
+// wired campus links are tight, Wi-Fi adds moderate jitter, and the LTE air
+// interface contributes ~10 ms one-way with a heavy tail (the paper's
+// "substantially higher delay and higher response time variability").
+// A LatencyModel samples a one-way delay per packet.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <string>
+
+#include "simnet/time.h"
+#include "util/rng.h"
+
+namespace mecdns::simnet {
+
+/// Samples per-packet one-way delay. Value type; copies share behaviour.
+class LatencyModel {
+ public:
+  using Sampler = std::function<SimTime(util::Rng&)>;
+
+  LatencyModel() : LatencyModel(constant(SimTime::zero())) {}
+  LatencyModel(Sampler sampler, SimTime mean, std::string description)
+      : sampler_(std::move(sampler)), mean_(mean),
+        description_(std::move(description)) {}
+
+  /// Fixed delay.
+  static LatencyModel constant(SimTime delay);
+
+  /// Uniform in [lo, hi].
+  static LatencyModel uniform(SimTime lo, SimTime hi);
+
+  /// Normal(mean, stddev) truncated below at `floor`.
+  static LatencyModel normal(SimTime mean, SimTime stddev, SimTime floor);
+
+  /// Log-normal parameterized by its median and a shape sigma, shifted by a
+  /// fixed propagation `floor`. Heavy-tailed; matches measured wireless and
+  /// WAN delay distributions well.
+  static LatencyModel lognormal(SimTime floor, SimTime median, double sigma);
+
+  SimTime sample(util::Rng& rng) const { return sampler_(rng); }
+
+  /// Expected one-way delay; used as the routing cost of a link.
+  SimTime mean() const { return mean_; }
+
+  const std::string& description() const { return description_; }
+
+ private:
+  Sampler sampler_;
+  SimTime mean_;
+  std::string description_;
+};
+
+}  // namespace mecdns::simnet

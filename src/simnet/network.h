@@ -1,0 +1,227 @@
+// Simulated packet network: nodes, links, static shortest-path routing,
+// UDP-style sockets, transit hooks (NAT) and taps (tcpdump).
+//
+// Packets are forwarded hop by hop so that mid-path elements — the P-GW's
+// NAT, the paper's tcpdump measurement point, failure injection — observe
+// and can rewrite traffic exactly where a real network element would.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "simnet/ip.h"
+#include "simnet/latency.h"
+#include "simnet/simulator.h"
+#include "simnet/time.h"
+#include "util/rng.h"
+
+namespace mecdns::simnet {
+
+using NodeId = std::uint32_t;
+using LinkId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+
+/// One recorded traversal point of a packet (used for latency breakdowns).
+struct Hop {
+  NodeId node = kInvalidNode;
+  SimTime at;
+};
+
+/// A UDP-style datagram. `payload` carries real wire bytes (the dns library
+/// encodes/decodes RFC 1035 messages into it).
+struct Packet {
+  std::uint64_t id = 0;
+  Endpoint src;
+  Endpoint dst;
+  std::vector<std::uint8_t> payload;
+  /// Size used for transmission-delay purposes on bandwidth-limited links.
+  /// Defaults to the payload size; protocols that *stand for* a larger
+  /// transfer (a content response representing megabytes of data) set it
+  /// to the represented size so transfer time scales with object size.
+  std::size_t virtual_size = 0;
+  std::vector<Hop> hops;
+  int ttl = 64;
+
+  std::size_t wire_size() const {
+    return virtual_size != 0 ? virtual_size : payload.size();
+  }
+};
+
+/// What a transit hook decided about a packet.
+enum class TransitAction {
+  kForward,  ///< continue normal forwarding (possibly after rewriting)
+  kDrop,     ///< silently discard
+};
+
+/// Delivery/drop counters for the whole network.
+struct NetworkStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_no_route = 0;
+  std::uint64_t dropped_link_down = 0;
+  std::uint64_t dropped_node_down = 0;
+  std::uint64_t dropped_ttl = 0;
+  std::uint64_t dropped_no_socket = 0;
+  std::uint64_t dropped_by_hook = 0;
+  std::uint64_t dropped_loss = 0;
+};
+
+class Network;
+
+/// A bound UDP socket. Owned by the Network; obtained via open_socket().
+class UdpSocket {
+ public:
+  using ReceiveHandler = std::function<void(const Packet&)>;
+
+  NodeId node() const { return node_; }
+  std::uint16_t port() const { return port_; }
+  Ipv4Address address() const { return addr_; }
+  Endpoint endpoint() const { return Endpoint{addr_, port_}; }
+
+  /// Sends a datagram to `dst`. The source endpoint is this socket's
+  /// address/port. `virtual_size` (0 = actual payload size) is the size
+  /// used on bandwidth-limited links — see Packet::virtual_size.
+  void send_to(const Endpoint& dst, std::vector<std::uint8_t> payload,
+               std::size_t virtual_size = 0);
+
+  void set_handler(ReceiveHandler handler) { handler_ = std::move(handler); }
+
+ private:
+  friend class Network;
+  Network* net_ = nullptr;
+  NodeId node_ = kInvalidNode;
+  Ipv4Address addr_;
+  std::uint16_t port_ = 0;
+  ReceiveHandler handler_;
+};
+
+/// The network fabric. Nodes and links are added up front; routing tables
+/// are (re)computed lazily from mean link delays whenever topology or link
+/// state changes.
+class Network {
+ public:
+  Network(Simulator& sim, util::Rng rng) : sim_(sim), rng_(std::move(rng)) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // --- topology -----------------------------------------------------------
+
+  /// Adds a node; `primary_addr` (if non-zero) is registered to it.
+  NodeId add_node(std::string name,
+                  Ipv4Address primary_addr = Ipv4Address());
+
+  /// Registers an additional address owned by `node`.
+  void add_address(NodeId node, Ipv4Address addr);
+
+  /// Adds a bidirectional link with the same delay model in both directions.
+  LinkId add_link(NodeId a, NodeId b, LatencyModel model);
+
+  /// Adds a bidirectional link with per-direction delay models.
+  LinkId add_link(NodeId a, NodeId b, LatencyModel a_to_b,
+                  LatencyModel b_to_a);
+
+  void set_link_up(LinkId link, bool up);
+  bool link_up(LinkId link) const;
+
+  /// Random per-packet loss probability on a link (failure injection).
+  void set_link_loss(LinkId link, double probability);
+
+  /// Limits a link's capacity (both directions). Packets incur a
+  /// transmission delay of wire_size()*8/bits_per_second on top of the
+  /// propagation delay; 0 restores the default unlimited capacity.
+  /// Store-and-forward per hop; no queueing contention is modelled.
+  void set_link_bandwidth(LinkId link, std::uint64_t bits_per_second);
+
+  void set_node_up(NodeId node, bool up);
+  bool node_up(NodeId node) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+  const std::string& node_name(NodeId node) const;
+  NodeId find_node(Ipv4Address addr) const;  // kInvalidNode if unknown
+
+  // --- sockets ------------------------------------------------------------
+
+  /// Binds a socket on `node`:`port` answering at `addr` (must be owned by
+  /// the node; pass the default to use the node's first address). Port 0
+  /// allocates an ephemeral port. Throws on conflicts.
+  UdpSocket* open_socket(NodeId node, std::uint16_t port,
+                         UdpSocket::ReceiveHandler handler,
+                         Ipv4Address addr = Ipv4Address());
+
+  void close_socket(UdpSocket* socket);
+
+  // --- middlebox hooks ----------------------------------------------------
+
+  using TransitHook = std::function<TransitAction(Packet&)>;
+  /// Installs a hook that runs whenever a packet arrives at `node`, before
+  /// local delivery or forwarding. The hook may rewrite the packet (NAT).
+  void set_transit_hook(NodeId node, TransitHook hook);
+
+  using Tap = std::function<void(const Packet&, SimTime)>;
+  /// Installs a read-only observer at `node` (the paper's tcpdump at P-GW).
+  void add_tap(NodeId node, Tap tap);
+
+  // --- accessors ----------------------------------------------------------
+
+  Simulator& simulator() { return sim_; }
+  SimTime now() const { return sim_.now(); }
+  const NetworkStats& stats() const { return stats_; }
+
+  /// Expected one-way delay along the current route between two nodes (the
+  /// sum of mean link delays); useful for tests and calibration.
+  std::optional<SimTime> route_cost(NodeId from, NodeId to);
+
+ private:
+  friend class UdpSocket;
+
+  struct Link {
+    NodeId a;
+    NodeId b;
+    LatencyModel a_to_b;
+    LatencyModel b_to_a;
+    bool up = true;
+    double loss = 0.0;
+    std::uint64_t bandwidth_bps = 0;  ///< 0 = unlimited
+  };
+
+  struct NodeRec {
+    std::string name;
+    std::vector<Ipv4Address> addrs;
+    bool up = true;
+    TransitHook hook;
+    std::vector<Tap> taps;
+    std::vector<LinkId> links;
+  };
+
+  void send_from(NodeId node, Packet packet);
+  void arrive(NodeId node, Packet packet);
+  void forward(NodeId node, Packet&& packet);
+  void deliver_local(NodeId node, const Packet& packet);
+  void ensure_routes();
+  std::optional<LinkId> pick_link(NodeId from, NodeId to) const;
+
+  Simulator& sim_;
+  util::Rng rng_;
+  std::vector<NodeRec> nodes_;
+  std::vector<Link> links_;
+  std::unordered_map<Ipv4Address, NodeId> addr_to_node_;
+  std::map<std::pair<NodeId, std::uint16_t>, std::unique_ptr<UdpSocket>>
+      sockets_;
+  std::uint16_t next_ephemeral_ = 49152;
+  std::uint64_t next_packet_id_ = 1;
+  bool routes_dirty_ = true;
+  // next_hop_[from * n + to] = next node toward `to`, or kInvalidNode.
+  std::vector<NodeId> next_hop_;
+  std::vector<std::int64_t> route_cost_ns_;
+  NetworkStats stats_;
+};
+
+}  // namespace mecdns::simnet

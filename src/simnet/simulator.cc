@@ -1,0 +1,41 @@
+#include "simnet/simulator.h"
+
+#include <utility>
+
+namespace mecdns::simnet {
+
+void Simulator::schedule_at(SimTime at, Callback fn) {
+  if (at < now_) at = now_;
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+std::size_t Simulator::run() {
+  std::size_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::size_t Simulator::run_until(SimTime until) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().at <= until) {
+    step();
+    ++n;
+  }
+  if (now_ < until) now_ = until;
+  return n;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the callback handle instead (std::function copy is cheap enough
+  // at simulation scale and keeps the code obviously correct).
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.at;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+}  // namespace mecdns::simnet

@@ -1,0 +1,64 @@
+// Discrete-event simulator core: a clock and an ordered event queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "simnet/time.h"
+
+namespace mecdns::simnet {
+
+/// Executes scheduled callbacks in timestamp order. Events scheduled for the
+/// same instant run in scheduling order (a monotonic sequence number breaks
+/// ties), so runs are fully deterministic.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `at`. Scheduling in the past is
+  /// clamped to "immediately after the current event".
+  void schedule_at(SimTime at, Callback fn);
+
+  /// Schedules `fn` to run `delay` after the current time.
+  void schedule_after(SimTime delay, Callback fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Runs until the queue drains. Returns the number of events executed.
+  std::size_t run();
+
+  /// Runs events with timestamp <= `until` (the clock ends at `until` if the
+  /// queue drained earlier). Returns the number of events executed.
+  std::size_t run_until(SimTime until);
+
+  /// Runs at most one event. Returns false if the queue was empty.
+  bool step();
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+  std::size_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 0;
+  std::size_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace mecdns::simnet

@@ -1,0 +1,19 @@
+#include "simnet/time.h"
+
+#include <cstdio>
+
+namespace mecdns::simnet {
+
+std::string SimTime::to_string() const {
+  char buf[48];
+  if (ns_ >= 1'000'000'000 || ns_ <= -1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", to_seconds());
+  } else if (ns_ >= 1'000'000 || ns_ <= -1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", to_millis());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fus", to_micros());
+  }
+  return buf;
+}
+
+}  // namespace mecdns::simnet

@@ -1,0 +1,63 @@
+// Simulated time.
+//
+// SimTime is an integer nanosecond count wrapped in a strong type: integer
+// arithmetic keeps the event queue ordering exact and platform-independent,
+// which in turn keeps every benchmark and test deterministic.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace mecdns::simnet {
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime nanos(std::int64_t ns) { return SimTime(ns); }
+  static constexpr SimTime micros(double us) {
+    return SimTime(static_cast<std::int64_t>(us * 1e3));
+  }
+  static constexpr SimTime millis(double ms) {
+    return SimTime(static_cast<std::int64_t>(ms * 1e6));
+  }
+  static constexpr SimTime seconds(double s) {
+    return SimTime(static_cast<std::int64_t>(s * 1e9));
+  }
+  static constexpr SimTime zero() { return SimTime(0); }
+  static constexpr SimTime max() { return SimTime(INT64_MAX); }
+
+  constexpr std::int64_t count_nanos() const { return ns_; }
+  constexpr double to_micros() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double to_millis() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime(a.ns_ + b.ns_);
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime(a.ns_ - b.ns_);
+  }
+  friend constexpr SimTime operator*(SimTime a, std::int64_t k) {
+    return SimTime(a.ns_ * k);
+  }
+  SimTime& operator+=(SimTime other) {
+    ns_ += other.ns_;
+    return *this;
+  }
+  SimTime& operator-=(SimTime other) {
+    ns_ -= other.ns_;
+    return *this;
+  }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  std::string to_string() const;
+
+ private:
+  explicit constexpr SimTime(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace mecdns::simnet

@@ -1,0 +1,185 @@
+#include "util/args.h"
+
+#include <charconv>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace mecdns::util {
+
+void ArgParser::add_string(const std::string& name, std::string default_value,
+                           std::string help) {
+  Flag flag;
+  flag.kind = Kind::kString;
+  flag.help = std::move(help);
+  flag.string_value = std::move(default_value);
+  flags_.emplace(name, std::move(flag));
+  order_.push_back(name);
+}
+
+void ArgParser::add_int(const std::string& name, std::int64_t default_value,
+                        std::string help) {
+  Flag flag;
+  flag.kind = Kind::kInt;
+  flag.help = std::move(help);
+  flag.int_value = default_value;
+  flags_.emplace(name, std::move(flag));
+  order_.push_back(name);
+}
+
+void ArgParser::add_double(const std::string& name, double default_value,
+                           std::string help) {
+  Flag flag;
+  flag.kind = Kind::kDouble;
+  flag.help = std::move(help);
+  flag.double_value = default_value;
+  flags_.emplace(name, std::move(flag));
+  order_.push_back(name);
+}
+
+void ArgParser::add_bool(const std::string& name, bool default_value,
+                         std::string help) {
+  Flag flag;
+  flag.kind = Kind::kBool;
+  flag.help = std::move(help);
+  flag.bool_value = default_value;
+  flags_.emplace(name, std::move(flag));
+  order_.push_back(name);
+}
+
+Result<void> ArgParser::set_value(Flag& flag, const std::string& name,
+                                  const std::string& text) {
+  switch (flag.kind) {
+    case Kind::kString:
+      flag.string_value = text;
+      return Ok();
+    case Kind::kInt: {
+      const auto [ptr, ec] = std::from_chars(
+          text.data(), text.data() + text.size(), flag.int_value);
+      if (ec != std::errc() || ptr != text.data() + text.size()) {
+        return Err("--" + name + " expects an integer, got '" + text + "'");
+      }
+      return Ok();
+    }
+    case Kind::kDouble: {
+      char* end = nullptr;
+      flag.double_value = std::strtod(text.c_str(), &end);
+      if (text.empty() || end != text.c_str() + text.size()) {
+        return Err("--" + name + " expects a number, got '" + text + "'");
+      }
+      return Ok();
+    }
+    case Kind::kBool:
+      if (text == "true" || text == "1") {
+        flag.bool_value = true;
+      } else if (text == "false" || text == "0") {
+        flag.bool_value = false;
+      } else {
+        return Err("--" + name + " expects true/false, got '" + text + "'");
+      }
+      return Ok();
+  }
+  return Err("unreachable");
+}
+
+Result<void> ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+
+    // --no-<bool> form.
+    if (!has_value && arg.rfind("no-", 0) == 0) {
+      const auto it = flags_.find(arg.substr(3));
+      if (it != flags_.end() && it->second.kind == Kind::kBool) {
+        it->second.bool_value = false;
+        continue;
+      }
+    }
+
+    const auto it = flags_.find(arg);
+    if (it == flags_.end()) {
+      return Err("unknown flag --" + arg);
+    }
+    Flag& flag = it->second;
+    if (flag.kind == Kind::kBool && !has_value) {
+      flag.bool_value = true;
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        return Err("--" + arg + " expects a value");
+      }
+      value = argv[++i];
+    }
+    if (auto result = set_value(flag, arg, value); !result.ok()) {
+      return result;
+    }
+  }
+  return Ok();
+}
+
+const ArgParser::Flag& ArgParser::require(const std::string& name,
+                                          Kind kind) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.kind != kind) {
+    throw std::logic_error("flag --" + name +
+                           " not declared with the requested type");
+  }
+  return it->second;
+}
+
+const std::string& ArgParser::get_string(const std::string& name) const {
+  return require(name, Kind::kString).string_value;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  return require(name, Kind::kInt).int_value;
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  return require(name, Kind::kDouble).double_value;
+}
+
+bool ArgParser::get_bool(const std::string& name) const {
+  return require(name, Kind::kBool).bool_value;
+}
+
+std::string ArgParser::usage(const std::string& program_name) const {
+  std::ostringstream out;
+  out << description_ << "\n\nusage: " << program_name << " [flags]\n";
+  for (const auto& name : order_) {
+    const Flag& flag = flags_.at(name);
+    out << "  --" << name;
+    switch (flag.kind) {
+      case Kind::kString:
+        out << "=<string>   (default: " << flag.string_value << ")";
+        break;
+      case Kind::kInt:
+        out << "=<int>      (default: " << flag.int_value << ")";
+        break;
+      case Kind::kDouble:
+        out << "=<number>   (default: " << flag.double_value << ")";
+        break;
+      case Kind::kBool:
+        out << "[=true|false] (default: " << (flag.bool_value ? "true" : "false")
+            << ")";
+        break;
+    }
+    out << "\n      " << flag.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace mecdns::util

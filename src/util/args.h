@@ -1,0 +1,64 @@
+// Minimal command-line flag parser for the tools and benches.
+//
+// Supports --name=value, --name value, and boolean --name / --no-name.
+// Unknown flags are errors; positional arguments are collected.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace mecdns::util {
+
+class ArgParser {
+ public:
+  explicit ArgParser(std::string program_description)
+      : description_(std::move(program_description)) {}
+
+  void add_string(const std::string& name, std::string default_value,
+                  std::string help);
+  void add_int(const std::string& name, std::int64_t default_value,
+               std::string help);
+  void add_double(const std::string& name, double default_value,
+                  std::string help);
+  void add_bool(const std::string& name, bool default_value,
+                std::string help);
+
+  /// Parses argv (excluding argv[0]); fails on unknown flags or bad values.
+  Result<void> parse(int argc, const char* const* argv);
+
+  const std::string& get_string(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Help text listing every flag with its default.
+  std::string usage(const std::string& program_name) const;
+
+ private:
+  enum class Kind { kString, kInt, kDouble, kBool };
+  struct Flag {
+    Kind kind;
+    std::string help;
+    std::string string_value;
+    std::int64_t int_value = 0;
+    double double_value = 0.0;
+    bool bool_value = false;
+  };
+
+  Result<void> set_value(Flag& flag, const std::string& name,
+                         const std::string& text);
+  const Flag& require(const std::string& name, Kind kind) const;
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mecdns::util

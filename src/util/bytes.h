@@ -1,0 +1,86 @@
+// Bounds-checked big-endian byte buffer codec.
+//
+// The DNS wire format (RFC 1035) is big-endian; ByteWriter/ByteReader give
+// the dns library a safe primitive layer so malformed packets can never read
+// out of bounds. Read failures are reported via Result (malformed input is
+// an expected condition on a network, not a programming error).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace mecdns::util {
+
+/// Appends big-endian integers and raw bytes to a growable buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void u32(std::uint32_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void bytes(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  void bytes(const std::string& data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  /// Overwrites a previously written big-endian u16 at `offset`.
+  /// Used for patching DNS message section counts and RDLENGTH fields.
+  void patch_u16(std::size_t offset, std::uint16_t v);
+
+  std::size_t size() const { return buf_.size(); }
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Reads big-endian integers and byte runs from a fixed buffer with full
+/// bounds checking. Also supports random-access seeks, which the DNS name
+/// decompressor needs to chase compression pointers.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::size_t position() const { return pos_; }
+  std::size_t size() const { return data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool at_end() const { return pos_ >= data_.size(); }
+
+  /// Moves the cursor to an absolute offset; fails if out of range.
+  Result<void> seek(std::size_t offset);
+
+  Result<std::uint8_t> u8();
+  Result<std::uint16_t> u16();
+  Result<std::uint32_t> u32();
+  Result<std::vector<std::uint8_t>> bytes(std::size_t n);
+  Result<std::string> str(std::size_t n);
+
+  /// Reads a u16 at an absolute offset without moving the cursor.
+  Result<std::uint16_t> peek_u16_at(std::size_t offset) const;
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mecdns::util

@@ -1,0 +1,37 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace mecdns::util {
+
+namespace {
+LogLevel& threshold() {
+  static LogLevel level = LogLevel::kOff;
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return threshold(); }
+
+void set_log_level(LogLevel level) { threshold() = level; }
+
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message) {
+  if (level < threshold()) return;
+  std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), component.c_str(),
+               message.c_str());
+}
+
+}  // namespace mecdns::util

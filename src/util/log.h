@@ -1,0 +1,52 @@
+// Leveled logging for simulation components.
+//
+// Off by default so tests and benchmarks stay quiet; the examples turn on
+// Info to narrate what the system is doing.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mecdns::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold; messages below it are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Emits one line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message);
+
+/// Stream-style helper: LOG(kInfo, "dns") << "cache hit for " << name;
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)),
+        enabled_(level >= log_level()) {}
+
+  ~LogStream() {
+    if (enabled_) log_line(level_, component_, stream_.str());
+  }
+
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace mecdns::util
+
+#define MECDNS_LOG(level, component) \
+  ::mecdns::util::LogStream(::mecdns::util::LogLevel::level, component)

@@ -1,0 +1,78 @@
+#include "workload/domains.h"
+
+namespace mecdns::workload {
+
+const std::vector<std::string>& network_classes() {
+  static const std::vector<std::string> kClasses = {
+      kWiredCampus, kWifiHome, kCellularMobile};
+  return kClasses;
+}
+
+const std::vector<Table1Entry>& table1_domains() {
+  static const std::vector<Table1Entry> kTable1 = {
+      {"Airbnb", "a0.muscache.com"},
+      {"Booking.com", "q-cf.bstatic.com"},
+      {"TripAdvisor", "static.tacdn.com"},
+      {"Agoda", "cdn0.agoda.net"},
+      {"Expedia", "a.cdn.intentmedia.net"},
+  };
+  return kTable1;
+}
+
+const std::vector<SiteCdnProfile>& figure3_profiles() {
+  // Pools are the Figure 3 legends verbatim (the Edgecast-Verizon pool had
+  // no CIDR printed; 192.229.0.0/16 is a representative Edgecast range).
+  // Weights are calibrated to reproduce the figure's qualitative shapes:
+  // each site's answer mix shifts with the resolver class, and the carrier
+  // path concentrates on different pools than the campus path.
+  static const std::vector<SiteCdnProfile> kProfiles = {
+      {"Airbnb",
+       "a0.muscache.com",
+       {{"Akamai", "23.55.124.0/24"},
+        {"Fastly", "151.101.0.0/16"},
+        {"Fastly", "199.232.0.0/16"}},
+       {{kWiredCampus, {0.55, 0.35, 0.10}},
+        {kWifiHome, {0.25, 0.45, 0.30}},
+        {kCellularMobile, {0.10, 0.25, 0.65}}},
+       10.0},
+      {"Agoda",
+       "cdn0.agoda.net",
+       {{"Akamai", "23.55.124.0/24"}, {"Akamai", "23.0.0.0/8"}},
+       {{kWiredCampus, {0.80, 0.20}},
+        {kWifiHome, {0.45, 0.55}},
+        {kCellularMobile, {0.15, 0.85}}},
+       9.0},
+      {"Booking.com",
+       "q-cf.bstatic.com",
+       {{"Amazon CloudFront", "13.249.0.0/16"},
+        {"Amazon CloudFront", "54.230.0.0/16"}},
+       {{kWiredCampus, {0.70, 0.30}},
+        {kWifiHome, {0.40, 0.60}},
+        {kCellularMobile, {0.20, 0.80}}},
+       16.0},
+      {"Expedia",
+       "a.cdn.intentmedia.net",
+       {{"Amazon CloudFront", "13.249.0.0/16"},
+        {"Amazon CloudFront", "54.230.0.0/16"},
+        {"Fastly", "151.101.0.0/16"},
+        {"Fastly", "199.232.0.0/16"}},
+       {{kWiredCampus, {0.40, 0.20, 0.30, 0.10}},
+        {kWifiHome, {0.20, 0.35, 0.25, 0.20}},
+        {kCellularMobile, {0.10, 0.20, 0.20, 0.50}}},
+       18.0},
+      {"TripAdvisor",
+       "static.tacdn.com",
+       {{"Akamai", "23.0.0.0/8"},
+        {"Akamai", "104.127.91.0/24"},
+        {"Fastly", "151.101.0.0/16"},
+        {"Fastly", "199.232.0.0/16"},
+        {"Edgecast-Verizon", "192.229.0.0/16"}},
+       {{kWiredCampus, {0.35, 0.25, 0.20, 0.10, 0.10}},
+        {kWifiHome, {0.20, 0.15, 0.30, 0.20, 0.15}},
+        {kCellularMobile, {0.10, 0.05, 0.20, 0.30, 0.35}}},
+       12.0},
+  };
+  return kProfiles;
+}
+
+}  // namespace mecdns::workload

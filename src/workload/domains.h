@@ -1,0 +1,53 @@
+// The paper's measured web-site/CDN data (Tables 1 and the Figure 3
+// legends), as model inputs.
+//
+// Table 1 lists the five travel sites and the CDN domain each uses for
+// static content; Figure 3's legends give the provider CIDR pools observed
+// answering those domains. The per-network-class weights encode the
+// paper's observation that the *mix* of answering pools differs by access
+// network (campus / home-ISP / carrier resolvers are classified differently
+// by the CDNs' opaque load balancing).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mecdns::workload {
+
+/// Network classes used throughout the Figure 2/3 experiments.
+inline constexpr const char* kWiredCampus = "wired-campus";
+inline constexpr const char* kWifiHome = "wifi-home";
+inline constexpr const char* kCellularMobile = "cellular-mobile";
+
+/// The three classes, in the paper's presentation order.
+const std::vector<std::string>& network_classes();
+
+struct Table1Entry {
+  std::string website;
+  std::string cdn_domain;
+};
+
+/// Table 1 verbatim.
+const std::vector<Table1Entry>& table1_domains();
+
+struct ProviderPool {
+  std::string provider;  ///< "Akamai", "Fastly", "Amazon CloudFront", ...
+  std::string cidr;      ///< e.g. "23.55.124.0/24"
+};
+
+struct SiteCdnProfile {
+  std::string website;
+  std::string cdn_domain;
+  std::vector<ProviderPool> pools;
+  /// network class -> per-pool weights (same order as `pools`).
+  std::map<std::string, std::vector<double>> weights;
+  /// Mean one-way WAN distance (ms) from the measurement site to this
+  /// site's C-DNS — drives the per-domain differences in Figure 2's bars.
+  double cdns_wan_ms = 12.0;
+};
+
+/// One profile per Table 1 site, with the Figure 3 pools.
+const std::vector<SiteCdnProfile>& figure3_profiles();
+
+}  // namespace mecdns::workload

@@ -1,0 +1,160 @@
+#include "workload/trace.h"
+
+#include <charconv>
+#include <sstream>
+
+#include "util/rng.h"
+#include "util/strings.h"
+#include "workload/zipf.h"
+
+namespace mecdns::workload {
+
+namespace {
+
+util::Result<double> parse_seconds(const std::string& text) {
+  // std::from_chars for double is not universally available; strtod with
+  // full-consumption check is equivalent here.
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || text.empty() || value < 0) {
+    return util::Err("bad timestamp: '" + text + "'");
+  }
+  return value;
+}
+
+/// Splits a line into at most two fields, dropping '#' comments.
+util::Result<std::pair<std::string, std::string>> two_fields(
+    const std::string& raw, std::size_t line_number) {
+  std::string line = raw;
+  if (const auto hash = line.find('#'); hash != std::string::npos) {
+    line = line.substr(0, hash);
+  }
+  std::istringstream stream(line);
+  std::string first;
+  std::string second;
+  if (!(stream >> first)) return std::make_pair(std::string(), std::string());
+  if (!(stream >> second)) {
+    return util::Err("line " + std::to_string(line_number) +
+                     ": expected two fields");
+  }
+  std::string extra;
+  if (stream >> extra) {
+    return util::Err("line " + std::to_string(line_number) +
+                     ": trailing content '" + extra + "'");
+  }
+  return std::make_pair(first, second);
+}
+
+}  // namespace
+
+util::Result<MobilityTrace> parse_mobility_trace(std::string_view text) {
+  MobilityTrace trace;
+  std::size_t line_number = 0;
+  for (const auto& raw : util::split(text, '\n')) {
+    ++line_number;
+    auto fields = two_fields(raw, line_number);
+    if (!fields.ok()) return fields.error();
+    if (fields.value().first.empty()) continue;
+
+    auto seconds = parse_seconds(fields.value().first);
+    if (!seconds.ok()) {
+      return util::Err("line " + std::to_string(line_number) + ": " +
+                       seconds.error().message);
+    }
+    std::size_t cell = 0;
+    const std::string& cell_text = fields.value().second;
+    const auto [ptr, ec] = std::from_chars(
+        cell_text.data(), cell_text.data() + cell_text.size(), cell);
+    if (ec != std::errc() || ptr != cell_text.data() + cell_text.size()) {
+      return util::Err("line " + std::to_string(line_number) +
+                       ": bad cell index '" + cell_text + "'");
+    }
+    const auto at = simnet::SimTime::seconds(seconds.value());
+    if (!trace.empty() && at < trace.back().at) {
+      return util::Err("line " + std::to_string(line_number) +
+                       ": timestamps must be nondecreasing");
+    }
+    trace.push_back(MobilityEvent{at, cell});
+  }
+  return trace;
+}
+
+MobilityTrace synth_commute(simnet::SimTime duration,
+                            simnet::SimTime dwell_mean, std::size_t cells,
+                            std::uint64_t seed) {
+  MobilityTrace trace;
+  if (cells == 0) return trace;
+  util::Rng rng(seed);
+  simnet::SimTime t = simnet::SimTime::zero();
+  std::size_t cell = 0;
+  while (t <= duration) {
+    trace.push_back(MobilityEvent{t, cell});
+    t += simnet::SimTime::nanos(static_cast<std::int64_t>(rng.exponential(
+        static_cast<double>(dwell_mean.count_nanos()))));
+    cell = (cell + 1) % cells;
+  }
+  return trace;
+}
+
+util::Result<RequestTrace> parse_request_trace(std::string_view text) {
+  RequestTrace trace;
+  std::size_t line_number = 0;
+  for (const auto& raw : util::split(text, '\n')) {
+    ++line_number;
+    auto fields = two_fields(raw, line_number);
+    if (!fields.ok()) return fields.error();
+    if (fields.value().first.empty()) continue;
+
+    auto seconds = parse_seconds(fields.value().first);
+    if (!seconds.ok()) {
+      return util::Err("line " + std::to_string(line_number) + ": " +
+                       seconds.error().message);
+    }
+    auto url = cdn::Url::parse(fields.value().second);
+    if (!url.ok()) {
+      return util::Err("line " + std::to_string(line_number) + ": " +
+                       url.error().message);
+    }
+    const auto at = simnet::SimTime::seconds(seconds.value());
+    if (!trace.empty() && at < trace.back().at) {
+      return util::Err("line " + std::to_string(line_number) +
+                       ": timestamps must be nondecreasing");
+    }
+    trace.push_back(RequestEvent{at, std::move(url.value())});
+  }
+  return trace;
+}
+
+RequestTrace synth_requests(const cdn::ContentCatalog& catalog, double zipf_s,
+                            simnet::SimTime duration,
+                            simnet::SimTime mean_gap, std::uint64_t seed) {
+  RequestTrace trace;
+  RequestGenerator generator(catalog, zipf_s, seed);
+  util::Rng rng(seed ^ 0x5deece66d);
+  simnet::SimTime t = simnet::SimTime::zero();
+  while (true) {
+    t += simnet::SimTime::nanos(static_cast<std::int64_t>(
+        rng.exponential(static_cast<double>(mean_gap.count_nanos()))));
+    if (t > duration) break;
+    trace.push_back(RequestEvent{t, generator.next()});
+  }
+  return trace;
+}
+
+std::string to_text(const MobilityTrace& trace) {
+  std::ostringstream out;
+  for (const auto& event : trace) {
+    out << event.at.to_seconds() << " " << event.cell << "\n";
+  }
+  return out.str();
+}
+
+std::string to_text(const RequestTrace& trace) {
+  std::ostringstream out;
+  for (const auto& event : trace) {
+    out << event.at.to_seconds() << " " << event.url.to_string() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace mecdns::workload

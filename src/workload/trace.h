@@ -1,0 +1,57 @@
+// Mobility and request traces: parseable from text, synthesizable from
+// simple models. Traces make scenario inputs reproducible artifacts rather
+// than code.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "cdn/content.h"
+#include "simnet/time.h"
+#include "util/result.h"
+
+namespace mecdns::workload {
+
+/// The UE attaches to `cell` (an index the scenario maps to a base
+/// station) at time `at`.
+struct MobilityEvent {
+  simnet::SimTime at;
+  std::size_t cell = 0;
+
+  friend bool operator==(const MobilityEvent&, const MobilityEvent&) = default;
+};
+using MobilityTrace = std::vector<MobilityEvent>;
+
+/// Parses lines of "<seconds> <cell-index>"; '#' starts a comment. Events
+/// must be in nondecreasing time order.
+util::Result<MobilityTrace> parse_mobility_trace(std::string_view text);
+
+/// A commute: the UE dwells in each cell for an exponential time with the
+/// given mean, cycling 0,1,...,cells-1,0,... for `duration`.
+MobilityTrace synth_commute(simnet::SimTime duration,
+                            simnet::SimTime dwell_mean, std::size_t cells,
+                            std::uint64_t seed);
+
+/// The UE requests `url` at time `at`.
+struct RequestEvent {
+  simnet::SimTime at;
+  cdn::Url url;
+
+  friend bool operator==(const RequestEvent&, const RequestEvent&) = default;
+};
+using RequestTrace = std::vector<RequestEvent>;
+
+/// Parses lines of "<seconds> <url>"; '#' starts a comment. Events must be
+/// in nondecreasing time order.
+util::Result<RequestTrace> parse_request_trace(std::string_view text);
+
+/// Zipf-popularity requests with Poisson arrivals over `duration`.
+RequestTrace synth_requests(const cdn::ContentCatalog& catalog, double zipf_s,
+                            simnet::SimTime duration,
+                            simnet::SimTime mean_gap, std::uint64_t seed);
+
+/// Renders a trace back to its text format (round-trips with the parser).
+std::string to_text(const MobilityTrace& trace);
+std::string to_text(const RequestTrace& trace);
+
+}  // namespace mecdns::workload

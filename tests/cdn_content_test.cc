@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "cdn/content.h"
+
+namespace mecdns::cdn {
+namespace {
+
+TEST(Url, ParseHostAndPath) {
+  const Url url = Url::must_parse("video.demo1.mycdn.test/segments/0001.ts");
+  EXPECT_EQ(url.host, dns::DnsName::must_parse("video.demo1.mycdn.test"));
+  EXPECT_EQ(url.path, "/segments/0001.ts");
+  EXPECT_EQ(url.to_string(), "video.demo1.mycdn.test/segments/0001.ts");
+}
+
+TEST(Url, SchemeStrippedAndDefaultPath) {
+  EXPECT_EQ(Url::must_parse("http://a.example.com").path, "/");
+  EXPECT_EQ(Url::must_parse("https://a.example.com/x").path, "/x");
+}
+
+TEST(Url, BadHostRejected) {
+  EXPECT_FALSE(Url::parse("bad host/with space").ok());
+  EXPECT_FALSE(Url::parse("").ok());
+}
+
+TEST(Url, Ordering) {
+  const Url a = Url::must_parse("a.test/1");
+  const Url b = Url::must_parse("a.test/2");
+  const Url c = Url::must_parse("b.test/1");
+  EXPECT_LT(a, b);
+  EXPECT_LT(a, c);
+  EXPECT_EQ(a, Url::must_parse("A.TEST/1"));  // host case-insensitive
+}
+
+TEST(ContentCatalog, AddFindSeries) {
+  ContentCatalog catalog;
+  catalog.add(Url::must_parse("a.test/obj"), 100);
+  catalog.add_series(dns::DnsName::must_parse("v.test"), "seg", 5, 1000);
+  EXPECT_EQ(catalog.size(), 6u);
+  EXPECT_EQ(catalog.total_bytes(), 5100u);
+  EXPECT_TRUE(catalog.contains(Url::must_parse("v.test/seg0004")));
+  EXPECT_FALSE(catalog.contains(Url::must_parse("v.test/seg0005")));
+  EXPECT_EQ(catalog.find(Url::must_parse("a.test/obj"))->size_bytes, 100u);
+}
+
+TEST(ContentCatalog, DuplicateAddIsIdempotent) {
+  ContentCatalog catalog;
+  catalog.add(Url::must_parse("a.test/obj"), 100);
+  catalog.add(Url::must_parse("a.test/obj"), 100);
+  EXPECT_EQ(catalog.size(), 1u);
+  EXPECT_EQ(catalog.total_bytes(), 100u);
+}
+
+TEST(ContentProtocol, RequestRoundTrip) {
+  const ContentRequest request{42, Url::must_parse("v.test/seg0001")};
+  const auto decoded = decode_request(encode(request));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().id, 42u);
+  EXPECT_EQ(decoded.value().url, request.url);
+}
+
+TEST(ContentProtocol, ResponseRoundTrip) {
+  ContentResponse response;
+  response.id = 7;
+  response.url = Url::must_parse("v.test/x");
+  response.status = 200;
+  response.size_bytes = 123456;
+  response.served_from_cache = true;
+  const auto decoded = decode_response(encode(response));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().id, 7u);
+  EXPECT_EQ(decoded.value().status, 200);
+  EXPECT_EQ(decoded.value().size_bytes, 123456u);
+  EXPECT_TRUE(decoded.value().served_from_cache);
+}
+
+TEST(ContentProtocol, MalformedRejected) {
+  const std::string bad[] = {"", "GET", "GET x", "RSP 1 2", "PUT 1 a.test/x",
+                             "GET notanumber a.test/x"};
+  for (const auto& text : bad) {
+    const std::vector<std::uint8_t> payload(text.begin(), text.end());
+    EXPECT_FALSE(decode_request(payload).ok() && decode_response(payload).ok())
+        << text;
+  }
+}
+
+}  // namespace
+}  // namespace mecdns::cdn

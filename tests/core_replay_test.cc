@@ -1,0 +1,144 @@
+// Trace replay across a two-cell MEC deployment.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/mec_cdn.h"
+#include "core/replay.h"
+#include "ran/profiles.h"
+
+namespace mecdns::core {
+namespace {
+
+using simnet::Ipv4Address;
+using simnet::SimTime;
+
+// A compact two-cell world (mirrors the handoff bench topology).
+struct ReplayWorld {
+  simnet::Simulator sim;
+  std::unique_ptr<simnet::Network> net;
+  std::unique_ptr<ran::RanSegment> cell_a;
+  std::unique_ptr<ran::RanSegment> cell_b;
+  std::unique_ptr<MecCdnSite> site_a;
+  std::unique_ptr<MecCdnSite> site_b;
+  std::unique_ptr<ran::UserEquipment> ue;
+  std::unique_ptr<ran::HandoffManager> handoff;
+  cdn::ContentCatalog catalog;
+
+  ReplayWorld() {
+    net = std::make_unique<simnet::Network>(sim, util::Rng(77));
+    const simnet::NodeId backbone =
+        net->add_node("bb", Ipv4Address::must_parse("192.0.2.1"));
+    const auto cell = [&](const std::string& name, const char* prefix,
+                          const char* pgw) {
+      ran::RanSegment::Config rc;
+      rc.name = name;
+      rc.enb_addr = Ipv4Address::must_parse(std::string(prefix) + ".0.1");
+      rc.sgw_addr = Ipv4Address::must_parse(std::string(prefix) + ".0.2");
+      rc.pgw_addr = Ipv4Address::must_parse(pgw);
+      rc.ue_subnet = simnet::Cidr::must_parse("10.45.0.0/16");
+      rc.access = ran::lte();
+      auto segment = std::make_unique<ran::RanSegment>(*net, rc);
+      net->add_link(segment->pgw(), backbone, ran::wan_link(4.0));
+      MecCdnSite::Config sc;
+      sc.orchestrator.cluster.name = name + "-mec";
+      sc.orchestrator.cluster.node_cidr = simnet::Cidr::must_parse(
+          std::string(prefix) + ".64.0/24");
+      sc.orchestrator.cluster.service_cidr = simnet::Cidr::must_parse(
+          std::string(prefix) + ".128.0/20");
+      sc.answer_ttl = 0;
+      auto site = std::make_unique<MecCdnSite>(*net, sc);
+      net->add_link(segment->pgw(),
+                    site->orchestrator().cluster().gateway(),
+                    simnet::LatencyModel::constant(SimTime::millis(0.5)));
+      return std::make_pair(std::move(segment), std::move(site));
+    };
+    std::tie(cell_a, site_a) = cell("ca", "10.111", "203.0.113.1");
+    std::tie(cell_b, site_b) = cell("cb", "10.112", "203.0.114.1");
+    net->add_link(cell_a->pgw(), cell_b->pgw(), ran::wan_link(8.0));
+
+    catalog.add_series(
+        dns::DnsName::must_parse("video.demo1.mycdn.ciab.test"), "segment",
+        8, 1 << 20);
+    site_a->add_delivery_service("demo1", catalog);
+    site_b->add_delivery_service("demo1", catalog);
+
+    ue = std::make_unique<ran::UserEquipment>(
+        *net, *cell_a, "ue", Ipv4Address::must_parse("10.45.0.2"),
+        site_a->ldns_endpoint());
+    const simnet::LinkId link_b = net->add_link(
+        ue->node(), cell_b->enb(), ran::lte().uplink, ran::lte().downlink);
+    net->set_link_up(link_b, false);
+    handoff = std::make_unique<ran::HandoffManager>(*net, *ue);
+    handoff->add_cell({"ca", cell_a.get(), cell_a->ue_link(ue->node()),
+                       site_a->ldns_endpoint()});
+    handoff->add_cell({"cb", cell_b.get(), link_b,
+                       site_b->ldns_endpoint()});
+    handoff->attach(0);
+  }
+};
+
+TEST(TraceReplay, MobilityPlusRequestsComplete) {
+  ReplayWorld world;
+  const workload::MobilityTrace mobility =
+      workload::parse_mobility_trace("0 0\n10 1\n20 0\n").value();
+  const workload::RequestTrace requests =
+      workload::synth_requests(world.catalog, 0.8,
+                               simnet::SimTime::seconds(30),
+                               simnet::SimTime::seconds(1), 5);
+  ASSERT_GT(requests.size(), 10u);
+
+  TraceReplayer replayer(*world.ue, world.handoff.get());
+  const ReplayOutcome outcome = replayer.run(mobility, requests);
+
+  EXPECT_EQ(outcome.requests, requests.size());
+  EXPECT_EQ(outcome.failures, 0u);
+  // initial attach + the two real cell changes (the t=0 "0" is a no-op).
+  EXPECT_EQ(outcome.handoffs, 3u);
+  EXPECT_EQ(outcome.log.size(), requests.size());
+  // With re-targeting, latency stays in the local-site band throughout.
+  EXPECT_LT(outcome.total_ms.max(), 90.0);
+}
+
+TEST(TraceReplay, StickyResolverDegradesAfterMove) {
+  const workload::MobilityTrace mobility =
+      workload::parse_mobility_trace("0 0\n10 1\n").value();
+
+  const auto run_mode = [&](bool retarget) {
+    ReplayWorld world;
+    const workload::RequestTrace requests = workload::synth_requests(
+        world.catalog, 0.8, simnet::SimTime::seconds(30),
+        simnet::SimTime::seconds(1), 5);
+    TraceReplayer replayer(*world.ue, world.handoff.get());
+    const ReplayOutcome outcome = replayer.run(mobility, requests, retarget);
+    // Mean latency of requests after the move (t > 10s).
+    util::SampleSet late;
+    for (const auto& record : outcome.log) {
+      if (record.ok && record.at > simnet::SimTime::seconds(10)) {
+        late.add(record.total_ms);
+      }
+    }
+    return late.mean();
+  };
+
+  const double retarget_mean = run_mode(true);
+  const double sticky_mean = run_mode(false);
+  EXPECT_GT(sticky_mean, retarget_mean + 20.0);
+}
+
+TEST(TraceReplay, NoHandoffManagerStillReplaysRequests) {
+  ReplayWorld world;
+  const workload::RequestTrace requests = workload::synth_requests(
+      world.catalog, 0.8, simnet::SimTime::seconds(10),
+      simnet::SimTime::seconds(1), 9);
+  TraceReplayer replayer(*world.ue, nullptr);
+  const ReplayOutcome outcome =
+      replayer.run(workload::synth_commute(simnet::SimTime::seconds(10),
+                                           simnet::SimTime::seconds(2), 2, 1),
+                   requests);
+  EXPECT_EQ(outcome.requests, requests.size());
+  EXPECT_EQ(outcome.handoffs, 0u);
+}
+
+}  // namespace
+}  // namespace mecdns::core

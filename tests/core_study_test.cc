@@ -1,0 +1,122 @@
+// Measurement-study (Figures 2 and 3) tests.
+#include <gtest/gtest.h>
+
+#include "core/study.h"
+
+namespace mecdns::core {
+namespace {
+
+class StudyTest : public ::testing::Test {
+ protected:
+  StudyTest() {
+    MeasurementStudy::Config config;
+    config.queries_per_cell = 25;
+    study_ = std::make_unique<MeasurementStudy>(config);
+  }
+
+  std::unique_ptr<MeasurementStudy> study_;
+};
+
+TEST_F(StudyTest, AllCellsResolveWithoutFailures) {
+  for (std::size_t site = 0; site < workload::figure3_profiles().size();
+       ++site) {
+    for (const auto& network_class : workload::network_classes()) {
+      const auto cell = study_->run_cell(site, network_class);
+      EXPECT_EQ(cell.failures, 0u) << cell.website << "/" << network_class;
+      EXPECT_EQ(cell.latencies_ms.size(), 25u);
+    }
+  }
+}
+
+TEST_F(StudyTest, CellularIsSlowestAndMostVariableEverywhere) {
+  // Observation 1 of the paper, for every site.
+  for (std::size_t site = 0; site < workload::figure3_profiles().size();
+       ++site) {
+    const auto wired = study_->run_cell(site, workload::kWiredCampus);
+    const auto wifi = study_->run_cell(site, workload::kWifiHome);
+    const auto cellular = study_->run_cell(site, workload::kCellularMobile);
+    EXPECT_GT(cellular.trimmed.mean, wifi.trimmed.mean) << wired.website;
+    EXPECT_GT(wifi.trimmed.mean, wired.trimmed.mean) << wired.website;
+    EXPECT_GT(cellular.latencies_ms.stddev(), wired.latencies_ms.stddev())
+        << wired.website;
+  }
+}
+
+TEST_F(StudyTest, DistributionSharesSumToOne) {
+  const auto cell = study_->run_cell(0, workload::kWiredCampus);
+  double total = 0.0;
+  for (const auto& key : cell.distribution.keys_by_count()) {
+    total += cell.distribution.share(key);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Every answer classified into a known pool (no "unknown" keys).
+  for (const auto& key : cell.distribution.keys_by_count()) {
+    EXPECT_EQ(key.find("unknown"), std::string::npos) << key;
+  }
+}
+
+TEST_F(StudyTest, MixDiffersAcrossNetworksForSameDomain) {
+  // Observation 2: the same domain queried from the same location lands on
+  // different pools depending on the access network.
+  MeasurementStudy::Config config;
+  config.queries_per_cell = 80;
+  MeasurementStudy study(config);
+
+  const auto& profile = workload::figure3_profiles()[1];  // Agoda: 2 pools
+  const auto wired = study.run_cell(1, workload::kWiredCampus);
+  const auto cellular = study.run_cell(1, workload::kCellularMobile);
+  const std::string label =
+      profile.pools[0].provider + " (" + profile.pools[0].cidr + ")";
+  // Weights: wired 0.80 on the /24, cellular 0.15.
+  EXPECT_GT(wired.distribution.share(label),
+            cellular.distribution.share(label) + 0.3);
+}
+
+TEST_F(StudyTest, ClientAndRouterSideDistributionsAgree) {
+  // What the client classifies from dig output (the paper's method) must
+  // match what the router actually decided — same counts per pool.
+  const std::size_t site = 0;  // Airbnb
+  const auto cell = study_->run_cell(site, workload::kWiredCampus);
+  const auto& router_side =
+      study_->router(site).distribution(workload::kWiredCampus);
+  // The runner's 2 warmup queries hit the router but are excluded from the
+  // client-side sample, so totals differ by exactly the warmup count and
+  // per-pool counts by at most it.
+  ASSERT_EQ(router_side.total(), cell.distribution.total() + 2);
+  for (const auto& key : cell.distribution.keys_by_count()) {
+    const auto client = cell.distribution.count(key);
+    const auto router = router_side.count(key);
+    EXPECT_GE(router, client) << key;
+    EXPECT_LE(router, client + 2) << key;
+  }
+}
+
+TEST_F(StudyTest, TrimmedBarWithinWhiskers) {
+  const auto cell = study_->run_cell(2, workload::kCellularMobile);
+  EXPECT_LE(cell.trimmed.min, cell.trimmed.mean);
+  EXPECT_GE(cell.trimmed.max, cell.trimmed.mean);
+  EXPECT_GT(cell.trimmed.mean, 0.0);
+}
+
+TEST_F(StudyTest, PerDomainLatencyTracksProviderDistance) {
+  // Booking/Expedia (CloudFront, farther in our model) should be slower
+  // than Agoda (Akamai, closest) on the same network.
+  const auto agoda = study_->run_cell(1, workload::kWiredCampus);
+  const auto expedia = study_->run_cell(3, workload::kWiredCampus);
+  EXPECT_GT(expedia.trimmed.mean, agoda.trimmed.mean);
+}
+
+TEST_F(StudyTest, RunAllCoversTheGrid) {
+  MeasurementStudy::Config config;
+  config.queries_per_cell = 12;  // the paper's "at least 12 tests"
+  MeasurementStudy study(config);
+  const auto cells = study.run_all();
+  EXPECT_EQ(cells.size(), 15u);  // 5 sites x 3 networks
+  for (const auto& cell : cells) {
+    EXPECT_EQ(cell.failures, 0u) << cell.website << "/" << cell.network_class;
+    EXPECT_GE(cell.latencies_ms.size(), 12u);
+  }
+}
+
+}  // namespace
+}  // namespace mecdns::core

@@ -1,0 +1,93 @@
+// Multi-tier referral: content not deployed at the MEC resolves through a
+// cascading CNAME into the parent CDN tier (§3 P2: "C-DNS simply returns
+// the address of another C-DNS running at a different CDN tier").
+#include <gtest/gtest.h>
+
+#include "core/fig5.h"
+
+namespace mecdns::core {
+namespace {
+
+class TierReferralTest : public ::testing::Test {
+ protected:
+  TierReferralTest() {
+    Fig5Testbed::Config config;
+    config.deployment = Fig5Deployment::kMecLdnsMecCdns;
+    config.provider_fallback = true;
+    testbed_ = std::make_unique<Fig5Testbed>(config);
+    testbed_->ue().resolver().set_chase_cnames(true);
+  }
+
+  dns::StubResult resolve(const dns::DnsName& name) {
+    dns::StubResult out;
+    testbed_->ue().resolver().resolve(
+        name, dns::RecordType::kA,
+        [&](const dns::StubResult& result) { out = result; });
+    testbed_->network().simulator().run();
+    return out;
+  }
+
+  std::unique_ptr<Fig5Testbed> testbed_;
+};
+
+TEST_F(TierReferralTest, EdgeContentStillResolvesLocally) {
+  const auto result = resolve(testbed_->content_name());
+  ASSERT_TRUE(result.ok);
+  EXPECT_TRUE(testbed_->is_mec_cache(*result.address));
+}
+
+TEST_F(TierReferralTest, MissingServiceCascadesToParentTier) {
+  const auto result = resolve(testbed_->tier2_name());
+  ASSERT_TRUE(result.ok) << result.error;
+  // The answer is the cloud cache registered at the mid tier.
+  EXPECT_TRUE(testbed_->is_cloud_cache(*result.address));
+  EXPECT_FALSE(testbed_->is_mec_cache(*result.address));
+}
+
+TEST_F(TierReferralTest, ReferralCostsMoreThanEdgeResolution) {
+  // Warm the delegation caches first.
+  resolve(testbed_->tier2_name());
+  const auto edge = resolve(testbed_->content_name());
+  const auto referred = resolve(testbed_->tier2_name());
+  ASSERT_TRUE(edge.ok);
+  ASSERT_TRUE(referred.ok);
+  // Two resolution legs (edge CNAME + provider recursion to the mid tier)
+  // instead of one: clearly slower.
+  EXPECT_GT(referred.latency.to_millis(), edge.latency.to_millis() + 30.0);
+}
+
+TEST_F(TierReferralTest, ReferredContentIsFetchable) {
+  bool done = false;
+  cdn::Url url;
+  url.host = testbed_->tier2_name();
+  url.path = "/segment0000";
+  // The UE's built-in fetch path uses its resolver (now chasing CNAMEs).
+  testbed_->ue().resolve_and_fetch(
+      url, [&](const ran::UserEquipment::FetchOutcome& outcome) {
+        done = true;
+        ASSERT_TRUE(outcome.ok) << outcome.error;
+        EXPECT_TRUE(testbed_->is_cloud_cache(outcome.server));
+        EXPECT_TRUE(outcome.response.served_from_cache);
+      });
+  testbed_->network().simulator().run();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(TierReferralTest, WithoutChasingClientSeesOnlyTheCname) {
+  testbed_->ue().resolver().set_chase_cnames(false);
+  const auto result = resolve(testbed_->tier2_name());
+  EXPECT_TRUE(result.ok);
+  EXPECT_FALSE(result.address.has_value());
+  ASSERT_FALSE(result.response.answers.empty());
+  EXPECT_EQ(result.response.answers.front().type, dns::RecordType::kCname);
+}
+
+TEST_F(TierReferralTest, ChaseDepthIsBounded) {
+  testbed_->ue().resolver().set_chase_cnames(true, /*max_hops=*/0);
+  const auto result = resolve(testbed_->tier2_name());
+  // Zero hops allowed: behaves like no chasing.
+  EXPECT_FALSE(result.address.has_value());
+}
+
+}  // namespace
+}  // namespace mecdns::core

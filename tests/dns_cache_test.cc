@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "dns/cache.h"
+
+namespace mecdns::dns {
+namespace {
+
+using simnet::SimTime;
+
+ResourceRecord a_record(const std::string& name, std::uint32_t ttl) {
+  return make_a(DnsName::must_parse(name),
+                simnet::Ipv4Address::must_parse("198.18.0.1"), ttl);
+}
+
+std::vector<ResourceRecord> soa_with_minimum(std::uint32_t minimum,
+                                             std::uint32_t ttl) {
+  return {make_soa(DnsName::must_parse("example.com"),
+                   DnsName::must_parse("ns1.example.com"), 1, minimum, ttl)};
+}
+
+TEST(DnsCache, HitWithinTtl) {
+  DnsCache cache;
+  cache.insert(DnsName::must_parse("www.example.com"), RecordType::kA,
+               {a_record("www.example.com", 60)}, SimTime::seconds(0));
+  const auto hit = cache.lookup(DnsName::must_parse("www.example.com"),
+                                RecordType::kA, SimTime::seconds(59));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_FALSE(hit->negative);
+  ASSERT_EQ(hit->records.size(), 1u);
+}
+
+TEST(DnsCache, ExpiresAtTtl) {
+  DnsCache cache;
+  cache.insert(DnsName::must_parse("www.example.com"), RecordType::kA,
+               {a_record("www.example.com", 60)}, SimTime::seconds(0));
+  EXPECT_FALSE(cache
+                   .lookup(DnsName::must_parse("www.example.com"),
+                           RecordType::kA, SimTime::seconds(60))
+                   .has_value());
+  EXPECT_EQ(cache.stats().expired, 1u);
+}
+
+TEST(DnsCache, TtlDecrementsWithAge) {
+  DnsCache cache;
+  cache.insert(DnsName::must_parse("www.example.com"), RecordType::kA,
+               {a_record("www.example.com", 100)}, SimTime::seconds(0));
+  const auto hit = cache.lookup(DnsName::must_parse("www.example.com"),
+                                RecordType::kA, SimTime::seconds(40));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->records[0].ttl, 60u);
+}
+
+TEST(DnsCache, ZeroTtlNeverCached) {
+  DnsCache cache;
+  cache.insert(DnsName::must_parse("www.example.com"), RecordType::kA,
+               {a_record("www.example.com", 0)}, SimTime::seconds(0));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache
+                   .lookup(DnsName::must_parse("www.example.com"),
+                           RecordType::kA, SimTime::seconds(0))
+                   .has_value());
+}
+
+TEST(DnsCache, RrsetUsesMinimumTtl) {
+  DnsCache cache;
+  cache.insert(DnsName::must_parse("www.example.com"), RecordType::kA,
+               {a_record("www.example.com", 100),
+                a_record("www.example.com", 10)},
+               SimTime::seconds(0));
+  EXPECT_TRUE(cache
+                  .lookup(DnsName::must_parse("www.example.com"),
+                          RecordType::kA, SimTime::seconds(9))
+                  .has_value());
+  EXPECT_FALSE(cache
+                   .lookup(DnsName::must_parse("www.example.com"),
+                           RecordType::kA, SimTime::seconds(10))
+                   .has_value());
+}
+
+TEST(DnsCache, NegativeCachingUsesSoaMinimum) {
+  DnsCache cache;
+  // RFC 2308: negative TTL = min(SOA TTL, SOA.minimum) = min(3600, 30) = 30.
+  cache.insert_negative(DnsName::must_parse("gone.example.com"),
+                        RecordType::kA, RCode::kNxDomain,
+                        soa_with_minimum(30, 3600), SimTime::seconds(0));
+  const auto hit = cache.lookup(DnsName::must_parse("gone.example.com"),
+                                RecordType::kA, SimTime::seconds(29));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->negative);
+  EXPECT_EQ(hit->rcode, RCode::kNxDomain);
+  EXPECT_FALSE(cache
+                   .lookup(DnsName::must_parse("gone.example.com"),
+                           RecordType::kA, SimTime::seconds(31))
+                   .has_value());
+}
+
+TEST(DnsCache, NegativeTtlCappedBySoaRecordTtl) {
+  DnsCache cache;
+  // min(SOA TTL=20, minimum=3600) = 20.
+  cache.insert_negative(DnsName::must_parse("gone.example.com"),
+                        RecordType::kA, RCode::kNxDomain,
+                        soa_with_minimum(3600, 20), SimTime::seconds(0));
+  EXPECT_TRUE(cache
+                  .lookup(DnsName::must_parse("gone.example.com"),
+                          RecordType::kA, SimTime::seconds(19))
+                  .has_value());
+  EXPECT_FALSE(cache
+                   .lookup(DnsName::must_parse("gone.example.com"),
+                           RecordType::kA, SimTime::seconds(21))
+                   .has_value());
+}
+
+TEST(DnsCache, NegativeWithoutSoaNotCached) {
+  DnsCache cache;
+  cache.insert_negative(DnsName::must_parse("gone.example.com"),
+                        RecordType::kA, RCode::kNxDomain, {},
+                        SimTime::seconds(0));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(DnsCache, KeyIsNameAndType) {
+  DnsCache cache;
+  cache.insert(DnsName::must_parse("www.example.com"), RecordType::kA,
+               {a_record("www.example.com", 60)}, SimTime::seconds(0));
+  EXPECT_FALSE(cache
+                   .lookup(DnsName::must_parse("www.example.com"),
+                           RecordType::kTxt, SimTime::seconds(1))
+                   .has_value());
+  EXPECT_FALSE(cache
+                   .lookup(DnsName::must_parse("other.example.com"),
+                           RecordType::kA, SimTime::seconds(1))
+                   .has_value());
+}
+
+TEST(DnsCache, EvictsClosestToExpiryWhenFull) {
+  DnsCache cache(/*max_entries=*/2);
+  cache.insert(DnsName::must_parse("short.example.com"), RecordType::kA,
+               {a_record("short.example.com", 10)}, SimTime::seconds(0));
+  cache.insert(DnsName::must_parse("long.example.com"), RecordType::kA,
+               {a_record("long.example.com", 1000)}, SimTime::seconds(0));
+  cache.insert(DnsName::must_parse("new.example.com"), RecordType::kA,
+               {a_record("new.example.com", 500)}, SimTime::seconds(0));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_FALSE(cache
+                   .lookup(DnsName::must_parse("short.example.com"),
+                           RecordType::kA, SimTime::seconds(1))
+                   .has_value());
+  EXPECT_TRUE(cache
+                  .lookup(DnsName::must_parse("long.example.com"),
+                          RecordType::kA, SimTime::seconds(1))
+                  .has_value());
+}
+
+TEST(DnsCache, FlushAndFlushName) {
+  DnsCache cache;
+  cache.insert(DnsName::must_parse("a.example.com"), RecordType::kA,
+               {a_record("a.example.com", 60)}, SimTime::seconds(0));
+  cache.insert(DnsName::must_parse("b.example.com"), RecordType::kA,
+               {a_record("b.example.com", 60)}, SimTime::seconds(0));
+  cache.flush_name(DnsName::must_parse("a.example.com"));
+  EXPECT_EQ(cache.size(), 1u);
+  cache.flush();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(DnsCache, HitRateAccounting) {
+  DnsCache cache;
+  cache.insert(DnsName::must_parse("a.example.com"), RecordType::kA,
+               {a_record("a.example.com", 60)}, SimTime::seconds(0));
+  (void)cache.lookup(DnsName::must_parse("a.example.com"), RecordType::kA,
+                     SimTime::seconds(1));
+  (void)cache.lookup(DnsName::must_parse("miss.example.com"), RecordType::kA,
+                     SimTime::seconds(1));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.5);
+}
+
+}  // namespace
+}  // namespace mecdns::dns

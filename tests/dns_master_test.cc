@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "dns/master.h"
+
+namespace mecdns::dns {
+namespace {
+
+TEST(MasterFile, ParsesRepresentativeZone) {
+  Zone zone(DnsName::must_parse("example.com"));
+  const char* text = R"(
+$TTL 300
+@            IN SOA ns1 hostmaster 1 7200 900 1209600 60
+@            IN NS  ns1
+ns1          IN A   198.51.100.5
+www      60  IN A   198.18.0.1
+www          IN A   198.18.0.2   ; second address in the RRset
+alias        IN CNAME www
+*.apps       IN A   198.18.0.7
+_dns._udp    IN SRV 10 20 53 ns1
+note         IN TXT "hello world" plain
+ptr          IN PTR www.example.com.
+)";
+  const auto result = load_master_text(zone, text);
+  ASSERT_TRUE(result.ok()) << result.error().message;
+
+  // SOA with parsed fields.
+  const auto soa = zone.find(DnsName::must_parse("example.com"),
+                             RecordType::kSoa);
+  ASSERT_EQ(soa.size(), 1u);
+  const auto& soa_data = std::get<SoaRecord>(soa[0].rdata);
+  EXPECT_EQ(soa_data.mname, DnsName::must_parse("ns1.example.com"));
+  EXPECT_EQ(soa_data.minimum, 60u);
+  EXPECT_EQ(soa[0].ttl, 300u);  // $TTL applied
+
+  // Per-record TTL override and RRset accumulation.
+  const auto www = zone.find(DnsName::must_parse("www.example.com"),
+                             RecordType::kA);
+  ASSERT_EQ(www.size(), 2u);
+  EXPECT_EQ(www[0].ttl, 60u);
+  EXPECT_EQ(www[1].ttl, 300u);
+
+  // Relative CNAME target.
+  const auto alias = zone.lookup(DnsName::must_parse("alias.example.com"),
+                                 RecordType::kA);
+  EXPECT_EQ(alias.status, LookupStatus::kCname);
+
+  // Wildcard works through normal lookup.
+  const auto wild = zone.lookup(DnsName::must_parse("x.apps.example.com"),
+                                RecordType::kA);
+  EXPECT_EQ(wild.status, LookupStatus::kSuccess);
+
+  // SRV fields.
+  const auto srv = zone.find(DnsName::must_parse("_dns._udp.example.com"),
+                             RecordType::kSrv);
+  ASSERT_EQ(srv.size(), 1u);
+  EXPECT_EQ(std::get<SrvRecord>(srv[0].rdata).port, 53u);
+
+  // TXT with quoted and bare strings.
+  const auto txt = zone.find(DnsName::must_parse("note.example.com"),
+                             RecordType::kTxt);
+  ASSERT_EQ(txt.size(), 1u);
+  EXPECT_EQ(std::get<TxtRecord>(txt[0].rdata).strings,
+            (std::vector<std::string>{"hello world", "plain"}));
+
+  // Absolute PTR target kept absolute.
+  const auto ptr = zone.find(DnsName::must_parse("ptr.example.com"),
+                             RecordType::kPtr);
+  ASSERT_EQ(ptr.size(), 1u);
+  EXPECT_EQ(std::get<PtrRecord>(ptr[0].rdata).target,
+            DnsName::must_parse("www.example.com"));
+}
+
+TEST(MasterFile, OriginDirectiveRebasesNames) {
+  Zone zone(DnsName::must_parse("example.com"));
+  const char* text = R"(
+$ORIGIN sub.example.com.
+www IN A 198.18.1.1
+)";
+  ASSERT_TRUE(load_master_text(zone, text).ok());
+  EXPECT_EQ(zone.find(DnsName::must_parse("www.sub.example.com"),
+                      RecordType::kA)
+                .size(),
+            1u);
+}
+
+TEST(MasterFile, OriginOutsideZoneRejected) {
+  Zone zone(DnsName::must_parse("example.com"));
+  EXPECT_FALSE(load_master_text(zone, "$ORIGIN other.net.\n").ok());
+}
+
+struct BadLineCase {
+  const char* label;
+  const char* text;
+};
+class MasterBadLineTest : public ::testing::TestWithParam<BadLineCase> {};
+
+TEST_P(MasterBadLineTest, ReportsLineError) {
+  Zone zone(DnsName::must_parse("example.com"));
+  const auto result = load_master_text(zone, GetParam().text);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("line"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, MasterBadLineTest,
+    ::testing::Values(
+        BadLineCase{"bad_type", "www IN WXYZ 1.2.3.4\n"},
+        BadLineCase{"bad_addr", "www IN A 300.1.1.1\n"},
+        BadLineCase{"missing_rdata", "www IN A\n"},
+        BadLineCase{"soa_short", "@ IN SOA ns1 hostmaster 1 2 3\n"},
+        BadLineCase{"multiline", "@ IN SOA ns1 hostmaster (\n1 2 3 4 5 )\n"},
+        BadLineCase{"bad_ttl_directive", "$TTL abc\n"},
+        BadLineCase{"outside_zone", "www.other.net. IN A 1.2.3.4\n"}),
+    [](const ::testing::TestParamInfo<BadLineCase>& info) {
+      return info.param.label;
+    });
+
+TEST(MasterFile, CommentsAndBlankLinesIgnored) {
+  Zone zone(DnsName::must_parse("example.com"));
+  const char* text =
+      "; a full-line comment\n"
+      "\n"
+      "www IN A 198.18.0.1 ; trailing comment\n";
+  ASSERT_TRUE(load_master_text(zone, text).ok());
+  EXPECT_EQ(zone.record_count(), 1u);
+}
+
+TEST(MasterFile, DefaultTtlParameterUsedWithoutDirective) {
+  Zone zone(DnsName::must_parse("example.com"));
+  ASSERT_TRUE(load_master_text(zone, "www IN A 198.18.0.1\n", 1234).ok());
+  EXPECT_EQ(zone.find(DnsName::must_parse("www.example.com"),
+                      RecordType::kA)[0]
+                .ttl,
+            1234u);
+}
+
+TEST(MasterFile, CnameConflictSurfacesZoneError) {
+  Zone zone(DnsName::must_parse("example.com"));
+  const char* text =
+      "www IN A 198.18.0.1\n"
+      "www IN CNAME other\n";
+  const auto result = load_master_text(zone, text);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("line 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mecdns::dns

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "dns/name.h"
+
+namespace mecdns::dns {
+namespace {
+
+TEST(DnsName, ParseBasics) {
+  const auto name = DnsName::must_parse("www.example.com");
+  EXPECT_EQ(name.label_count(), 3u);
+  EXPECT_EQ(name.label(0), "www");
+  EXPECT_EQ(name.to_string(), "www.example.com");
+}
+
+TEST(DnsName, TrailingDotIgnored) {
+  EXPECT_EQ(DnsName::must_parse("example.com."),
+            DnsName::must_parse("example.com"));
+}
+
+TEST(DnsName, RootParsesAndPrints) {
+  const auto root = DnsName::must_parse(".");
+  EXPECT_TRUE(root.is_root());
+  EXPECT_EQ(root.to_string(), ".");
+  EXPECT_EQ(root, DnsName::root());
+}
+
+TEST(DnsName, CaseInsensitiveEqualityAndHash) {
+  const auto a = DnsName::must_parse("WWW.Example.COM");
+  const auto b = DnsName::must_parse("www.example.com");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  std::unordered_set<DnsName> set;
+  set.insert(a);
+  EXPECT_EQ(set.count(b), 1u);
+}
+
+TEST(DnsName, SubdomainRelation) {
+  const auto apex = DnsName::must_parse("mycdn.ciab.test");
+  EXPECT_TRUE(DnsName::must_parse("video.demo1.mycdn.ciab.test")
+                  .is_subdomain_of(apex));
+  EXPECT_TRUE(apex.is_subdomain_of(apex));
+  EXPECT_TRUE(apex.is_subdomain_of(DnsName::root()));
+  EXPECT_FALSE(DnsName::must_parse("ciab.test").is_subdomain_of(apex));
+  // Label boundaries matter: notmycdn.ciab.test is NOT under mycdn.ciab.test.
+  EXPECT_FALSE(
+      DnsName::must_parse("notmycdn.ciab.test").is_subdomain_of(apex));
+}
+
+TEST(DnsName, ParentWalk) {
+  auto name = DnsName::must_parse("a.b.c");
+  name = name.parent();
+  EXPECT_EQ(name, DnsName::must_parse("b.c"));
+  name = name.parent();
+  name = name.parent();
+  EXPECT_TRUE(name.is_root());
+  EXPECT_TRUE(name.parent().is_root());
+}
+
+TEST(DnsName, PrefixAndUnder) {
+  const auto base = DnsName::must_parse("example.com");
+  EXPECT_EQ(base.with_prefix("www").value(),
+            DnsName::must_parse("www.example.com"));
+  const auto rel = DnsName::must_parse("video.demo1");
+  EXPECT_EQ(rel.under(DnsName::must_parse("mycdn.test")).value(),
+            DnsName::must_parse("video.demo1.mycdn.test"));
+}
+
+TEST(DnsName, WildcardSibling) {
+  EXPECT_EQ(DnsName::must_parse("video.demo1.cdn").wildcard_sibling(),
+            DnsName::must_parse("*.demo1.cdn"));
+}
+
+TEST(DnsName, WireLength) {
+  // 3www7example3com0 = 1+3 + 1+7 + 1+3 + 1 = 17
+  EXPECT_EQ(DnsName::must_parse("www.example.com").wire_length(), 17u);
+  EXPECT_EQ(DnsName::root().wire_length(), 1u);
+}
+
+TEST(DnsName, RejectsOversizedLabels) {
+  const std::string long_label(64, 'a');
+  EXPECT_FALSE(DnsName::parse(long_label + ".com").ok());
+  const std::string max_label(63, 'a');
+  EXPECT_TRUE(DnsName::parse(max_label + ".com").ok());
+}
+
+TEST(DnsName, RejectsOversizedNames) {
+  // 5 labels x 63 bytes = 320 wire octets > 255.
+  std::string big;
+  for (int i = 0; i < 5; ++i) {
+    if (i != 0) big += ".";
+    big += std::string(63, 'a' + i);
+  }
+  EXPECT_FALSE(DnsName::parse(big).ok());
+}
+
+struct BadNameCase {
+  const char* text;
+};
+class BadNameTest : public ::testing::TestWithParam<BadNameCase> {};
+
+TEST_P(BadNameTest, Rejected) {
+  EXPECT_FALSE(DnsName::parse(GetParam().text).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, BadNameTest,
+    ::testing::Values(BadNameCase{""}, BadNameCase{".."},
+                      BadNameCase{".example.com"}, BadNameCase{"a..b"},
+                      BadNameCase{"has space.com"}, BadNameCase{"tab\tx.com"}));
+
+TEST(DnsName, CanonicalOrderingIsByLabelFromTheRight) {
+  // Canonical (DNSSEC) order: compare rightmost labels first.
+  EXPECT_LT(DnsName::must_parse("example.com"),
+            DnsName::must_parse("example.net"));
+  EXPECT_LT(DnsName::must_parse("example.com"),
+            DnsName::must_parse("a.example.com"));
+  EXPECT_LT(DnsName::must_parse("a.example.com"),
+            DnsName::must_parse("b.example.com"));
+  EXPECT_FALSE(DnsName::must_parse("EXAMPLE.com") <
+               DnsName::must_parse("example.COM"));
+  EXPECT_FALSE(DnsName::must_parse("example.COM") <
+               DnsName::must_parse("EXAMPLE.com"));
+}
+
+TEST(DnsName, FromLabelsValidates) {
+  EXPECT_TRUE(DnsName::from_labels({"a", "b"}).ok());
+  EXPECT_FALSE(DnsName::from_labels({"a", ""}).ok());
+}
+
+}  // namespace
+}  // namespace mecdns::dns

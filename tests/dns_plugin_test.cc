@@ -1,0 +1,267 @@
+// Plugin-chain server tests: the CoreDNS model and the split-namespace
+// views at the heart of the paper's P1 design.
+#include <gtest/gtest.h>
+
+#include "dns/plugin.h"
+#include "dns/stub.h"
+
+namespace mecdns::dns {
+namespace {
+
+using simnet::Endpoint;
+using simnet::Ipv4Address;
+using simnet::LatencyModel;
+using simnet::SimTime;
+
+class PluginTest : public ::testing::Test {
+ protected:
+  PluginTest() : net_(sim_, util::Rng(21)) {
+    internal_client_ =
+        net_.add_node("vnf", Ipv4Address::must_parse("10.240.0.7"));
+    external_client_ =
+        net_.add_node("mobile", Ipv4Address::must_parse("203.0.113.1"));
+    server_node_ = net_.add_node("coredns", Ipv4Address::must_parse("10.240.0.2"));
+    upstream_node_ =
+        net_.add_node("upstream", Ipv4Address::must_parse("198.51.100.53"));
+    net_.add_link(internal_client_, server_node_,
+                  LatencyModel::constant(SimTime::micros(150)));
+    net_.add_link(external_client_, server_node_,
+                  LatencyModel::constant(SimTime::millis(1)));
+    net_.add_link(server_node_, upstream_node_,
+                  LatencyModel::constant(SimTime::millis(5)));
+
+    // Upstream: plain authoritative for the CDN domain.
+    upstream_ = std::make_unique<AuthoritativeServer>(
+        net_, upstream_node_, "upstream",
+        LatencyModel::constant(SimTime::micros(300)));
+    Zone& up_zone = upstream_->add_zone(DnsName::must_parse("mycdn.test"));
+    up_zone.must_add(make_soa(DnsName::must_parse("mycdn.test"),
+                              DnsName::must_parse("ns1.mycdn.test"), 1, 30,
+                              30));
+    up_zone.must_add(make_a(DnsName::must_parse("video.mycdn.test"),
+                            Ipv4Address::must_parse("198.18.5.5"), 30));
+
+    server_ = std::make_unique<PluginChainServer>(
+        net_, server_node_, "coredns",
+        LatencyModel::constant(SimTime::micros(400)));
+
+    internal_zone_ = std::make_shared<Zone>(DnsName::must_parse("cluster.local"));
+    internal_zone_->must_add(make_soa(DnsName::must_parse("cluster.local"),
+                                      DnsName::must_parse("dns.cluster.local"),
+                                      1, 30, 30));
+    internal_zone_->must_add(
+        make_a(DnsName::must_parse("traffic-router.cdn.svc.cluster.local"),
+               Ipv4Address::must_parse("10.96.0.53"), 30));
+    cache_ = std::make_shared<DnsCache>(128);
+  }
+
+  /// Builds the standard split-namespace layout used by several tests.
+  void build_split_views() {
+    PluginChain& internal = server_->add_view(
+        "internal", {simnet::Cidr::must_parse("10.240.0.0/24")});
+    internal.add(std::make_unique<ZonePlugin>(internal_zone_));
+    internal.add(std::make_unique<RefusePlugin>());
+
+    PluginChain& pub = server_->add_default_view("public");
+    pub.add(std::make_unique<CachePlugin>(cache_));
+    pub.add(std::make_unique<ForwardPlugin>(
+        DnsName::must_parse("mycdn.test"),
+        std::vector<Endpoint>{
+            {Ipv4Address::must_parse("198.51.100.53"), kDnsPort}},
+        server_->transport()));
+    pub.add(std::make_unique<RefusePlugin>());
+  }
+
+  StubResult resolve_from(simnet::NodeId node, const std::string& name) {
+    StubResolver stub(net_, node,
+                      Endpoint{Ipv4Address::must_parse("10.240.0.2"),
+                               kDnsPort});
+    StubResult out;
+    stub.resolve(DnsName::must_parse(name), RecordType::kA,
+                 [&](const StubResult& result) { out = result; });
+    sim_.run();
+    return out;
+  }
+
+  simnet::Simulator sim_;
+  simnet::Network net_;
+  simnet::NodeId internal_client_;
+  simnet::NodeId external_client_;
+  simnet::NodeId server_node_;
+  simnet::NodeId upstream_node_;
+  std::unique_ptr<AuthoritativeServer> upstream_;
+  std::unique_ptr<PluginChainServer> server_;
+  std::shared_ptr<Zone> internal_zone_;
+  std::shared_ptr<DnsCache> cache_;
+};
+
+TEST_F(PluginTest, ViewsSelectByClientAddress) {
+  build_split_views();
+  // Internal clients see the service-discovery namespace.
+  const StubResult internal =
+      resolve_from(internal_client_, "traffic-router.cdn.svc.cluster.local");
+  EXPECT_TRUE(internal.ok);
+  EXPECT_EQ(*internal.address, Ipv4Address::must_parse("10.96.0.53"));
+  EXPECT_EQ(server_->last_view(), "internal");
+
+  // External (mobile) clients do NOT: the public view has no such zone.
+  const StubResult external =
+      resolve_from(external_client_, "traffic-router.cdn.svc.cluster.local");
+  EXPECT_FALSE(external.ok);
+  EXPECT_EQ(external.rcode, RCode::kRefused);
+  EXPECT_EQ(server_->last_view(), "public");
+  EXPECT_EQ(server_->view_queries("internal"), 1u);
+  EXPECT_EQ(server_->view_queries("public"), 1u);
+}
+
+TEST_F(PluginTest, PublicViewForwardsStubDomain) {
+  build_split_views();
+  const StubResult result = resolve_from(external_client_, "video.mycdn.test");
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(*result.address, Ipv4Address::must_parse("198.18.5.5"));
+  EXPECT_EQ(upstream_->stats().queries, 1u);
+}
+
+TEST_F(PluginTest, CachePluginShortCircuitsSecondQuery) {
+  build_split_views();
+  resolve_from(external_client_, "video.mycdn.test");
+  EXPECT_EQ(upstream_->stats().queries, 1u);
+  const StubResult second =
+      resolve_from(external_client_, "video.mycdn.test");
+  EXPECT_TRUE(second.ok);
+  EXPECT_EQ(upstream_->stats().queries, 1u);  // served from cache
+  EXPECT_GE(cache_->stats().hits, 1u);
+}
+
+TEST_F(PluginTest, CachePluginCachesNegatives) {
+  build_split_views();
+  resolve_from(external_client_, "missing.mycdn.test");
+  EXPECT_EQ(upstream_->stats().queries, 1u);
+  const StubResult second =
+      resolve_from(external_client_, "missing.mycdn.test");
+  EXPECT_EQ(second.rcode, RCode::kNxDomain);
+  EXPECT_EQ(upstream_->stats().queries, 1u);
+}
+
+TEST_F(PluginTest, NonMatchingQueryFallsThroughToRefuse) {
+  build_split_views();
+  const StubResult result =
+      resolve_from(external_client_, "www.unrelated.org");
+  EXPECT_EQ(result.rcode, RCode::kRefused);
+  EXPECT_EQ(upstream_->stats().queries, 0u);
+}
+
+TEST_F(PluginTest, EmptyChainRefuses) {
+  server_->add_default_view("empty");
+  const StubResult result = resolve_from(external_client_, "x.test");
+  EXPECT_EQ(result.rcode, RCode::kRefused);
+}
+
+TEST_F(PluginTest, ForwardPluginAddsEcsWhenConfigured) {
+  PluginChain& pub = server_->add_default_view("public");
+  auto forward = std::make_unique<ForwardPlugin>(
+      DnsName::must_parse("mycdn.test"),
+      std::vector<Endpoint>{{Ipv4Address::must_parse("198.51.100.53"),
+                             kDnsPort}},
+      server_->transport());
+  forward->set_add_ecs(true, 24);
+  pub.add(std::move(forward));
+
+  const StubResult result = resolve_from(external_client_, "video.mycdn.test");
+  EXPECT_TRUE(result.ok);
+  // The upstream authoritative echoes ECS with scope 0; the forward relays
+  // it back, so the client sees the subnet that was synthesized for it.
+  ASSERT_TRUE(result.response.edns.has_value());
+  ASSERT_TRUE(result.response.edns->client_subnet.has_value());
+  EXPECT_EQ(result.response.edns->client_subnet->subnet().to_string(),
+            "203.0.113.0/24");
+}
+
+TEST_F(PluginTest, ForwardPluginServfailsWhenUpstreamDead) {
+  net_.set_node_up(upstream_node_, false);
+  PluginChain& pub = server_->add_default_view("public");
+  DnsTransport::Options fast_timeout;
+  fast_timeout.timeout = SimTime::millis(50);
+  pub.add(std::make_unique<ForwardPlugin>(
+      DnsName::root(),
+      std::vector<Endpoint>{{Ipv4Address::must_parse("198.51.100.53"),
+                             kDnsPort}},
+      server_->transport(), fast_timeout));
+  const StubResult result = resolve_from(external_client_, "anything.test");
+  EXPECT_EQ(result.rcode, RCode::kServFail);
+}
+
+TEST_F(PluginTest, RewritePluginMapsNamespaces) {
+  PluginChain& pub = server_->add_default_view("public");
+  pub.add(std::make_unique<RewritePlugin>(
+      DnsName::must_parse("edge.mec"), DnsName::must_parse("mycdn.test")));
+  pub.add(std::make_unique<ForwardPlugin>(
+      DnsName::must_parse("mycdn.test"),
+      std::vector<Endpoint>{{Ipv4Address::must_parse("198.51.100.53"),
+                             kDnsPort}},
+      server_->transport()));
+
+  const StubResult result = resolve_from(external_client_, "video.edge.mec");
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(*result.address, Ipv4Address::must_parse("198.18.5.5"));
+  // Owner names are rewritten back to the client's namespace.
+  ASSERT_FALSE(result.response.answers.empty());
+  EXPECT_EQ(result.response.answers.front().name,
+            DnsName::must_parse("video.edge.mec"));
+}
+
+TEST_F(PluginTest, DropPluginNeverAnswers) {
+  PluginChain& pub = server_->add_default_view("public");
+  auto drop = std::make_unique<DropPlugin>();
+  DropPlugin* drop_ptr = drop.get();
+  pub.add(std::move(drop));
+
+  StubResolver stub(net_, external_client_,
+                    Endpoint{Ipv4Address::must_parse("10.240.0.2"), kDnsPort},
+                    DnsTransport::Options{SimTime::millis(50), 0});
+  bool timed_out = false;
+  stub.resolve(DnsName::must_parse("x.test"), RecordType::kA,
+               [&](const StubResult& result) { timed_out = !result.ok; });
+  sim_.run();
+  EXPECT_TRUE(timed_out);
+  EXPECT_EQ(drop_ptr->dropped(), 1u);
+}
+
+TEST_F(PluginTest, LogPluginRecordsTraffic) {
+  PluginChain& pub = server_->add_default_view("public");
+  auto log = std::make_unique<LogPlugin>(/*capacity=*/2);
+  LogPlugin* log_ptr = log.get();
+  pub.add(std::move(log));
+  pub.add(std::make_unique<ZonePlugin>(internal_zone_));
+
+  resolve_from(external_client_, "traffic-router.cdn.svc.cluster.local");
+  resolve_from(external_client_, "missing.cluster.local");
+  resolve_from(external_client_, "also-missing.cluster.local");
+
+  EXPECT_EQ(log_ptr->total_logged(), 3u);
+  EXPECT_EQ(log_ptr->entries().size(), 2u);  // ring capacity enforced
+  EXPECT_EQ(log_ptr->count(DnsName::must_parse("missing.cluster.local")), 1u);
+  EXPECT_EQ(log_ptr->entries().back().rcode, RCode::kNxDomain);
+  EXPECT_EQ(log_ptr->entries().back().client.addr,
+            simnet::Ipv4Address::must_parse("203.0.113.1"));
+}
+
+TEST_F(PluginTest, ZonePluginServesDelegationAndNegative) {
+  internal_zone_->must_add(
+      make_ns(DnsName::must_parse("sub.cluster.local"),
+              DnsName::must_parse("ns.sub.cluster.local"), 30));
+  PluginChain& view = server_->add_default_view("zone-only");
+  view.add(std::make_unique<ZonePlugin>(internal_zone_));
+
+  const StubResult referral =
+      resolve_from(external_client_, "deep.sub.cluster.local");
+  EXPECT_TRUE(referral.response.answers.empty());
+  EXPECT_EQ(referral.response.authorities.size(), 1u);
+
+  const StubResult missing =
+      resolve_from(external_client_, "nothere.cluster.local");
+  EXPECT_EQ(missing.rcode, RCode::kNxDomain);
+}
+
+}  // namespace
+}  // namespace mecdns::dns

@@ -1,0 +1,312 @@
+// Transaction-layer tests: matching, timeout, retransmission, spoofing.
+#include <gtest/gtest.h>
+
+#include "dns/server.h"
+#include "dns/transport.h"
+#include "util/strings.h"
+
+namespace mecdns::dns {
+namespace {
+
+using simnet::Endpoint;
+using simnet::Ipv4Address;
+using simnet::LatencyModel;
+using simnet::SimTime;
+
+/// A server that answers per a script: drop the first N queries, then
+/// respond (optionally from a spoofed source / with a mangled question).
+class ScriptedServer {
+ public:
+  ScriptedServer(simnet::Network& net, simnet::NodeId node)
+      : net_(net) {
+    socket_ = net.open_socket(node, kDnsPort, [this](const simnet::Packet& p) {
+      ++received_;
+      if (drop_first_ > 0) {
+        --drop_first_;
+        return;
+      }
+      auto query = decode(p.payload);
+      ASSERT_TRUE(query.ok());
+      Message response = make_response(query.value());
+      if (mangle_question_) {
+        response.questions.front().name = DnsName::must_parse("evil.test");
+      }
+      response.answers.push_back(
+          make_a(query.value().question().name,
+                 Ipv4Address::must_parse("198.18.0.1"), 30));
+      socket_->send_to(p.src, encode(response));
+    });
+  }
+
+  int received() const { return received_; }
+  void drop_first(int n) { drop_first_ = n; }
+  void mangle_question(bool v) { mangle_question_ = v; }
+
+ private:
+  simnet::Network& net_;
+  simnet::UdpSocket* socket_;
+  int received_ = 0;
+  int drop_first_ = 0;
+  bool mangle_question_ = false;
+};
+
+class TransportTest : public ::testing::Test {
+ protected:
+  TransportTest() : net_(sim_, util::Rng(3)) {
+    client_node_ = net_.add_node("client", Ipv4Address::must_parse("10.0.0.1"));
+    server_node_ = net_.add_node("server", Ipv4Address::must_parse("10.0.0.2"));
+    net_.add_link(client_node_, server_node_,
+                  LatencyModel::constant(SimTime::millis(2)));
+    server_ = std::make_unique<ScriptedServer>(net_, server_node_);
+    transport_ = std::make_unique<DnsTransport>(net_, client_node_);
+  }
+
+  Endpoint server_endpoint() const {
+    return {Ipv4Address::must_parse("10.0.0.2"), kDnsPort};
+  }
+
+  simnet::Simulator sim_;
+  simnet::Network net_;
+  simnet::NodeId client_node_;
+  simnet::NodeId server_node_;
+  std::unique_ptr<ScriptedServer> server_;
+  std::unique_ptr<DnsTransport> transport_;
+};
+
+TEST_F(TransportTest, QueryGetsResponseWithRtt) {
+  bool done = false;
+  transport_->query(
+      server_endpoint(),
+      make_query(0, DnsName::must_parse("x.test"), RecordType::kA), {},
+      [&](util::Result<Message> result, SimTime rtt) {
+        done = true;
+        ASSERT_TRUE(result.ok());
+        EXPECT_EQ(result.value().answers.size(), 1u);
+        EXPECT_EQ(rtt, SimTime::millis(4));
+      });
+  sim_.run();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(TransportTest, TimesOutWhenServerSilent) {
+  server_->drop_first(100);
+  bool done = false;
+  DnsTransport::Options options;
+  options.timeout = SimTime::millis(100);
+  transport_->query(
+      server_endpoint(),
+      make_query(0, DnsName::must_parse("x.test"), RecordType::kA), options,
+      [&](util::Result<Message> result, SimTime rtt) {
+        done = true;
+        EXPECT_FALSE(result.ok());
+        EXPECT_GE(rtt, SimTime::millis(100));
+      });
+  sim_.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(transport_->timeouts(), 1u);
+}
+
+TEST_F(TransportTest, RetransmissionRecovers) {
+  server_->drop_first(2);
+  bool done = false;
+  DnsTransport::Options options;
+  options.timeout = SimTime::millis(50);
+  options.max_retries = 3;
+  transport_->query(
+      server_endpoint(),
+      make_query(0, DnsName::must_parse("x.test"), RecordType::kA), options,
+      [&](util::Result<Message> result, SimTime) {
+        done = true;
+        EXPECT_TRUE(result.ok());
+      });
+  sim_.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(transport_->retransmissions(), 2u);
+  EXPECT_EQ(server_->received(), 3);
+}
+
+TEST_F(TransportTest, RetriesExhaustedFails) {
+  server_->drop_first(100);
+  bool done = false;
+  DnsTransport::Options options;
+  options.timeout = SimTime::millis(50);
+  options.max_retries = 2;
+  transport_->query(
+      server_endpoint(),
+      make_query(0, DnsName::must_parse("x.test"), RecordType::kA), options,
+      [&](util::Result<Message> result, SimTime) {
+        done = true;
+        EXPECT_FALSE(result.ok());
+      });
+  sim_.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(server_->received(), 3);  // initial + 2 retries
+}
+
+TEST_F(TransportTest, RejectsResponseWithMangledQuestion) {
+  server_->mangle_question(true);
+  bool done = false;
+  DnsTransport::Options options;
+  options.timeout = SimTime::millis(50);
+  transport_->query(
+      server_endpoint(),
+      make_query(0, DnsName::must_parse("x.test"), RecordType::kA), options,
+      [&](util::Result<Message> result, SimTime) {
+        done = true;
+        EXPECT_FALSE(result.ok());  // mangled answer ignored -> timeout
+      });
+  sim_.run();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(TransportTest, RejectsSpoofedSource) {
+  // A third party answers instead of the queried server: must be ignored.
+  const simnet::NodeId spoofer =
+      net_.add_node("spoofer", Ipv4Address::must_parse("10.0.0.66"));
+  net_.add_link(client_node_, spoofer,
+                LatencyModel::constant(SimTime::millis(1)));
+  server_->drop_first(100);
+
+  bool done = false;
+  DnsTransport::Options options;
+  options.timeout = SimTime::millis(80);
+  transport_->query(
+      server_endpoint(),
+      make_query(0, DnsName::must_parse("x.test"), RecordType::kA), options,
+      [&](util::Result<Message> result, SimTime) {
+        done = true;
+        EXPECT_FALSE(result.ok());
+      });
+
+  // The spoofer races a matching-id response from the wrong address.
+  simnet::UdpSocket* socket = net_.open_socket(spoofer, kDnsPort, nullptr);
+  sim_.schedule_at(SimTime::millis(1), [&] {
+    Message fake = make_query(0, DnsName::must_parse("x.test"), RecordType::kA);
+    fake.header.qr = true;
+    // Try every plausible id (the transport's ids are sequential).
+    for (std::uint32_t id = 1; id < 0x10000; id += 997) {
+      fake.header.id = static_cast<std::uint16_t>(id);
+      socket->send_to(transport_->local_endpoint(), encode(fake));
+    }
+  });
+  sim_.run();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(TransportTest, ConcurrentQueriesGetDistinctIds) {
+  int answered = 0;
+  for (int i = 0; i < 20; ++i) {
+    transport_->query(
+        server_endpoint(),
+        make_query(0, DnsName::must_parse("q" + std::to_string(i) + ".test"),
+                   RecordType::kA),
+        {},
+        [&](util::Result<Message> result, SimTime) {
+          ASSERT_TRUE(result.ok());
+          ++answered;
+        });
+  }
+  sim_.run();
+  EXPECT_EQ(answered, 20);
+}
+
+TEST_F(TransportTest, Dns0x20QueryStillResolvesAgainstHonestServer) {
+  // The scripted server echoes the question verbatim, so a randomized-case
+  // query round-trips; comparisons stay case-insensitive at the DNS layer.
+  DnsTransport::Options options;
+  options.use_0x20 = true;
+  int successes = 0;
+  for (int i = 0; i < 10; ++i) {
+    transport_->query(
+        server_endpoint(),
+        make_query(0, DnsName::must_parse("mixedcasehost.example.test"),
+                   RecordType::kA),
+        options, [&](util::Result<Message> result, SimTime) {
+          if (result.ok()) ++successes;
+        });
+  }
+  sim_.run();
+  EXPECT_EQ(successes, 10);
+}
+
+TEST_F(TransportTest, Dns0x20RejectsCaseNormalizedSpoof) {
+  // A spoofing server that lowercases the echoed question defeats plain id
+  // matching but not 0x20 verification.
+  const simnet::NodeId evil_node =
+      net_.add_node("evil", Ipv4Address::must_parse("10.0.0.9"));
+  net_.add_link(client_node_, evil_node,
+                LatencyModel::constant(SimTime::millis(1)));
+  simnet::UdpSocket* evil_socket = nullptr;
+  evil_socket = net_.open_socket(
+      evil_node, kDnsPort, [&](const simnet::Packet& p) {
+        auto query = decode(p.payload);
+        ASSERT_TRUE(query.ok());
+        Message response = make_response(query.value());
+        // Normalize case (what an off-path guesser would send).
+        response.questions.front().name = DnsName::must_parse(
+            util::to_lower(query.value().question().name.to_string()));
+        response.answers.push_back(make_a(response.questions.front().name,
+                                          Ipv4Address::must_parse("6.6.6.6"),
+                                          30));
+        evil_socket->send_to(p.src, encode(response));
+      });
+
+  DnsTransport::Options options;
+  options.use_0x20 = true;
+  options.timeout = SimTime::millis(80);
+  bool rejected = false;
+  transport_->query(
+      {Ipv4Address::must_parse("10.0.0.9"), kDnsPort},
+      make_query(0, DnsName::must_parse("averylongmixedcasename.example.test"),
+                 RecordType::kA),
+      options, [&](util::Result<Message> result, SimTime) {
+        rejected = !result.ok();  // case-mismatched answer dropped -> timeout
+      });
+  sim_.run();
+  EXPECT_TRUE(rejected);
+}
+
+TEST_F(TransportTest, DestroyedTransportDisarmsPendingTimeouts) {
+  // Regression: a transport destroyed with a pending query must not crash
+  // when its timeout event later fires.
+  server_->drop_first(100);
+  {
+    DnsTransport ephemeral(net_, client_node_);
+    DnsTransport::Options options;
+    options.timeout = SimTime::millis(500);
+    ephemeral.query(server_endpoint(),
+                    make_query(0, DnsName::must_parse("x.test"),
+                               RecordType::kA),
+                    options, [](util::Result<Message>, SimTime) {
+                      FAIL() << "callback after destruction";
+                    });
+    sim_.run_until(sim_.now() + SimTime::millis(10));
+  }  // transport destroyed here, timeout still queued
+  sim_.run();  // must not segfault or invoke the callback
+}
+
+TEST_F(TransportTest, LateResponseAfterTimeoutIsIgnored) {
+  // Server answers slower than the timeout; the callback must fire exactly
+  // once (the timeout), and the late response must not crash or double-call.
+  const simnet::NodeId slow_node =
+      net_.add_node("slow", Ipv4Address::must_parse("10.0.0.3"));
+  net_.add_link(client_node_, slow_node,
+                LatencyModel::constant(SimTime::millis(300)));
+  ScriptedServer slow_server(net_, slow_node);
+
+  int calls = 0;
+  DnsTransport::Options options;
+  options.timeout = SimTime::millis(100);
+  transport_->query(
+      {Ipv4Address::must_parse("10.0.0.3"), kDnsPort},
+      make_query(0, DnsName::must_parse("x.test"), RecordType::kA), options,
+      [&](util::Result<Message> result, SimTime) {
+        ++calls;
+        EXPECT_FALSE(result.ok());
+      });
+  sim_.run();
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace mecdns::dns

@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include "dns/edns.h"
+#include "dns/wire.h"
+
+namespace mecdns::dns {
+namespace {
+
+Message make_base_response() {
+  Message msg = make_query(0x9ab3, DnsName::must_parse("www.example.com"),
+                           RecordType::kA);
+  msg.header.qr = true;
+  msg.header.aa = true;
+  msg.header.ra = true;
+  return msg;
+}
+
+TEST(Wire, HeaderRoundTrip) {
+  Message msg = make_base_response();
+  msg.header.tc = true;
+  msg.header.rcode = RCode::kNxDomain;
+  msg.header.opcode = Opcode::kStatus;
+  const auto decoded = decode(encode(msg));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().header, msg.header);
+  EXPECT_EQ(decoded.value().questions, msg.questions);
+}
+
+// Round-trip every structurally modelled record type.
+struct RecordCase {
+  std::string label;
+  ResourceRecord rr;
+};
+
+class RecordRoundTrip : public ::testing::TestWithParam<RecordCase> {};
+
+TEST_P(RecordRoundTrip, EncodeDecode) {
+  Message msg = make_base_response();
+  msg.answers.push_back(GetParam().rr);
+  const auto decoded = decode(encode(msg));
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  ASSERT_EQ(decoded.value().answers.size(), 1u);
+  EXPECT_EQ(decoded.value().answers.front(), GetParam().rr);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, RecordRoundTrip,
+    ::testing::Values(
+        RecordCase{"A",
+                   make_a(DnsName::must_parse("www.example.com"),
+                          simnet::Ipv4Address::must_parse("203.0.113.9"),
+                          3600)},
+        RecordCase{"CNAME",
+                   make_cname(DnsName::must_parse("www.example.com"),
+                              DnsName::must_parse("edge.cdn.example.net"),
+                              300)},
+        RecordCase{"NS", make_ns(DnsName::must_parse("example.com"),
+                                 DnsName::must_parse("ns1.example.com"),
+                                 86400)},
+        RecordCase{"SOA", make_soa(DnsName::must_parse("example.com"),
+                                   DnsName::must_parse("ns1.example.com"), 7,
+                                   600, 3600)},
+        RecordCase{"TXT",
+                   make_txt(DnsName::must_parse("example.com"),
+                            {"hello world", "second string"}, 60)},
+        RecordCase{"PTR",
+                   make_ptr(DnsName::must_parse("9.113.0.203.in-addr.arpa"),
+                            DnsName::must_parse("www.example.com"), 60)},
+        RecordCase{"SRV",
+                   make_srv(DnsName::must_parse("_dns._udp.example.com"), 10,
+                            20, 53, DnsName::must_parse("ns1.example.com"),
+                            120)}),
+    [](const ::testing::TestParamInfo<RecordCase>& info) {
+      return info.param.label;
+    });
+
+TEST(Wire, AaaaRoundTrip) {
+  Message msg = make_base_response();
+  AaaaRecord aaaa;
+  for (std::size_t i = 0; i < aaaa.address.size(); ++i) {
+    aaaa.address[i] = static_cast<std::uint8_t>(i);
+  }
+  msg.answers.push_back(ResourceRecord{DnsName::must_parse("v6.example.com"),
+                                       RecordType::kAaaa, RecordClass::kIn,
+                                       60, aaaa});
+  const auto decoded = decode(encode(msg));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().answers.front(), msg.answers.front());
+}
+
+TEST(Wire, UnknownTypePreservedAsRaw) {
+  Message msg = make_base_response();
+  msg.answers.push_back(ResourceRecord{
+      DnsName::must_parse("x.example.com"), static_cast<RecordType>(99),
+      RecordClass::kIn, 60, RawRecord{99, {1, 2, 3, 4}}});
+  const auto decoded = decode(encode(msg));
+  ASSERT_TRUE(decoded.ok());
+  const auto* raw = std::get_if<RawRecord>(&decoded.value().answers[0].rdata);
+  ASSERT_NE(raw, nullptr);
+  EXPECT_EQ(raw->data, (std::vector<std::uint8_t>{1, 2, 3, 4}));
+}
+
+TEST(Wire, CompressionShrinksRepeatedNames) {
+  Message msg = make_base_response();
+  for (int i = 0; i < 6; ++i) {
+    msg.answers.push_back(make_a(
+        DnsName::must_parse("www.example.com"),
+        simnet::Ipv4Address(0x0a000001u + static_cast<std::uint32_t>(i)),
+        60));
+  }
+  const auto wire = encode(msg);
+  // Uncompressed, each answer would repeat the 17-byte owner name. With
+  // compression every repeat is a 2-byte pointer.
+  const std::size_t uncompressed_estimate = 12 + 21 + 6 * (17 + 14);
+  EXPECT_LT(wire.size(), uncompressed_estimate - 5 * 13);
+  const auto decoded = decode(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().answers.size(), 6u);
+  EXPECT_EQ(decoded.value().answers[5].name,
+            DnsName::must_parse("www.example.com"));
+}
+
+TEST(Wire, CompressionSharesSuffixes) {
+  Message msg = make_base_response();
+  msg.answers.push_back(make_cname(DnsName::must_parse("www.example.com"),
+                                   DnsName::must_parse("cdn.example.com"),
+                                   60));
+  const auto decoded = decode(encode(msg));
+  ASSERT_TRUE(decoded.ok());
+  const auto* cname = std::get_if<CnameRecord>(&decoded.value().answers[0].rdata);
+  ASSERT_NE(cname, nullptr);
+  EXPECT_EQ(cname->target, DnsName::must_parse("cdn.example.com"));
+}
+
+TEST(Wire, EcsOptionRoundTrip) {
+  Message msg = make_base_response();
+  msg.edns = Edns{};
+  msg.edns->udp_payload_size = 4096;
+  ClientSubnet ecs;
+  ecs.address = simnet::Ipv4Address::must_parse("203.0.113.0");
+  ecs.source_prefix = 24;
+  ecs.scope_prefix = 16;
+  msg.edns->client_subnet = ecs;
+
+  const auto decoded = decode(encode(msg));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_TRUE(decoded.value().edns.has_value());
+  EXPECT_EQ(decoded.value().edns->udp_payload_size, 4096);
+  ASSERT_TRUE(decoded.value().edns->client_subnet.has_value());
+  EXPECT_EQ(*decoded.value().edns->client_subnet, ecs);
+  // The OPT record itself must not remain in additionals after lifting.
+  EXPECT_TRUE(decoded.value().additionals.empty());
+}
+
+TEST(Wire, EcsAddressTruncatedToSourcePrefix) {
+  // RFC 7871 §6: ADDRESS carries only ceil(prefix/8) octets, low bits zero.
+  Edns edns;
+  ClientSubnet ecs;
+  ecs.address = simnet::Ipv4Address::must_parse("10.45.77.200");
+  ecs.source_prefix = 16;
+  edns.client_subnet = ecs;
+  const auto rdata = encode_edns_options(edns);
+  // option header (4) + family/prefixes (4) + 2 address octets.
+  EXPECT_EQ(rdata.size(), 10u);
+  Edns back;
+  ASSERT_TRUE(decode_edns_options(rdata, back).ok());
+  EXPECT_EQ(back.client_subnet->address,
+            simnet::Ipv4Address::must_parse("10.45.0.0"));
+}
+
+TEST(Wire, EcsZeroPrefixMeansNoAddress) {
+  Edns edns;
+  ClientSubnet ecs;
+  ecs.address = simnet::Ipv4Address::must_parse("10.45.77.200");
+  ecs.source_prefix = 0;
+  edns.client_subnet = ecs;
+  Edns back;
+  ASSERT_TRUE(decode_edns_options(encode_edns_options(edns), back).ok());
+  EXPECT_EQ(back.client_subnet->source_prefix, 0);
+  EXPECT_TRUE(back.client_subnet->address.is_unspecified());
+}
+
+TEST(Wire, MultiSectionMessage) {
+  Message msg = make_base_response();
+  msg.answers.push_back(make_a(DnsName::must_parse("www.example.com"),
+                               simnet::Ipv4Address::must_parse("198.18.0.1"),
+                               30));
+  msg.authorities.push_back(make_ns(DnsName::must_parse("example.com"),
+                                    DnsName::must_parse("ns1.example.com"),
+                                    86400));
+  msg.additionals.push_back(
+      make_a(DnsName::must_parse("ns1.example.com"),
+             simnet::Ipv4Address::must_parse("198.18.0.53"), 86400));
+  const auto decoded = decode(encode(msg));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().answers.size(), 1u);
+  EXPECT_EQ(decoded.value().authorities.size(), 1u);
+  EXPECT_EQ(decoded.value().additionals.size(), 1u);
+}
+
+// Every truncation of a valid message must fail cleanly, never crash or
+// read out of bounds.
+class TruncationTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TruncationTest, FailsGracefully) {
+  Message msg = make_base_response();
+  msg.answers.push_back(make_a(DnsName::must_parse("www.example.com"),
+                               simnet::Ipv4Address::must_parse("198.18.0.1"),
+                               30));
+  msg.edns = Edns{};
+  const auto wire = encode(msg);
+  const std::size_t cut = GetParam();
+  if (cut >= wire.size()) {
+    GTEST_SKIP() << "message shorter than cut point";
+  }
+  const auto decoded =
+      decode(std::span<const std::uint8_t>(wire.data(), cut));
+  EXPECT_FALSE(decoded.ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Cuts, TruncationTest,
+                         ::testing::Values(0, 1, 5, 11, 12, 13, 20, 28, 29,
+                                           33, 40, 45, 50, 55));
+
+TEST(Wire, PointerLoopDetected) {
+  // Craft a message whose qname is a self-referencing compression pointer.
+  std::vector<std::uint8_t> wire = {
+      0x12, 0x34,  // id
+      0x00, 0x00,  // flags
+      0x00, 0x01,  // qdcount
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0xc0, 0x0c,  // pointer to offset 12 = itself
+      0x00, 0x01, 0x00, 0x01,
+  };
+  EXPECT_FALSE(decode(wire).ok());
+}
+
+TEST(Wire, ForwardPointerRejected) {
+  std::vector<std::uint8_t> wire = {
+      0x12, 0x34, 0x00, 0x00, 0x00, 0x01,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0xc0, 0x40,  // pointer past the end of the message
+      0x00, 0x01, 0x00, 0x01,
+  };
+  EXPECT_FALSE(decode(wire).ok());
+}
+
+TEST(Wire, ReservedLabelTypeRejected) {
+  std::vector<std::uint8_t> wire = {
+      0x12, 0x34, 0x00, 0x00, 0x00, 0x01,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x80, 0x01, 'x',  // 0b10xxxxxx is reserved
+      0x00, 0x00, 0x01, 0x00, 0x01,
+  };
+  EXPECT_FALSE(decode(wire).ok());
+}
+
+TEST(Wire, RdlengthMismatchRejected) {
+  Message msg = make_base_response();
+  msg.answers.push_back(make_a(DnsName::must_parse("a.example.com"),
+                               simnet::Ipv4Address::must_parse("1.2.3.4"),
+                               60));
+  auto wire = encode(msg);
+  // Find the A record's RDLENGTH (last 6 bytes are len+rdata) and corrupt it.
+  wire[wire.size() - 6] = 0;
+  wire[wire.size() - 5] = 7;  // claims 7 bytes of RDATA, only 4 present
+  EXPECT_FALSE(decode(wire).ok());
+}
+
+TEST(Wire, EmptyQuestionMessageRoundTrips) {
+  Message msg;
+  msg.header.id = 1;
+  msg.header.qr = true;
+  const auto decoded = decode(encode(msg));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().questions.empty());
+}
+
+TEST(Wire, QueryIdAndFlagsSurviveManyValues) {
+  for (std::uint32_t id = 0; id < 0x10000; id += 0x1111) {
+    Message msg = make_query(static_cast<std::uint16_t>(id),
+                             DnsName::must_parse("x.test"), RecordType::kA);
+    const auto decoded = decode(encode(msg));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().header.id, static_cast<std::uint16_t>(id));
+    EXPECT_TRUE(decoded.value().header.rd);
+    EXPECT_FALSE(decoded.value().header.qr);
+  }
+}
+
+}  // namespace
+}  // namespace mecdns::dns

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "dns/zone.h"
+
+namespace mecdns::dns {
+namespace {
+
+class ZoneTest : public ::testing::Test {
+ protected:
+  ZoneTest() : zone_(DnsName::must_parse("example.com")) {
+    zone_.must_add(make_soa(DnsName::must_parse("example.com"),
+                            DnsName::must_parse("ns1.example.com"), 1, 300,
+                            3600));
+    zone_.must_add(make_a(DnsName::must_parse("www.example.com"),
+                          simnet::Ipv4Address::must_parse("198.18.0.1"), 60));
+  }
+
+  Zone zone_;
+};
+
+TEST_F(ZoneTest, ExactMatch) {
+  const auto result =
+      zone_.lookup(DnsName::must_parse("www.example.com"), RecordType::kA);
+  EXPECT_EQ(result.status, LookupStatus::kSuccess);
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(std::get<ARecord>(result.records[0].rdata).address,
+            simnet::Ipv4Address::must_parse("198.18.0.1"));
+}
+
+TEST_F(ZoneTest, NoDataForWrongType) {
+  const auto result =
+      zone_.lookup(DnsName::must_parse("www.example.com"), RecordType::kTxt);
+  EXPECT_EQ(result.status, LookupStatus::kNoData);
+  ASSERT_EQ(result.soa.size(), 1u);  // SOA for negative caching
+}
+
+TEST_F(ZoneTest, NxDomainWithSoa) {
+  const auto result =
+      zone_.lookup(DnsName::must_parse("nope.example.com"), RecordType::kA);
+  EXPECT_EQ(result.status, LookupStatus::kNxDomain);
+  ASSERT_EQ(result.soa.size(), 1u);
+}
+
+TEST_F(ZoneTest, OutOfZone) {
+  const auto result =
+      zone_.lookup(DnsName::must_parse("www.other.net"), RecordType::kA);
+  EXPECT_EQ(result.status, LookupStatus::kOutOfZone);
+}
+
+TEST_F(ZoneTest, EmptyNonTerminalIsNoDataNotNxDomain) {
+  zone_.must_add(make_a(DnsName::must_parse("deep.sub.example.com"),
+                        simnet::Ipv4Address::must_parse("198.18.0.2"), 60));
+  // "sub.example.com" exists only as an ancestor: NODATA per RFC 4592.
+  const auto result =
+      zone_.lookup(DnsName::must_parse("sub.example.com"), RecordType::kA);
+  EXPECT_EQ(result.status, LookupStatus::kNoData);
+}
+
+TEST_F(ZoneTest, CnameReturnedForOtherTypes) {
+  zone_.must_add(make_cname(DnsName::must_parse("alias.example.com"),
+                            DnsName::must_parse("www.example.com"), 60));
+  const auto result =
+      zone_.lookup(DnsName::must_parse("alias.example.com"), RecordType::kA);
+  EXPECT_EQ(result.status, LookupStatus::kCname);
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(std::get<CnameRecord>(result.records[0].rdata).target,
+            DnsName::must_parse("www.example.com"));
+}
+
+TEST_F(ZoneTest, CnameQueryReturnsTheCnameItself) {
+  zone_.must_add(make_cname(DnsName::must_parse("alias.example.com"),
+                            DnsName::must_parse("www.example.com"), 60));
+  const auto result = zone_.lookup(DnsName::must_parse("alias.example.com"),
+                                   RecordType::kCname);
+  EXPECT_EQ(result.status, LookupStatus::kSuccess);
+}
+
+TEST_F(ZoneTest, CnameConflictsRejected) {
+  zone_.must_add(make_cname(DnsName::must_parse("alias.example.com"),
+                            DnsName::must_parse("www.example.com"), 60));
+  // Other data at a CNAME owner is illegal (RFC 1034 §3.6.2)...
+  EXPECT_FALSE(zone_.add(make_a(DnsName::must_parse("alias.example.com"),
+                                simnet::Ipv4Address::must_parse("1.2.3.4"),
+                                60))
+                   .ok());
+  // ...as is a CNAME at a name that already has data.
+  EXPECT_FALSE(zone_.add(make_cname(DnsName::must_parse("www.example.com"),
+                                    DnsName::must_parse("x.example.com"), 60))
+                   .ok());
+}
+
+TEST_F(ZoneTest, DelegationReturnsNsAndGlue) {
+  zone_.must_add(make_ns(DnsName::must_parse("child.example.com"),
+                         DnsName::must_parse("ns1.child.example.com"), 3600));
+  zone_.must_add(make_a(DnsName::must_parse("ns1.child.example.com"),
+                        simnet::Ipv4Address::must_parse("198.18.0.53"),
+                        3600));
+  const auto result = zone_.lookup(
+      DnsName::must_parse("deep.www.child.example.com"), RecordType::kA);
+  EXPECT_EQ(result.status, LookupStatus::kDelegation);
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.records[0].type, RecordType::kNs);
+  ASSERT_EQ(result.glue.size(), 1u);
+  EXPECT_EQ(std::get<ARecord>(result.glue[0].rdata).address,
+            simnet::Ipv4Address::must_parse("198.18.0.53"));
+}
+
+TEST_F(ZoneTest, ApexNsIsAuthoritativeNotDelegation) {
+  zone_.must_add(make_ns(DnsName::must_parse("example.com"),
+                         DnsName::must_parse("ns1.example.com"), 3600));
+  const auto result =
+      zone_.lookup(DnsName::must_parse("example.com"), RecordType::kNs);
+  EXPECT_EQ(result.status, LookupStatus::kSuccess);
+}
+
+TEST_F(ZoneTest, NsQueryAtZoneCutIsReferral) {
+  zone_.must_add(make_ns(DnsName::must_parse("child.example.com"),
+                         DnsName::must_parse("ns1.child.example.com"), 3600));
+  // Querying the cut itself for NS: answered from the NS set (not a lookup
+  // below the cut), which our implementation treats as authoritative-style
+  // success for the NS type.
+  const auto result = zone_.lookup(DnsName::must_parse("child.example.com"),
+                                   RecordType::kNs);
+  EXPECT_EQ(result.status, LookupStatus::kSuccess);
+}
+
+TEST_F(ZoneTest, WildcardSynthesis) {
+  zone_.must_add(make_a(DnsName::must_parse("*.apps.example.com"),
+                        simnet::Ipv4Address::must_parse("198.18.0.7"), 60));
+  const auto result =
+      zone_.lookup(DnsName::must_parse("foo.apps.example.com"),
+                   RecordType::kA);
+  EXPECT_EQ(result.status, LookupStatus::kSuccess);
+  EXPECT_TRUE(result.from_wildcard);
+  // Synthesized owner is the query name, not the wildcard.
+  EXPECT_EQ(result.records[0].name,
+            DnsName::must_parse("foo.apps.example.com"));
+}
+
+TEST_F(ZoneTest, WildcardDoesNotCoverExistingName) {
+  zone_.must_add(make_a(DnsName::must_parse("*.apps.example.com"),
+                        simnet::Ipv4Address::must_parse("198.18.0.7"), 60));
+  zone_.must_add(make_txt(DnsName::must_parse("real.apps.example.com"),
+                          {"x"}, 60));
+  // The name exists (with TXT only): wildcard must NOT synthesize an A.
+  const auto result = zone_.lookup(
+      DnsName::must_parse("real.apps.example.com"), RecordType::kA);
+  EXPECT_EQ(result.status, LookupStatus::kNoData);
+}
+
+TEST_F(ZoneTest, AnyQueryCollectsAllTypes) {
+  zone_.must_add(make_txt(DnsName::must_parse("www.example.com"), {"v=1"},
+                          60));
+  const auto result =
+      zone_.lookup(DnsName::must_parse("www.example.com"), RecordType::kAny);
+  EXPECT_EQ(result.status, LookupStatus::kSuccess);
+  EXPECT_EQ(result.records.size(), 2u);  // A + TXT
+}
+
+TEST_F(ZoneTest, RemoveByNameAndType) {
+  EXPECT_EQ(zone_.remove(DnsName::must_parse("www.example.com"),
+                         RecordType::kA),
+            1u);
+  EXPECT_EQ(
+      zone_.lookup(DnsName::must_parse("www.example.com"), RecordType::kA)
+          .status,
+      LookupStatus::kNxDomain);
+  EXPECT_EQ(zone_.remove(DnsName::must_parse("www.example.com"),
+                         RecordType::kA),
+            0u);
+}
+
+TEST_F(ZoneTest, RemoveName) {
+  zone_.must_add(make_txt(DnsName::must_parse("www.example.com"), {"x"}, 60));
+  EXPECT_EQ(zone_.remove_name(DnsName::must_parse("www.example.com")), 2u);
+}
+
+TEST_F(ZoneTest, RecordOutsideOriginRejected) {
+  EXPECT_FALSE(zone_.add(make_a(DnsName::must_parse("www.other.org"),
+                                simnet::Ipv4Address::must_parse("1.1.1.1"),
+                                60))
+                   .ok());
+}
+
+TEST_F(ZoneTest, MultipleRecordsFormRrset) {
+  zone_.must_add(make_a(DnsName::must_parse("www.example.com"),
+                        simnet::Ipv4Address::must_parse("198.18.0.2"), 60));
+  const auto result =
+      zone_.lookup(DnsName::must_parse("www.example.com"), RecordType::kA);
+  EXPECT_EQ(result.records.size(), 2u);
+}
+
+TEST_F(ZoneTest, CaseInsensitiveLookup) {
+  const auto result =
+      zone_.lookup(DnsName::must_parse("WWW.EXAMPLE.COM"), RecordType::kA);
+  EXPECT_EQ(result.status, LookupStatus::kSuccess);
+}
+
+TEST_F(ZoneTest, CountsRecords) {
+  EXPECT_EQ(zone_.record_count(), 2u);
+  EXPECT_EQ(zone_.all().size(), 2u);
+  EXPECT_FALSE(zone_.empty());
+}
+
+}  // namespace
+}  // namespace mecdns::dns

@@ -1,0 +1,393 @@
+#include <gtest/gtest.h>
+
+#include "simnet/ip.h"
+#include "simnet/latency.h"
+#include "simnet/network.h"
+#include "simnet/simulator.h"
+#include "simnet/time.h"
+
+namespace mecdns::simnet {
+namespace {
+
+// --- SimTime -------------------------------------------------------------------
+
+TEST(SimTime, ConversionsAndArithmetic) {
+  EXPECT_EQ(SimTime::millis(1.5).count_nanos(), 1'500'000);
+  EXPECT_DOUBLE_EQ(SimTime::seconds(2).to_millis(), 2000.0);
+  EXPECT_EQ(SimTime::millis(1) + SimTime::micros(500),
+            SimTime::micros(1500));
+  EXPECT_LT(SimTime::millis(1), SimTime::millis(2));
+  EXPECT_EQ(SimTime::millis(3) * 2, SimTime::millis(6));
+}
+
+TEST(SimTime, ToStringPicksUnits) {
+  EXPECT_EQ(SimTime::micros(250).to_string(), "250.000us");
+  EXPECT_EQ(SimTime::millis(2.5).to_string(), "2.500ms");
+  EXPECT_EQ(SimTime::seconds(1.5).to_string(), "1.500s");
+}
+
+// --- Simulator -------------------------------------------------------------------
+
+TEST(Simulator, RunsInTimestampOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime::millis(3), [&] { order.push_back(3); });
+  sim.schedule_at(SimTime::millis(1), [&] { order.push_back(1); });
+  sim.schedule_at(SimTime::millis(2), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), SimTime::millis(3));
+}
+
+TEST(Simulator, TiesBreakByScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(SimTime::millis(1), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_after(SimTime::millis(1), recurse);
+  };
+  sim.schedule_after(SimTime::millis(1), recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), SimTime::millis(5));
+}
+
+TEST(Simulator, PastSchedulingClampsToNow) {
+  Simulator sim;
+  sim.schedule_at(SimTime::millis(10), [&] {
+    sim.schedule_at(SimTime::millis(1), [] {});  // in the past
+  });
+  sim.run();
+  EXPECT_EQ(sim.now(), SimTime::millis(10));
+}
+
+TEST(Simulator, RunUntilStopsAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(SimTime::millis(1), [&] { ++fired; });
+  sim.schedule_at(SimTime::millis(10), [&] { ++fired; });
+  sim.run_until(SimTime::millis(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), SimTime::millis(5));
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+// --- IP addressing -----------------------------------------------------------------
+
+TEST(Ipv4, ParseAndFormat) {
+  const auto addr = Ipv4Address::must_parse("192.168.1.10");
+  EXPECT_EQ(addr.to_string(), "192.168.1.10");
+  EXPECT_EQ(addr.value(), 0xc0a8010au);
+  EXPECT_EQ(Ipv4Address(10, 0, 0, 1), Ipv4Address::must_parse("10.0.0.1"));
+}
+
+struct BadAddrCase {
+  const char* text;
+};
+class BadAddrTest : public ::testing::TestWithParam<BadAddrCase> {};
+
+TEST_P(BadAddrTest, Rejected) {
+  EXPECT_FALSE(Ipv4Address::parse(GetParam().text).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, BadAddrTest,
+    ::testing::Values(BadAddrCase{""}, BadAddrCase{"1.2.3"},
+                      BadAddrCase{"1.2.3.4.5"}, BadAddrCase{"256.1.1.1"},
+                      BadAddrCase{"a.b.c.d"}, BadAddrCase{"1..2.3"},
+                      BadAddrCase{"1.2.3.-4"}, BadAddrCase{"1.2.3.4 "}));
+
+TEST(Cidr, ContainsAndHosts) {
+  const auto block = Cidr::must_parse("10.96.0.0/16");
+  EXPECT_TRUE(block.contains(Ipv4Address::must_parse("10.96.255.1")));
+  EXPECT_FALSE(block.contains(Ipv4Address::must_parse("10.97.0.1")));
+  EXPECT_EQ(block.size(), 65536u);
+  EXPECT_EQ(block.host(10), Ipv4Address::must_parse("10.96.0.10"));
+  EXPECT_EQ(block.to_string(), "10.96.0.0/16");
+}
+
+TEST(Cidr, NestedContainment) {
+  const auto wide = Cidr::must_parse("23.0.0.0/8");
+  const auto narrow = Cidr::must_parse("23.55.124.0/24");
+  EXPECT_TRUE(wide.contains(narrow));
+  EXPECT_FALSE(narrow.contains(wide));
+}
+
+TEST(Cidr, EdgePrefixLengths) {
+  const auto all = Cidr::must_parse("0.0.0.0/0");
+  EXPECT_TRUE(all.contains(Ipv4Address::must_parse("255.255.255.255")));
+  const auto host = Cidr::must_parse("1.2.3.4/32");
+  EXPECT_TRUE(host.contains(Ipv4Address::must_parse("1.2.3.4")));
+  EXPECT_FALSE(host.contains(Ipv4Address::must_parse("1.2.3.5")));
+  EXPECT_FALSE(Cidr::parse("1.2.3.4/33").ok());
+  EXPECT_FALSE(Cidr::parse("1.2.3.4").ok());
+}
+
+// --- latency models -------------------------------------------------------------
+
+TEST(LatencyModel, ConstantAlwaysSame) {
+  util::Rng rng(1);
+  const auto model = LatencyModel::constant(SimTime::millis(5));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(model.sample(rng), SimTime::millis(5));
+  }
+  EXPECT_EQ(model.mean(), SimTime::millis(5));
+}
+
+TEST(LatencyModel, UniformWithinBounds) {
+  util::Rng rng(2);
+  const auto model = LatencyModel::uniform(SimTime::millis(1),
+                                           SimTime::millis(3));
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime t = model.sample(rng);
+    EXPECT_GE(t, SimTime::millis(1));
+    EXPECT_LE(t, SimTime::millis(3));
+  }
+}
+
+TEST(LatencyModel, NormalRespectsFloor) {
+  util::Rng rng(3);
+  const auto model = LatencyModel::normal(SimTime::millis(1),
+                                          SimTime::millis(5),
+                                          SimTime::micros(100));
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_GE(model.sample(rng), SimTime::micros(100));
+  }
+}
+
+TEST(LatencyModel, LognormalMeanApproximatelyRight) {
+  util::Rng rng(4);
+  const auto model =
+      LatencyModel::lognormal(SimTime::millis(7), SimTime::millis(2.4), 0.75);
+  double sum = 0.0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) sum += model.sample(rng).to_millis();
+  EXPECT_NEAR(sum / n, model.mean().to_millis(), 0.15);
+  // heavy tail: samples can far exceed the mean
+  EXPECT_GT(model.mean().to_millis(), 9.0);
+  EXPECT_LT(model.mean().to_millis(), 11.5);
+}
+
+// --- network -----------------------------------------------------------------------
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : net_(sim_, util::Rng(5)) {}
+
+  Simulator sim_;
+  Network net_;
+};
+
+TEST_F(NetworkTest, DeliversBetweenDirectNeighbors) {
+  const NodeId a = net_.add_node("a", Ipv4Address::must_parse("10.0.0.1"));
+  const NodeId b = net_.add_node("b", Ipv4Address::must_parse("10.0.0.2"));
+  net_.add_link(a, b, LatencyModel::constant(SimTime::millis(3)));
+
+  std::vector<std::uint8_t> received;
+  SimTime arrival;
+  net_.open_socket(b, 99, [&](const Packet& p) {
+    received = p.payload;
+    arrival = net_.now();
+  });
+  UdpSocket* sender = net_.open_socket(a, 0, nullptr);
+  sender->send_to(Endpoint{Ipv4Address::must_parse("10.0.0.2"), 99},
+                  {1, 2, 3});
+  sim_.run();
+  EXPECT_EQ(received, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(arrival, SimTime::millis(3));
+  EXPECT_EQ(net_.stats().delivered, 1u);
+}
+
+TEST_F(NetworkTest, RoutesViaShortestPath) {
+  // a - b - d is 2ms; a - c - d is 10ms: traffic must take the b path.
+  const NodeId a = net_.add_node("a", Ipv4Address::must_parse("10.0.0.1"));
+  const NodeId b = net_.add_node("b", Ipv4Address::must_parse("10.0.0.2"));
+  const NodeId c = net_.add_node("c", Ipv4Address::must_parse("10.0.0.3"));
+  const NodeId d = net_.add_node("d", Ipv4Address::must_parse("10.0.0.4"));
+  net_.add_link(a, b, LatencyModel::constant(SimTime::millis(1)));
+  net_.add_link(b, d, LatencyModel::constant(SimTime::millis(1)));
+  net_.add_link(a, c, LatencyModel::constant(SimTime::millis(5)));
+  net_.add_link(c, d, LatencyModel::constant(SimTime::millis(5)));
+
+  bool b_saw_it = false;
+  net_.add_tap(b, [&](const Packet&, SimTime) { b_saw_it = true; });
+  SimTime arrival;
+  net_.open_socket(d, 7, [&](const Packet&) { arrival = net_.now(); });
+  net_.open_socket(a, 0, nullptr)
+      ->send_to(Endpoint{Ipv4Address::must_parse("10.0.0.4"), 7}, {0});
+  sim_.run();
+  EXPECT_TRUE(b_saw_it);
+  EXPECT_EQ(arrival, SimTime::millis(2));
+  EXPECT_EQ(*net_.route_cost(a, d), SimTime::millis(2));
+}
+
+TEST_F(NetworkTest, ReroutesAroundDownLink) {
+  const NodeId a = net_.add_node("a", Ipv4Address::must_parse("10.0.0.1"));
+  const NodeId b = net_.add_node("b", Ipv4Address::must_parse("10.0.0.2"));
+  const NodeId c = net_.add_node("c", Ipv4Address::must_parse("10.0.0.3"));
+  const LinkId fast = net_.add_link(a, b,
+                                    LatencyModel::constant(SimTime::millis(1)));
+  net_.add_link(a, c, LatencyModel::constant(SimTime::millis(4)));
+  net_.add_link(c, b, LatencyModel::constant(SimTime::millis(4)));
+
+  net_.set_link_up(fast, false);
+  SimTime arrival;
+  net_.open_socket(b, 7, [&](const Packet&) { arrival = net_.now(); });
+  net_.open_socket(a, 0, nullptr)
+      ->send_to(Endpoint{Ipv4Address::must_parse("10.0.0.2"), 7}, {0});
+  sim_.run();
+  EXPECT_EQ(arrival, SimTime::millis(8));
+}
+
+TEST_F(NetworkTest, DropsWhenNoRoute) {
+  const NodeId a = net_.add_node("a", Ipv4Address::must_parse("10.0.0.1"));
+  net_.add_node("b", Ipv4Address::must_parse("10.0.0.2"));  // not linked
+  net_.open_socket(a, 0, nullptr)
+      ->send_to(Endpoint{Ipv4Address::must_parse("10.0.0.2"), 7}, {0});
+  net_.open_socket(a, 0, nullptr)
+      ->send_to(Endpoint{Ipv4Address::must_parse("99.9.9.9"), 7}, {0});
+  sim_.run();
+  EXPECT_EQ(net_.stats().dropped_no_route, 2u);
+  EXPECT_EQ(net_.stats().delivered, 0u);
+}
+
+TEST_F(NetworkTest, DropsToDownNode) {
+  const NodeId a = net_.add_node("a", Ipv4Address::must_parse("10.0.0.1"));
+  const NodeId b = net_.add_node("b", Ipv4Address::must_parse("10.0.0.2"));
+  net_.add_link(a, b, LatencyModel::constant(SimTime::millis(1)));
+  net_.open_socket(b, 7, [](const Packet&) { FAIL(); });
+  net_.set_node_up(b, false);
+  net_.open_socket(a, 0, nullptr)
+      ->send_to(Endpoint{Ipv4Address::must_parse("10.0.0.2"), 7}, {0});
+  sim_.run();
+  EXPECT_EQ(net_.stats().delivered, 0u);
+}
+
+TEST_F(NetworkTest, TransitHookRewritesLikeNat) {
+  // a -> m -> b where m rewrites the source address (NAT-style).
+  const NodeId a = net_.add_node("a", Ipv4Address::must_parse("10.0.0.1"));
+  const NodeId m = net_.add_node("m", Ipv4Address::must_parse("203.0.113.1"));
+  const NodeId b = net_.add_node("b", Ipv4Address::must_parse("10.0.0.3"));
+  net_.add_link(a, m, LatencyModel::constant(SimTime::millis(1)));
+  net_.add_link(m, b, LatencyModel::constant(SimTime::millis(1)));
+  net_.set_transit_hook(m, [](Packet& p) {
+    if (p.src.addr == Ipv4Address::must_parse("10.0.0.1")) {
+      p.src.addr = Ipv4Address::must_parse("203.0.113.1");
+    }
+    return TransitAction::kForward;
+  });
+  Endpoint seen_src;
+  net_.open_socket(b, 7, [&](const Packet& p) { seen_src = p.src; });
+  net_.open_socket(a, 0, nullptr)
+      ->send_to(Endpoint{Ipv4Address::must_parse("10.0.0.3"), 7}, {0});
+  sim_.run();
+  EXPECT_EQ(seen_src.addr, Ipv4Address::must_parse("203.0.113.1"));
+}
+
+TEST_F(NetworkTest, TransitHookCanDrop) {
+  const NodeId a = net_.add_node("a", Ipv4Address::must_parse("10.0.0.1"));
+  const NodeId m = net_.add_node("m", Ipv4Address::must_parse("10.0.0.2"));
+  const NodeId b = net_.add_node("b", Ipv4Address::must_parse("10.0.0.3"));
+  net_.add_link(a, m, LatencyModel::constant(SimTime::millis(1)));
+  net_.add_link(m, b, LatencyModel::constant(SimTime::millis(1)));
+  net_.set_transit_hook(m, [](Packet&) { return TransitAction::kDrop; });
+  net_.open_socket(b, 7, [](const Packet&) { FAIL(); });
+  net_.open_socket(a, 0, nullptr)
+      ->send_to(Endpoint{Ipv4Address::must_parse("10.0.0.3"), 7}, {0});
+  sim_.run();
+  EXPECT_EQ(net_.stats().dropped_by_hook, 1u);
+}
+
+TEST_F(NetworkTest, LinkLossDropsProbabilistically) {
+  const NodeId a = net_.add_node("a", Ipv4Address::must_parse("10.0.0.1"));
+  const NodeId b = net_.add_node("b", Ipv4Address::must_parse("10.0.0.2"));
+  const LinkId link =
+      net_.add_link(a, b, LatencyModel::constant(SimTime::millis(1)));
+  net_.set_link_loss(link, 0.5);
+  int delivered = 0;
+  net_.open_socket(b, 7, [&](const Packet&) { ++delivered; });
+  UdpSocket* sender = net_.open_socket(a, 0, nullptr);
+  for (int i = 0; i < 400; ++i) {
+    sender->send_to(Endpoint{Ipv4Address::must_parse("10.0.0.2"), 7}, {0});
+  }
+  sim_.run();
+  EXPECT_GT(delivered, 140);
+  EXPECT_LT(delivered, 260);
+  EXPECT_EQ(net_.stats().dropped_loss + static_cast<std::uint64_t>(delivered),
+            400u);
+}
+
+TEST_F(NetworkTest, HopTraceRecordsPath) {
+  const NodeId a = net_.add_node("a", Ipv4Address::must_parse("10.0.0.1"));
+  const NodeId m = net_.add_node("m", Ipv4Address::must_parse("10.0.0.2"));
+  const NodeId b = net_.add_node("b", Ipv4Address::must_parse("10.0.0.3"));
+  net_.add_link(a, m, LatencyModel::constant(SimTime::millis(1)));
+  net_.add_link(m, b, LatencyModel::constant(SimTime::millis(1)));
+  std::vector<NodeId> path;
+  net_.open_socket(b, 7, [&](const Packet& p) {
+    for (const Hop& hop : p.hops) path.push_back(hop.node);
+  });
+  net_.open_socket(a, 0, nullptr)
+      ->send_to(Endpoint{Ipv4Address::must_parse("10.0.0.3"), 7}, {0});
+  sim_.run();
+  EXPECT_EQ(path, (std::vector<NodeId>{a, m, b}));
+}
+
+TEST_F(NetworkTest, EphemeralPortsAreDistinct) {
+  const NodeId a = net_.add_node("a", Ipv4Address::must_parse("10.0.0.1"));
+  UdpSocket* s1 = net_.open_socket(a, 0, nullptr);
+  UdpSocket* s2 = net_.open_socket(a, 0, nullptr);
+  EXPECT_NE(s1->port(), s2->port());
+  EXPECT_GE(s1->port(), 49152);
+}
+
+TEST_F(NetworkTest, PortConflictThrows) {
+  const NodeId a = net_.add_node("a", Ipv4Address::must_parse("10.0.0.1"));
+  net_.open_socket(a, 53, nullptr);
+  EXPECT_THROW(net_.open_socket(a, 53, nullptr), std::invalid_argument);
+}
+
+TEST_F(NetworkTest, ClosedSocketStopsReceiving) {
+  const NodeId a = net_.add_node("a", Ipv4Address::must_parse("10.0.0.1"));
+  const NodeId b = net_.add_node("b", Ipv4Address::must_parse("10.0.0.2"));
+  net_.add_link(a, b, LatencyModel::constant(SimTime::millis(1)));
+  UdpSocket* receiver = net_.open_socket(b, 7, [](const Packet&) { FAIL(); });
+  net_.close_socket(receiver);
+  net_.open_socket(a, 0, nullptr)
+      ->send_to(Endpoint{Ipv4Address::must_parse("10.0.0.2"), 7}, {0});
+  sim_.run();
+  EXPECT_EQ(net_.stats().dropped_no_socket, 1u);
+}
+
+TEST_F(NetworkTest, DuplicateAddressRejected) {
+  net_.add_node("a", Ipv4Address::must_parse("10.0.0.1"));
+  const NodeId b = net_.add_node("b");
+  EXPECT_THROW(net_.add_address(b, Ipv4Address::must_parse("10.0.0.1")),
+               std::invalid_argument);
+}
+
+TEST_F(NetworkTest, MultiAddressNodeReceivesOnAll) {
+  const NodeId a = net_.add_node("a", Ipv4Address::must_parse("10.0.0.1"));
+  const NodeId b = net_.add_node("b", Ipv4Address::must_parse("10.0.0.2"));
+  net_.add_address(b, Ipv4Address::must_parse("10.96.0.10"));  // cluster IP
+  net_.add_link(a, b, LatencyModel::constant(SimTime::millis(1)));
+  int received = 0;
+  net_.open_socket(b, 53, [&](const Packet&) { ++received; },
+                   Ipv4Address::must_parse("10.96.0.10"));
+  net_.open_socket(a, 0, nullptr)
+      ->send_to(Endpoint{Ipv4Address::must_parse("10.96.0.10"), 53}, {0});
+  sim_.run();
+  EXPECT_EQ(received, 1);
+}
+
+}  // namespace
+}  // namespace mecdns::simnet

@@ -1,0 +1,57 @@
+// End-to-end smoke tests: the full Figure 5 scenarios and the measurement
+// study run, resolve correctly, and land in the expected latency bands.
+#include <gtest/gtest.h>
+
+#include "core/fig5.h"
+#include "core/study.h"
+
+namespace mecdns {
+namespace {
+
+TEST(Smoke, MecCdnScenarioResolvesToMecCache) {
+  core::Fig5Testbed::Config config;
+  config.deployment = core::Fig5Deployment::kMecLdnsMecCdns;
+  core::Fig5Testbed testbed(config);
+  const core::SeriesResult result = testbed.measure(20);
+
+  EXPECT_EQ(result.failures(), 0u);
+  EXPECT_EQ(result.samples.size(), 20u);
+  EXPECT_DOUBLE_EQ(result.answer_share([&](simnet::Ipv4Address addr) {
+                     return testbed.is_mec_cache(addr);
+                   }),
+                   1.0);
+  const double mean = result.totals().mean();
+  EXPECT_GT(mean, 20.0);  // includes the LTE wireless RTT
+  EXPECT_LT(mean, 40.0);
+  // Breakdown: wireless dominates for the MEC deployment.
+  EXPECT_GT(result.wireless().mean(), 15.0);
+  EXPECT_LT(result.beyond_pgw().mean(), 15.0);
+}
+
+TEST(Smoke, ProviderLdnsScenarioResolvesToCloud) {
+  core::Fig5Testbed::Config config;
+  config.deployment = core::Fig5Deployment::kProviderLdns;
+  core::Fig5Testbed testbed(config);
+  const core::SeriesResult result = testbed.measure(10);
+
+  EXPECT_EQ(result.failures(), 0u);
+  EXPECT_DOUBLE_EQ(result.answer_share([&](simnet::Ipv4Address addr) {
+                     return testbed.is_cloud_cache(addr);
+                   }),
+                   1.0);
+  EXPECT_GT(result.totals().mean(), 60.0);
+}
+
+TEST(Smoke, StudyCellularSlowerThanWired) {
+  core::MeasurementStudy::Config config;
+  config.queries_per_cell = 15;
+  core::MeasurementStudy study(config);
+  const auto wired = study.run_cell(0, workload::kWiredCampus);
+  const auto cellular = study.run_cell(0, workload::kCellularMobile);
+  EXPECT_EQ(wired.failures, 0u);
+  EXPECT_EQ(cellular.failures, 0u);
+  EXPECT_GT(cellular.trimmed.mean, wired.trimmed.mean * 1.5);
+}
+
+}  // namespace
+}  // namespace mecdns

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "util/args.h"
+
+namespace mecdns::util {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser args("test parser");
+  args.add_string("name", "default", "a string");
+  args.add_int("count", 10, "an int");
+  args.add_double("rate", 1.5, "a double");
+  args.add_bool("verbose", false, "a bool");
+  args.add_bool("cache", true, "a default-true bool");
+  return args;
+}
+
+Result<void> parse(ArgParser& args, std::vector<const char*> argv) {
+  return args.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, DefaultsApplyWithoutArgs) {
+  ArgParser args = make_parser();
+  ASSERT_TRUE(parse(args, {}).ok());
+  EXPECT_EQ(args.get_string("name"), "default");
+  EXPECT_EQ(args.get_int("count"), 10);
+  EXPECT_DOUBLE_EQ(args.get_double("rate"), 1.5);
+  EXPECT_FALSE(args.get_bool("verbose"));
+  EXPECT_TRUE(args.get_bool("cache"));
+}
+
+TEST(ArgParser, EqualsAndSpaceForms) {
+  ArgParser args = make_parser();
+  ASSERT_TRUE(parse(args, {"--name=foo", "--count", "42", "--rate=0.25"}).ok());
+  EXPECT_EQ(args.get_string("name"), "foo");
+  EXPECT_EQ(args.get_int("count"), 42);
+  EXPECT_DOUBLE_EQ(args.get_double("rate"), 0.25);
+}
+
+TEST(ArgParser, BoolForms) {
+  ArgParser args = make_parser();
+  ASSERT_TRUE(parse(args, {"--verbose", "--no-cache"}).ok());
+  EXPECT_TRUE(args.get_bool("verbose"));
+  EXPECT_FALSE(args.get_bool("cache"));
+
+  ArgParser args2 = make_parser();
+  ASSERT_TRUE(parse(args2, {"--verbose=false", "--cache=1"}).ok());
+  EXPECT_FALSE(args2.get_bool("verbose"));
+  EXPECT_TRUE(args2.get_bool("cache"));
+}
+
+TEST(ArgParser, PositionalCollected) {
+  ArgParser args = make_parser();
+  ASSERT_TRUE(parse(args, {"one", "--count", "5", "two"}).ok());
+  EXPECT_EQ(args.positional(),
+            (std::vector<std::string>{"one", "two"}));
+}
+
+TEST(ArgParser, Errors) {
+  {
+    ArgParser args = make_parser();
+    EXPECT_FALSE(parse(args, {"--unknown"}).ok());
+  }
+  {
+    ArgParser args = make_parser();
+    EXPECT_FALSE(parse(args, {"--count", "abc"}).ok());
+  }
+  {
+    ArgParser args = make_parser();
+    EXPECT_FALSE(parse(args, {"--count"}).ok());  // missing value
+  }
+  {
+    ArgParser args = make_parser();
+    EXPECT_FALSE(parse(args, {"--verbose=maybe"}).ok());
+  }
+  {
+    ArgParser args = make_parser();
+    EXPECT_FALSE(parse(args, {"--rate=fast"}).ok());
+  }
+}
+
+TEST(ArgParser, WrongTypeAccessThrows) {
+  ArgParser args = make_parser();
+  ASSERT_TRUE(parse(args, {}).ok());
+  EXPECT_THROW(args.get_int("name"), std::logic_error);
+  EXPECT_THROW(args.get_string("missing"), std::logic_error);
+}
+
+TEST(ArgParser, UsageListsFlags) {
+  ArgParser args = make_parser();
+  const std::string usage = args.usage("prog");
+  EXPECT_NE(usage.find("--name"), std::string::npos);
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("default: 10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mecdns::util

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "workload/trace.h"
+
+namespace mecdns::workload {
+namespace {
+
+TEST(MobilityTrace, ParsesAndRoundTrips) {
+  const char* text =
+      "# commute\n"
+      "0 0\n"
+      "5.5 1\n"
+      "12 0  # back home\n";
+  const auto trace = parse_mobility_trace(text);
+  ASSERT_TRUE(trace.ok()) << trace.error().message;
+  ASSERT_EQ(trace.value().size(), 3u);
+  EXPECT_EQ(trace.value()[1].at, simnet::SimTime::seconds(5.5));
+  EXPECT_EQ(trace.value()[1].cell, 1u);
+
+  const auto round = parse_mobility_trace(to_text(trace.value()));
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round.value(), trace.value());
+}
+
+TEST(MobilityTrace, RejectsMalformed) {
+  EXPECT_FALSE(parse_mobility_trace("abc 0\n").ok());
+  EXPECT_FALSE(parse_mobility_trace("1\n").ok());
+  EXPECT_FALSE(parse_mobility_trace("1 x\n").ok());
+  EXPECT_FALSE(parse_mobility_trace("5 0\n1 1\n").ok());  // out of order
+  EXPECT_FALSE(parse_mobility_trace("1 0 extra\n").ok());
+  EXPECT_FALSE(parse_mobility_trace("-1 0\n").ok());
+}
+
+TEST(MobilityTrace, SynthCommuteCyclesCells) {
+  const auto trace = synth_commute(simnet::SimTime::seconds(100),
+                                   simnet::SimTime::seconds(10), 3, 7);
+  ASSERT_GT(trace.size(), 3u);
+  EXPECT_EQ(trace.front().cell, 0u);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GT(trace[i].at, trace[i - 1].at);
+    EXPECT_EQ(trace[i].cell, i % 3);
+  }
+}
+
+TEST(RequestTrace, ParsesAndRoundTrips) {
+  const char* text =
+      "0.5 video.demo1.mycdn.test/segment0000\n"
+      "1.25 video.demo1.mycdn.test/segment0001\n";
+  const auto trace = parse_request_trace(text);
+  ASSERT_TRUE(trace.ok()) << trace.error().message;
+  ASSERT_EQ(trace.value().size(), 2u);
+  EXPECT_EQ(trace.value()[0].url.path, "/segment0000");
+
+  const auto round = parse_request_trace(to_text(trace.value()));
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round.value(), trace.value());
+}
+
+TEST(RequestTrace, RejectsBadUrlAndOrder) {
+  EXPECT_FALSE(parse_request_trace("1 bad url\n").ok());
+  EXPECT_FALSE(parse_request_trace("2 a.test/x\n1 a.test/y\n").ok());
+}
+
+TEST(RequestTrace, SynthRespectsDurationAndCatalog) {
+  cdn::ContentCatalog catalog;
+  catalog.add_series(dns::DnsName::must_parse("v.test"), "seg", 20, 1000);
+  const auto trace =
+      synth_requests(catalog, 0.9, simnet::SimTime::seconds(60),
+                     simnet::SimTime::millis(500), 3);
+  ASSERT_GT(trace.size(), 50u);  // ~120 expected
+  for (const auto& event : trace) {
+    EXPECT_LE(event.at, simnet::SimTime::seconds(60));
+    EXPECT_TRUE(catalog.contains(event.url));
+  }
+}
+
+}  // namespace
+}  // namespace mecdns::workload

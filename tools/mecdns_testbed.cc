@@ -1,0 +1,157 @@
+// mecdns_testbed — run the paper's experiments from the command line.
+//
+//   mecdns_testbed --experiment fig5 --deployment mec-mec --queries 50
+//   mecdns_testbed --experiment fig5 --deployment google --csv
+//   mecdns_testbed --experiment study --site 0 --network cellular-mobile
+//   mecdns_testbed --experiment ecs --deployment mec-lan
+//
+// Prints a human-readable summary, or CSV rows (--csv) for plotting.
+#include <cstdio>
+#include <string>
+
+#include "core/fig5.h"
+#include "core/study.h"
+#include "util/args.h"
+
+using namespace mecdns;
+
+namespace {
+
+util::Result<core::Fig5Deployment> parse_deployment(const std::string& text) {
+  if (text == "mec-mec") return core::Fig5Deployment::kMecLdnsMecCdns;
+  if (text == "mec-lan") return core::Fig5Deployment::kMecLdnsLanCdns;
+  if (text == "mec-wan") return core::Fig5Deployment::kMecLdnsWanCdns;
+  if (text == "provider") return core::Fig5Deployment::kProviderLdns;
+  if (text == "google") return core::Fig5Deployment::kGoogleDns;
+  if (text == "cloudflare") return core::Fig5Deployment::kCloudflareDns;
+  return util::Err("unknown deployment '" + text +
+                   "' (mec-mec|mec-lan|mec-wan|provider|google|cloudflare)");
+}
+
+int run_fig5(const util::ArgParser& args) {
+  const auto deployment = parse_deployment(args.get_string("deployment"));
+  if (!deployment.ok()) {
+    std::fprintf(stderr, "%s\n", deployment.error().message.c_str());
+    return 2;
+  }
+  core::Fig5Testbed::Config config;
+  config.deployment = deployment.value();
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  config.enable_ecs = args.get_bool("ecs");
+  core::Fig5Testbed testbed(config);
+  const core::SeriesResult result =
+      testbed.measure(static_cast<std::size_t>(args.get_int("queries")));
+
+  if (args.get_bool("csv")) {
+    std::printf("deployment,query,total_ms,wireless_ms,beyond_pgw_ms,answer\n");
+    for (std::size_t i = 0; i < result.samples.size(); ++i) {
+      const auto& sample = result.samples[i];
+      std::printf("%s,%zu,%.3f,%.3f,%.3f,%s\n",
+                  args.get_string("deployment").c_str(), i, sample.total_ms,
+                  sample.wireless_ms, sample.beyond_pgw_ms,
+                  sample.address.to_string().c_str());
+    }
+    return 0;
+  }
+  const util::Summary summary = result.totals().summarize();
+  std::printf("%s: mean %.1f ms (wireless %.1f + dns %.1f), min %.1f, max "
+              "%.1f, failures %zu\n",
+              core::to_string(config.deployment).c_str(), summary.mean,
+              result.wireless().mean(), result.beyond_pgw().mean(),
+              summary.min, summary.max, result.failures());
+  const double mec_share = result.answer_share(
+      [&](simnet::Ipv4Address a) { return testbed.is_mec_cache(a); });
+  std::printf("answers from MEC caches: %.0f%%\n", 100.0 * mec_share);
+  return 0;
+}
+
+int run_study(const util::ArgParser& args) {
+  core::MeasurementStudy::Config config;
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  config.queries_per_cell = static_cast<std::size_t>(args.get_int("queries"));
+  core::MeasurementStudy study(config);
+  const auto site = static_cast<std::size_t>(args.get_int("site"));
+  if (site >= workload::figure3_profiles().size()) {
+    std::fprintf(stderr, "site index out of range (0-%zu)\n",
+                 workload::figure3_profiles().size() - 1);
+    return 2;
+  }
+  const auto cell = study.run_cell(site, args.get_string("network"));
+
+  if (args.get_bool("csv")) {
+    std::printf("website,network,query,latency_ms\n");
+    const auto& values = cell.latencies_ms.values();
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      std::printf("%s,%s,%zu,%.3f\n", cell.website.c_str(),
+                  cell.network_class.c_str(), i, values[i]);
+    }
+    return 0;
+  }
+  std::printf("%s over %s: bar %.1f ms (8th-92nd pct), min %.1f, max %.1f\n",
+              cell.website.c_str(), cell.network_class.c_str(),
+              cell.trimmed.mean, cell.trimmed.min, cell.trimmed.max);
+  for (const auto& key : cell.distribution.keys_by_count()) {
+    std::printf("  %-40s %.0f%%\n", key.c_str(),
+                100.0 * cell.distribution.share(key));
+  }
+  return 0;
+}
+
+int run_ecs(const util::ArgParser& args) {
+  const auto deployment = parse_deployment(args.get_string("deployment"));
+  if (!deployment.ok()) {
+    std::fprintf(stderr, "%s\n", deployment.error().message.c_str());
+    return 2;
+  }
+  const auto queries = static_cast<std::size_t>(args.get_int("queries"));
+  double means[2];
+  for (const bool ecs : {false, true}) {
+    core::Fig5Testbed::Config config;
+    config.deployment = deployment.value();
+    config.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+    config.enable_ecs = ecs;
+    core::Fig5Testbed testbed(config);
+    means[ecs ? 1 : 0] = testbed.measure(queries).totals().mean();
+  }
+  std::printf("%s: no-ECS %.1f ms, ECS %.1f ms, ratio %.2fx\n",
+              core::to_string(deployment.value()).c_str(), means[0], means[1],
+              means[1] / means[0]);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args(
+      "mecdns_testbed: run the MEC-CDN paper's experiments from the CLI");
+  args.add_string("experiment", "fig5", "fig5 | study | ecs");
+  args.add_string("deployment", "mec-mec",
+                  "fig5/ecs deployment: mec-mec|mec-lan|mec-wan|provider|"
+                  "google|cloudflare");
+  args.add_int("queries", 50, "measured queries per series");
+  args.add_int("seed", 42, "simulation seed");
+  args.add_bool("ecs", false, "enable EDNS Client Subnet (fig5)");
+  args.add_int("site", 0, "study: Table 1 site index (0-4)");
+  args.add_string("network", "cellular-mobile",
+                  "study: wired-campus | wifi-home | cellular-mobile");
+  args.add_bool("csv", false, "emit per-query CSV instead of a summary");
+  args.add_bool("help", false, "print usage");
+
+  if (auto result = args.parse(argc - 1, argv + 1); !result.ok()) {
+    std::fprintf(stderr, "%s\n%s", result.error().message.c_str(),
+                 args.usage(argv[0]).c_str());
+    return 2;
+  }
+  if (args.get_bool("help")) {
+    std::printf("%s", args.usage(argv[0]).c_str());
+    return 0;
+  }
+
+  const std::string experiment = args.get_string("experiment");
+  if (experiment == "fig5") return run_fig5(args);
+  if (experiment == "study") return run_study(args);
+  if (experiment == "ecs") return run_ecs(args);
+  std::fprintf(stderr, "unknown experiment '%s'\n%s", experiment.c_str(),
+               args.usage(argv[0]).c_str());
+  return 2;
+}
