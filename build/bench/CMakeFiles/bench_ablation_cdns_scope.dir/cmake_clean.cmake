@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cdns_scope.dir/bench_ablation_cdns_scope.cc.o"
+  "CMakeFiles/bench_ablation_cdns_scope.dir/bench_ablation_cdns_scope.cc.o.d"
+  "bench_ablation_cdns_scope"
+  "bench_ablation_cdns_scope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cdns_scope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_handoff.dir/bench_ablation_handoff.cc.o"
+  "CMakeFiles/bench_ablation_handoff.dir/bench_ablation_handoff.cc.o.d"
+  "bench_ablation_handoff"
+  "bench_ablation_handoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_handoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ingress_fallback.dir/bench_ablation_ingress_fallback.cc.o"
+  "CMakeFiles/bench_ablation_ingress_fallback.dir/bench_ablation_ingress_fallback.cc.o.d"
+  "bench_ablation_ingress_fallback"
+  "bench_ablation_ingress_fallback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ingress_fallback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

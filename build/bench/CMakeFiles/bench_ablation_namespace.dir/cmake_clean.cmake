@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_namespace.dir/bench_ablation_namespace.cc.o"
+  "CMakeFiles/bench_ablation_namespace.dir/bench_ablation_namespace.cc.o.d"
+  "bench_ablation_namespace"
+  "bench_ablation_namespace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_namespace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

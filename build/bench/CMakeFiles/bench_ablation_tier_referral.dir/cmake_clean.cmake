@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tier_referral.dir/bench_ablation_tier_referral.cc.o"
+  "CMakeFiles/bench_ablation_tier_referral.dir/bench_ablation_tier_referral.cc.o.d"
+  "bench_ablation_tier_referral"
+  "bench_ablation_tier_referral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tier_referral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

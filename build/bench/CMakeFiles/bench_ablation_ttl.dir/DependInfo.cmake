@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_ttl.cc" "bench/CMakeFiles/bench_ablation_ttl.dir/bench_ablation_ttl.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_ttl.dir/bench_ablation_ttl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mecdns_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mecdns_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ran/CMakeFiles/mecdns_ran.dir/DependInfo.cmake"
+  "/root/repo/build/src/mec/CMakeFiles/mecdns_mec.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdn/CMakeFiles/mecdns_cdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/mecdns_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/mecdns_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mecdns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

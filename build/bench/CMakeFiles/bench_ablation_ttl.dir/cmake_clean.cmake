@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ttl.dir/bench_ablation_ttl.cc.o"
+  "CMakeFiles/bench_ablation_ttl.dir/bench_ablation_ttl.cc.o.d"
+  "bench_ablation_ttl"
+  "bench_ablation_ttl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ttl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ecs_impact.dir/bench_ecs_impact.cc.o"
+  "CMakeFiles/bench_ecs_impact.dir/bench_ecs_impact.cc.o.d"
+  "bench_ecs_impact"
+  "bench_ecs_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ecs_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_table1_at_mec.dir/bench_extension_table1_at_mec.cc.o"
+  "CMakeFiles/bench_extension_table1_at_mec.dir/bench_extension_table1_at_mec.cc.o.d"
+  "bench_extension_table1_at_mec"
+  "bench_extension_table1_at_mec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_table1_at_mec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_extension_table1_at_mec.
+# This may be replaced when dependencies are built.

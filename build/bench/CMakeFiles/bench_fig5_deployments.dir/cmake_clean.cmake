@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_deployments.dir/bench_fig5_deployments.cc.o"
+  "CMakeFiles/bench_fig5_deployments.dir/bench_fig5_deployments.cc.o.d"
+  "bench_fig5_deployments"
+  "bench_fig5_deployments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_deployments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arvr_latency_budget.dir/arvr_latency_budget.cpp.o"
+  "CMakeFiles/arvr_latency_budget.dir/arvr_latency_budget.cpp.o.d"
+  "arvr_latency_budget"
+  "arvr_latency_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arvr_latency_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_walkthrough.dir/fig1_walkthrough.cpp.o"
+  "CMakeFiles/fig1_walkthrough.dir/fig1_walkthrough.cpp.o.d"
+  "fig1_walkthrough"
+  "fig1_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overload_fallback.dir/overload_fallback.cpp.o"
+  "CMakeFiles/overload_fallback.dir/overload_fallback.cpp.o.d"
+  "overload_fallback"
+  "overload_fallback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overload_fallback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cdn/cache_server.cc" "src/cdn/CMakeFiles/mecdns_cdn.dir/cache_server.cc.o" "gcc" "src/cdn/CMakeFiles/mecdns_cdn.dir/cache_server.cc.o.d"
+  "/root/repo/src/cdn/consistent_hash.cc" "src/cdn/CMakeFiles/mecdns_cdn.dir/consistent_hash.cc.o" "gcc" "src/cdn/CMakeFiles/mecdns_cdn.dir/consistent_hash.cc.o.d"
+  "/root/repo/src/cdn/content.cc" "src/cdn/CMakeFiles/mecdns_cdn.dir/content.cc.o" "gcc" "src/cdn/CMakeFiles/mecdns_cdn.dir/content.cc.o.d"
+  "/root/repo/src/cdn/coverage.cc" "src/cdn/CMakeFiles/mecdns_cdn.dir/coverage.cc.o" "gcc" "src/cdn/CMakeFiles/mecdns_cdn.dir/coverage.cc.o.d"
+  "/root/repo/src/cdn/geo.cc" "src/cdn/CMakeFiles/mecdns_cdn.dir/geo.cc.o" "gcc" "src/cdn/CMakeFiles/mecdns_cdn.dir/geo.cc.o.d"
+  "/root/repo/src/cdn/opaque_router.cc" "src/cdn/CMakeFiles/mecdns_cdn.dir/opaque_router.cc.o" "gcc" "src/cdn/CMakeFiles/mecdns_cdn.dir/opaque_router.cc.o.d"
+  "/root/repo/src/cdn/traffic_monitor.cc" "src/cdn/CMakeFiles/mecdns_cdn.dir/traffic_monitor.cc.o" "gcc" "src/cdn/CMakeFiles/mecdns_cdn.dir/traffic_monitor.cc.o.d"
+  "/root/repo/src/cdn/traffic_router.cc" "src/cdn/CMakeFiles/mecdns_cdn.dir/traffic_router.cc.o" "gcc" "src/cdn/CMakeFiles/mecdns_cdn.dir/traffic_router.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/mecdns_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/mecdns_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mecdns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecdns_cdn.dir/cache_server.cc.o"
+  "CMakeFiles/mecdns_cdn.dir/cache_server.cc.o.d"
+  "CMakeFiles/mecdns_cdn.dir/consistent_hash.cc.o"
+  "CMakeFiles/mecdns_cdn.dir/consistent_hash.cc.o.d"
+  "CMakeFiles/mecdns_cdn.dir/content.cc.o"
+  "CMakeFiles/mecdns_cdn.dir/content.cc.o.d"
+  "CMakeFiles/mecdns_cdn.dir/coverage.cc.o"
+  "CMakeFiles/mecdns_cdn.dir/coverage.cc.o.d"
+  "CMakeFiles/mecdns_cdn.dir/geo.cc.o"
+  "CMakeFiles/mecdns_cdn.dir/geo.cc.o.d"
+  "CMakeFiles/mecdns_cdn.dir/opaque_router.cc.o"
+  "CMakeFiles/mecdns_cdn.dir/opaque_router.cc.o.d"
+  "CMakeFiles/mecdns_cdn.dir/traffic_monitor.cc.o"
+  "CMakeFiles/mecdns_cdn.dir/traffic_monitor.cc.o.d"
+  "CMakeFiles/mecdns_cdn.dir/traffic_router.cc.o"
+  "CMakeFiles/mecdns_cdn.dir/traffic_router.cc.o.d"
+  "libmecdns_cdn.a"
+  "libmecdns_cdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecdns_cdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecdns_core.dir/experiment.cc.o"
+  "CMakeFiles/mecdns_core.dir/experiment.cc.o.d"
+  "CMakeFiles/mecdns_core.dir/fig5.cc.o"
+  "CMakeFiles/mecdns_core.dir/fig5.cc.o.d"
+  "CMakeFiles/mecdns_core.dir/mec_cdn.cc.o"
+  "CMakeFiles/mecdns_core.dir/mec_cdn.cc.o.d"
+  "CMakeFiles/mecdns_core.dir/replay.cc.o"
+  "CMakeFiles/mecdns_core.dir/replay.cc.o.d"
+  "CMakeFiles/mecdns_core.dir/roles.cc.o"
+  "CMakeFiles/mecdns_core.dir/roles.cc.o.d"
+  "CMakeFiles/mecdns_core.dir/study.cc.o"
+  "CMakeFiles/mecdns_core.dir/study.cc.o.d"
+  "libmecdns_core.a"
+  "libmecdns_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecdns_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

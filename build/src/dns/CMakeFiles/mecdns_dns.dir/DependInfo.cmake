@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dns/cache.cc" "src/dns/CMakeFiles/mecdns_dns.dir/cache.cc.o" "gcc" "src/dns/CMakeFiles/mecdns_dns.dir/cache.cc.o.d"
+  "/root/repo/src/dns/edns.cc" "src/dns/CMakeFiles/mecdns_dns.dir/edns.cc.o" "gcc" "src/dns/CMakeFiles/mecdns_dns.dir/edns.cc.o.d"
+  "/root/repo/src/dns/hierarchy.cc" "src/dns/CMakeFiles/mecdns_dns.dir/hierarchy.cc.o" "gcc" "src/dns/CMakeFiles/mecdns_dns.dir/hierarchy.cc.o.d"
+  "/root/repo/src/dns/master.cc" "src/dns/CMakeFiles/mecdns_dns.dir/master.cc.o" "gcc" "src/dns/CMakeFiles/mecdns_dns.dir/master.cc.o.d"
+  "/root/repo/src/dns/message.cc" "src/dns/CMakeFiles/mecdns_dns.dir/message.cc.o" "gcc" "src/dns/CMakeFiles/mecdns_dns.dir/message.cc.o.d"
+  "/root/repo/src/dns/name.cc" "src/dns/CMakeFiles/mecdns_dns.dir/name.cc.o" "gcc" "src/dns/CMakeFiles/mecdns_dns.dir/name.cc.o.d"
+  "/root/repo/src/dns/plugin.cc" "src/dns/CMakeFiles/mecdns_dns.dir/plugin.cc.o" "gcc" "src/dns/CMakeFiles/mecdns_dns.dir/plugin.cc.o.d"
+  "/root/repo/src/dns/recursive.cc" "src/dns/CMakeFiles/mecdns_dns.dir/recursive.cc.o" "gcc" "src/dns/CMakeFiles/mecdns_dns.dir/recursive.cc.o.d"
+  "/root/repo/src/dns/rr.cc" "src/dns/CMakeFiles/mecdns_dns.dir/rr.cc.o" "gcc" "src/dns/CMakeFiles/mecdns_dns.dir/rr.cc.o.d"
+  "/root/repo/src/dns/server.cc" "src/dns/CMakeFiles/mecdns_dns.dir/server.cc.o" "gcc" "src/dns/CMakeFiles/mecdns_dns.dir/server.cc.o.d"
+  "/root/repo/src/dns/stub.cc" "src/dns/CMakeFiles/mecdns_dns.dir/stub.cc.o" "gcc" "src/dns/CMakeFiles/mecdns_dns.dir/stub.cc.o.d"
+  "/root/repo/src/dns/transport.cc" "src/dns/CMakeFiles/mecdns_dns.dir/transport.cc.o" "gcc" "src/dns/CMakeFiles/mecdns_dns.dir/transport.cc.o.d"
+  "/root/repo/src/dns/wire.cc" "src/dns/CMakeFiles/mecdns_dns.dir/wire.cc.o" "gcc" "src/dns/CMakeFiles/mecdns_dns.dir/wire.cc.o.d"
+  "/root/repo/src/dns/zone.cc" "src/dns/CMakeFiles/mecdns_dns.dir/zone.cc.o" "gcc" "src/dns/CMakeFiles/mecdns_dns.dir/zone.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simnet/CMakeFiles/mecdns_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mecdns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecdns_dns.dir/cache.cc.o"
+  "CMakeFiles/mecdns_dns.dir/cache.cc.o.d"
+  "CMakeFiles/mecdns_dns.dir/edns.cc.o"
+  "CMakeFiles/mecdns_dns.dir/edns.cc.o.d"
+  "CMakeFiles/mecdns_dns.dir/hierarchy.cc.o"
+  "CMakeFiles/mecdns_dns.dir/hierarchy.cc.o.d"
+  "CMakeFiles/mecdns_dns.dir/master.cc.o"
+  "CMakeFiles/mecdns_dns.dir/master.cc.o.d"
+  "CMakeFiles/mecdns_dns.dir/message.cc.o"
+  "CMakeFiles/mecdns_dns.dir/message.cc.o.d"
+  "CMakeFiles/mecdns_dns.dir/name.cc.o"
+  "CMakeFiles/mecdns_dns.dir/name.cc.o.d"
+  "CMakeFiles/mecdns_dns.dir/plugin.cc.o"
+  "CMakeFiles/mecdns_dns.dir/plugin.cc.o.d"
+  "CMakeFiles/mecdns_dns.dir/recursive.cc.o"
+  "CMakeFiles/mecdns_dns.dir/recursive.cc.o.d"
+  "CMakeFiles/mecdns_dns.dir/rr.cc.o"
+  "CMakeFiles/mecdns_dns.dir/rr.cc.o.d"
+  "CMakeFiles/mecdns_dns.dir/server.cc.o"
+  "CMakeFiles/mecdns_dns.dir/server.cc.o.d"
+  "CMakeFiles/mecdns_dns.dir/stub.cc.o"
+  "CMakeFiles/mecdns_dns.dir/stub.cc.o.d"
+  "CMakeFiles/mecdns_dns.dir/transport.cc.o"
+  "CMakeFiles/mecdns_dns.dir/transport.cc.o.d"
+  "CMakeFiles/mecdns_dns.dir/wire.cc.o"
+  "CMakeFiles/mecdns_dns.dir/wire.cc.o.d"
+  "CMakeFiles/mecdns_dns.dir/zone.cc.o"
+  "CMakeFiles/mecdns_dns.dir/zone.cc.o.d"
+  "libmecdns_dns.a"
+  "libmecdns_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecdns_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

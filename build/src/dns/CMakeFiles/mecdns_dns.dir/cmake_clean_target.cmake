@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmecdns_dns.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mec/cluster.cc" "src/mec/CMakeFiles/mecdns_mec.dir/cluster.cc.o" "gcc" "src/mec/CMakeFiles/mecdns_mec.dir/cluster.cc.o.d"
+  "/root/repo/src/mec/ingress.cc" "src/mec/CMakeFiles/mecdns_mec.dir/ingress.cc.o" "gcc" "src/mec/CMakeFiles/mecdns_mec.dir/ingress.cc.o.d"
+  "/root/repo/src/mec/orchestrator.cc" "src/mec/CMakeFiles/mecdns_mec.dir/orchestrator.cc.o" "gcc" "src/mec/CMakeFiles/mecdns_mec.dir/orchestrator.cc.o.d"
+  "/root/repo/src/mec/registry.cc" "src/mec/CMakeFiles/mecdns_mec.dir/registry.cc.o" "gcc" "src/mec/CMakeFiles/mecdns_mec.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/mecdns_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/mecdns_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mecdns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecdns_mec.dir/cluster.cc.o"
+  "CMakeFiles/mecdns_mec.dir/cluster.cc.o.d"
+  "CMakeFiles/mecdns_mec.dir/ingress.cc.o"
+  "CMakeFiles/mecdns_mec.dir/ingress.cc.o.d"
+  "CMakeFiles/mecdns_mec.dir/orchestrator.cc.o"
+  "CMakeFiles/mecdns_mec.dir/orchestrator.cc.o.d"
+  "CMakeFiles/mecdns_mec.dir/registry.cc.o"
+  "CMakeFiles/mecdns_mec.dir/registry.cc.o.d"
+  "libmecdns_mec.a"
+  "libmecdns_mec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecdns_mec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ran/handoff.cc" "src/ran/CMakeFiles/mecdns_ran.dir/handoff.cc.o" "gcc" "src/ran/CMakeFiles/mecdns_ran.dir/handoff.cc.o.d"
+  "/root/repo/src/ran/profiles.cc" "src/ran/CMakeFiles/mecdns_ran.dir/profiles.cc.o" "gcc" "src/ran/CMakeFiles/mecdns_ran.dir/profiles.cc.o.d"
+  "/root/repo/src/ran/segment.cc" "src/ran/CMakeFiles/mecdns_ran.dir/segment.cc.o" "gcc" "src/ran/CMakeFiles/mecdns_ran.dir/segment.cc.o.d"
+  "/root/repo/src/ran/tap.cc" "src/ran/CMakeFiles/mecdns_ran.dir/tap.cc.o" "gcc" "src/ran/CMakeFiles/mecdns_ran.dir/tap.cc.o.d"
+  "/root/repo/src/ran/ue.cc" "src/ran/CMakeFiles/mecdns_ran.dir/ue.cc.o" "gcc" "src/ran/CMakeFiles/mecdns_ran.dir/ue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cdn/CMakeFiles/mecdns_cdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/mecdns_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/mecdns_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mecdns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecdns_ran.dir/handoff.cc.o"
+  "CMakeFiles/mecdns_ran.dir/handoff.cc.o.d"
+  "CMakeFiles/mecdns_ran.dir/profiles.cc.o"
+  "CMakeFiles/mecdns_ran.dir/profiles.cc.o.d"
+  "CMakeFiles/mecdns_ran.dir/segment.cc.o"
+  "CMakeFiles/mecdns_ran.dir/segment.cc.o.d"
+  "CMakeFiles/mecdns_ran.dir/tap.cc.o"
+  "CMakeFiles/mecdns_ran.dir/tap.cc.o.d"
+  "CMakeFiles/mecdns_ran.dir/ue.cc.o"
+  "CMakeFiles/mecdns_ran.dir/ue.cc.o.d"
+  "libmecdns_ran.a"
+  "libmecdns_ran.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecdns_ran.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

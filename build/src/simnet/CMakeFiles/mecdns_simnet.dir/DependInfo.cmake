@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnet/ip.cc" "src/simnet/CMakeFiles/mecdns_simnet.dir/ip.cc.o" "gcc" "src/simnet/CMakeFiles/mecdns_simnet.dir/ip.cc.o.d"
+  "/root/repo/src/simnet/latency.cc" "src/simnet/CMakeFiles/mecdns_simnet.dir/latency.cc.o" "gcc" "src/simnet/CMakeFiles/mecdns_simnet.dir/latency.cc.o.d"
+  "/root/repo/src/simnet/network.cc" "src/simnet/CMakeFiles/mecdns_simnet.dir/network.cc.o" "gcc" "src/simnet/CMakeFiles/mecdns_simnet.dir/network.cc.o.d"
+  "/root/repo/src/simnet/simulator.cc" "src/simnet/CMakeFiles/mecdns_simnet.dir/simulator.cc.o" "gcc" "src/simnet/CMakeFiles/mecdns_simnet.dir/simulator.cc.o.d"
+  "/root/repo/src/simnet/time.cc" "src/simnet/CMakeFiles/mecdns_simnet.dir/time.cc.o" "gcc" "src/simnet/CMakeFiles/mecdns_simnet.dir/time.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mecdns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

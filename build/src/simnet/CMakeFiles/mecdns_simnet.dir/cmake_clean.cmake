@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecdns_simnet.dir/ip.cc.o"
+  "CMakeFiles/mecdns_simnet.dir/ip.cc.o.d"
+  "CMakeFiles/mecdns_simnet.dir/latency.cc.o"
+  "CMakeFiles/mecdns_simnet.dir/latency.cc.o.d"
+  "CMakeFiles/mecdns_simnet.dir/network.cc.o"
+  "CMakeFiles/mecdns_simnet.dir/network.cc.o.d"
+  "CMakeFiles/mecdns_simnet.dir/simulator.cc.o"
+  "CMakeFiles/mecdns_simnet.dir/simulator.cc.o.d"
+  "CMakeFiles/mecdns_simnet.dir/time.cc.o"
+  "CMakeFiles/mecdns_simnet.dir/time.cc.o.d"
+  "libmecdns_simnet.a"
+  "libmecdns_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecdns_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

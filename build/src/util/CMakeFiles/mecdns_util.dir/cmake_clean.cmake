@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecdns_util.dir/args.cc.o"
+  "CMakeFiles/mecdns_util.dir/args.cc.o.d"
+  "CMakeFiles/mecdns_util.dir/bytes.cc.o"
+  "CMakeFiles/mecdns_util.dir/bytes.cc.o.d"
+  "CMakeFiles/mecdns_util.dir/log.cc.o"
+  "CMakeFiles/mecdns_util.dir/log.cc.o.d"
+  "CMakeFiles/mecdns_util.dir/stats.cc.o"
+  "CMakeFiles/mecdns_util.dir/stats.cc.o.d"
+  "CMakeFiles/mecdns_util.dir/strings.cc.o"
+  "CMakeFiles/mecdns_util.dir/strings.cc.o.d"
+  "libmecdns_util.a"
+  "libmecdns_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecdns_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/domains.cc" "src/workload/CMakeFiles/mecdns_workload.dir/domains.cc.o" "gcc" "src/workload/CMakeFiles/mecdns_workload.dir/domains.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/mecdns_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/mecdns_workload.dir/trace.cc.o.d"
+  "/root/repo/src/workload/zipf.cc" "src/workload/CMakeFiles/mecdns_workload.dir/zipf.cc.o" "gcc" "src/workload/CMakeFiles/mecdns_workload.dir/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cdn/CMakeFiles/mecdns_cdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/mecdns_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mecdns_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/mecdns_dns.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

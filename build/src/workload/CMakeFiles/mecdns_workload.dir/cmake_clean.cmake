@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecdns_workload.dir/domains.cc.o"
+  "CMakeFiles/mecdns_workload.dir/domains.cc.o.d"
+  "CMakeFiles/mecdns_workload.dir/trace.cc.o"
+  "CMakeFiles/mecdns_workload.dir/trace.cc.o.d"
+  "CMakeFiles/mecdns_workload.dir/zipf.cc.o"
+  "CMakeFiles/mecdns_workload.dir/zipf.cc.o.d"
+  "libmecdns_workload.a"
+  "libmecdns_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecdns_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

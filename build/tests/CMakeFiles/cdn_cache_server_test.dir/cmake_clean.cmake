@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdn_cache_server_test.dir/cdn_cache_server_test.cc.o"
+  "CMakeFiles/cdn_cache_server_test.dir/cdn_cache_server_test.cc.o.d"
+  "cdn_cache_server_test"
+  "cdn_cache_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_cache_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

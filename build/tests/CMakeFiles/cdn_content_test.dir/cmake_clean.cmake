@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdn_content_test.dir/cdn_content_test.cc.o"
+  "CMakeFiles/cdn_content_test.dir/cdn_content_test.cc.o.d"
+  "cdn_content_test"
+  "cdn_content_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_content_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

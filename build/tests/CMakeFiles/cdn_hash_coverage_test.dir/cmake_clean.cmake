@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdn_hash_coverage_test.dir/cdn_hash_coverage_test.cc.o"
+  "CMakeFiles/cdn_hash_coverage_test.dir/cdn_hash_coverage_test.cc.o.d"
+  "cdn_hash_coverage_test"
+  "cdn_hash_coverage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_hash_coverage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

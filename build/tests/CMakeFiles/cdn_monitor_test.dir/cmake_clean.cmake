@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdn_monitor_test.dir/cdn_monitor_test.cc.o"
+  "CMakeFiles/cdn_monitor_test.dir/cdn_monitor_test.cc.o.d"
+  "cdn_monitor_test"
+  "cdn_monitor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdn_router_test.dir/cdn_router_test.cc.o"
+  "CMakeFiles/cdn_router_test.dir/cdn_router_test.cc.o.d"
+  "cdn_router_test"
+  "cdn_router_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_router_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_fig5_test.dir/core_fig5_test.cc.o"
+  "CMakeFiles/core_fig5_test.dir/core_fig5_test.cc.o.d"
+  "core_fig5_test"
+  "core_fig5_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_fig5_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

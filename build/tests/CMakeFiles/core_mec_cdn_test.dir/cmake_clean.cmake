@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_mec_cdn_test.dir/core_mec_cdn_test.cc.o"
+  "CMakeFiles/core_mec_cdn_test.dir/core_mec_cdn_test.cc.o.d"
+  "core_mec_cdn_test"
+  "core_mec_cdn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_mec_cdn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

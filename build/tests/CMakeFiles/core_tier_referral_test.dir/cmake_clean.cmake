@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tier_referral_test.dir/core_tier_referral_test.cc.o"
+  "CMakeFiles/core_tier_referral_test.dir/core_tier_referral_test.cc.o.d"
+  "core_tier_referral_test"
+  "core_tier_referral_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tier_referral_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

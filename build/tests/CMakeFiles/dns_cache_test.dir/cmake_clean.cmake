@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_cache_test.dir/dns_cache_test.cc.o"
+  "CMakeFiles/dns_cache_test.dir/dns_cache_test.cc.o.d"
+  "dns_cache_test"
+  "dns_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

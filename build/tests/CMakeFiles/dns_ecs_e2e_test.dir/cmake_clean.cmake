@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_ecs_e2e_test.dir/dns_ecs_e2e_test.cc.o"
+  "CMakeFiles/dns_ecs_e2e_test.dir/dns_ecs_e2e_test.cc.o.d"
+  "dns_ecs_e2e_test"
+  "dns_ecs_e2e_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_ecs_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_hierarchy_test.dir/dns_hierarchy_test.cc.o"
+  "CMakeFiles/dns_hierarchy_test.dir/dns_hierarchy_test.cc.o.d"
+  "dns_hierarchy_test"
+  "dns_hierarchy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_hierarchy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

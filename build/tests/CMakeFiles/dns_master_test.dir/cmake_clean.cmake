@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_master_test.dir/dns_master_test.cc.o"
+  "CMakeFiles/dns_master_test.dir/dns_master_test.cc.o.d"
+  "dns_master_test"
+  "dns_master_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_master_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

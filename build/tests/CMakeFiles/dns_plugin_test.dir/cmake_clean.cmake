@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_plugin_test.dir/dns_plugin_test.cc.o"
+  "CMakeFiles/dns_plugin_test.dir/dns_plugin_test.cc.o.d"
+  "dns_plugin_test"
+  "dns_plugin_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_plugin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

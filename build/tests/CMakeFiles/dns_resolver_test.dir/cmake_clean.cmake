@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_resolver_test.dir/dns_resolver_test.cc.o"
+  "CMakeFiles/dns_resolver_test.dir/dns_resolver_test.cc.o.d"
+  "dns_resolver_test"
+  "dns_resolver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_resolver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_server_test.dir/dns_server_test.cc.o"
+  "CMakeFiles/dns_server_test.dir/dns_server_test.cc.o.d"
+  "dns_server_test"
+  "dns_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_stub_test.dir/dns_stub_test.cc.o"
+  "CMakeFiles/dns_stub_test.dir/dns_stub_test.cc.o.d"
+  "dns_stub_test"
+  "dns_stub_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_stub_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

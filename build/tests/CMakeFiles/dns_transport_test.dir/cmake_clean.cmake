@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_transport_test.dir/dns_transport_test.cc.o"
+  "CMakeFiles/dns_transport_test.dir/dns_transport_test.cc.o.d"
+  "dns_transport_test"
+  "dns_transport_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_transport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

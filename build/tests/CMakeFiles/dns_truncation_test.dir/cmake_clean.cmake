@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_truncation_test.dir/dns_truncation_test.cc.o"
+  "CMakeFiles/dns_truncation_test.dir/dns_truncation_test.cc.o.d"
+  "dns_truncation_test"
+  "dns_truncation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_truncation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_wire_test.dir/dns_wire_test.cc.o"
+  "CMakeFiles/dns_wire_test.dir/dns_wire_test.cc.o.d"
+  "dns_wire_test"
+  "dns_wire_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

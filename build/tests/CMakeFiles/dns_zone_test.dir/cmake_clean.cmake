@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_zone_test.dir/dns_zone_test.cc.o"
+  "CMakeFiles/dns_zone_test.dir/dns_zone_test.cc.o.d"
+  "dns_zone_test"
+  "dns_zone_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_zone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mec_test.dir/mec_test.cc.o"
+  "CMakeFiles/mec_test.dir/mec_test.cc.o.d"
+  "mec_test"
+  "mec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

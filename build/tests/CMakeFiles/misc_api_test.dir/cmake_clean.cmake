@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misc_api_test.dir/misc_api_test.cc.o"
+  "CMakeFiles/misc_api_test.dir/misc_api_test.cc.o.d"
+  "misc_api_test"
+  "misc_api_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misc_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simnet_bandwidth_test.dir/simnet_bandwidth_test.cc.o"
+  "CMakeFiles/simnet_bandwidth_test.dir/simnet_bandwidth_test.cc.o.d"
+  "simnet_bandwidth_test"
+  "simnet_bandwidth_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simnet_bandwidth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

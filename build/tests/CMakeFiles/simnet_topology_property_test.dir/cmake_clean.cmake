@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simnet_topology_property_test.dir/simnet_topology_property_test.cc.o"
+  "CMakeFiles/simnet_topology_property_test.dir/simnet_topology_property_test.cc.o.d"
+  "simnet_topology_property_test"
+  "simnet_topology_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simnet_topology_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

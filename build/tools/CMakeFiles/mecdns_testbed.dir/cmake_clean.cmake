@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecdns_testbed.dir/mecdns_testbed.cc.o"
+  "CMakeFiles/mecdns_testbed.dir/mecdns_testbed.cc.o.d"
+  "mecdns_testbed"
+  "mecdns_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecdns_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
