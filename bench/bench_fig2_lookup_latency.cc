@@ -13,11 +13,27 @@
 #include <vector>
 
 #include "core/study.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/args.h"
 #include "util/strings.h"
 
 using namespace mecdns;
 
-int main() {
+int main(int argc, char** argv) {
+  util::ArgParser args("bench_fig2: Figure 2 DNS lookup latency bars");
+  args.add_string("json-out", "BENCH_fig2.json",
+                  "write per-bar summaries as JSON ('' disables)");
+  args.add_string("trace-out", "",
+                  "write every lookup's spans as Chrome trace-event JSON");
+  args.add_string("metrics-out", "",
+                  "write counters/gauges/histograms as JSON");
+  if (auto result = args.parse(argc - 1, argv + 1); !result.ok()) {
+    std::fprintf(stderr, "%s\n%s", result.error().message.c_str(),
+                 args.usage(argv[0]).c_str());
+    return 2;
+  }
+
   std::printf("=== Table 1: tested CDN domain names ===\n");
   for (const auto& entry : workload::table1_domains()) {
     std::printf("  %-14s | %s\n", entry.website.c_str(),
@@ -27,6 +43,13 @@ int main() {
   core::MeasurementStudy::Config config;
   config.queries_per_cell = 40;
   core::MeasurementStudy study(config);
+
+  obs::TraceSink trace(study.network().simulator());
+  obs::Registry metrics;
+  const bool want_trace = !args.get_string("trace-out").empty();
+  const bool want_metrics = !args.get_string("metrics-out").empty();
+  study.set_observers(want_trace ? &trace : nullptr,
+                      want_metrics ? &metrics : nullptr);
 
   std::printf("\n=== Figure 2: DNS lookup latency (ms) ===\n");
   std::printf("%-14s %-18s %10s %8s %8s %8s\n", "website", "network",
@@ -72,5 +95,34 @@ int main() {
   std::printf(
       "\nexpected shape (paper): cellular-mobile bars are the tallest and "
       "most variable in every group\n");
+
+  const std::string json_out = args.get_string("json-out");
+  if (!json_out.empty()) {
+    std::FILE* f = std::fopen(json_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "failed to open %s\n", json_out.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"fig2_lookup_latency\",\n"
+                 "  \"unit\": \"ms\",\n  \"scenarios\": [\n");
+    for (std::size_t i = 0; i < bars.size(); ++i) {
+      const Bar& bar = bars[i];
+      const util::Summary& s = bar.trimmed;
+      std::fprintf(
+          f,
+          "    {\"scenario\": \"%s/%s\", \"count\": %zu, \"mean\": %.3f, "
+          "\"stddev\": %.3f, \"min\": %.3f, \"max\": %.3f, \"p50\": %.3f, "
+          "\"p90\": %.3f, \"p99\": %.3f}%s\n",
+          bar.website.c_str(), bar.network.c_str(), s.count, s.mean, s.stddev,
+          s.min, s.max, s.p50, s.p90, s.p99,
+          i + 1 < bars.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %zu scenarios to %s\n", bars.size(),
+                 json_out.c_str());
+  }
+  if (want_trace) trace.write_chrome_trace(args.get_string("trace-out"));
+  if (want_metrics) metrics.write_json(args.get_string("metrics-out"));
   return 0;
 }

@@ -17,11 +17,73 @@
 
 #include "core/fig5.h"
 #include "core/roles.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/args.h"
 #include "util/strings.h"
 
 using namespace mecdns;
 
-int main() {
+namespace {
+
+/// Filename-safe deployment slug (matches the testbed's --deployment names).
+std::string slug(core::Fig5Deployment deployment) {
+  switch (deployment) {
+    case core::Fig5Deployment::kMecLdnsMecCdns: return "mec-mec";
+    case core::Fig5Deployment::kMecLdnsLanCdns: return "mec-lan";
+    case core::Fig5Deployment::kMecLdnsWanCdns: return "mec-wan";
+    case core::Fig5Deployment::kProviderLdns: return "provider";
+    case core::Fig5Deployment::kGoogleDns: return "google";
+    case core::Fig5Deployment::kCloudflareDns: return "cloudflare";
+  }
+  return "unknown";
+}
+
+/// "trace.json" + "mec-mec" -> "trace.mec-mec.json". Each deployment runs
+/// its own simulator, so each gets its own trace file.
+std::string with_slug(const std::string& path, const std::string& name) {
+  const auto dot = path.rfind('.');
+  if (dot == std::string::npos || path.find('/', dot) != std::string::npos) {
+    return path + "." + name;
+  }
+  return path.substr(0, dot) + "." + name + path.substr(dot);
+}
+
+/// Copies `src` into `dst` with every metric name prefixed by "<name>.",
+/// so one combined file can hold all six deployments side by side.
+void merge_prefixed(obs::Registry& dst, const std::string& name,
+                    const obs::Registry& src) {
+  for (const auto& [key, value] : src.counters()) {
+    dst.add(name + "." + key, value);
+  }
+  for (const auto& [key, value] : src.gauges()) {
+    dst.set_gauge(name + "." + key, value);
+  }
+  for (const auto& [key, histogram] : src.histograms()) {
+    dst.histogram(name + "." + key).merge(histogram);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args("bench_fig5: Figure 5 deployment latency bars");
+  args.add_string("json-out", "BENCH_fig5.json",
+                  "write per-deployment summaries as JSON ('' disables)");
+  args.add_string("trace-out", "",
+                  "per-deployment Chrome trace-event JSON (deployment slug "
+                  "is inserted before the extension)");
+  args.add_string("metrics-out", "",
+                  "combined metrics JSON, names prefixed per deployment");
+  if (auto result = args.parse(argc - 1, argv + 1); !result.ok()) {
+    std::fprintf(stderr, "%s\n%s", result.error().message.c_str(),
+                 args.usage(argv[0]).c_str());
+    return 2;
+  }
+  const bool want_trace = !args.get_string("trace-out").empty();
+  const bool want_metrics = !args.get_string("metrics-out").empty();
+  obs::Registry combined;
+
   std::printf("=== Table 2: entities and roles in MEC CDN ===\n");
   for (const auto& role : core::ecosystem_roles()) {
     std::printf("  %-18s | %s\n", role.entity.c_str(), role.role.c_str());
@@ -45,7 +107,19 @@ int main() {
     core::Fig5Testbed::Config config;
     config.deployment = deployment;
     core::Fig5Testbed testbed(config);
+    obs::TraceSink trace(testbed.network().simulator());
+    obs::Registry metrics;
+    testbed.set_observers(want_trace ? &trace : nullptr,
+                          want_metrics ? &metrics : nullptr);
     const core::SeriesResult result = testbed.measure(50);
+    if (want_trace) {
+      trace.write_chrome_trace(
+          with_slug(args.get_string("trace-out"), slug(deployment)));
+    }
+    if (want_metrics) {
+      testbed.export_metrics(metrics);
+      merge_prefixed(combined, slug(deployment), metrics);
+    }
 
     Row row;
     row.deployment = deployment;
@@ -107,5 +181,34 @@ int main() {
   std::printf(
       "paper reference means (ms): 29.4 / 34.8 / 60.9 / 114.6 / 112.5 / "
       "285.7\n");
+
+  const std::string json_out = args.get_string("json-out");
+  if (!json_out.empty()) {
+    std::FILE* f = std::fopen(json_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "failed to open %s\n", json_out.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"fig5_deployments\",\n"
+                 "  \"unit\": \"ms\",\n  \"scenarios\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = rows[i];
+      const util::Summary& s = row.summary;
+      std::fprintf(
+          f,
+          "    {\"scenario\": \"%s\", \"count\": %zu, \"mean\": %.3f, "
+          "\"stddev\": %.3f, \"min\": %.3f, \"max\": %.3f, \"p50\": %.3f, "
+          "\"p90\": %.3f, \"p99\": %.3f, \"wireless_ms\": %.3f, "
+          "\"beyond_pgw_ms\": %.3f, \"answers\": \"%s\"}%s\n",
+          slug(row.deployment).c_str(), s.count, s.mean, s.stddev, s.min,
+          s.max, s.p50, s.p90, s.p99, row.wireless, row.beyond,
+          row.answers.c_str(), i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %zu scenarios to %s\n", rows.size(),
+                 json_out.c_str());
+  }
+  if (want_metrics) combined.write_json(args.get_string("metrics-out"));
   return 0;
 }

@@ -16,10 +16,14 @@
 #include "ran/profiles.h"
 #include "ran/segment.h"
 #include "ran/ue.h"
+#include "util/log.h"
 
 using namespace mecdns;
 
 int main() {
+  // Narrate what the components do, each line stamped with simulated time.
+  util::set_log_level(util::LogLevel::kInfo);
+
   // --- 1. network + RAN ------------------------------------------------------
   simnet::Simulator sim;
   simnet::Network net(sim, util::Rng(/*seed=*/2026));

@@ -1,5 +1,7 @@
 #include "cdn/cache_server.h"
 
+#include "util/log.h"
+
 namespace mecdns::cdn {
 
 CacheServer::CacheServer(simnet::Network& net, simnet::NodeId node,
@@ -20,6 +22,10 @@ CacheServer::CacheServer(simnet::Network& net, simnet::NodeId node,
         if (it == pending_.end()) return;
         PendingFetch fetch = std::move(it->second);
         pending_.erase(it);
+        fetch.span.tag("status", std::to_string(response.value().status));
+        fetch.span.end();
+        // Answer the client under the serve span, not the fetch span.
+        simnet::TraceTokenGuard context(fetch.owner);
         if (response.value().status == 200) {
           insert(ContentObject{fetch.request.url,
                                response.value().size_bytes});
@@ -44,6 +50,10 @@ void CacheServer::on_packet(const simnet::Packet& packet) {
   auto request = decode_request(packet.payload);
   if (!request.ok()) return;
   ++stats_.requests;
+  // One span per request, named after this cache; serve() and its respond
+  // run under it via the ambient token the scheduled event captures.
+  obs::SpanRef span = obs::begin_span(name_, "get " + request.value().url.to_string());
+  obs::AmbientSpanGuard ambient(span);
   const simnet::SimTime service = config_.service_time.sample(rng_);
   net_.simulator().schedule_after(
       service, [this, alive = alive_, request = std::move(request.value()),
@@ -58,11 +68,15 @@ void CacheServer::serve(const ContentRequest& request,
   const auto it = index_.find(request.url);
   if (it != index_.end()) {
     ++stats_.hits;
+    obs::ambient_span().tag("cache", "hit");
+    MECDNS_LOG(kInfo, name_) << "hit for " << request.url.to_string();
     touch(request.url);
     respond(request, client, 200, it->second->size_bytes, true);
     return;
   }
   ++stats_.misses;
+  obs::ambient_span().tag("cache", "miss");
+  MECDNS_LOG(kInfo, name_) << "miss for " << request.url.to_string();
   if (!config_.parent.has_value()) {
     ++stats_.not_found;
     respond(request, client, 404, 0, false);
@@ -70,7 +84,11 @@ void CacheServer::serve(const ContentRequest& request,
   }
   ++stats_.parent_fetches;
   const std::uint64_t fetch_id = next_fetch_id_++;
-  pending_.emplace(fetch_id, PendingFetch{request, client, fetch_id});
+  PendingFetch pending{request, client, fetch_id,
+                       obs::begin_span(name_, "parent-fetch"),
+                       simnet::current_trace_token()};
+  obs::AmbientSpanGuard ambient(pending.span);
+  pending_.emplace(fetch_id, std::move(pending));
   ContentRequest upstream{fetch_id, request.url};
   parent_socket_->send_to(*config_.parent, encode(upstream));
   net_.simulator().schedule_after(config_.parent_timeout, [this,
@@ -82,6 +100,11 @@ void CacheServer::serve(const ContentRequest& request,
     PendingFetch fetch = std::move(pending_it->second);
     pending_.erase(pending_it);
     ++stats_.parent_failures;
+    MECDNS_LOG(kWarn, name_) << "parent fetch timed out for "
+                             << fetch.request.url.to_string();
+    fetch.span.tag("outcome", "timeout");
+    fetch.span.end();
+    simnet::TraceTokenGuard context(fetch.owner);
     respond(fetch.request, fetch.client, 404, 0, false);
   });
 }
@@ -100,6 +123,11 @@ void CacheServer::respond(const ContentRequest& request,
   // charge its full transfer size.
   socket_->send_to(client, encode(response),
                    static_cast<std::size_t>(size));
+  // The ambient span here is this request's serve span (restored by the
+  // parent-fetch paths); close it once the reply is on the wire.
+  obs::SpanRef span = obs::ambient_span();
+  span.tag("status", std::to_string(status));
+  span.end();
 }
 
 void CacheServer::touch(const Url& url) {
@@ -181,7 +209,11 @@ void ContentClient::get(const simnet::Endpoint& server, const Url& url,
                         Callback callback, simnet::SimTime timeout) {
   const std::uint64_t id = next_id_++;
   const std::uint64_t generation = next_generation_++;
-  pending_.emplace(id, Pending{std::move(callback), net_.now(), generation});
+  Pending pending{std::move(callback), net_.now(), generation,
+                  obs::begin_span("content", "get " + url.to_string()),
+                  simnet::current_trace_token()};
+  obs::AmbientSpanGuard ambient(pending.span);
+  pending_.emplace(id, std::move(pending));
   socket_->send_to(server, encode(ContentRequest{id, url}));
   net_.simulator().schedule_after(timeout, [this, alive = alive_, id,
                                             generation] {
@@ -190,6 +222,9 @@ void ContentClient::get(const simnet::Endpoint& server, const Url& url,
     if (it == pending_.end() || it->second.generation != generation) return;
     Pending pending = std::move(it->second);
     pending_.erase(it);
+    pending.span.tag("outcome", "timeout");
+    pending.span.end();
+    simnet::TraceTokenGuard context(pending.caller);
     pending.callback(util::Err("content fetch timed out"),
                      net_.now() - pending.sent);
   });
@@ -202,6 +237,11 @@ void ContentClient::on_packet(const simnet::Packet& packet) {
   if (it == pending_.end()) return;
   Pending pending = std::move(it->second);
   pending_.erase(it);
+  pending.span.tag("status", std::to_string(response.value().status));
+  pending.span.tag("from_cache",
+                   response.value().served_from_cache ? "true" : "false");
+  pending.span.end();
+  simnet::TraceTokenGuard context(pending.caller);
   pending.callback(std::move(response), net_.now() - pending.sent);
 }
 

@@ -14,6 +14,8 @@
 #include <unordered_map>
 
 #include "cdn/content.h"
+#include "obs/trace.h"
+#include "simnet/context.h"
 #include "simnet/latency.h"
 #include "simnet/network.h"
 #include "util/rng.h"
@@ -94,6 +96,8 @@ class CacheServer {
     ContentRequest request;
     simnet::Endpoint client;
     std::uint64_t generation;
+    obs::SpanRef span;          ///< "parent-fetch" span (inert if untraced)
+    simnet::TraceToken owner;   ///< serve span, restored for the response
   };
   std::map<std::uint64_t, PendingFetch> pending_;
   std::uint64_t next_fetch_id_ = 1;
@@ -153,6 +157,8 @@ class ContentClient {
     Callback callback;
     simnet::SimTime sent;
     std::uint64_t generation;
+    obs::SpanRef span;          ///< "content get" span (inert if untraced)
+    simnet::TraceToken caller;  ///< restored around the callback
   };
   std::map<std::uint64_t, Pending> pending_;
   std::uint64_t next_id_ = 1;

@@ -1,5 +1,7 @@
 #include "cdn/traffic_monitor.h"
 
+#include "util/log.h"
+
 namespace mecdns::cdn {
 
 TrafficMonitor::TrafficMonitor(simnet::Network& net, simnet::NodeId node,
@@ -54,6 +56,7 @@ void TrafficMonitor::on_result(std::size_t index, bool success) {
       cache.healthy = true;
       cache.successes = 0;
       ++transitions_;
+      MECDNS_LOG(kInfo, "monitor") << cache.name << " is healthy again";
       router_.set_cache_healthy(cache.group, cache.name, true);
     }
   } else {
@@ -62,6 +65,8 @@ void TrafficMonitor::on_result(std::size_t index, bool success) {
       cache.healthy = false;
       cache.failures = 0;
       ++transitions_;
+      MECDNS_LOG(kWarn, "monitor") << cache.name << " marked down after "
+                                   << config_.down_threshold << " failures";
       router_.set_cache_healthy(cache.group, cache.name, false);
     }
   }

@@ -17,6 +17,7 @@
 
 #include "cdn/cache_server.h"
 #include "cdn/traffic_router.h"
+#include "obs/metrics.h"
 
 namespace mecdns::cdn {
 
@@ -51,6 +52,18 @@ class TrafficMonitor {
   bool healthy(const std::string& cache_name) const;
   std::uint64_t transitions() const { return transitions_; }
   std::uint64_t probes_sent() const { return probes_sent_; }
+
+  /// Snapshots probe/transition counters plus a per-cache health gauge
+  /// (1 = healthy) into `registry` under `prefix`.
+  void export_metrics(obs::Registry& registry,
+                      const std::string& prefix = "monitor.") const {
+    registry.add(prefix + "probes_sent", probes_sent_);
+    registry.add(prefix + "transitions", transitions_);
+    for (const auto& watched : watched_) {
+      registry.set_gauge(prefix + "healthy." + watched.name,
+                         watched.healthy ? 1.0 : 0.0);
+    }
+  }
 
  private:
   struct Watched {

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace mecdns::cdn {
 
 TrafficRouter::TrafficRouter(simnet::Network& net, simnet::NodeId node,
@@ -149,6 +151,7 @@ void TrafficRouter::handle(const dns::Message& query,
     ecs_source_prefix = query.edns->client_subnet->source_prefix;
     localized_by_ecs = true;
     ++router_stats_.ecs_localized;
+    obs::ambient_span().tag("ecs", "true");
   }
 
   const auto finish = [&](dns::Message response) {
@@ -198,6 +201,7 @@ void TrafficRouter::handle(const dns::Message& query,
         auto target = relative_name.value().under(*config_.parent_domain);
         if (target.ok()) {
           ++router_stats_.referred_to_parent;
+          obs::ambient_span().tag("route", "parent-referral");
           response.answers.push_back(
               dns::make_cname(q.name, target.value(), config_.answer_ttl));
           finish(std::move(response));
@@ -226,6 +230,7 @@ void TrafficRouter::handle(const dns::Message& query,
         if (auto target = relative_name.value().under(*config_.parent_domain);
             target.ok()) {
           ++router_stats_.referred_to_parent;
+          obs::ambient_span().tag("route", "parent-referral");
           response.answers.push_back(
               dns::make_cname(q.name, target.value(), config_.answer_ttl));
           finish(std::move(response));
@@ -234,6 +239,7 @@ void TrafficRouter::handle(const dns::Message& query,
       }
     }
     ++router_stats_.no_cache_available;
+    obs::ambient_span().tag("route", "no-cache-available");
     response.header.rcode = dns::RCode::kServFail;
     finish(std::move(response));
     return;
@@ -241,6 +247,9 @@ void TrafficRouter::handle(const dns::Message& query,
 
   ++router_stats_.routed;
   ++selections_[cache->name];
+  obs::ambient_span().tag("route", "routed");
+  obs::ambient_span().tag("cache", cache->name);
+  obs::ambient_span().tag("group", *group);
   response.answers.push_back(
       dns::make_a(q.name, cache->address, config_.answer_ttl));
   finish(std::move(response));

@@ -60,8 +60,14 @@ SeriesResult QueryRunner::run(const dns::DnsName& name, dns::RecordType type,
     const bool measured = i >= options.warmup;
     net_.simulator().schedule_at(at, [this, name, type, options, result,
                                       measured, qname_text] {
-      auto handle = [this, result, measured,
-                     qname_text](const dns::StubResult& stub_result) {
+      // Root span for this lookup; the stub, transport, server and cache
+      // stages all nest under it via the ambient token.
+      obs::SpanRef root =
+          obs::begin_root_span(trace_, "runner", "query " + qname_text);
+      auto handle = [this, result, measured, qname_text,
+                     root](const dns::StubResult& stub_result) {
+        root.tag("rcode", dns::to_string(stub_result.rcode));
+        root.end();
         if (!measured) return;
         QuerySample sample;
         sample.ok = stub_result.ok && stub_result.address.has_value();
@@ -83,8 +89,22 @@ SeriesResult QueryRunner::run(const dns::DnsName& name, dns::RecordType type,
             sample.breakdown_valid = sample.wireless_ms >= 0.0;
           }
         }
+        if (metrics_ != nullptr) {
+          metrics_->add("runner.queries");
+          if (sample.ok) {
+            metrics_->histogram("runner.lookup_ms").add(sample.total_ms);
+          } else {
+            metrics_->add("runner.failures");
+          }
+          if (sample.breakdown_valid) {
+            metrics_->histogram("runner.wireless_ms").add(sample.wireless_ms);
+            metrics_->histogram("runner.beyond_pgw_ms")
+                .add(sample.beyond_pgw_ms);
+          }
+        }
         result->samples.push_back(std::move(sample));
       };
+      obs::AmbientSpanGuard ambient(root);
       if (options.with_ecs) {
         stub_.resolve_with_ecs(name, type, options.ecs, handle);
       } else {
@@ -93,6 +113,14 @@ SeriesResult QueryRunner::run(const dns::DnsName& name, dns::RecordType type,
     });
   }
   net_.simulator().run();
+  if (metrics_ != nullptr) {
+    metrics_->set_gauge_max(
+        "sim.events_executed",
+        static_cast<double>(net_.simulator().executed()));
+    metrics_->set_gauge_max(
+        "sim.max_queue_depth",
+        static_cast<double>(net_.simulator().max_queue_depth()));
+  }
   return std::move(*result);
 }
 

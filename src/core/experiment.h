@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "dns/stub.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ran/tap.h"
 #include "simnet/network.h"
 #include "util/stats.h"
@@ -57,6 +59,15 @@ class QueryRunner {
     dns::ClientSubnet ecs;
   };
 
+  /// Attaches observability: a trace sink makes every lookup a root
+  /// "query" span whose children are the stub, transport, server and cache
+  /// stages; a registry collects runner counters and latency histograms
+  /// plus simulator gauges. Either may be nullptr (disabled).
+  void set_observers(obs::TraceSink* trace, obs::Registry* metrics) {
+    trace_ = trace;
+    metrics_ = metrics;
+  }
+
   /// Schedules `options.warmup + options.queries` lookups of (name, type)
   /// and runs the simulator until all complete.
   SeriesResult run(const dns::DnsName& name, dns::RecordType type,
@@ -66,6 +77,8 @@ class QueryRunner {
   simnet::Network& net_;
   dns::StubResolver& stub_;
   ran::DnsTap* tap_;
+  obs::TraceSink* trace_ = nullptr;
+  obs::Registry* metrics_ = nullptr;
 };
 
 }  // namespace mecdns::core

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/metrics_export.h"
+
 namespace mecdns::core {
 
 using simnet::Ipv4Address;
@@ -341,11 +343,41 @@ SeriesResult Fig5Testbed::measure_name(const dns::DnsName& name,
                                        simnet::SimTime spacing,
                                        std::size_t warmup) {
   QueryRunner runner(*net_, ue_->resolver(), tap_.get());
+  runner.set_observers(trace_sink_, metrics_);
   QueryRunner::Options options;
   options.queries = queries;
   options.warmup = warmup;  // prime delegation caches, as a live resolver's
   options.spacing = spacing;
   return runner.run(name, dns::RecordType::kA, options);
+}
+
+void Fig5Testbed::export_metrics(obs::Registry& registry) const {
+  site_->export_metrics(registry, "site.");
+  if (lan_cdns_ != nullptr) {
+    export_router(registry, "lan-cdns.", *lan_cdns_);
+  }
+  if (wan_cdns_ != nullptr) {
+    export_router(registry, "wan-cdns.", *wan_cdns_);
+  }
+  if (mid_cdns_ != nullptr) {
+    export_router(registry, "mid-cdns.", *mid_cdns_);
+  }
+  if (provider_ldns_ != nullptr) {
+    export_server(registry, "provider-ldns.", *provider_ldns_);
+  }
+  if (public_resolver_ != nullptr) {
+    export_server(registry, "public-resolver.", *public_resolver_);
+  }
+  if (cloud_cache_ != nullptr) {
+    export_stats(registry, "cloud-cache.", cloud_cache_->stats());
+  }
+  if (origin_ != nullptr) {
+    registry.add("origin.requests", origin_->requests());
+  }
+  if (tap_ != nullptr) {
+    registry.add("tap.observed_queries", tap_->observed_queries());
+    registry.add("tap.observed_responses", tap_->observed_responses());
+  }
 }
 
 bool Fig5Testbed::is_mec_cache(simnet::Ipv4Address addr) const {

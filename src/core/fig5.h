@@ -77,6 +77,18 @@ class Fig5Testbed {
 
   explicit Fig5Testbed(Config config);
 
+  /// Attaches observability to the measurement path: spans per lookup into
+  /// `trace`, runner histograms into `metrics`. Either may be nullptr.
+  void set_observers(obs::TraceSink* trace, obs::Registry* metrics) {
+    trace_sink_ = trace;
+    metrics_ = metrics;
+  }
+
+  /// Snapshots every component's counters into `registry`: the MEC site
+  /// (L-DNS, C-DNS, edge caches), the scenario's external routers, the
+  /// provider/public resolvers, the cloud cache and the P-GW tap.
+  void export_metrics(obs::Registry& registry) const;
+
   /// Runs `queries` measured lookups (plus warmups) of the content name.
   SeriesResult measure(std::size_t queries = 50,
                        simnet::SimTime spacing = simnet::SimTime::seconds(2));
@@ -144,6 +156,8 @@ class Fig5Testbed {
   std::unique_ptr<cdn::CacheServer> cloud_cache_;
   simnet::NodeId backbone_ = simnet::kInvalidNode;
   simnet::Ipv4Address cloud_cache_addr_;
+  obs::TraceSink* trace_sink_ = nullptr;
+  obs::Registry* metrics_ = nullptr;
 };
 
 }  // namespace mecdns::core

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/metrics_export.h"
+
 namespace mecdns::core {
 
 namespace {
@@ -156,6 +158,37 @@ std::vector<cdn::CacheServer*> MecCdnSite::caches() {
   out.reserve(caches_.size());
   for (auto& cache : caches_) out.push_back(cache.get());
   return out;
+}
+
+void MecCdnSite::export_metrics(obs::Registry& registry,
+                                const std::string& prefix) const {
+  export_server(registry, prefix + "ldns.", *ldns_);
+  registry.add(prefix + "ldns.view.internal.queries",
+               ldns_->view_queries("internal"));
+  registry.add(prefix + "ldns.view.public.queries",
+               ldns_->view_queries("public"));
+  export_stats(registry, prefix + "ldns.cache.", public_cache_->stats());
+  export_transport(registry, prefix + "ldns.transport.",
+                   static_cast<const dns::PluginChainServer&>(*ldns_)
+                       .transport());
+  if (cdn_forward_ != nullptr) {
+    registry.add(prefix + "ldns.forward.forwarded", cdn_forward_->forwarded());
+    registry.add(prefix + "ldns.forward.upstream_failures",
+                 cdn_forward_->upstream_failures());
+    registry.add(prefix + "ldns.forward.failovers",
+                 cdn_forward_->failovers());
+  }
+  if (guard_ != nullptr) {
+    registry.add(prefix + "ldns.overload.admitted", guard_->admitted());
+    registry.add(prefix + "ldns.overload.shed", guard_->shed());
+  }
+  if (router_ != nullptr) {
+    export_router(registry, prefix + "cdns.", *router_);
+  }
+  for (const auto& cache : caches_) {
+    export_stats(registry, prefix + "cache." + cache->name() + ".",
+                 cache->stats());
+  }
 }
 
 }  // namespace mecdns::core

@@ -28,6 +28,7 @@
 #include "dns/plugin.h"
 #include "mec/ingress.h"
 #include "mec/orchestrator.h"
+#include "obs/metrics.h"
 
 namespace mecdns::core {
 
@@ -108,6 +109,12 @@ class MecCdnSite {
   simnet::Ipv4Address cache_address(std::size_t i) const {
     return cache_ips_.at(i);
   }
+
+  /// Snapshots this site's counters into `registry` under `prefix`:
+  /// L-DNS server/view/cache/forward/overload counters, C-DNS routing
+  /// counters and per-edge-cache hit/miss/fetch counters.
+  void export_metrics(obs::Registry& registry,
+                      const std::string& prefix = "site.") const;
 
  private:
   simnet::Network& net_;

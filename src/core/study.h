@@ -45,6 +45,12 @@ class MeasurementStudy {
     std::size_t failures = 0;
   };
 
+  /// Attaches observability, forwarded to every cell's QueryRunner.
+  void set_observers(obs::TraceSink* trace, obs::Registry* metrics) {
+    trace_sink_ = trace;
+    metrics_ = metrics;
+  }
+
   /// Runs one (site, network) cell.
   CellResult run_cell(std::size_t site_index,
                       const std::string& network_class);
@@ -90,6 +96,8 @@ class MeasurementStudy {
   std::unique_ptr<ran::RanSegment> ran_;
   std::unique_ptr<dns::RecursiveResolver> carrier_ldns_;
   std::unique_ptr<ran::UserEquipment> mobile_ue_;
+  obs::TraceSink* trace_sink_ = nullptr;
+  obs::Registry* metrics_ = nullptr;
 };
 
 }  // namespace mecdns::core

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace mecdns::dns {
 
 // --- ZonePlugin --------------------------------------------------------------
@@ -143,6 +145,7 @@ void CachePlugin::serve(const PluginContext& ctx, Respond respond, Next next) {
   const Question& q = ctx.query.question();
   const simnet::SimTime now = ctx.net.received;
   auto cached = cache_->lookup(q.name, q.type, now);
+  obs::ambient_span().tag("cache", cached.has_value() ? "hit" : "miss");
   if (cached.has_value()) {
     Message response = make_response(
         ctx.query, cached->negative ? cached->rcode : RCode::kNoError);
@@ -254,9 +257,21 @@ void PluginChain::run_from(std::size_t index, const PluginContext& ctx,
     respond(make_response(ctx.query, RCode::kRefused));
     return;
   }
+  // One span per traversed plugin, open until the answer bubbles back up
+  // through this plugin's responder — so a forward plugin's span covers its
+  // whole upstream round trip. Plugins that never respond (drop) leave the
+  // span unfinished, which the exporter marks.
+  obs::SpanRef span = obs::begin_span("plugin", plugins_[index]->name());
+  if (span.active()) {
+    respond = [span, respond = std::move(respond)](Message response) {
+      span.end();
+      respond(std::move(response));
+    };
+  }
   Plugin::Next next = [this, index, &ctx](Plugin::Respond downstream) {
     run_from(index + 1, ctx, std::move(downstream));
   };
+  obs::AmbientSpanGuard ambient(span);
   plugins_[index]->serve(ctx, std::move(respond), std::move(next));
 }
 
@@ -302,6 +317,7 @@ void PluginChainServer::handle(const Message& query, const QueryContext& ctx,
     if (!matches) continue;
     ++view.queries;
     last_view_ = view.chain.name();
+    obs::ambient_span().tag("view", view.chain.name());
     // The context must outlive asynchronous plugin completions (forward
     // plugins respond on a later event), so heap-allocate it per query.
     auto pctx = std::make_shared<PluginContext>();

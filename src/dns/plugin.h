@@ -241,6 +241,7 @@ class PluginChainServer : public DnsServer {
 
   /// Transactions transport for this server's forward plugins.
   DnsTransport& transport() { return *transport_; }
+  const DnsTransport& transport() const { return *transport_; }
 
   /// Which view answered the most recent query (test visibility).
   const std::string& last_view() const { return last_view_; }

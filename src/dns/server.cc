@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/log.h"
+
 namespace mecdns::dns {
 
 DnsServer::DnsServer(simnet::Network& net, simnet::NodeId node,
@@ -33,6 +35,12 @@ void DnsServer::on_packet(const simnet::Packet& packet) {
   ctx.client = packet.src;
   ctx.received = net_.now();
 
+  // When the delivering packet carries a trace (the client's transport
+  // span is ambient), open a serve span under it: one slice per query,
+  // named after this server, covering queueing + processing + upstreams.
+  obs::SpanRef span = obs::begin_span(
+      name_, "serve " + decoded.value().questions.front().name.to_string());
+
   // RFC 1035 §4.2.1 / RFC 6891: the client's receive buffer is 512 octets
   // unless it advertised more via EDNS.
   const std::size_t payload_limit =
@@ -43,8 +51,8 @@ void DnsServer::on_packet(const simnet::Packet& packet) {
   const simnet::SimTime delay = processing_delay_.sample(rng_);
   // The responder captures where to send the reply; handle() may hold it
   // across its own upstream queries.
-  Responder respond = [this, reply_to = packet.src,
-                       payload_limit](Message response) {
+  Responder respond = [this, reply_to = packet.src, payload_limit,
+                       span](Message response) {
     ++stats_.responses;
     switch (response.header.rcode) {
       case RCode::kRefused: ++stats_.refused; break;
@@ -52,6 +60,7 @@ void DnsServer::on_packet(const simnet::Packet& packet) {
       case RCode::kServFail: ++stats_.servfail; break;
       default: break;
     }
+    span.tag("rcode", to_string(response.header.rcode));
     std::vector<std::uint8_t> wire = encode(response);
     if (wire.size() > payload_limit) {
       // Truncate per RFC 2181 §9: set TC and drop the record sections; the
@@ -64,10 +73,12 @@ void DnsServer::on_packet(const simnet::Packet& packet) {
       wire = encode(response);
     }
     socket_->send_to(reply_to, std::move(wire));
+    span.end();
   };
 
   if (workers_ == 0) {
     // Idealized server: every query gets its own processing slot.
+    obs::AmbientSpanGuard ambient(span);
     net_.simulator().schedule_after(
         delay, [this, alive = alive_, query = std::move(decoded.value()), ctx,
                 respond = std::move(respond)]() mutable {
@@ -76,7 +87,7 @@ void DnsServer::on_packet(const simnet::Packet& packet) {
         });
     return;
   }
-  enqueue(Work{std::move(decoded.value()), ctx, std::move(respond)});
+  enqueue(Work{std::move(decoded.value()), ctx, std::move(respond), span});
 }
 
 void DnsServer::set_service_capacity(std::size_t workers,
@@ -88,6 +99,10 @@ void DnsServer::set_service_capacity(std::size_t workers,
 void DnsServer::enqueue(Work work) {
   if (work_queue_.size() >= max_queue_) {
     ++dropped_overflow_;
+    MECDNS_LOG(kWarn, name_) << "queue full (" << max_queue_
+                             << "), shedding query";
+    work.span.tag("outcome", "shed");
+    work.span.end();
     return;
   }
   work_queue_.push_back(std::move(work));
@@ -100,6 +115,9 @@ void DnsServer::pump() {
     work_queue_.pop_front();
     ++busy_;
     const simnet::SimTime delay = processing_delay_.sample(rng_);
+    // pump() runs under whatever event freed the worker; restore the
+    // queued query's own serve span before scheduling its processing.
+    obs::AmbientSpanGuard ambient(work.span);
     net_.simulator().schedule_after(
         delay, [this, alive = alive_, work = std::move(work)]() mutable {
           if (!*alive) return;

@@ -18,6 +18,7 @@
 #include "dns/message.h"
 #include "dns/wire.h"
 #include "dns/zone.h"
+#include "obs/trace.h"
 #include "simnet/latency.h"
 #include "simnet/network.h"
 #include "util/rng.h"
@@ -86,6 +87,7 @@ class DnsServer {
     Message query;
     QueryContext ctx;
     Responder respond;
+    obs::SpanRef span;  ///< serve span; queued work keeps its own context
   };
 
   void on_packet(const simnet::Packet& packet);

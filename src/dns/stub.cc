@@ -1,5 +1,7 @@
 #include "dns/stub.h"
 
+#include "obs/trace.h"
+
 namespace mecdns::dns {
 
 namespace {
@@ -30,7 +32,26 @@ void StubResolver::resolve(const DnsName& name, RecordType type,
     callback = chase_wrapper(std::move(callback), max_cname_hops_,
                              simnet::SimTime::zero());
   }
-  dispatch(make_query(0, name, type), std::move(callback));
+  resolve_traced(name, make_query(0, name, type), std::move(callback));
+}
+
+void StubResolver::resolve_traced(const DnsName& name, Message query,
+                                  Callback callback) {
+  obs::SpanRef span =
+      obs::begin_root_span(trace_, "stub", "lookup " + name.to_string());
+  if (span.active()) {
+    callback = [span, callback = std::move(callback)](const StubResult& r) {
+      span.tag("rcode", to_string(r.rcode));
+      span.tag("answered_by", std::to_string(r.answered_by));
+      if (!r.error.empty()) span.tag("error", r.error);
+      span.end();
+      callback(r);
+    };
+  }
+  // Everything dispatched here — transport sends, timeouts, CNAME chases —
+  // inherits the lookup span via the ambient token.
+  obs::AmbientSpanGuard ambient(span);
+  dispatch(std::move(query), std::move(callback));
 }
 
 StubResolver::Callback StubResolver::chase_wrapper(
@@ -69,7 +90,7 @@ void StubResolver::resolve_with_ecs(const DnsName& name, RecordType type,
   Message query = make_query(0, name, type);
   query.edns = Edns{};
   query.edns->client_subnet = ecs;
-  dispatch(std::move(query), std::move(callback));
+  resolve_traced(name, std::move(query), std::move(callback));
 }
 
 void StubResolver::dispatch(Message query, Callback callback) {

@@ -14,6 +14,10 @@
 #include "dns/message.h"
 #include "dns/transport.h"
 
+namespace mecdns::obs {
+class TraceSink;
+}
+
 namespace mecdns::dns {
 
 /// Outcome of a stub resolution, with client-observed latency.
@@ -59,6 +63,11 @@ class StubResolver {
     max_cname_hops_ = max_hops;
   }
 
+  /// Attaches a trace sink: every subsequent resolve() opens a root
+  /// "lookup" span that the whole downstream path (transport, servers,
+  /// caches) nests under. nullptr (the default) disables tracing.
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+
   /// Resolves (name, type); invokes callback exactly once.
   void resolve(const DnsName& name, RecordType type, Callback callback);
 
@@ -71,6 +80,8 @@ class StubResolver {
   /// Wraps `callback` so that terminal-CNAME answers restart at the target.
   Callback chase_wrapper(Callback callback, int hops_left,
                          simnet::SimTime accumulated);
+  /// Opens the root lookup span and wraps `callback` to close it.
+  void resolve_traced(const DnsName& name, Message query, Callback callback);
 
   simnet::Network& net_;
   std::unique_ptr<DnsTransport> transport_;
@@ -79,6 +90,7 @@ class StubResolver {
   DnsTransport::Options options_;
   bool chase_cnames_ = false;
   int max_cname_hops_ = 4;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace mecdns::dns

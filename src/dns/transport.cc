@@ -3,6 +3,8 @@
 #include <cctype>
 #include <utility>
 
+#include "util/log.h"
+
 namespace mecdns::dns {
 
 namespace {
@@ -65,6 +67,12 @@ void DnsTransport::query(const simnet::Endpoint& server, Message query,
   pending.callback = std::move(callback);
   pending.first_sent = net_.now();
   pending.generation = next_generation_++;
+  pending.span = obs::begin_span(
+      "transport",
+      "query " + (pending.query.questions.empty()
+                      ? std::string("<empty>")
+                      : pending.query.questions.front().name.to_string()));
+  pending.caller = simnet::current_trace_token();
   pending_.emplace(id, std::move(pending));
   send_attempt(id);
 }
@@ -75,6 +83,8 @@ void DnsTransport::send_attempt(std::uint16_t id) {
   Pending& p = it->second;
   ++p.attempts;
   p.generation = next_generation_++;
+  // Deliveries and the timeout timer nest under the transaction's span.
+  obs::AmbientSpanGuard ambient(p.span);
   socket_->send_to(p.server, encode(p.query));
   arm_timeout(id, p.generation);
 }
@@ -96,6 +106,12 @@ void DnsTransport::arm_timeout(std::uint16_t id, std::uint64_t generation) {
         ++timeouts_;
         Pending p = std::move(it->second);
         pending_.erase(it);
+        MECDNS_LOG(kDebug, "transport")
+            << "query timed out after " << p.attempts << " attempt(s)";
+        p.span.tag("outcome", "timeout");
+        p.span.tag("attempts", std::to_string(p.attempts));
+        p.span.end();
+        simnet::TraceTokenGuard context(p.caller);
         p.callback(util::Err("query timed out after " +
                              std::to_string(p.attempts) + " attempt(s)"),
                    net_.now() - p.first_sent);
@@ -141,6 +157,12 @@ void DnsTransport::on_packet(const simnet::Packet& packet) {
 
   Pending done = std::move(p);
   pending_.erase(it);
+  done.span.tag("rcode", to_string(response.header.rcode));
+  if (done.attempts > 1) {
+    done.span.tag("attempts", std::to_string(done.attempts));
+  }
+  done.span.end();
+  simnet::TraceTokenGuard context(done.caller);
   done.callback(std::move(decoded), net_.now() - done.first_sent);
 }
 

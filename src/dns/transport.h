@@ -12,6 +12,8 @@
 
 #include "dns/message.h"
 #include "dns/wire.h"
+#include "obs/trace.h"
+#include "simnet/context.h"
 #include "simnet/network.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -66,6 +68,11 @@ class DnsTransport {
     simnet::SimTime first_sent;
     int attempts = 0;
     std::uint64_t generation = 0;  ///< guards stale timeout events
+    obs::SpanRef span;             ///< transport span (inert if untraced)
+    /// Ambient token at query() time, restored around the callback so
+    /// continuations (CNAME chases, next queries) become siblings of this
+    /// transaction's span, not children of whatever event delivered it.
+    simnet::TraceToken caller;
   };
 
   void on_packet(const simnet::Packet& packet);

@@ -1,0 +1,182 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace mecdns::obs {
+
+const std::string* SpanRecord::tag(const std::string& key) const {
+  for (const auto& t : tags) {
+    if (t.key == key) return &t.value;
+  }
+  return nullptr;
+}
+
+SpanId TraceSink::begin(SpanId parent, std::string component,
+                        std::string name) {
+  SpanRecord record;
+  record.id = spans_.size() + 1;
+  record.parent = parent;
+  record.component = std::move(component);
+  record.name = std::move(name);
+  record.start = now();
+  record.end = record.start;
+  spans_.push_back(std::move(record));
+  return spans_.back().id;
+}
+
+void TraceSink::end(SpanId id) {
+  if (id == 0 || id > spans_.size()) return;
+  SpanRecord& record = spans_[id - 1];
+  record.end = now();
+  record.finished = true;
+}
+
+void TraceSink::add_tag(SpanId id, std::string key, std::string value) {
+  if (id == 0 || id > spans_.size()) return;
+  spans_[id - 1].tags.push_back(SpanTag{std::move(key), std::move(value)});
+}
+
+const SpanRecord* TraceSink::find(SpanId id) const {
+  if (id == 0 || id > spans_.size()) return nullptr;
+  return &spans_[id - 1];
+}
+
+std::vector<const SpanRecord*> TraceSink::by_component(
+    const std::string& component) const {
+  std::vector<const SpanRecord*> out;
+  for (const auto& span : spans_) {
+    if (span.component == component) out.push_back(&span);
+  }
+  return out;
+}
+
+std::vector<const SpanRecord*> TraceSink::children_of(SpanId parent) const {
+  std::vector<const SpanRecord*> out;
+  for (const auto& span : spans_) {
+    if (span.parent == parent) out.push_back(&span);
+  }
+  return out;
+}
+
+SpanId TraceSink::root_of(SpanId id) const {
+  const SpanRecord* span = find(id);
+  while (span != nullptr && span->parent != 0) {
+    span = find(span->parent);
+  }
+  return span == nullptr ? 0 : span->id;
+}
+
+std::size_t TraceSink::depth(SpanId id) const {
+  std::size_t d = 0;
+  const SpanRecord* span = find(id);
+  while (span != nullptr && span->parent != 0) {
+    span = find(span->parent);
+    ++d;
+  }
+  return d;
+}
+
+std::size_t TraceSink::max_depth() const {
+  std::size_t deepest = 0;
+  for (const auto& span : spans_) {
+    const std::size_t d = depth(span.id) + 1;
+    if (d > deepest) deepest = d;
+  }
+  return deepest;
+}
+
+namespace {
+void append_json_string(std::string& out, const std::string& text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_micros(std::string& out, simnet::SimTime t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", t.to_micros());
+  out += buf;
+}
+}  // namespace
+
+std::string TraceSink::to_chrome_trace() const {
+  std::string out;
+  out.reserve(256 + spans_.size() * 160);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& span : spans_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    append_json_string(out, span.name);
+    out += ",\"cat\":";
+    append_json_string(out, span.component);
+    out += ",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += std::to_string(root_of(span.id));
+    out += ",\"ts\":";
+    append_micros(out, span.start);
+    out += ",\"dur\":";
+    append_micros(out, span.finished ? span.duration()
+                                     : simnet::SimTime::zero());
+    out += ",\"args\":{\"span\":";
+    out += std::to_string(span.id);
+    out += ",\"parent\":";
+    out += std::to_string(span.parent);
+    if (!span.finished) out += ",\"unfinished\":true";
+    for (const auto& tag : span.tags) {
+      out += ',';
+      append_json_string(out, tag.key);
+      out += ':';
+      append_json_string(out, tag.value);
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool TraceSink::write_chrome_trace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = to_chrome_trace();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+SpanRef ambient_span() {
+  const simnet::TraceToken token = simnet::current_trace_token();
+  if (!token.active()) return SpanRef{};
+  return SpanRef{static_cast<TraceSink*>(token.sink), token.span};
+}
+
+SpanRef begin_span(const std::string& component, const std::string& name) {
+  const simnet::TraceToken token = simnet::current_trace_token();
+  if (!token.active()) return SpanRef{};
+  auto* sink = static_cast<TraceSink*>(token.sink);
+  return SpanRef{sink, sink->begin(token.span, component, name)};
+}
+
+SpanRef begin_root_span(TraceSink* sink, const std::string& component,
+                        const std::string& name) {
+  if (sink == nullptr) return begin_span(component, name);
+  return SpanRef{sink, sink->begin(0, component, name)};
+}
+
+}  // namespace mecdns::obs

@@ -1,0 +1,13 @@
+#include "simnet/context.h"
+
+namespace mecdns::simnet {
+
+namespace {
+thread_local TraceToken g_current_token;
+}  // namespace
+
+TraceToken current_trace_token() { return g_current_token; }
+
+void set_current_trace_token(TraceToken token) { g_current_token = token; }
+
+}  // namespace mecdns::simnet

@@ -2,11 +2,26 @@
 
 #include <utility>
 
+#include "util/log.h"
+
 namespace mecdns::simnet {
+
+namespace {
+std::int64_t simulator_log_clock(const void* ctx) {
+  return static_cast<const Simulator*>(ctx)->now().count_nanos();
+}
+}  // namespace
+
+Simulator::Simulator() {
+  util::set_log_clock(&simulator_log_clock, this);
+}
+
+Simulator::~Simulator() { util::clear_log_clock(this); }
 
 void Simulator::schedule_at(SimTime at, Callback fn) {
   if (at < now_) at = now_;
-  queue_.push(Event{at, next_seq_++, std::move(fn)});
+  queue_.push(Event{at, next_seq_++, current_trace_token(), std::move(fn)});
+  if (queue_.size() > max_queue_depth_) max_queue_depth_ = queue_.size();
 }
 
 std::size_t Simulator::run() {
@@ -34,6 +49,9 @@ bool Simulator::step() {
   queue_.pop();
   now_ = ev.at;
   ++executed_;
+  // Run under the context captured at scheduling time, so trace spans
+  // follow the request across asynchronous boundaries.
+  TraceTokenGuard context(ev.trace);
   ev.fn();
   return true;
 }

@@ -6,6 +6,7 @@
 #include <queue>
 #include <vector>
 
+#include "simnet/context.h"
 #include "simnet/time.h"
 
 namespace mecdns::simnet {
@@ -13,9 +14,20 @@ namespace mecdns::simnet {
 /// Executes scheduled callbacks in timestamp order. Events scheduled for the
 /// same instant run in scheduling order (a monotonic sequence number breaks
 /// ties), so runs are fully deterministic.
+///
+/// Each event captures the ambient TraceToken at scheduling time and runs
+/// under it, so a trace context follows a request across packet deliveries
+/// and processing delays without any per-component plumbing. While a
+/// simulator exists it also registers itself as the util::log clock, so log
+/// lines carry the simulated time.
 class Simulator {
  public:
   using Callback = std::function<void()>;
+
+  Simulator();
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
 
   SimTime now() const { return now_; }
 
@@ -41,11 +53,15 @@ class Simulator {
   bool empty() const { return queue_.empty(); }
   std::size_t pending() const { return queue_.size(); }
   std::size_t executed() const { return executed_; }
+  /// Highest number of simultaneously pending events seen so far — the
+  /// event-queue analogue of a server's queue-depth high-water mark.
+  std::size_t max_queue_depth() const { return max_queue_depth_; }
 
  private:
   struct Event {
     SimTime at;
     std::uint64_t seq;
+    TraceToken trace;
     Callback fn;
   };
   struct Later {
@@ -58,6 +74,7 @@ class Simulator {
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
   std::size_t executed_ = 0;
+  std::size_t max_queue_depth_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

@@ -10,6 +10,18 @@ LogLevel& threshold() {
   return level;
 }
 
+struct Clock {
+  LogClockFn fn = nullptr;
+  const void* ctx = nullptr;
+};
+
+thread_local Clock g_clock;
+
+LogSink& sink_slot() {
+  static LogSink sink;
+  return sink;
+}
+
 const char* level_name(LogLevel level) {
   switch (level) {
     case LogLevel::kTrace: return "TRACE";
@@ -27,11 +39,43 @@ LogLevel log_level() { return threshold(); }
 
 void set_log_level(LogLevel level) { threshold() = level; }
 
+void set_log_clock(LogClockFn fn, const void* ctx) {
+  g_clock.fn = fn;
+  g_clock.ctx = ctx;
+}
+
+void clear_log_clock(const void* ctx) {
+  if (g_clock.ctx == ctx) g_clock = Clock{};
+}
+
+void set_log_sink(LogSink sink) { sink_slot() = std::move(sink); }
+
 void log_line(LogLevel level, const std::string& component,
               const std::string& message) {
-  if (level < threshold()) return;
-  std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), component.c_str(),
-               message.c_str());
+  if (!log_enabled(level)) return;
+  char stamp[40];
+  if (g_clock.fn != nullptr) {
+    const double ms =
+        static_cast<double>(g_clock.fn(g_clock.ctx)) / 1e6;
+    std::snprintf(stamp, sizeof(stamp), "[t=%.3fms] ", ms);
+  } else {
+    stamp[0] = '\0';
+  }
+  if (sink_slot()) {
+    std::string line;
+    line.reserve(component.size() + message.size() + 32);
+    line += stamp;
+    line += '[';
+    line += level_name(level);
+    line += "] ";
+    line += component;
+    line += ": ";
+    line += message;
+    sink_slot()(level, line);
+    return;
+  }
+  std::fprintf(stderr, "%s[%s] %s: %s\n", stamp, level_name(level),
+               component.c_str(), message.c_str());
 }
 
 }  // namespace mecdns::util

@@ -2,8 +2,19 @@
 //
 // Off by default so tests and benchmarks stay quiet; the examples turn on
 // Info to narrate what the system is doing.
+//
+// When a simulator is alive it registers a thread-local clock hook here
+// (see simnet::Simulator), and every line is stamped with the current
+// simulated time — so interleaved component logs can be read as a timeline.
+//
+// MECDNS_LOG(...) << ... evaluates its stream operands ONLY when the level
+// is enabled: the macro short-circuits before the LogStream (and its
+// ostringstream) is even constructed, so disabled logging costs a single
+// branch on the hot path.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -15,16 +26,32 @@ enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 LogLevel log_level();
 void set_log_level(LogLevel level);
 
-/// Emits one line to stderr if `level` passes the threshold.
+/// True when a message at `level` would be emitted.
+inline bool log_enabled(LogLevel level) { return level >= log_level(); }
+
+/// Thread-local simulated-time clock hook. When registered, log lines are
+/// stamped with the clock's value (nanoseconds, printed as milliseconds).
+/// `ctx` identifies the registrant so a stale owner cannot clear a newer
+/// registration. util must not depend on simnet, hence the raw hook shape.
+using LogClockFn = std::int64_t (*)(const void* ctx);
+void set_log_clock(LogClockFn fn, const void* ctx);
+void clear_log_clock(const void* ctx);
+
+/// Redirects emitted lines (tests); pass nullptr to restore stderr. The
+/// sink receives the fully formatted line, without a trailing newline.
+using LogSink = std::function<void(LogLevel, const std::string& line)>;
+void set_log_sink(LogSink sink);
+
+/// Emits one line to the active sink if `level` passes the threshold.
 void log_line(LogLevel level, const std::string& component,
               const std::string& message);
 
-/// Stream-style helper: LOG(kInfo, "dns") << "cache hit for " << name;
+/// Stream-style helper: MECDNS_LOG(kInfo, "dns") << "cache hit for " << name;
 class LogStream {
  public:
   LogStream(LogLevel level, std::string component)
       : level_(level), component_(std::move(component)),
-        enabled_(level >= log_level()) {}
+        enabled_(log_enabled(level)) {}
 
   ~LogStream() {
     if (enabled_) log_line(level_, component_, stream_.str());
@@ -48,5 +75,11 @@ class LogStream {
 
 }  // namespace mecdns::util
 
-#define MECDNS_LOG(level, component) \
+// The for-statement makes the whole expression (LogStream construction AND
+// every << operand) dead when the level is disabled, without the
+// dangling-else hazard of an if/else macro.
+#define MECDNS_LOG(level, component)                                         \
+  for (bool mecdns_log_once_ =                                               \
+           ::mecdns::util::log_enabled(::mecdns::util::LogLevel::level);     \
+       mecdns_log_once_; mecdns_log_once_ = false)                           \
   ::mecdns::util::LogStream(::mecdns::util::LogLevel::level, component)

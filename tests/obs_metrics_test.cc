@@ -1,0 +1,168 @@
+// obs/metrics tests: histogram bucketing, merge algebra, percentiles, and
+// the registry's counters/gauges/dump formats.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace mecdns::obs {
+namespace {
+
+// Deterministic value stream (no global RNG in tests).
+class Lcg {
+ public:
+  explicit Lcg(std::uint64_t seed) : state_(seed) {}
+  double next_ms() {
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    // Spread across several octaves: 0.06ms .. ~250ms.
+    return 0.06 + static_cast<double>(state_ >> 40) / 67000.0;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+LatencyHistogram filled(std::uint64_t seed, int n) {
+  LatencyHistogram h;
+  Lcg lcg(seed);
+  for (int i = 0; i < n; ++i) h.add(lcg.next_ms());
+  return h;
+}
+
+TEST(LatencyHistogramTest, BasicStats) {
+  LatencyHistogram h;
+  h.add(1.0);
+  h.add(2.0);
+  h.add(3.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 3.0);
+}
+
+TEST(LatencyHistogramTest, ValueFallsInItsBucket) {
+  Lcg lcg(7);
+  for (int i = 0; i < 200; ++i) {
+    const double value = lcg.next_ms();
+    LatencyHistogram h;
+    h.add(value);
+    for (std::size_t b = 0; b < h.bucket_count(); ++b) {
+      if (h.bucket(b) == 0) continue;
+      EXPECT_GE(value, h.bucket_low(b));
+      EXPECT_LT(value, h.bucket_high(b));
+    }
+  }
+}
+
+TEST(LatencyHistogramTest, MergeIsAssociativeAndCommutative) {
+  const LatencyHistogram a = filled(1, 500);
+  const LatencyHistogram b = filled(2, 300);
+  const LatencyHistogram c = filled(3, 700);
+
+  LatencyHistogram ab = a;
+  ab.merge(b);
+  LatencyHistogram ab_c = ab;
+  ab_c.merge(c);
+
+  LatencyHistogram bc = b;
+  bc.merge(c);
+  LatencyHistogram a_bc = a;
+  a_bc.merge(bc);
+
+  EXPECT_TRUE(ab_c == a_bc);
+  EXPECT_EQ(ab_c.count(), 1500u);
+
+  LatencyHistogram ba = b;
+  ba.merge(a);
+  EXPECT_TRUE(ab == ba);
+}
+
+TEST(LatencyHistogramTest, MergeWithEmptyIsIdentity) {
+  const LatencyHistogram a = filled(4, 100);
+  LatencyHistogram merged = a;
+  merged.merge(LatencyHistogram{});
+  EXPECT_TRUE(merged == a);
+
+  LatencyHistogram other;
+  other.merge(a);
+  EXPECT_TRUE(other == a);
+}
+
+TEST(LatencyHistogramTest, PercentilesOrderedAndClamped) {
+  const LatencyHistogram h = filled(5, 2000);
+  const double p50 = h.percentile(50.0);
+  const double p95 = h.percentile(95.0);
+  const double p99 = h.percentile(99.0);
+  EXPECT_LE(h.min(), p50);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, h.max());
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), h.min());
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), h.max());
+}
+
+TEST(LatencyHistogramTest, OutOfRangeValuesLandInOverflowBuckets) {
+  LatencyHistogram h;
+  h.add(1e-9);  // below 2^-10 ms
+  h.add(1e9);   // above 2^20 ms
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(h.bucket_count() - 1), 1u);
+}
+
+TEST(RegistryTest, CountersGaugesHistograms) {
+  Registry registry;
+  registry.add("dns.queries");
+  registry.add("dns.queries", 4);
+  registry.set_gauge("queue.depth", 3.0);
+  registry.set_gauge_max("queue.peak", 5.0);
+  registry.set_gauge_max("queue.peak", 2.0);  // lower: keeps the high water
+  registry.histogram("lookup_ms").add(12.5);
+
+  EXPECT_EQ(registry.counter_value("dns.queries"), 5u);
+  EXPECT_EQ(registry.counter_value("absent"), 0u);
+  EXPECT_DOUBLE_EQ(registry.gauge_value("queue.peak"), 5.0);
+  EXPECT_EQ(registry.histogram("lookup_ms").count(), 1u);
+}
+
+TEST(RegistryTest, MergeAddsCountersAndMaxesGauges) {
+  Registry a;
+  a.add("n", 2);
+  a.set_gauge("g", 1.0);
+  a.histogram("h").add(1.0);
+  Registry b;
+  b.add("n", 3);
+  b.add("only_b");
+  b.set_gauge("g", 4.0);
+  b.histogram("h").add(2.0);
+
+  a.merge(b);
+  EXPECT_EQ(a.counter_value("n"), 5u);
+  EXPECT_EQ(a.counter_value("only_b"), 1u);
+  EXPECT_DOUBLE_EQ(a.gauge_value("g"), 4.0);
+  EXPECT_EQ(a.histogram("h").count(), 2u);
+}
+
+TEST(RegistryTest, DumpsNameEveryMetric) {
+  Registry registry;
+  registry.add("c.one", 7);
+  registry.set_gauge("g.two", 1.5);
+  registry.histogram("h.three").add(3.0);
+
+  const std::string text = registry.to_text();
+  EXPECT_NE(text.find("c.one"), std::string::npos);
+  EXPECT_NE(text.find("g.two"), std::string::npos);
+  EXPECT_NE(text.find("h.three"), std::string::npos);
+
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"c.one\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"g.two\""), std::string::npos);
+  EXPECT_NE(json.find("\"h.three\""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+}  // namespace
+}  // namespace mecdns::obs

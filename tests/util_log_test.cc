@@ -1,0 +1,112 @@
+// util/log tests: level gating, lazy operand evaluation, and the
+// thread-local sim-clock stamping hook.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "simnet/simulator.h"
+#include "simnet/time.h"
+#include "util/log.h"
+
+namespace mecdns::util {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  LogTest() {
+    set_log_sink([this](LogLevel level, const std::string& line) {
+      levels_.push_back(level);
+      lines_.push_back(line);
+    });
+  }
+  ~LogTest() override {
+    set_log_sink(nullptr);
+    set_log_level(LogLevel::kOff);
+    clear_log_clock(this);
+  }
+
+  std::vector<LogLevel> levels_;
+  std::vector<std::string> lines_;
+};
+
+TEST_F(LogTest, LevelGatesEmission) {
+  set_log_level(LogLevel::kInfo);
+  MECDNS_LOG(kDebug, "dns") << "below threshold";
+  MECDNS_LOG(kInfo, "dns") << "at threshold";
+  MECDNS_LOG(kError, "dns") << "above threshold";
+
+  ASSERT_EQ(lines_.size(), 2u);
+  EXPECT_EQ(levels_[0], LogLevel::kInfo);
+  EXPECT_EQ(levels_[1], LogLevel::kError);
+  EXPECT_NE(lines_[0].find("[INFO] dns: at threshold"), std::string::npos);
+  EXPECT_NE(lines_[1].find("[ERROR] dns: above threshold"),
+            std::string::npos);
+}
+
+TEST_F(LogTest, OffDropsEverything) {
+  set_log_level(LogLevel::kOff);
+  MECDNS_LOG(kError, "dns") << "never seen";
+  EXPECT_TRUE(lines_.empty());
+}
+
+TEST_F(LogTest, DisabledLogSkipsOperandEvaluation) {
+  set_log_level(LogLevel::kWarn);
+  int evaluations = 0;
+  auto touch = [&evaluations]() {
+    ++evaluations;
+    return "x";
+  };
+  MECDNS_LOG(kDebug, "dns") << touch();  // disabled: operand must not run
+  EXPECT_EQ(evaluations, 0);
+  MECDNS_LOG(kWarn, "dns") << touch();  // enabled: operand runs once
+  EXPECT_EQ(evaluations, 1);
+  ASSERT_EQ(lines_.size(), 1u);
+}
+
+TEST_F(LogTest, ClockHookStampsSimTime) {
+  set_log_level(LogLevel::kInfo);
+  static constexpr auto clock = [](const void*) -> std::int64_t {
+    return 1'500'000;  // 1.5 ms in nanoseconds
+  };
+  set_log_clock(clock, this);
+  MECDNS_LOG(kInfo, "dns") << "stamped";
+  clear_log_clock(this);
+  MECDNS_LOG(kInfo, "dns") << "bare";
+
+  ASSERT_EQ(lines_.size(), 2u);
+  EXPECT_EQ(lines_[0].rfind("[t=1.500ms] ", 0), 0u) << lines_[0];
+  EXPECT_EQ(lines_[1].rfind("[INFO]", 0), 0u) << lines_[1];
+}
+
+TEST_F(LogTest, StaleOwnerCannotClearNewerClock) {
+  set_log_level(LogLevel::kInfo);
+  static constexpr auto clock = [](const void*) -> std::int64_t {
+    return 2'000'000;
+  };
+  int other = 0;
+  set_log_clock(clock, this);
+  clear_log_clock(&other);  // not the registrant: must be a no-op
+  MECDNS_LOG(kInfo, "dns") << "still stamped";
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0].rfind("[t=2.000ms] ", 0), 0u) << lines_[0];
+}
+
+TEST_F(LogTest, SimulatorRegistersItselfAsClock) {
+  set_log_level(LogLevel::kInfo);
+  {
+    simnet::Simulator sim;
+    sim.schedule_at(simnet::SimTime::millis(5),
+                    [] { MECDNS_LOG(kInfo, "sim") << "from event"; });
+    sim.run();
+  }
+  // The simulator unregistered on destruction; later lines are unstamped.
+  MECDNS_LOG(kInfo, "sim") << "after teardown";
+
+  ASSERT_EQ(lines_.size(), 2u);
+  EXPECT_EQ(lines_[0].rfind("[t=5.000ms] ", 0), 0u) << lines_[0];
+  EXPECT_EQ(lines_[1].rfind("[INFO]", 0), 0u) << lines_[1];
+}
+
+}  // namespace
+}  // namespace mecdns::util

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full pre-merge gauntlet:
+#   1. Debug build with ASan+UBSan, all tests under the sanitizers.
+#   2. Plain Release build (what the benches/figures run as), all tests.
+# Usage: tools/check.sh [jobs]   (default: nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="${1:-$(nproc)}"
+
+run() { echo "+ $*"; "$@"; }
+
+echo "=== 1/2: ASan/UBSan build + tests (build-asan/) ==="
+run cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+run cmake --build build-asan -j "$jobs"
+run ctest --test-dir build-asan --output-on-failure -j "$jobs"
+
+echo "=== 2/2: Release build + tests (build/) ==="
+run cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+run cmake --build build -j "$jobs"
+run ctest --test-dir build --output-on-failure -j "$jobs"
+
+echo "All checks passed."

@@ -11,11 +11,38 @@
 
 #include "core/fig5.h"
 #include "core/study.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/args.h"
 
 using namespace mecdns;
 
 namespace {
+
+/// Writes the collected trace/metrics files named by --trace-out and
+/// --metrics-out (either may be empty = disabled).
+void write_observability(const util::ArgParser& args,
+                         const obs::TraceSink& trace,
+                         const obs::Registry& metrics) {
+  const std::string trace_out = args.get_string("trace-out");
+  if (!trace_out.empty()) {
+    if (trace.write_chrome_trace(trace_out)) {
+      std::fprintf(stderr, "wrote %zu spans to %s (load in chrome://tracing "
+                   "or ui.perfetto.dev)\n", trace.size(), trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write trace to %s\n", trace_out.c_str());
+    }
+  }
+  const std::string metrics_out = args.get_string("metrics-out");
+  if (!metrics_out.empty()) {
+    if (metrics.write_json(metrics_out)) {
+      std::fprintf(stderr, "wrote metrics to %s\n", metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write metrics to %s\n",
+                   metrics_out.c_str());
+    }
+  }
+}
 
 util::Result<core::Fig5Deployment> parse_deployment(const std::string& text) {
   if (text == "mec-mec") return core::Fig5Deployment::kMecLdnsMecCdns;
@@ -39,8 +66,16 @@ int run_fig5(const util::ArgParser& args) {
   config.seed = static_cast<std::uint64_t>(args.get_int("seed"));
   config.enable_ecs = args.get_bool("ecs");
   core::Fig5Testbed testbed(config);
+  obs::TraceSink trace(testbed.network().simulator());
+  obs::Registry metrics;
+  const bool want_trace = !args.get_string("trace-out").empty();
+  const bool want_metrics = !args.get_string("metrics-out").empty();
+  testbed.set_observers(want_trace ? &trace : nullptr,
+                        want_metrics ? &metrics : nullptr);
   const core::SeriesResult result =
       testbed.measure(static_cast<std::size_t>(args.get_int("queries")));
+  if (want_metrics) testbed.export_metrics(metrics);
+  write_observability(args, trace, metrics);
 
   if (args.get_bool("csv")) {
     std::printf("deployment,query,total_ms,wireless_ms,beyond_pgw_ms,answer\n");
@@ -76,7 +111,14 @@ int run_study(const util::ArgParser& args) {
                  workload::figure3_profiles().size() - 1);
     return 2;
   }
+  obs::TraceSink trace(study.network().simulator());
+  obs::Registry metrics;
+  const bool want_trace = !args.get_string("trace-out").empty();
+  const bool want_metrics = !args.get_string("metrics-out").empty();
+  study.set_observers(want_trace ? &trace : nullptr,
+                      want_metrics ? &metrics : nullptr);
   const auto cell = study.run_cell(site, args.get_string("network"));
+  write_observability(args, trace, metrics);
 
   if (args.get_bool("csv")) {
     std::printf("website,network,query,latency_ms\n");
@@ -135,6 +177,11 @@ int main(int argc, char** argv) {
   args.add_string("network", "cellular-mobile",
                   "study: wired-campus | wifi-home | cellular-mobile");
   args.add_bool("csv", false, "emit per-query CSV instead of a summary");
+  args.add_string("trace-out", "",
+                  "write per-query spans as Chrome trace-event JSON "
+                  "(chrome://tracing / Perfetto)");
+  args.add_string("metrics-out", "",
+                  "write counters/gauges/histograms as JSON");
   args.add_bool("help", false, "print usage");
 
   if (auto result = args.parse(argc - 1, argv + 1); !result.ok()) {
