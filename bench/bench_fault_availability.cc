@@ -1,0 +1,392 @@
+// Fault availability: end-to-end content availability under injected
+// faults, with and without the failure-handling machinery.
+//
+// For every scenario in core::fault_scenario_names() this bench runs the
+// Fig. 5 testbed twice through the same fault window:
+//
+//   fragile  the paper-measurement configuration — per-query routing, no
+//            retransmission, no fallback servers, no serve-stale, no
+//            health monitor.
+//   robust   the failure-handling stack on — UE retry with exponential
+//            backoff and a provider fallback server, short-TTL answer
+//            caching with RFC 8767 serve-stale, C-DNS->provider forward
+//            failover, a TrafficMonitor draining dead caches, and an
+//            orchestrator LdnsFailover that re-targets the UE's resolver
+//            when the MEC L-DNS dies.
+//
+// Each request is a full resolve-and-fetch (DNS lookup + content GET): an
+// answer pointing at a dead cache counts as a failure, which is what makes
+// cache-level faults measurable. The JSON reports success rate, latency
+// percentiles and time-to-recover per (scenario, mode).
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cdn/content.h"
+#include "cdn/traffic_monitor.h"
+#include "chaos/controller.h"
+#include "core/fault_scenarios.h"
+#include "core/fig5.h"
+#include "mec/failover.h"
+#include "util/args.h"
+#include "util/stats.h"
+
+using namespace mecdns;
+
+namespace {
+
+struct Knobs {
+  std::size_t requests = 110;
+  simnet::SimTime spacing = simnet::SimTime::millis(500);
+  simnet::SimTime fault_start = simnet::SimTime::seconds(15);
+  simnet::SimTime fault_end = simnet::SimTime::seconds(30);
+  std::uint64_t seed = 42;
+};
+
+struct RunResult {
+  std::size_t requests = 0;
+  std::size_t ok = 0;
+  double success_rate = 0.0;
+  util::Summary latency;  ///< successful requests, DNS + fetch, ms
+  /// First success after the last failure, relative to fault start; 0 =
+  /// no failures at all, -1 = never recovered within the run.
+  double time_to_recover_ms = 0.0;
+  std::size_t window_failures = 0;  ///< failures sent inside the window
+  std::uint64_t ue_retransmissions = 0;
+  std::uint64_t ue_failovers = 0;
+  std::uint64_t ue_servfails = 0;
+  std::uint64_t ue_timeouts = 0;
+  std::uint64_t stale_served = 0;
+  std::uint64_t fetch_retries = 0;
+  std::uint64_t forward_failovers = 0;
+  std::uint64_t monitor_transitions = 0;
+  std::size_t ldns_switches = 0;
+  std::size_t injections = 0;
+};
+
+struct Sample {
+  simnet::SimTime sent;
+  bool ok = false;
+  double total_ms = 0.0;
+  std::string error;
+};
+
+/// The provider L-DNS address is fixed by the testbed (10.201.0.53), so a
+/// fallback-server list can be configured before the testbed is built.
+simnet::Endpoint provider_endpoint() {
+  return simnet::Endpoint{simnet::Ipv4Address::must_parse("10.201.0.53"),
+                          dns::kDnsPort};
+}
+
+RunResult run_scenario(const std::string& name, bool robust, const Knobs& k) {
+  core::Fig5Testbed::Config config;
+  // The WAN-loss scenario only bites when lookups cross the WAN, so it
+  // runs the "MEC L-DNS w/ WAN C-DNS" deployment; everything else runs the
+  // paper's proposal with both DNS stages in the MEC.
+  config.deployment = name == "wan-loss-burst"
+                          ? core::Fig5Deployment::kMecLdnsWanCdns
+                          : core::Fig5Deployment::kMecLdnsMecCdns;
+  config.seed = k.seed;
+  // Both modes get the identical topology (provider L-DNS built); only the
+  // handling knobs differ, so the fault exposure is the same.
+  config.provider_fallback = true;
+  if (robust) {
+    config.answer_ttl = 4;  // short TTL: cacheable, bounds dead answers
+    config.serve_stale = true;
+    config.cdns_fallback_to_provider = true;
+    config.ue_dns_options.max_retries = 1;
+    config.ue_dns_options.backoff_factor = 2.0;
+    config.ue_dns_options.max_backoff = simnet::SimTime::seconds(8);
+    config.ue_dns_options.fallback_servers = {provider_endpoint()};
+  }
+  core::Fig5Testbed testbed(config);
+  simnet::Network& net = testbed.network();
+  simnet::Simulator& sim = testbed.simulator();
+  if (robust) {
+    // App-layer resilience: a failed fetch re-resolves once, picking up
+    // the drained routing / expired cache entry.
+    testbed.ue().set_fetch_retries(2);
+    // A fully drained edge C-DNS answers with a parent-tier referral
+    // (CNAME into cdn-parent.test); the UE must chase it.
+    testbed.ue().resolver().set_chase_cnames(true);
+  }
+
+  const simnet::SimTime t0 = net.now();
+  const simnet::SimTime fault_start = t0 + k.fault_start;
+  const simnet::SimTime fault_end = t0 + k.fault_end;
+  const simnet::SimTime horizon =
+      t0 + k.spacing * static_cast<std::int64_t>(k.requests + 1) +
+      simnet::SimTime::seconds(20);
+
+  // Arm the fault. The C-DNS brownout gets a delay above the transport
+  // timeout so a browned-out router is indistinguishable from a dead one
+  // at the client — the case failover has to win.
+  core::FaultScenario scenario =
+      name == "cdns-brownout"
+          ? core::make_cdns_brownout(testbed, fault_start, fault_end,
+                                     simnet::SimTime::millis(2500))
+          : core::make_fault_scenario(name, testbed, fault_start, fault_end);
+  chaos::ChaosController controller(net, name + (robust ? "/robust" : "/fragile"));
+  controller.arm(scenario.schedule);
+
+  // Robust extras that live beside the testbed rather than inside it: the
+  // cache-health monitor and the orchestrator's L-DNS health-checker.
+  std::unique_ptr<cdn::TrafficMonitor> monitor;
+  std::unique_ptr<mec::LdnsFailover> ldns_failover;
+  if (robust) {
+    // Probes originate at the cluster gateway — the orchestrator's vantage.
+    // (The P-GW would NAT-drop probe replies: its downlink path discards
+    // packets to the public address with no translation entry.)
+    const simnet::NodeId vantage =
+        testbed.site().orchestrator().cluster().gateway();
+    cdn::TrafficMonitor::Config mc;
+    mc.rounds = static_cast<std::size_t>(
+        (horizon - t0).to_millis() / mc.probe_interval.to_millis());
+    monitor = std::make_unique<cdn::TrafficMonitor>(
+        net, vantage, testbed.active_router(), mc);
+    cdn::Url probe;
+    probe.host = testbed.content_name();
+    probe.path = "/index.m3u8";
+    const auto caches = testbed.site().caches();
+    for (std::size_t i = 0; i < caches.size(); ++i) {
+      monitor->watch("mec-edge", caches[i]->name(),
+                     simnet::Endpoint{testbed.site().cache_address(i),
+                                      cdn::kContentPort},
+                     probe);
+    }
+    monitor->start();
+
+    mec::LdnsFailover::Config fc;
+    fc.primary = testbed.site().ldns_endpoint();
+    fc.fallback = testbed.provider_endpoint();
+    ldns_failover = std::make_unique<mec::LdnsFailover>(net, vantage, fc);
+    ldns_failover->set_on_switch(
+        [&testbed](const simnet::Endpoint& target, bool /*to_fallback*/) {
+          testbed.ue().resolver().set_server(target);
+        });
+    ldns_failover->start(static_cast<std::size_t>(
+        (horizon - t0).to_millis() / fc.probe_interval.to_millis()));
+  }
+
+  // The request stream: one resolve-and-fetch every spacing, spanning the
+  // fault window. Samples are indexed by send slot so recovery can be
+  // measured in send order even though completions arrive out of order.
+  std::vector<Sample> samples(k.requests);
+  for (std::size_t i = 0; i < k.requests; ++i) {
+    const simnet::SimTime at =
+        t0 + k.spacing * static_cast<std::int64_t>(i + 1);
+    samples[i].sent = at;
+    sim.schedule_at(at, [&testbed, &samples, i] {
+      cdn::Url url;
+      url.host = testbed.content_name();
+      url.path = "/segment000" + std::to_string(i % 8);
+      testbed.ue().resolve_and_fetch(
+          url, [&samples, i](const ran::UserEquipment::FetchOutcome& outcome) {
+            samples[i].ok = outcome.ok;
+            samples[i].total_ms = outcome.total.to_millis();
+            samples[i].error = outcome.error;
+          });
+    });
+  }
+  sim.run();
+
+  RunResult result;
+  result.requests = k.requests;
+  util::SampleSet latencies;
+  simnet::SimTime last_failure = simnet::SimTime::zero();
+  bool any_failure = false;
+  for (const Sample& s : samples) {
+    if (s.ok) {
+      ++result.ok;
+      latencies.add(s.total_ms);
+    } else {
+      any_failure = true;
+      if (s.sent > last_failure) last_failure = s.sent;
+      if (s.sent >= fault_start && s.sent < fault_end) {
+        ++result.window_failures;
+      }
+    }
+  }
+  for (const Sample& s : samples) {
+    if (!s.ok && std::getenv("FAULT_DEBUG") != nullptr) {
+      std::fprintf(stderr, "FAIL at %lldms: %s\n",
+                   static_cast<long long>(s.sent.to_millis()),
+                   s.error.c_str());
+    }
+  }
+  result.success_rate = k.requests == 0
+                            ? 0.0
+                            : static_cast<double>(result.ok) /
+                                  static_cast<double>(k.requests);
+  result.latency = latencies.summarize();
+  if (!any_failure) {
+    result.time_to_recover_ms = 0.0;
+  } else {
+    result.time_to_recover_ms = -1.0;
+    for (const Sample& s : samples) {
+      if (s.ok && s.sent > last_failure) {
+        const double ttr = (s.sent - fault_start).to_millis();
+        result.time_to_recover_ms = ttr < 0.0 ? 0.0 : ttr;
+        break;
+      }
+    }
+  }
+
+  dns::DnsTransport& ue_transport = testbed.ue().resolver().transport();
+  result.ue_retransmissions = ue_transport.retransmissions();
+  result.ue_failovers = ue_transport.failovers();
+  result.ue_servfails = ue_transport.servfails();
+  result.ue_timeouts = ue_transport.timeouts();
+  result.stale_served = testbed.site().public_dns_cache()->stats().stale_hits;
+  result.fetch_retries = testbed.ue().fetch_retries_used();
+  if (testbed.site().cdn_forward() != nullptr) {
+    result.forward_failovers = testbed.site().cdn_forward()->failovers();
+  }
+  if (monitor != nullptr) result.monitor_transitions = monitor->transitions();
+  if (ldns_failover != nullptr) {
+    result.ldns_switches = ldns_failover->switches().size();
+  }
+  result.injections = controller.injected();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args(
+      "bench_fault_availability: availability under injected faults, "
+      "fragile vs robust");
+  args.add_string("json-out", "BENCH_fault_availability.json",
+                  "write per-(scenario,mode) summaries as JSON ('' disables)");
+  args.add_string("scenario", "all",
+                  "one scenario name, or 'all' for the whole catalog");
+  args.add_int("requests", 110, "resolve-and-fetch requests per run");
+  args.add_int("spacing-ms", 500, "gap between requests");
+  args.add_int("fault-start-ms", 15000, "fault window start");
+  args.add_int("fault-end-ms", 30000, "fault window end (restart/heal time)");
+  args.add_int("seed", 42, "testbed RNG seed");
+  if (auto result = args.parse(argc - 1, argv + 1); !result.ok()) {
+    std::fprintf(stderr, "%s\n%s", result.error().message.c_str(),
+                 args.usage(argv[0]).c_str());
+    return 2;
+  }
+
+  Knobs knobs;
+  knobs.requests = static_cast<std::size_t>(args.get_int("requests"));
+  knobs.spacing = simnet::SimTime::millis(args.get_int("spacing-ms"));
+  knobs.fault_start = simnet::SimTime::millis(args.get_int("fault-start-ms"));
+  knobs.fault_end = simnet::SimTime::millis(args.get_int("fault-end-ms"));
+  knobs.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  std::vector<std::string> scenarios;
+  const std::string pick = args.get_string("scenario");
+  if (pick == "all") {
+    scenarios = core::fault_scenario_names();
+  } else {
+    scenarios.push_back(pick);
+  }
+
+  std::printf("=== Fault availability: %zu requests, fault window "
+              "[%lld, %lld) ms ===\n",
+              knobs.requests,
+              static_cast<long long>(knobs.fault_start.to_millis()),
+              static_cast<long long>(knobs.fault_end.to_millis()));
+  std::printf("%-22s %-8s %8s %9s %9s %9s %11s %s\n", "scenario", "mode",
+              "ok", "success", "p50(ms)", "p99(ms)", "recover(ms)", "notes");
+
+  struct Row {
+    std::string scenario;
+    std::string mode;
+    RunResult r;
+  };
+  std::vector<Row> rows;
+  for (const std::string& scenario : scenarios) {
+    for (const bool robust : {false, true}) {
+      const RunResult r = run_scenario(scenario, robust, knobs);
+      std::string notes;
+      if (r.ue_failovers > 0) {
+        notes += "ue-failovers=" + std::to_string(r.ue_failovers) + " ";
+      }
+      if (r.forward_failovers > 0) {
+        notes += "fwd-failovers=" + std::to_string(r.forward_failovers) + " ";
+      }
+      if (r.stale_served > 0) {
+        notes += "stale=" + std::to_string(r.stale_served) + " ";
+      }
+      if (r.fetch_retries > 0) {
+        notes += "fetch-retries=" + std::to_string(r.fetch_retries) + " ";
+      }
+      if (r.ldns_switches > 0) {
+        notes += "ldns-switches=" + std::to_string(r.ldns_switches) + " ";
+      }
+      if (r.monitor_transitions > 0) {
+        notes += "drains=" + std::to_string(r.monitor_transitions);
+      }
+      char recover[32];
+      if (r.time_to_recover_ms < 0.0) {
+        std::snprintf(recover, sizeof(recover), "%11s", "never");
+      } else {
+        std::snprintf(recover, sizeof(recover), "%11.0f",
+                      r.time_to_recover_ms);
+      }
+      std::printf("%-22s %-8s %4zu/%-3zu %8.1f%% %9.1f %9.1f %s %s\n",
+                  scenario.c_str(), robust ? "robust" : "fragile", r.ok,
+                  r.requests, 100.0 * r.success_rate, r.latency.p50,
+                  r.latency.p99, recover, notes.c_str());
+      rows.push_back(Row{scenario, robust ? "robust" : "fragile", r});
+    }
+  }
+
+  const std::string json_out = args.get_string("json-out");
+  if (!json_out.empty()) {
+    std::FILE* f = std::fopen(json_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "failed to open %s\n", json_out.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"fault_availability\",\n"
+                 "  \"unit\": \"ms\",\n"
+                 "  \"requests\": %zu,\n"
+                 "  \"fault_window_ms\": [%lld, %lld],\n"
+                 "  \"scenarios\": [\n",
+                 knobs.requests,
+                 static_cast<long long>(knobs.fault_start.to_millis()),
+                 static_cast<long long>(knobs.fault_end.to_millis()));
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = rows[i];
+      const RunResult& r = row.r;
+      std::fprintf(
+          f,
+          "    {\"scenario\": \"%s\", \"mode\": \"%s\", \"ok\": %zu, "
+          "\"requests\": %zu, \"success_rate\": %.4f, "
+          "\"mean\": %.3f, \"p50\": %.3f, \"p99\": %.3f, \"max\": %.3f, "
+          "\"time_to_recover_ms\": %.1f, \"window_failures\": %zu, "
+          "\"ue_retransmissions\": %llu, \"ue_timeouts\": %llu, "
+          "\"ue_servfails\": %llu, \"ue_failovers\": %llu, "
+          "\"forward_failovers\": %llu, \"stale_served\": %llu, "
+          "\"fetch_retries\": %llu, "
+          "\"monitor_transitions\": %llu, \"ldns_switches\": %zu, "
+          "\"injections\": %zu}%s\n",
+          row.scenario.c_str(), row.mode.c_str(), r.ok, r.requests,
+          r.success_rate, r.latency.mean, r.latency.p50, r.latency.p99,
+          r.latency.max, r.time_to_recover_ms, r.window_failures,
+          static_cast<unsigned long long>(r.ue_retransmissions),
+          static_cast<unsigned long long>(r.ue_timeouts),
+          static_cast<unsigned long long>(r.ue_servfails),
+          static_cast<unsigned long long>(r.ue_failovers),
+          static_cast<unsigned long long>(r.forward_failovers),
+          static_cast<unsigned long long>(r.stale_served),
+          static_cast<unsigned long long>(r.fetch_retries),
+          static_cast<unsigned long long>(r.monitor_transitions),
+          r.ldns_switches, r.injections, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %zu runs to %s\n", rows.size(),
+                 json_out.c_str());
+  }
+  return 0;
+}

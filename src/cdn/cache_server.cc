@@ -46,6 +46,12 @@ CacheServer::~CacheServer() {
 
 void CacheServer::warm(const ContentObject& object) { insert(object); }
 
+void CacheServer::wipe() {
+  lru_.clear();
+  index_.clear();
+  used_bytes_ = 0;
+}
+
 void CacheServer::on_packet(const simnet::Packet& packet) {
   auto request = decode_request(packet.payload);
   if (!request.ok()) return;
@@ -54,7 +60,8 @@ void CacheServer::on_packet(const simnet::Packet& packet) {
   // run under it via the ambient token the scheduled event captures.
   obs::SpanRef span = obs::begin_span(name_, "get " + request.value().url.to_string());
   obs::AmbientSpanGuard ambient(span);
-  const simnet::SimTime service = config_.service_time.sample(rng_);
+  const simnet::SimTime service =
+      config_.service_time.sample(rng_) + extra_service_;
   net_.simulator().schedule_after(
       service, [this, alive = alive_, request = std::move(request.value()),
                 client = packet.src] {

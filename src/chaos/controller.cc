@@ -1,0 +1,63 @@
+#include "chaos/controller.h"
+
+#include <utility>
+
+#include "util/log.h"
+
+namespace mecdns::chaos {
+
+ChaosController::ChaosController(simnet::Network& net, std::string scenario)
+    : net_(net), scenario_(std::move(scenario)) {}
+
+ChaosController::~ChaosController() { *alive_ = false; }
+
+void ChaosController::arm(const FaultSchedule& schedule) {
+  for (const FaultEvent& event : schedule.events()) {
+    // Copying the action into the closure keeps the schedule free to die
+    // before the simulation runs; `alive_` guards the reverse order.
+    net_.simulator().schedule_at(
+        event.at, [this, alive = alive_, action = event.action] {
+          if (!*alive) return;
+          inject_now(action);
+        });
+  }
+}
+
+void ChaosController::inject_now(const FaultAction& action) {
+  const std::string kind = kind_of(action);
+  const std::string what = describe(action);
+  MECDNS_LOG(kInfo, "chaos")
+      << (scenario_.empty() ? "" : "[" + scenario_ + "] ") << "inject "
+      << what;
+  if (registry_ != nullptr) {
+    registry_->add("chaos.injections");
+    registry_->add("chaos." + kind);
+  }
+  if (trace_ != nullptr) {
+    // Instant span: injections show up as zero-width markers on a "chaos"
+    // track alongside the query tracks.
+    obs::SpanRef span = obs::begin_root_span(trace_, "chaos", what);
+    if (!scenario_.empty()) span.tag("scenario", scenario_);
+    span.end();
+  }
+  injections_.push_back(InjectionRecord{net_.now(), kind, what});
+  apply(action);
+}
+
+void ChaosController::apply(const FaultAction& action) {
+  if (const auto* a = std::get_if<NodeDown>(&action)) {
+    net_.set_node_up(a->node, false);
+  } else if (const auto* a = std::get_if<NodeUp>(&action)) {
+    net_.set_node_up(a->node, true);
+  } else if (const auto* a = std::get_if<LinkDown>(&action)) {
+    net_.set_link_up(a->link, false);
+  } else if (const auto* a = std::get_if<LinkUp>(&action)) {
+    net_.set_link_up(a->link, true);
+  } else if (const auto* a = std::get_if<LinkLoss>(&action)) {
+    net_.set_link_loss(a->link, a->probability);
+  } else if (const auto* a = std::get_if<Custom>(&action)) {
+    if (a->apply) a->apply();
+  }
+}
+
+}  // namespace mecdns::chaos

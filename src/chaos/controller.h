@@ -1,0 +1,75 @@
+// ChaosController: arms FaultSchedules onto a simulation and records what
+// was injected.
+//
+// The controller is the execution side of the chaos layer: given a network
+// and a schedule it places one simulator event per scripted fault, applies
+// the fault through the Network's public failure knobs (or the event's
+// bound Custom action), and records every injection into the attached
+// obs::Registry (counters per fault kind) and obs::TraceSink (one instant
+// span per injection on a "chaos" track), plus the log. With an empty
+// schedule arm() is a no-op — nothing is scheduled and no RNG is drawn, so
+// the run is bit-identical to one without the chaos layer.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chaos/fault_schedule.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "simnet/network.h"
+
+namespace mecdns::chaos {
+
+/// One applied injection, for post-run inspection (time-to-recover etc.).
+struct InjectionRecord {
+  simnet::SimTime at;
+  std::string kind;
+  std::string description;
+};
+
+class ChaosController {
+ public:
+  explicit ChaosController(simnet::Network& net, std::string scenario = "");
+  ~ChaosController();
+
+  ChaosController(const ChaosController&) = delete;
+  ChaosController& operator=(const ChaosController&) = delete;
+
+  /// Counters land under "chaos.<kind>" (and "chaos.injections") in
+  /// `registry`; nullptr detaches. The registry must outlive the run.
+  void set_metrics(obs::Registry* registry) { registry_ = registry; }
+
+  /// Each injection becomes an instant span (component "chaos") in `sink`.
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+
+  /// Schedules every event of `schedule` at its absolute sim time. May be
+  /// called multiple times (schedules compose). An empty schedule arms
+  /// nothing. Faults scheduled in the past run immediately (simulator
+  /// clamping), preserving order.
+  void arm(const FaultSchedule& schedule);
+
+  /// Applies one action right now (outside any schedule) and records it.
+  void inject_now(const FaultAction& action);
+
+  const std::string& scenario() const { return scenario_; }
+  std::size_t injected() const { return injections_.size(); }
+  const std::vector<InjectionRecord>& injections() const {
+    return injections_;
+  }
+
+ private:
+  void apply(const FaultAction& action);
+
+  simnet::Network& net_;
+  std::string scenario_;
+  obs::Registry* registry_ = nullptr;
+  obs::TraceSink* trace_ = nullptr;
+  /// Disarms scheduled fault events if the controller dies before they fire.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  std::vector<InjectionRecord> injections_;
+};
+
+}  // namespace mecdns::chaos

@@ -1,0 +1,105 @@
+#include "chaos/fault_schedule.h"
+
+#include <sstream>
+#include <utility>
+
+namespace mecdns::chaos {
+
+namespace {
+struct KindVisitor {
+  std::string operator()(const NodeDown&) const { return "node_down"; }
+  std::string operator()(const NodeUp&) const { return "node_up"; }
+  std::string operator()(const LinkDown&) const { return "link_down"; }
+  std::string operator()(const LinkUp&) const { return "link_up"; }
+  std::string operator()(const LinkLoss&) const { return "link_loss"; }
+  std::string operator()(const Custom&) const { return "custom"; }
+};
+
+struct DescribeVisitor {
+  std::string operator()(const NodeDown& a) const {
+    return "node_down node=" + std::to_string(a.node);
+  }
+  std::string operator()(const NodeUp& a) const {
+    return "node_up node=" + std::to_string(a.node);
+  }
+  std::string operator()(const LinkDown& a) const {
+    return "link_down link=" + std::to_string(a.link);
+  }
+  std::string operator()(const LinkUp& a) const {
+    return "link_up link=" + std::to_string(a.link);
+  }
+  std::string operator()(const LinkLoss& a) const {
+    std::ostringstream out;
+    out << "link_loss link=" << a.link << " p=" << a.probability;
+    return out.str();
+  }
+  std::string operator()(const Custom& a) const {
+    return "custom " + a.label;
+  }
+};
+}  // namespace
+
+std::string kind_of(const FaultAction& action) {
+  return std::visit(KindVisitor{}, action);
+}
+
+std::string describe(const FaultAction& action) {
+  return std::visit(DescribeVisitor{}, action);
+}
+
+FaultSchedule& FaultSchedule::at(simnet::SimTime when, FaultAction action) {
+  events_.push_back(FaultEvent{when, std::move(action)});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::crash_node(simnet::SimTime when,
+                                         simnet::NodeId node) {
+  return at(when, NodeDown{node});
+}
+
+FaultSchedule& FaultSchedule::restart_node(simnet::SimTime when,
+                                           simnet::NodeId node) {
+  return at(when, NodeUp{node});
+}
+
+FaultSchedule& FaultSchedule::node_outage(simnet::SimTime from,
+                                          simnet::SimTime to,
+                                          simnet::NodeId node) {
+  return crash_node(from, node).restart_node(to, node);
+}
+
+FaultSchedule& FaultSchedule::link_outage(simnet::SimTime from,
+                                          simnet::SimTime to,
+                                          simnet::LinkId link) {
+  return at(from, LinkDown{link}).at(to, LinkUp{link});
+}
+
+FaultSchedule& FaultSchedule::link_flap(simnet::SimTime from,
+                                        simnet::SimTime to,
+                                        simnet::SimTime period,
+                                        simnet::LinkId link) {
+  bool down = true;
+  for (simnet::SimTime t = from; t < to; t = t + period) {
+    if (down) {
+      at(t, LinkDown{link});
+    } else {
+      at(t, LinkUp{link});
+    }
+    down = !down;
+  }
+  return at(to, LinkUp{link});
+}
+
+FaultSchedule& FaultSchedule::loss_burst(simnet::SimTime from,
+                                         simnet::SimTime to,
+                                         simnet::LinkId link,
+                                         double probability) {
+  return at(from, LinkLoss{link, probability}).at(to, LinkLoss{link, 0.0});
+}
+
+FaultSchedule& FaultSchedule::custom(simnet::SimTime when, std::string label,
+                                     std::function<void()> apply) {
+  return at(when, Custom{std::move(label), std::move(apply)});
+}
+
+}  // namespace mecdns::chaos

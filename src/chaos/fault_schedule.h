@@ -1,0 +1,116 @@
+// Deterministic fault-injection schedules over the simulated network.
+//
+// A FaultSchedule is a declarative list of scripted events — node crashes
+// and restarts, link outages and flapping, loss-burst windows, and custom
+// actions (server brownout, cache wipe) — each pinned to an exact sim
+// time. The schedule itself is inert data; a ChaosController arms it onto
+// a Simulator. Because events fire at fixed times through the same ordered
+// event queue as everything else, and applying them draws no randomness,
+// a run with a given schedule and seed is exactly reproducible — and a run
+// with an *empty* schedule is bit-identical to a run without the chaos
+// layer at all (no extra RNG draws, no event reordering).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "simnet/network.h"
+#include "simnet/time.h"
+
+namespace mecdns::chaos {
+
+// --- fault actions ---------------------------------------------------------
+
+/// Crash a node: packets to/through it are dropped (dropped_node_down).
+struct NodeDown {
+  simnet::NodeId node = simnet::kInvalidNode;
+};
+
+/// Restart a crashed node.
+struct NodeUp {
+  simnet::NodeId node = simnet::kInvalidNode;
+};
+
+/// Take a link down: routing recomputes around it; packets in flight on
+/// other links are unaffected.
+struct LinkDown {
+  simnet::LinkId link = 0;
+};
+
+/// Bring a link back up.
+struct LinkUp {
+  simnet::LinkId link = 0;
+};
+
+/// Set random per-packet loss on a link (0 restores lossless delivery).
+struct LinkLoss {
+  simnet::LinkId link = 0;
+  double probability = 0.0;
+};
+
+/// An arbitrary labelled action bound by a higher layer — e.g. "add 200 ms
+/// service latency to this DNS server" (brownout) or "wipe this cache's
+/// content store". The label is what metrics/traces record.
+struct Custom {
+  std::string label;
+  std::function<void()> apply;
+};
+
+using FaultAction =
+    std::variant<NodeDown, NodeUp, LinkDown, LinkUp, LinkLoss, Custom>;
+
+/// Short machine-friendly kind ("node_down", "link_loss", "custom").
+std::string kind_of(const FaultAction& action);
+/// Human-readable description ("node_down node=3", "custom wipe-cache").
+std::string describe(const FaultAction& action);
+
+/// One scripted injection.
+struct FaultEvent {
+  simnet::SimTime at;
+  FaultAction action;
+};
+
+// --- the schedule ----------------------------------------------------------
+
+/// An ordered script of fault events. Built fluently:
+///
+///   FaultSchedule s;
+///   s.node_outage(ms(2000), ms(6000), ldns_node)
+///    .loss_burst(ms(1000), ms(3000), wan_link, 0.4);
+///
+/// Events may be appended in any order; the controller arms them at their
+/// absolute times and the simulator's queue keeps execution deterministic.
+class FaultSchedule {
+ public:
+  FaultSchedule& at(simnet::SimTime when, FaultAction action);
+
+  // Convenience builders for the common fault shapes.
+  FaultSchedule& crash_node(simnet::SimTime when, simnet::NodeId node);
+  FaultSchedule& restart_node(simnet::SimTime when, simnet::NodeId node);
+  /// Crash at `from`, restart at `to`.
+  FaultSchedule& node_outage(simnet::SimTime from, simnet::SimTime to,
+                             simnet::NodeId node);
+  /// Link down at `from`, up at `to`.
+  FaultSchedule& link_outage(simnet::SimTime from, simnet::SimTime to,
+                             simnet::LinkId link);
+  /// Alternates the link down/up every `period` within [from, to); ends up.
+  FaultSchedule& link_flap(simnet::SimTime from, simnet::SimTime to,
+                           simnet::SimTime period, simnet::LinkId link);
+  /// Loss `probability` on the link during [from, to), lossless after.
+  FaultSchedule& loss_burst(simnet::SimTime from, simnet::SimTime to,
+                            simnet::LinkId link, double probability);
+  FaultSchedule& custom(simnet::SimTime when, std::string label,
+                        std::function<void()> apply);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace mecdns::chaos

@@ -1,0 +1,60 @@
+// Named fault scenarios for the Fig. 5 testbed.
+//
+// Each scenario builds a chaos::FaultSchedule against a concrete
+// Fig5Testbed — the catalog lives here (not in src/chaos) because it needs
+// testbed internals: which node hosts the MEC L-DNS, which link is the WAN
+// exit, which workers carry the edge caches. The schedules are pure data;
+// arm them with a chaos::ChaosController over testbed.network().
+//
+// The single-fault catalog (what bench_fault_availability measures):
+//   mec-ldns-crash       the MEC L-DNS's node dies mid-stream, later restarts
+//   edge-cache-partition every edge-cache worker drops off the fabric
+//   wan-loss-burst       the P-GW's WAN exit runs at heavy random loss
+//   cdns-brownout        the serving C-DNS slows by a fixed per-query delay
+//   cache-wipe           edge caches lose their content store at one instant
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chaos/fault_schedule.h"
+#include "core/fig5.h"
+#include "simnet/time.h"
+
+namespace mecdns::core {
+
+struct FaultScenario {
+  std::string name;
+  std::string description;
+  /// Nominal fault window (time-to-recover is measured from fault_end for
+  /// outages, from fault_start for instantaneous faults like the wipe).
+  simnet::SimTime fault_start;
+  simnet::SimTime fault_end;
+  chaos::FaultSchedule schedule;
+};
+
+/// Catalog order used by benches and the check.sh fault matrix.
+const std::vector<std::string>& fault_scenario_names();
+
+/// Builds `name`'s schedule against `testbed` with the fault active during
+/// [start, end). Throws std::invalid_argument for an unknown name.
+/// Custom actions capture `testbed` by reference — it must outlive the run.
+FaultScenario make_fault_scenario(const std::string& name,
+                                  Fig5Testbed& testbed, simnet::SimTime start,
+                                  simnet::SimTime end);
+
+FaultScenario make_mec_ldns_crash(Fig5Testbed& testbed, simnet::SimTime start,
+                                  simnet::SimTime end);
+FaultScenario make_edge_cache_partition(Fig5Testbed& testbed,
+                                        simnet::SimTime start,
+                                        simnet::SimTime end);
+FaultScenario make_wan_loss_burst(Fig5Testbed& testbed, simnet::SimTime start,
+                                  simnet::SimTime end,
+                                  double probability = 0.5);
+FaultScenario make_cdns_brownout(Fig5Testbed& testbed, simnet::SimTime start,
+                                 simnet::SimTime end,
+                                 simnet::SimTime extra =
+                                     simnet::SimTime::millis(400));
+FaultScenario make_cache_wipe(Fig5Testbed& testbed, simnet::SimTime at);
+
+}  // namespace mecdns::core

@@ -85,8 +85,8 @@ void Fig5Testbed::build() {
       *net_, ran_->pgw(), [ue_subnet, pgw_public](const simnet::Packet& p) {
         return ue_subnet.contains(p.src.addr) || p.dst.addr == pgw_public;
       });
-  net_->add_link(ran_->pgw(), backbone_,
-                 ran::wan_link(config_.pgw_to_internet_ms));
+  pgw_backbone_link_ = net_->add_link(
+      ran_->pgw(), backbone_, ran::wan_link(config_.pgw_to_internet_ms));
 
   // --- content, origin and the CDN's cloud tier ----------------------------
   const cdn::ContentCatalog catalog = demo_catalog(content_name_);
@@ -121,7 +121,7 @@ void Fig5Testbed::build() {
   {
     cdn::TrafficRouter::Config wc;
     wc.cdn_domain = cdn_domain;
-    wc.answer_ttl = 0;
+    wc.answer_ttl = config_.answer_ttl;
     wc.use_ecs = config_.enable_ecs;
     wan_cdns_ = std::make_unique<cdn::TrafficRouter>(
         *net_, wan_cdns_node, "wan-cdns", server_processing(2.6),
@@ -138,12 +138,15 @@ void Fig5Testbed::build() {
   // --- the MEC site ----------------------------------------------------------
   MecCdnSite::Config sc;
   sc.cdn_domain = cdn_domain;
-  sc.answer_ttl = 0;
+  sc.answer_ttl = config_.answer_ttl;
   sc.enable_ecs = config_.enable_ecs;
   sc.origin = simnet::Endpoint{origin_addr, cdn::kContentPort};
   sc.ldns_processing = server_processing(2.4);
   sc.cdns_processing = server_processing(2.6);
   sc.overload_threshold_qps = config_.overload_threshold_qps;
+  sc.overload_recovery_windows = config_.overload_recovery_windows;
+  sc.serve_stale = config_.serve_stale;
+  sc.cdns_fallback_to_provider = config_.cdns_fallback_to_provider;
   if (config_.provider_fallback) {
     // The provider resolver is built later, but its address is fixed.
     sc.provider_ldns = simnet::Endpoint{
@@ -163,16 +166,18 @@ void Fig5Testbed::build() {
   }
   site_ = std::make_unique<MecCdnSite>(*net_, sc);
   const simnet::NodeId mec_gw = site_->orchestrator().cluster().gateway();
-  net_->add_link(ran_->pgw(), mec_gw,
-                 LatencyModel::constant(SimTime::millis(config_.pgw_to_mec_ms)));
-  net_->add_link(mec_gw, lan_cdns_node,
-                 LatencyModel::constant(SimTime::millis(config_.lan_cdns_ms)));
+  pgw_mec_link_ = net_->add_link(
+      ran_->pgw(), mec_gw,
+      LatencyModel::constant(SimTime::millis(config_.pgw_to_mec_ms)));
+  mec_lan_link_ = net_->add_link(
+      mec_gw, lan_cdns_node,
+      LatencyModel::constant(SimTime::millis(config_.lan_cdns_ms)));
 
   // LAN C-DNS: same routing scope as the in-cluster router, one LAN hop out.
   {
     cdn::TrafficRouter::Config lc;
     lc.cdn_domain = cdn_domain;
-    lc.answer_ttl = 0;
+    lc.answer_ttl = config_.answer_ttl;
     lc.use_ecs = config_.enable_ecs;
     lan_cdns_ = std::make_unique<cdn::TrafficRouter>(
         *net_, lan_cdns_node, "lan-cdns", server_processing(2.6),
@@ -220,7 +225,9 @@ void Fig5Testbed::build() {
       config_.deployment != Fig5Deployment::kProviderLdns) {
     const auto addr = Ipv4Address::must_parse("10.201.0.53");
     const simnet::NodeId node = net_->add_node("provider-ldns", addr);
-    net_->add_link(ran_->pgw(), node, ran::wan_link(config_.provider_ldns_ms));
+    provider_node_ = node;
+    pgw_provider_link_ = net_->add_link(ran_->pgw(), node,
+                                        ran::wan_link(config_.provider_ldns_ms));
     provider_ldns_ = std::make_unique<dns::RecursiveResolver>(
         *net_, node, "provider-ldns", server_processing(0.8), rcfg, addr);
   }
@@ -254,6 +261,12 @@ void Fig5Testbed::build() {
     mid_cdns_->add_delivery_service(cdn::DeliveryService{
         "demo2", dns::DnsName::must_parse("demo2.cdn-parent.test"),
         {kCloudGroup}});
+    // The parent tier serves its children's services too: when every edge
+    // cache for demo1 is drained, the edge C-DNS refers demo1 queries here
+    // and the cloud cache (which holds the full demo1 catalog) serves them.
+    mid_cdns_->add_delivery_service(cdn::DeliveryService{
+        "demo1", dns::DnsName::must_parse("demo1.cdn-parent.test"),
+        {kCloudGroup}});
     hierarchy_->delegate_to(dns::DnsName::must_parse("cdn-parent.test"),
                             dns::DnsName::must_parse("ns1.cdn-parent.test"),
                             mid_addr);
@@ -273,8 +286,9 @@ void Fig5Testbed::build() {
     case Fig5Deployment::kProviderLdns: {
       const auto addr = Ipv4Address::must_parse("10.201.0.53");
       const simnet::NodeId node = net_->add_node("provider-ldns", addr);
-      net_->add_link(ran_->pgw(), node,
-                     ran::wan_link(config_.provider_ldns_ms));
+      provider_node_ = node;
+      pgw_provider_link_ = net_->add_link(
+          ran_->pgw(), node, ran::wan_link(config_.provider_ldns_ms));
       provider_ldns_ = std::make_unique<dns::RecursiveResolver>(
           *net_, node, "provider-ldns", server_processing(0.8), rcfg, addr);
       break;
@@ -320,7 +334,12 @@ void Fig5Testbed::build() {
       break;
   }
   ue_ = std::make_unique<ran::UserEquipment>(
-      *net_, *ran_, "ue", Ipv4Address::must_parse("10.45.0.2"), dns_target);
+      *net_, *ran_, "ue", Ipv4Address::must_parse("10.45.0.2"), dns_target,
+      config_.ue_dns_options);
+}
+
+simnet::NodeId Fig5Testbed::mec_ldns_node() const {
+  return const_cast<MecCdnSite&>(*site_).ldns().node();
 }
 
 cdn::TrafficRouter& Fig5Testbed::active_router() {

@@ -63,6 +63,24 @@ class Fig5Testbed {
     bool provider_fallback = false;
     /// Overload guard threshold for the MEC L-DNS public view (0 = off).
     std::size_t overload_threshold_qps = 0;
+    /// Overload-guard recovery hysteresis windows (0 = stateless guard).
+    std::size_t overload_recovery_windows = 0;
+
+    // --- robustness knobs (defaults reproduce the fragile baseline) -----
+    /// UE stub transport options: retry/backoff/failover-server knobs for
+    /// the fault-availability experiments.
+    dns::DnsTransport::Options ue_dns_options;
+    /// Routed-answer TTL (0 = per-query routing, as the paper measured).
+    /// Non-zero lets the L-DNS cache answers — a prerequisite for
+    /// serve-stale to have anything stale to serve.
+    std::uint32_t answer_ttl = 0;
+    /// RFC 8767 serve-stale on the MEC L-DNS public-view cache.
+    bool serve_stale = false;
+    /// Append the provider L-DNS to the L-DNS's stub-domain forward and
+    /// fail over to it on SERVFAIL or timeout from the MEC C-DNS (requires
+    /// provider_fallback). The provider resolves the CDN domain through
+    /// the public hierarchy to the WAN C-DNS — the degraded-but-up path.
+    bool cdns_fallback_to_provider = false;
 
     // --- calibration knobs (defaults reproduce Figure 5's shape) --------
     double pgw_to_mec_ms = 0.5;      ///< P-GW <-> cluster gateway, one way
@@ -123,11 +141,28 @@ class Fig5Testbed {
   }
 
   simnet::Network& network() { return *net_; }
+  simnet::Simulator& simulator() { return *sim_; }
   ran::UserEquipment& ue() { return *ue_; }
   ran::RanSegment& ran() { return *ran_; }
   MecCdnSite& site() { return *site_; }
   ran::DnsTap& tap() { return *tap_; }
   const Config& config() const { return config_; }
+
+  // --- fault-injection handles (chaos scenarios) --------------------------
+  /// Node hosting the MEC L-DNS (the cluster "infra" worker).
+  simnet::NodeId mec_ldns_node() const;
+  /// The provider L-DNS node (kInvalidNode when not built).
+  simnet::NodeId provider_ldns_node() const { return provider_node_; }
+  /// P-GW <-> internet backbone (the WAN exit).
+  simnet::LinkId pgw_backbone_link() const { return pgw_backbone_link_; }
+  /// P-GW <-> MEC cluster gateway.
+  simnet::LinkId pgw_mec_link() const { return pgw_mec_link_; }
+  /// Cluster gateway <-> LAN C-DNS node.
+  simnet::LinkId mec_lan_link() const { return mec_lan_link_; }
+  /// P-GW <-> provider L-DNS (only meaningful when the provider is built).
+  simnet::LinkId pgw_provider_link() const { return pgw_provider_link_; }
+  dns::RecursiveResolver* provider_ldns() { return provider_ldns_.get(); }
+  cdn::CacheServer* cloud_cache() { return cloud_cache_.get(); }
   /// The C-DNS the active scenario resolves through (for ECS toggling and
   /// answer-correctness checks). The in-cluster router for scenario 1,
   /// the LAN or WAN router otherwise.
@@ -155,6 +190,11 @@ class Fig5Testbed {
   std::unique_ptr<cdn::OriginServer> origin_;
   std::unique_ptr<cdn::CacheServer> cloud_cache_;
   simnet::NodeId backbone_ = simnet::kInvalidNode;
+  simnet::NodeId provider_node_ = simnet::kInvalidNode;
+  simnet::LinkId pgw_backbone_link_ = 0;
+  simnet::LinkId pgw_mec_link_ = 0;
+  simnet::LinkId mec_lan_link_ = 0;
+  simnet::LinkId pgw_provider_link_ = 0;
   simnet::Ipv4Address cloud_cache_addr_;
   obs::TraceSink* trace_sink_ = nullptr;
   obs::Registry* metrics_ = nullptr;

@@ -76,6 +76,9 @@ MecCdnSite::MecCdnSite(simnet::Network& net, Config config)
   ldns_ = std::make_unique<dns::PluginChainServer>(
       net_, infra, "mec-coredns", config_.ldns_processing, ldns_ip_);
   public_cache_ = std::make_shared<dns::DnsCache>(4096);
+  if (config_.serve_stale) {
+    public_cache_->set_serve_stale(true, config_.serve_stale_window);
+  }
 
   // Internal view: VNF service discovery, exactly what the orchestrator's
   // DNS existed for. Matched by cluster-internal source addresses.
@@ -100,15 +103,23 @@ MecCdnSite::MecCdnSite(simnet::Network& net, Config config)
   if (config_.overload_threshold_qps > 0) {
     auto guard = std::make_unique<mec::OverloadGuardPlugin>(
         orchestrator_->ingress(), config_.overload_threshold_qps);
+    guard->set_recovery_windows(config_.overload_recovery_windows);
     guard_ = guard.get();
     pub.add(std::move(guard));
   }
   pub.add(std::make_unique<dns::CachePlugin>(public_cache_));
   const simnet::Endpoint cdns_target =
       config_.external_cdns.value_or(simnet::Endpoint{cdns_ip_, dns::kDnsPort});
+  std::vector<simnet::Endpoint> cdns_upstreams{cdns_target};
+  if (config_.cdns_fallback_to_provider &&
+      config_.provider_ldns.has_value()) {
+    cdns_upstreams.push_back(*config_.provider_ldns);
+  }
   auto cdn_forward = std::make_unique<dns::ForwardPlugin>(
-      config_.cdn_domain, std::vector<simnet::Endpoint>{cdns_target},
-      ldns_->transport());
+      config_.cdn_domain, std::move(cdns_upstreams), ldns_->transport());
+  if (config_.cdns_fallback_to_provider) {
+    cdn_forward->set_failover_on_servfail(true);
+  }
   if (config_.enable_ecs) cdn_forward->set_add_ecs(true);
   cdn_forward_ = cdn_forward.get();
   pub.add(std::move(cdn_forward));
@@ -177,10 +188,14 @@ void MecCdnSite::export_metrics(obs::Registry& registry,
                  cdn_forward_->upstream_failures());
     registry.add(prefix + "ldns.forward.failovers",
                  cdn_forward_->failovers());
+    registry.add(prefix + "ldns.forward.servfail_failovers",
+                 cdn_forward_->servfail_failovers());
   }
   if (guard_ != nullptr) {
     registry.add(prefix + "ldns.overload.admitted", guard_->admitted());
     registry.add(prefix + "ldns.overload.shed", guard_->shed());
+    registry.add(prefix + "ldns.overload.trips", guard_->trips());
+    registry.add(prefix + "ldns.overload.recoveries", guard_->recoveries());
   }
   if (router_ != nullptr) {
     export_router(registry, prefix + "cdns.", *router_);

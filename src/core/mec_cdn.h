@@ -68,6 +68,22 @@ class MecCdnSite {
     /// path. 0 disables the guard.
     std::size_t overload_threshold_qps = 0;
 
+    /// Recovery hysteresis for the overload guard: consecutive
+    /// below-threshold windows before re-admitting (0 = stateless guard).
+    std::size_t overload_recovery_windows = 0;
+
+    /// RFC 8767 serve-stale on the L-DNS public-view cache: keep expired
+    /// entries for `serve_stale_window` and serve them when the C-DNS path
+    /// answers SERVFAIL (edge-cache partition, router down).
+    bool serve_stale = false;
+    simnet::SimTime serve_stale_window = simnet::SimTime::seconds(3600);
+
+    /// Append provider_ldns to the CDN stub-domain forward's upstream list
+    /// and fail over to it on C-DNS timeout or SERVFAIL. The provider
+    /// resolves the CDN domain through the public hierarchy (WAN C-DNS) —
+    /// degraded latency, preserved availability. Requires provider_ldns.
+    bool cdns_fallback_to_provider = false;
+
     /// DNS server processing-time models (per query).
     simnet::LatencyModel ldns_processing = simnet::LatencyModel::normal(
         simnet::SimTime::millis(1.1), simnet::SimTime::micros(200),

@@ -39,6 +39,8 @@ inline void export_transport(obs::Registry& registry,
   registry.add(prefix + "timeouts", transport.timeouts());
   registry.add(prefix + "retransmissions", transport.retransmissions());
   registry.add(prefix + "tc_retries", transport.tc_retries());
+  registry.add(prefix + "servfails", transport.servfails());
+  registry.add(prefix + "failovers", transport.failovers());
 }
 
 inline void export_stats(obs::Registry& registry, const std::string& prefix,
@@ -48,6 +50,7 @@ inline void export_stats(obs::Registry& registry, const std::string& prefix,
   registry.add(prefix + "insertions", stats.insertions);
   registry.add(prefix + "evictions", stats.evictions);
   registry.add(prefix + "expired", stats.expired);
+  registry.add(prefix + "stale_hits", stats.stale_hits);
 }
 
 inline void export_stats(obs::Registry& registry, const std::string& prefix,

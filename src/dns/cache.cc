@@ -58,8 +58,13 @@ std::optional<CachedAnswer> DnsCache::lookup(const DnsName& name,
     return std::nullopt;
   }
   if (it->second.expires <= now) {
-    entries_.erase(it);
-    ++stats_.expired;
+    // With serve-stale on, an expired entry inside the stale window stays
+    // resident for lookup_stale(); it is still a miss here so the normal
+    // refresh path runs.
+    if (!serve_stale_ || it->second.expires + max_stale_ <= now) {
+      entries_.erase(it);
+      ++stats_.expired;
+    }
     ++stats_.misses;
     return std::nullopt;
   }
@@ -70,6 +75,33 @@ std::optional<CachedAnswer> DnsCache::lookup(const DnsName& name,
   for (auto& rr : answer.records) {
     rr.ttl = rr.ttl > elapsed_s ? rr.ttl - elapsed_s : 0;
   }
+  return answer;
+}
+
+void DnsCache::set_serve_stale(bool enabled, simnet::SimTime max_stale) {
+  serve_stale_ = enabled;
+  max_stale_ = enabled ? max_stale : simnet::SimTime::zero();
+}
+
+std::optional<CachedAnswer> DnsCache::lookup_stale(const DnsName& name,
+                                                   RecordType type,
+                                                   simnet::SimTime now) {
+  if (!serve_stale_) return std::nullopt;
+  const auto it = entries_.find({name, type});
+  if (it == entries_.end()) return std::nullopt;
+  // A live entry is lookup()'s to serve; "stale" strictly means past expiry.
+  if (now < it->second.expires) return std::nullopt;
+  if (it->second.expires + max_stale_ <= now) {
+    entries_.erase(it);
+    ++stats_.expired;
+    return std::nullopt;
+  }
+  ++stats_.stale_hits;
+  CachedAnswer answer = it->second.answer;
+  // RFC 8767 §4: stale data is served with a short TTL so clients re-try
+  // the authoritative path soon.
+  constexpr std::uint32_t kStaleTtl = 30;
+  for (auto& rr : answer.records) rr.ttl = kStaleTtl;
   return answer;
 }
 

@@ -24,6 +24,7 @@ struct CacheStats {
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
   std::uint64_t expired = 0;
+  std::uint64_t stale_hits = 0;  ///< RFC 8767 serve-stale answers
 
   double hit_rate() const {
     const std::uint64_t total = hits + misses;
@@ -60,6 +61,23 @@ class DnsCache {
   std::optional<CachedAnswer> lookup(const DnsName& name, RecordType type,
                                      simnet::SimTime now);
 
+  /// RFC 8767 serve-stale: retain expired entries for `max_stale` past
+  /// expiry so lookup_stale() can answer while the authoritative path is
+  /// failing. Off by default; when off, behaviour is the classic
+  /// erase-on-expiry cache.
+  void set_serve_stale(bool enabled,
+                       simnet::SimTime max_stale = simnet::SimTime::seconds(
+                           86400));  // RFC 8767 §5 suggested ceiling: 1 day
+  bool serve_stale_enabled() const { return serve_stale_; }
+
+  /// Looks up an entry within the stale window (expired but retained).
+  /// Records are served with the RFC 8767 §4 recommended 30-second TTL.
+  /// Returns nullopt when serve-stale is off, there is no entry, or the
+  /// entry aged past max_stale.
+  std::optional<CachedAnswer> lookup_stale(const DnsName& name,
+                                           RecordType type,
+                                           simnet::SimTime now);
+
   /// Drops every entry (used when a resolver is re-targeted on handoff).
   void flush();
 
@@ -80,6 +98,8 @@ class DnsCache {
   void evict_if_full();
 
   std::size_t max_entries_;
+  bool serve_stale_ = false;
+  simnet::SimTime max_stale_ = simnet::SimTime::zero();
   std::map<Key, Entry> entries_;
   CacheStats stats_;
 };

@@ -134,6 +134,18 @@ void ForwardPlugin::try_upstream(Message upstream_query,
           return;
         }
         Message response = std::move(result.value());
+        // A SERVFAIL answer means the upstream is up but failing; with
+        // servfail failover enabled it is treated like a dead upstream.
+        if (failover_on_servfail_ &&
+            response.header.rcode == RCode::kServFail &&
+            attempt + 1 < upstreams_.size()) {
+          ++upstream_failures_;
+          ++failovers_;
+          ++servfail_failovers_;
+          try_upstream(std::move(upstream_query), client_id, attempt + 1,
+                       std::move(respond));
+          return;
+        }
         response.header.id = client_id;
         respond(std::move(response));
       });
@@ -154,7 +166,8 @@ void CachePlugin::serve(const PluginContext& ctx, Respond respond, Next next) {
     respond(std::move(response));
     return;
   }
-  next([this, q, now, respond = std::move(respond)](Message response) {
+  next([this, q, query = ctx.query, now,
+        respond = std::move(respond)](Message response) {
     if (response.header.rcode == RCode::kNoError &&
         !response.answers.empty()) {
       cache_->insert(q.name, q.type, response.answers, now);
@@ -163,6 +176,19 @@ void CachePlugin::serve(const PluginContext& ctx, Respond respond, Next next) {
                 response.answers.empty())) {
       cache_->insert_negative(q.name, q.type, response.header.rcode,
                               response.authorities, now);
+    } else if (response.header.rcode == RCode::kServFail) {
+      // RFC 8767: the authoritative path is failing — prefer a stale
+      // answer (if the cache retains one) over propagating the failure.
+      if (auto stale = cache_->lookup_stale(q.name, q.type, now)) {
+        ++stale_served_;
+        obs::ambient_span().tag("cache", "stale");
+        Message rescued = make_response(
+            query, stale->negative ? stale->rcode : RCode::kNoError);
+        rescued.answers = stale->records;
+        rescued.authorities = stale->soa;
+        respond(std::move(rescued));
+        return;
+      }
     }
     respond(std::move(response));
   });

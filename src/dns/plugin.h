@@ -83,9 +83,20 @@ class ForwardPlugin : public Plugin {
   std::uint64_t upstream_failures() const { return upstream_failures_; }
   /// Queries answered by a later upstream after an earlier one failed.
   std::uint64_t failovers() const { return failovers_; }
+  /// Failovers triggered by a SERVFAIL answer (vs transport timeout).
+  std::uint64_t servfail_failovers() const { return servfail_failovers_; }
 
   void set_policy(ForwardPolicy policy) { policy_ = policy; }
   ForwardPolicy policy() const { return policy_; }
+
+  /// When enabled, a SERVFAIL answer from an upstream is treated like a
+  /// dead upstream and the query fails over to the next one — the RFC 2136
+  /// "try the next server" behaviour real resolvers apply to SERVFAIL.
+  /// Off by default (SERVFAIL is relayed to the client).
+  void set_failover_on_servfail(bool enable) {
+    failover_on_servfail_ = enable;
+  }
+  bool failover_on_servfail() const { return failover_on_servfail_; }
 
   /// When enabled, attach an RFC 7871 Client Subnet option (synthesized
   /// from the client's source address, `prefix` bits) to upstream queries
@@ -102,6 +113,7 @@ class ForwardPlugin : public Plugin {
 
   DnsName match_;
   bool add_ecs_ = false;
+  bool failover_on_servfail_ = false;
   std::uint8_t ecs_prefix_ = 24;
   ForwardPolicy policy_ = ForwardPolicy::kSequential;
   std::vector<simnet::Endpoint> upstreams_;
@@ -111,6 +123,7 @@ class ForwardPlugin : public Plugin {
   std::uint64_t forwarded_ = 0;
   std::uint64_t upstream_failures_ = 0;
   std::uint64_t failovers_ = 0;
+  std::uint64_t servfail_failovers_ = 0;
 };
 
 /// Serves positive answers from a shared DnsCache and inserts downstream
@@ -124,8 +137,13 @@ class CachePlugin : public Plugin {
 
   DnsCache& cache() { return *cache_; }
 
+  /// Answers rescued by RFC 8767 serve-stale after a downstream SERVFAIL
+  /// (requires serve-stale enabled on the shared DnsCache).
+  std::uint64_t stale_served() const { return stale_served_; }
+
  private:
   std::shared_ptr<DnsCache> cache_;
+  std::uint64_t stale_served_ = 0;
 };
 
 /// Rewrites query names under `from` to the same labels under `to` before

@@ -48,7 +48,8 @@ void DnsServer::on_packet(const simnet::Packet& packet) {
           ? std::max<std::size_t>(512, decoded.value().edns->udp_payload_size)
           : 512;
 
-  const simnet::SimTime delay = processing_delay_.sample(rng_);
+  const simnet::SimTime delay =
+      processing_delay_.sample(rng_) + extra_processing_;
   // The responder captures where to send the reply; handle() may hold it
   // across its own upstream queries.
   Responder respond = [this, reply_to = packet.src, payload_limit,
@@ -114,7 +115,8 @@ void DnsServer::pump() {
     Work work = std::move(work_queue_.front());
     work_queue_.pop_front();
     ++busy_;
-    const simnet::SimTime delay = processing_delay_.sample(rng_);
+    const simnet::SimTime delay =
+        processing_delay_.sample(rng_) + extra_processing_;
     // pump() runs under whatever event freed the worker; restore the
     // queued query's own serve span before scheduling its processing.
     obs::AmbientSpanGuard ambient(work.span);

@@ -74,6 +74,12 @@ class DnsServer {
   std::uint64_t dropped_overflow() const { return dropped_overflow_; }
   std::size_t queue_depth() const { return work_queue_.size(); }
 
+  /// Fixed latency added on top of each sampled processing delay — the
+  /// chaos layer's server-brownout knob (a degraded-but-alive server).
+  /// Zero (the default) restores nominal service time; no RNG is drawn.
+  void set_extra_processing(simnet::SimTime extra) { extra_processing_ = extra; }
+  simnet::SimTime extra_processing() const { return extra_processing_; }
+
  protected:
   /// Subclass hook. Call `respond` at most once; not calling it drops the
   /// query (the client's timeout handles it, as on a real network).
@@ -105,6 +111,7 @@ class DnsServer {
   ServerStats stats_;
   std::size_t workers_ = 0;  ///< 0 = unlimited
   std::size_t max_queue_ = 256;
+  simnet::SimTime extra_processing_ = simnet::SimTime::zero();
   std::size_t busy_ = 0;
   std::deque<Work> work_queue_;
   std::uint64_t dropped_overflow_ = 0;

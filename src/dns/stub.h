@@ -45,6 +45,9 @@ class StubResolver {
   void set_server(simnet::Endpoint server) { server_ = server; }
   simnet::Endpoint server() const { return server_; }
 
+  /// The underlying transaction layer (timeout/retransmission counters).
+  DnsTransport& transport() { return *transport_; }
+
   /// Configures a secondary server queried in parallel with the primary
   /// ("have DNS requests be multicast to both MEC DNS and the network's
   /// L-DNS"). The first usable answer wins; REFUSED answers lose to the

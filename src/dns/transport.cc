@@ -89,9 +89,48 @@ void DnsTransport::send_attempt(std::uint16_t id) {
   arm_timeout(id, p.generation);
 }
 
+simnet::SimTime DnsTransport::retry_interval(const Pending& pending) {
+  // The fast path (no backoff, no jitter) must return the configured
+  // timeout unmodified so default runs stay bit-identical.
+  simnet::SimTime interval = pending.options.timeout;
+  if (pending.options.backoff_factor != 1.0 && pending.attempts > 1) {
+    double ms = interval.to_millis();
+    for (int i = 1; i < pending.attempts; ++i) {
+      ms *= pending.options.backoff_factor;
+    }
+    interval = simnet::SimTime::millis(ms);
+  }
+  if (pending.options.max_backoff > simnet::SimTime::zero() &&
+      interval > pending.options.max_backoff) {
+    interval = pending.options.max_backoff;
+  }
+  if (pending.options.retry_jitter > 0.0) {
+    interval = simnet::SimTime::millis(
+        interval.to_millis() *
+        (1.0 + rng_.uniform(0.0, pending.options.retry_jitter)));
+  }
+  return interval;
+}
+
+bool DnsTransport::fail_over(std::uint16_t id) {
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) return false;
+  Pending& p = it->second;
+  if (p.server_index >= p.options.fallback_servers.size()) return false;
+  p.server = p.options.fallback_servers[p.server_index++];
+  p.attempts = 0;
+  ++failovers_;
+  MECDNS_LOG(kDebug, "transport")
+      << "failing over to server #" << p.server_index << " of "
+      << p.options.fallback_servers.size() + 1;
+  p.span.tag("failover", std::to_string(p.server_index));
+  send_attempt(id);
+  return true;
+}
+
 void DnsTransport::arm_timeout(std::uint16_t id, std::uint64_t generation) {
   net_.simulator().schedule_after(
-      pending_.at(id).options.timeout,
+      retry_interval(pending_.at(id)),
       [this, alive = alive_, id, generation] {
         if (!*alive) return;
         const auto it = pending_.find(id);
@@ -104,6 +143,7 @@ void DnsTransport::arm_timeout(std::uint16_t id, std::uint64_t generation) {
           return;
         }
         ++timeouts_;
+        if (fail_over(id)) return;
         Pending p = std::move(it->second);
         pending_.erase(it);
         MECDNS_LOG(kDebug, "transport")
@@ -151,6 +191,18 @@ void DnsTransport::on_packet(const simnet::Packet& packet) {
       if (!p.query.edns.has_value()) p.query.edns = Edns{};
       p.query.edns->udp_payload_size = p.options.bufsize_on_tc;
       send_attempt(response.header.id);
+      return;
+    }
+  }
+
+  // SERVFAIL with fallback servers remaining: treat the server as failed
+  // and move on, rather than delivering the failure to the caller.
+  if (response.header.rcode == RCode::kServFail) {
+    ++servfails_;
+    if (p.options.failover_on_servfail &&
+        p.server_index < p.options.fallback_servers.size()) {
+      p.span.tag("servfail_from", std::to_string(p.server_index));
+      fail_over(response.header.id);
       return;
     }
   }

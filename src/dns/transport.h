@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <vector>
 
 #include "dns/message.h"
 #include "dns/wire.h"
@@ -33,6 +34,25 @@ class DnsTransport {
     /// response to echo it byte-exactly, multiplying the work a blind
     /// spoofer must do beyond guessing the 16-bit id.
     bool use_0x20 = false;
+    /// Multiplier applied to the retransmission timer after each attempt
+    /// (RFC 1035 §4.2.1 suggests exponential backoff; 2.0 doubles per
+    /// retry). 1.0 keeps the classic fixed interval.
+    double backoff_factor = 1.0;
+    /// Cap on the backed-off timer; zero means uncapped.
+    simnet::SimTime max_backoff = simnet::SimTime::zero();
+    /// Random jitter fraction added to each retransmission timer: the timer
+    /// becomes timeout * (1 + U[0, retry_jitter)), decorrelating retry
+    /// storms. 0 disables jitter and draws no randomness at all, keeping
+    /// default runs bit-identical.
+    double retry_jitter = 0.0;
+    /// Servers tried in order after the current one fails — exhausts its
+    /// retry budget, or answers SERVFAIL (see failover_on_servfail). Each
+    /// server gets the full `1 + max_retries` attempt budget.
+    std::vector<simnet::Endpoint> fallback_servers;
+    /// Treat a SERVFAIL response as server failure: advance to the next
+    /// fallback server instead of delivering the error (only meaningful
+    /// when fallback_servers is non-empty).
+    bool failover_on_servfail = true;
   };
 
   /// Invoked exactly once per query(): with the response, or with an error
@@ -58,6 +78,14 @@ class DnsTransport {
   std::uint64_t timeouts() const { return timeouts_; }
   std::uint64_t retransmissions() const { return retransmissions_; }
   std::uint64_t tc_retries() const { return tc_retries_; }
+  /// SERVFAIL responses received (distinguished from timeouts in stats).
+  std::uint64_t servfails() const { return servfails_; }
+  /// Times a transaction switched to a fallback server.
+  std::uint64_t failovers() const { return failovers_; }
+
+  /// Test seam: forces the next transaction id, so tests can stage an id
+  /// collision with an in-flight query (wrap-around regression).
+  void set_next_id(std::uint16_t id) { next_id_ = id; }
 
  private:
   struct Pending {
@@ -67,6 +95,7 @@ class DnsTransport {
     Callback callback;
     simnet::SimTime first_sent;
     int attempts = 0;
+    std::size_t server_index = 0;  ///< next entry of fallback_servers
     std::uint64_t generation = 0;  ///< guards stale timeout events
     obs::SpanRef span;             ///< transport span (inert if untraced)
     /// Ambient token at query() time, restored around the callback so
@@ -78,6 +107,10 @@ class DnsTransport {
   void on_packet(const simnet::Packet& packet);
   void send_attempt(std::uint16_t id);
   void arm_timeout(std::uint16_t id, std::uint64_t generation);
+  simnet::SimTime retry_interval(const Pending& pending);
+  /// Switches to the next fallback server (full retry budget) if one
+  /// remains; false once the list is exhausted.
+  bool fail_over(std::uint16_t id);
 
   simnet::Network& net_;
   simnet::UdpSocket* socket_;
@@ -90,6 +123,8 @@ class DnsTransport {
   std::uint64_t timeouts_ = 0;
   std::uint64_t retransmissions_ = 0;
   std::uint64_t tc_retries_ = 0;
+  std::uint64_t servfails_ = 0;
+  std::uint64_t failovers_ = 0;
   std::map<std::uint16_t, Pending> pending_;
 };
 

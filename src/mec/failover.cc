@@ -1,0 +1,72 @@
+#include "mec/failover.h"
+
+#include <utility>
+
+#include "util/log.h"
+
+namespace mecdns::mec {
+
+LdnsFailover::LdnsFailover(simnet::Network& net, simnet::NodeId node,
+                           Config config)
+    : net_(net),
+      config_(std::move(config)),
+      transport_(net, node, /*id_seed=*/0x1d5f) {}
+
+LdnsFailover::~LdnsFailover() { *alive_ = false; }
+
+void LdnsFailover::start(std::size_t rounds) {
+  if (rounds == 0) return;
+  net_.simulator().schedule_after(config_.probe_interval,
+                                  [this, alive = alive_, rounds] {
+                                    if (!*alive) return;
+                                    probe(rounds - 1);
+                                  });
+}
+
+void LdnsFailover::probe(std::size_t remaining) {
+  ++probes_sent_;
+  dns::DnsTransport::Options options;
+  options.timeout = config_.probe_timeout;
+  dns::Message query =
+      dns::make_query(0, config_.probe_name, dns::RecordType::kA);
+  transport_.query(config_.primary, std::move(query), options,
+                   [this, alive = alive_](util::Result<dns::Message> result,
+                                          simnet::SimTime) {
+                     if (!*alive) return;
+                     on_result(result.ok());
+                   });
+  if (remaining > 0) {
+    net_.simulator().schedule_after(config_.probe_interval,
+                                    [this, alive = alive_, remaining] {
+                                      if (!*alive) return;
+                                      probe(remaining - 1);
+                                    });
+  }
+}
+
+void LdnsFailover::on_result(bool alive) {
+  if (!alive) {
+    ++probe_failures_;
+    ok_streak_ = 0;
+    if (!on_fallback_ && ++fail_streak_ >= config_.down_threshold) {
+      on_fallback_ = true;
+      fail_streak_ = 0;
+      switches_.push_back(Switch{net_.now(), true});
+      MECDNS_LOG(kInfo, "ldns-failover")
+          << "primary L-DNS dead; switching clients to fallback";
+      if (on_switch_) on_switch_(config_.fallback, true);
+    }
+    return;
+  }
+  fail_streak_ = 0;
+  if (on_fallback_ && ++ok_streak_ >= config_.up_threshold) {
+    on_fallback_ = false;
+    ok_streak_ = 0;
+    switches_.push_back(Switch{net_.now(), false});
+    MECDNS_LOG(kInfo, "ldns-failover")
+        << "primary L-DNS recovered; switching clients back";
+    if (on_switch_) on_switch_(config_.primary, false);
+  }
+}
+
+}  // namespace mecdns::mec

@@ -19,17 +19,51 @@ void IngressMonitor::prune(simnet::SimTime now) const {
   }
 }
 
+void OverloadGuardPlugin::shed_one(const dns::PluginContext& ctx,
+                                   Respond& respond) {
+  ++shed_;
+  if (action_ == OverloadAction::kRefuse) {
+    respond(dns::make_response(ctx.query, dns::RCode::kRefused));
+  }
+  // kDrop: never respond; the client's timeout/fallback path handles it.
+}
+
 void OverloadGuardPlugin::serve(const dns::PluginContext& ctx,
                                 Respond respond, Next next) {
   const simnet::SimTime now = ctx.net.received;
-  if (monitor_.rate(now) >= threshold_) {
-    ++shed_;
-    if (action_ == OverloadAction::kRefuse) {
-      respond(dns::make_response(ctx.query, dns::RCode::kRefused));
+  const bool over = monitor_.rate(now) >= threshold_;
+
+  if (recovery_windows_ == 0) {
+    // Legacy stateless comparison.
+    if (over) {
+      shed_one(ctx, respond);
+      return;
     }
-    // kDrop: never respond; the client's timeout/fallback path handles it.
+  } else if (shedding_) {
+    if (over) {
+      below_since_.reset();
+      shed_one(ctx, respond);
+      return;
+    }
+    if (!below_since_.has_value()) below_since_ = now;
+    const simnet::SimTime quiet = now - *below_since_;
+    if (quiet < monitor_.window() * static_cast<std::int64_t>(
+                    recovery_windows_)) {
+      shed_one(ctx, respond);
+      return;
+    }
+    // Quiet long enough: recover and admit this query.
+    shedding_ = false;
+    below_since_.reset();
+    ++recoveries_;
+  } else if (over) {
+    shedding_ = true;
+    below_since_.reset();
+    ++trips_;
+    shed_one(ctx, respond);
     return;
   }
+
   monitor_.record(now);
   ++admitted_;
   next(std::move(respond));

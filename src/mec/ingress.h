@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <optional>
 
 #include "dns/plugin.h"
 #include "simnet/time.h"
@@ -52,13 +53,39 @@ class OverloadGuardPlugin : public dns::Plugin {
   void serve(const dns::PluginContext& ctx, Respond respond,
              Next next) override;
 
+  /// Recovery hysteresis, mirroring cdn::TrafficMonitor's up/down counts:
+  /// once tripped, the guard keeps shedding until the ingress rate has
+  /// stayed below the threshold for `windows` consecutive monitor windows.
+  /// 0 (the default) is the legacy stateless comparison, which flaps
+  /// admit/shed right at the threshold.
+  void set_recovery_windows(std::size_t windows) {
+    recovery_windows_ = windows;
+  }
+  std::size_t recovery_windows() const { return recovery_windows_; }
+
+  /// True while the guard is in its tripped (shedding) state. Only
+  /// meaningful with recovery hysteresis enabled.
+  bool shedding() const { return shedding_; }
+  /// Times the guard tripped into / recovered out of shedding.
+  std::uint64_t trips() const { return trips_; }
+  std::uint64_t recoveries() const { return recoveries_; }
+
   std::uint64_t shed() const { return shed_; }
   std::uint64_t admitted() const { return admitted_; }
 
  private:
+  void shed_one(const dns::PluginContext& ctx, Respond& respond);
+
   IngressMonitor& monitor_;
   std::size_t threshold_;
   OverloadAction action_;
+  std::size_t recovery_windows_ = 0;
+  bool shedding_ = false;
+  /// When (while shedding) the rate was first observed below threshold;
+  /// cleared whenever it climbs back over.
+  std::optional<simnet::SimTime> below_since_;
+  std::uint64_t trips_ = 0;
+  std::uint64_t recoveries_ = 0;
   std::uint64_t shed_ = 0;
   std::uint64_t admitted_ = 0;
 };

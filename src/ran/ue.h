@@ -40,13 +40,29 @@ class UserEquipment {
   using FetchCallback = std::function<void(const FetchOutcome&)>;
   void resolve_and_fetch(const cdn::Url& url, FetchCallback callback);
 
+  /// Extra resolve-and-fetch attempts after a failed one (default 0 — a
+  /// single attempt, the paper-measurement behaviour). Each retry redoes
+  /// the DNS lookup, so a re-resolution can route around a dead cache once
+  /// the router has drained it or the cached answer expired.
+  void set_fetch_retries(std::size_t retries) { fetch_retries_ = retries; }
+  std::size_t fetch_retries() const { return fetch_retries_; }
+  /// Retries actually spent (visibility for benches).
+  std::uint64_t fetch_retries_used() const { return fetch_retries_used_; }
+
  private:
+  void attempt_fetch(const cdn::Url& url, std::size_t retries_left,
+                     simnet::SimTime accumulated, FetchCallback callback);
+  void finish_or_retry(const cdn::Url& url, std::size_t retries_left,
+                       FetchOutcome outcome, FetchCallback callback);
+
   simnet::Network& net_;
   std::string name_;
   simnet::Ipv4Address addr_;
   simnet::NodeId node_;
   std::unique_ptr<dns::StubResolver> resolver_;
   std::unique_ptr<cdn::ContentClient> content_;
+  std::size_t fetch_retries_ = 0;
+  std::uint64_t fetch_retries_used_ = 0;
 };
 
 }  // namespace mecdns::ran

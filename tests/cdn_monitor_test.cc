@@ -76,18 +76,22 @@ class MonitorTest : public ::testing::Test {
                     health);
   }
 
-  Ipv4Address routed_answer() {
+  Ipv4Address routed_answer_for(const std::string& name) {
     dns::StubResolver stub(
         net_, client_node_,
         Endpoint{Ipv4Address::must_parse("10.240.0.53"), dns::kDnsPort});
     Ipv4Address answer;
-    stub.resolve(dns::DnsName::must_parse("movie.vod.cdn.test"),
-                 dns::RecordType::kA, [&](const dns::StubResult& result) {
+    stub.resolve(dns::DnsName::must_parse(name), dns::RecordType::kA,
+                 [&](const dns::StubResult& result) {
                    if (result.ok) answer = *result.address;
                  });
     // Run only briefly so the monitor loop keeps going independently.
     sim_.run_until(sim_.now() + SimTime::millis(50));
     return answer;
+  }
+
+  Ipv4Address routed_answer() {
+    return routed_answer_for("movie.vod.cdn.test");
   }
 
   simnet::Simulator sim_;
@@ -166,6 +170,41 @@ TEST_F(MonitorTest, SingleFailureBelowThresholdIsTolerated) {
   sim_.run_until(sim_.now() + SimTime::seconds(2));
   EXPECT_TRUE(monitor_->healthy("cache-a"));
   EXPECT_EQ(monitor_->transitions(), 0u);
+  monitor_->stop();
+}
+
+TEST_F(MonitorTest, IntermittentProbeLossDoesNotFlap) {
+  // A lossy path that eats every other probe: the failure streak never
+  // reaches down_threshold (2), so health must not flap. The outage
+  // windows are placed around alternating probe instants (0.5s cadence)
+  // so exactly probes at 1.5s, 2.5s, 3.5s and 4.5s are lost.
+  monitor_->start();
+  for (int k = 0; k < 4; ++k) {
+    const SimTime down = SimTime::millis(1300 + k * 1000);
+    const SimTime up = SimTime::millis(1700 + k * 1000);
+    sim_.schedule_at(down, [this] { net_.set_node_up(cache_a_node_, false); });
+    sim_.schedule_at(up, [this] { net_.set_node_up(cache_a_node_, true); });
+  }
+  sim_.run_until(SimTime::seconds(6));
+  EXPECT_TRUE(monitor_->healthy("cache-a"));
+  EXPECT_EQ(monitor_->transitions(), 0u);
+  monitor_->stop();
+}
+
+TEST_F(MonitorTest, RouterNeverRoutesToDrainedCache) {
+  // Once the monitor drains a cache, no qname — wherever it hashes on the
+  // ring — may be answered with the drained address.
+  monitor_->start();
+  sim_.run_until(SimTime::seconds(1));
+  net_.set_node_up(cache_a_node_, false);
+  sim_.run_until(sim_.now() + SimTime::seconds(3));
+  ASSERT_FALSE(monitor_->healthy("cache-a"));
+  for (int i = 0; i < 16; ++i) {
+    const Ipv4Address answer =
+        routed_answer_for("m" + std::to_string(i) + ".vod.cdn.test");
+    EXPECT_NE(answer, Ipv4Address::must_parse("10.240.0.11"));
+    EXPECT_EQ(answer, Ipv4Address::must_parse("10.240.0.12"));
+  }
   monitor_->stop();
 }
 

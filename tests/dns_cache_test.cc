@@ -177,5 +177,84 @@ TEST(DnsCache, HitRateAccounting) {
   EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.5);
 }
 
+TEST(DnsCache, ServeStaleAnswersExpiredEntry) {
+  DnsCache cache;
+  cache.set_serve_stale(true);
+  cache.insert(DnsName::must_parse("www.example.com"), RecordType::kA,
+               {a_record("www.example.com", 60)}, SimTime::seconds(0));
+  // Expired for the regular lookup path...
+  EXPECT_FALSE(cache
+                   .lookup(DnsName::must_parse("www.example.com"),
+                           RecordType::kA, SimTime::seconds(90))
+                   .has_value());
+  // ...but the stale path still has it, at the RFC 8767 §4 30s TTL.
+  const auto stale = cache.lookup_stale(
+      DnsName::must_parse("www.example.com"), RecordType::kA,
+      SimTime::seconds(90));
+  ASSERT_TRUE(stale.has_value());
+  ASSERT_EQ(stale->records.size(), 1u);
+  EXPECT_EQ(stale->records[0].ttl, 30u);
+  EXPECT_EQ(cache.stats().stale_hits, 1u);
+}
+
+TEST(DnsCache, ServeStaleOffByDefault) {
+  DnsCache cache;
+  cache.insert(DnsName::must_parse("www.example.com"), RecordType::kA,
+               {a_record("www.example.com", 60)}, SimTime::seconds(0));
+  EXPECT_FALSE(cache
+                   .lookup_stale(DnsName::must_parse("www.example.com"),
+                                 RecordType::kA, SimTime::seconds(90))
+                   .has_value());
+  EXPECT_EQ(cache.stats().stale_hits, 0u);
+}
+
+TEST(DnsCache, ServeStaleNeverServesFreshEntryAsStale) {
+  // A live entry belongs to lookup(); lookup_stale() must not double-serve.
+  DnsCache cache;
+  cache.set_serve_stale(true);
+  cache.insert(DnsName::must_parse("www.example.com"), RecordType::kA,
+               {a_record("www.example.com", 60)}, SimTime::seconds(0));
+  EXPECT_FALSE(cache
+                   .lookup_stale(DnsName::must_parse("www.example.com"),
+                                 RecordType::kA, SimTime::seconds(10))
+                   .has_value());
+}
+
+TEST(DnsCache, ServeStaleWindowBoundsRetention) {
+  DnsCache cache;
+  cache.set_serve_stale(true, /*max_stale=*/SimTime::seconds(100));
+  cache.insert(DnsName::must_parse("www.example.com"), RecordType::kA,
+               {a_record("www.example.com", 60)}, SimTime::seconds(0));
+  // Within expiry + max_stale: served.
+  EXPECT_TRUE(cache
+                  .lookup_stale(DnsName::must_parse("www.example.com"),
+                                RecordType::kA, SimTime::seconds(159))
+                  .has_value());
+  // Past the window: gone for good.
+  EXPECT_FALSE(cache
+                   .lookup_stale(DnsName::must_parse("www.example.com"),
+                                 RecordType::kA, SimTime::seconds(161))
+                   .has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(DnsCache, ServeStaleKeepsExpiredEntryResident) {
+  // With serve-stale on, a regular lookup of an expired entry is a miss
+  // but must not erase the entry (it is the stale path's inventory).
+  DnsCache cache;
+  cache.set_serve_stale(true);
+  cache.insert(DnsName::must_parse("www.example.com"), RecordType::kA,
+               {a_record("www.example.com", 60)}, SimTime::seconds(0));
+  EXPECT_FALSE(cache
+                   .lookup(DnsName::must_parse("www.example.com"),
+                           RecordType::kA, SimTime::seconds(61))
+                   .has_value());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache
+                  .lookup_stale(DnsName::must_parse("www.example.com"),
+                                RecordType::kA, SimTime::seconds(61))
+                  .has_value());
+}
+
 }  // namespace
 }  // namespace mecdns::dns

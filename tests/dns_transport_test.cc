@@ -27,6 +27,12 @@ class ScriptedServer {
       }
       auto query = decode(p.payload);
       ASSERT_TRUE(query.ok());
+      if (servfail_) {
+        socket_->send_to(p.src,
+                         encode(make_response(query.value(),
+                                              RCode::kServFail)));
+        return;
+      }
       Message response = make_response(query.value());
       if (mangle_question_) {
         response.questions.front().name = DnsName::must_parse("evil.test");
@@ -41,6 +47,7 @@ class ScriptedServer {
   int received() const { return received_; }
   void drop_first(int n) { drop_first_ = n; }
   void mangle_question(bool v) { mangle_question_ = v; }
+  void respond_servfail(bool v) { servfail_ = v; }
 
  private:
   simnet::Network& net_;
@@ -48,6 +55,7 @@ class ScriptedServer {
   int received_ = 0;
   int drop_first_ = 0;
   bool mangle_question_ = false;
+  bool servfail_ = false;
 };
 
 class TransportTest : public ::testing::Test {
@@ -306,6 +314,181 @@ TEST_F(TransportTest, LateResponseAfterTimeoutIsIgnored) {
       });
   sim_.run();
   EXPECT_EQ(calls, 1);
+}
+
+TEST_F(TransportTest, IdWrapAroundSkipsInFlightQuery) {
+  // Regression: force the id counter onto an in-flight transaction's id.
+  // The second query must get a different id — clobbering the pending
+  // entry would drop the first query's callback and cross the answers.
+  server_->drop_first(1);  // keep query A in flight past B's send
+  transport_->set_next_id(0xFFFF);
+
+  int a_calls = 0;
+  int b_calls = 0;
+  std::uint16_t a_id = 0;
+  std::uint16_t b_id = 0;
+  DnsTransport::Options options;
+  options.timeout = SimTime::millis(100);
+  options.max_retries = 1;  // A's first send is dropped; retry answers it
+  transport_->query(
+      server_endpoint(),
+      make_query(0, DnsName::must_parse("a.test"), RecordType::kA), options,
+      [&](util::Result<Message> result, SimTime) {
+        ++a_calls;
+        ASSERT_TRUE(result.ok());
+        a_id = result.value().header.id;
+        EXPECT_EQ(result.value().question().name.to_string(), "a.test");
+      });
+
+  // While A waits on id 0xFFFF, wind the counter back onto it.
+  transport_->set_next_id(0xFFFF);
+  transport_->query(
+      server_endpoint(),
+      make_query(0, DnsName::must_parse("b.test"), RecordType::kA), options,
+      [&](util::Result<Message> result, SimTime) {
+        ++b_calls;
+        ASSERT_TRUE(result.ok());
+        b_id = result.value().header.id;
+        EXPECT_EQ(result.value().question().name.to_string(), "b.test");
+      });
+
+  sim_.run();
+  EXPECT_EQ(a_calls, 1);
+  EXPECT_EQ(b_calls, 1);
+  EXPECT_EQ(a_id, 0xFFFF);
+  EXPECT_NE(a_id, b_id);
+}
+
+TEST_F(TransportTest, IdWrapAroundSkipsZero) {
+  // Id 0 is reserved as "unassigned": wrapping past 0xFFFF must land on 1.
+  transport_->set_next_id(0xFFFF);
+  std::vector<std::uint16_t> ids;
+  for (int i = 0; i < 2; ++i) {
+    transport_->query(
+        server_endpoint(),
+        make_query(0, DnsName::must_parse("w.test"), RecordType::kA), {},
+        [&](util::Result<Message> result, SimTime) {
+          ASSERT_TRUE(result.ok());
+          ids.push_back(result.value().header.id);
+        });
+    sim_.run();
+  }
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], 0xFFFF);
+  EXPECT_EQ(ids[1], 1);
+}
+
+TEST_F(TransportTest, ExponentialBackoffSpreadsRetries) {
+  // timeout 100ms, factor 2: attempts at 0/100/300 ms, failure at 700 ms.
+  server_->drop_first(100);
+  bool done = false;
+  DnsTransport::Options options;
+  options.timeout = SimTime::millis(100);
+  options.max_retries = 2;
+  options.backoff_factor = 2.0;
+  transport_->query(
+      server_endpoint(),
+      make_query(0, DnsName::must_parse("x.test"), RecordType::kA), options,
+      [&](util::Result<Message> result, SimTime rtt) {
+        done = true;
+        EXPECT_FALSE(result.ok());
+        EXPECT_EQ(rtt, SimTime::millis(700));
+      });
+  sim_.run();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(TransportTest, BackoffRespectsCap) {
+  server_->drop_first(100);
+  bool done = false;
+  DnsTransport::Options options;
+  options.timeout = SimTime::millis(100);
+  options.max_retries = 3;
+  options.backoff_factor = 10.0;
+  options.max_backoff = SimTime::millis(150);
+  // Timers: 100, then capped at 150 thrice -> failure at 550 ms.
+  transport_->query(
+      server_endpoint(),
+      make_query(0, DnsName::must_parse("x.test"), RecordType::kA), options,
+      [&](util::Result<Message> result, SimTime rtt) {
+        done = true;
+        EXPECT_FALSE(result.ok());
+        EXPECT_EQ(rtt, SimTime::millis(550));
+      });
+  sim_.run();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(TransportTest, FailsOverToFallbackServerOnTimeout) {
+  // Primary never answers; the transaction must move to the fallback and
+  // succeed instead of reporting a timeout.
+  server_->drop_first(100);
+  const simnet::NodeId backup_node =
+      net_.add_node("backup", Ipv4Address::must_parse("10.0.0.4"));
+  net_.add_link(client_node_, backup_node,
+                LatencyModel::constant(SimTime::millis(2)));
+  ScriptedServer backup(net_, backup_node);
+
+  bool done = false;
+  DnsTransport::Options options;
+  options.timeout = SimTime::millis(100);
+  options.fallback_servers = {{Ipv4Address::must_parse("10.0.0.4"), kDnsPort}};
+  transport_->query(
+      server_endpoint(),
+      make_query(0, DnsName::must_parse("x.test"), RecordType::kA), options,
+      [&](util::Result<Message> result, SimTime) {
+        done = true;
+        EXPECT_TRUE(result.ok());
+      });
+  sim_.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(transport_->failovers(), 1u);
+  EXPECT_EQ(backup.received(), 1);
+}
+
+TEST_F(TransportTest, ServfailFailsOverWhenEnabled) {
+  server_->respond_servfail(true);
+  const simnet::NodeId backup_node =
+      net_.add_node("backup", Ipv4Address::must_parse("10.0.0.4"));
+  net_.add_link(client_node_, backup_node,
+                LatencyModel::constant(SimTime::millis(2)));
+  ScriptedServer backup(net_, backup_node);
+
+  bool done = false;
+  DnsTransport::Options options;
+  options.fallback_servers = {{Ipv4Address::must_parse("10.0.0.4"), kDnsPort}};
+  options.failover_on_servfail = true;
+  transport_->query(
+      server_endpoint(),
+      make_query(0, DnsName::must_parse("x.test"), RecordType::kA), options,
+      [&](util::Result<Message> result, SimTime) {
+        done = true;
+        ASSERT_TRUE(result.ok());
+        EXPECT_EQ(result.value().header.rcode, RCode::kNoError);
+      });
+  sim_.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(transport_->servfails(), 1u);
+  EXPECT_EQ(transport_->failovers(), 1u);
+}
+
+TEST_F(TransportTest, ServfailDeliveredWhenFailoverDisabled) {
+  server_->respond_servfail(true);
+  bool done = false;
+  DnsTransport::Options options;
+  options.failover_on_servfail = false;
+  transport_->query(
+      server_endpoint(),
+      make_query(0, DnsName::must_parse("x.test"), RecordType::kA), options,
+      [&](util::Result<Message> result, SimTime) {
+        done = true;
+        ASSERT_TRUE(result.ok());  // delivered, not retried
+        EXPECT_EQ(result.value().header.rcode, RCode::kServFail);
+      });
+  sim_.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(transport_->servfails(), 1u);
+  EXPECT_EQ(transport_->failovers(), 0u);
 }
 
 }  // namespace

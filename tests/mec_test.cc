@@ -2,7 +2,9 @@
 // deployments and the ingress overload machinery.
 #include <gtest/gtest.h>
 
+#include "dns/wire.h"
 #include "mec/cluster.h"
+#include "mec/failover.h"
 #include "mec/ingress.h"
 #include "mec/orchestrator.h"
 #include "mec/registry.h"
@@ -192,6 +194,165 @@ TEST(OverloadGuard, DropModeNeverResponds) {
   }
   EXPECT_EQ(next_calls, 1);
   EXPECT_EQ(responses, 0);  // shed queries are silently dropped
+}
+
+TEST(OverloadGuard, RecoveryHysteresisHoldsShedUntilQuiet) {
+  IngressMonitor monitor(SimTime::seconds(1));
+  OverloadGuardPlugin guard(monitor, 2, OverloadAction::kRefuse);
+  guard.set_recovery_windows(2);  // stay shedding until 2s below threshold
+
+  int admitted = 0;
+  const auto query_at = [&](SimTime at) {
+    dns::PluginContext ctx;
+    ctx.query = dns::make_query(1, dns::DnsName::must_parse("x.test"),
+                                dns::RecordType::kA);
+    ctx.net.received = at;
+    guard.serve(ctx, [](dns::Message) {},
+                [&](dns::Plugin::Respond) { ++admitted; });
+  };
+
+  query_at(SimTime::millis(0));
+  query_at(SimTime::millis(10));
+  query_at(SimTime::millis(20));  // rate hits the threshold: trip
+  EXPECT_EQ(admitted, 2);
+  EXPECT_TRUE(guard.shedding());
+  EXPECT_EQ(guard.trips(), 1u);
+
+  // The stateless guard would re-admit here (the window slid empty); the
+  // hysteresis keeps shedding until the rate stays below for 2 windows.
+  query_at(SimTime::millis(1500));
+  EXPECT_EQ(admitted, 2);
+  EXPECT_TRUE(guard.shedding());
+  query_at(SimTime::millis(2500));  // only 1s of quiet: still shedding
+  EXPECT_EQ(admitted, 2);
+
+  query_at(SimTime::millis(3600));  // 2.1s of quiet: recover + admit
+  EXPECT_EQ(admitted, 3);
+  EXPECT_FALSE(guard.shedding());
+  EXPECT_EQ(guard.recoveries(), 1u);
+}
+
+TEST(OverloadGuard, BurstDuringQuietPeriodRestartsTheClock) {
+  IngressMonitor monitor(SimTime::seconds(1));
+  OverloadGuardPlugin guard(monitor, 2, OverloadAction::kRefuse);
+  guard.set_recovery_windows(1);
+
+  const auto query_at = [&](SimTime at) {
+    dns::PluginContext ctx;
+    ctx.query = dns::make_query(1, dns::DnsName::must_parse("x.test"),
+                                dns::RecordType::kA);
+    ctx.net.received = at;
+    guard.serve(ctx, [](dns::Message) {}, [](dns::Plugin::Respond) {});
+  };
+
+  query_at(SimTime::millis(0));
+  query_at(SimTime::millis(10));
+  query_at(SimTime::millis(20));  // trip
+  ASSERT_TRUE(guard.shedding());
+  query_at(SimTime::millis(1500));  // quiet clock starts
+  // An over-threshold burst while quieting: shed storm, clock must reset.
+  // (Shed queries are not recorded, so drive the rate with the monitor.)
+  monitor.record(SimTime::millis(1600));
+  monitor.record(SimTime::millis(1610));
+  query_at(SimTime::millis(1620));  // over threshold again
+  query_at(SimTime::millis(2700));  // 1.08s after reset... quiet restarted
+  EXPECT_TRUE(guard.shedding());    // 2700-1620 ~ 1.08s quiet, but the
+                                    // below_since restarted at 2700
+  query_at(SimTime::millis(3800));  // now 1.1s of quiet: recovers
+  EXPECT_FALSE(guard.shedding());
+  EXPECT_EQ(guard.recoveries(), 1u);
+}
+
+// --- L-DNS liveness failover ----------------------------------------------
+
+TEST(LdnsFailover, SwitchesToFallbackOnCrashAndBackOnRestart) {
+  simnet::Simulator sim;
+  simnet::Network net(sim, util::Rng(5));
+  const simnet::NodeId vantage =
+      net.add_node("orchestrator", Ipv4Address::must_parse("10.7.0.1"));
+  const simnet::NodeId primary_node =
+      net.add_node("mec-ldns", Ipv4Address::must_parse("10.7.0.53"));
+  net.add_link(vantage, primary_node,
+               simnet::LatencyModel::constant(SimTime::millis(1)));
+  // A minimal DNS responder: any query gets an (empty) NOERROR answer —
+  // liveness probing cares that *something* answers, not what.
+  simnet::UdpSocket* responder = nullptr;
+  responder = net.open_socket(
+      primary_node, dns::kDnsPort, [&](const simnet::Packet& p) {
+        auto query = dns::decode(p.payload);
+        ASSERT_TRUE(query.ok());
+        responder->send_to(p.src, dns::encode(dns::make_response(
+                                      query.value())));
+      });
+
+  LdnsFailover::Config config;
+  config.primary = {Ipv4Address::must_parse("10.7.0.53"), dns::kDnsPort};
+  config.fallback = {Ipv4Address::must_parse("10.201.0.53"), dns::kDnsPort};
+  LdnsFailover failover(net, vantage, config);
+
+  std::vector<std::pair<SimTime, bool>> switches_seen;
+  failover.set_on_switch(
+      [&](const simnet::Endpoint& target, bool to_fallback) {
+        switches_seen.emplace_back(net.now(), to_fallback);
+        EXPECT_EQ(target,
+                  to_fallback ? config.fallback : config.primary);
+      });
+  failover.start(/*rounds=*/12);  // probes every 500ms until t=6s
+
+  // Probes at 0.5s and 1.0s answer; crash just after, restart at 3.2s.
+  sim.schedule_at(SimTime::millis(1200),
+                  [&] { net.set_node_up(primary_node, false); });
+  sim.schedule_at(SimTime::millis(3200),
+                  [&] { net.set_node_up(primary_node, true); });
+  sim.run();
+
+  ASSERT_EQ(switches_seen.size(), 2u);
+  EXPECT_TRUE(switches_seen[0].second);    // down after 2 missed probes
+  EXPECT_FALSE(switches_seen[1].second);   // back after 2 answered probes
+  EXPECT_LT(switches_seen[0].first, SimTime::millis(3200));
+  EXPECT_GT(switches_seen[1].first, SimTime::millis(3200));
+  EXPECT_FALSE(failover.on_fallback());
+  EXPECT_EQ(failover.switches().size(), 2u);
+  EXPECT_GE(failover.probe_failures(), 2u);
+}
+
+TEST(LdnsFailover, SingleMissedProbeDoesNotSwitch) {
+  simnet::Simulator sim;
+  simnet::Network net(sim, util::Rng(5));
+  const simnet::NodeId vantage =
+      net.add_node("orchestrator", Ipv4Address::must_parse("10.7.0.1"));
+  const simnet::NodeId primary_node =
+      net.add_node("mec-ldns", Ipv4Address::must_parse("10.7.0.53"));
+  net.add_link(vantage, primary_node,
+               simnet::LatencyModel::constant(SimTime::millis(1)));
+  simnet::UdpSocket* responder = nullptr;
+  responder = net.open_socket(
+      primary_node, dns::kDnsPort, [&](const simnet::Packet& p) {
+        auto query = dns::decode(p.payload);
+        ASSERT_TRUE(query.ok());
+        responder->send_to(p.src, dns::encode(dns::make_response(
+                                      query.value())));
+      });
+
+  LdnsFailover::Config config;
+  config.primary = {Ipv4Address::must_parse("10.7.0.53"), dns::kDnsPort};
+  config.fallback = {Ipv4Address::must_parse("10.201.0.53"), dns::kDnsPort};
+  LdnsFailover failover(net, vantage, config);
+  int switches = 0;
+  failover.set_on_switch(
+      [&](const simnet::Endpoint&, bool) { ++switches; });
+  failover.start(/*rounds=*/8);
+
+  // Down only across the 1.5s probe; back before the 2.0s probe.
+  sim.schedule_at(SimTime::millis(1300),
+                  [&] { net.set_node_up(primary_node, false); });
+  sim.schedule_at(SimTime::millis(1700),
+                  [&] { net.set_node_up(primary_node, true); });
+  sim.run();
+
+  EXPECT_EQ(switches, 0);
+  EXPECT_FALSE(failover.on_fallback());
+  EXPECT_EQ(failover.probe_failures(), 1u);
 }
 
 }  // namespace

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Full pre-merge gauntlet:
 #   1. Debug build with ASan+UBSan, all tests under the sanitizers.
-#   2. Plain Release build (what the benches/figures run as), all tests.
+#   2. Fault-matrix smoke: every chaos scenario once, fixed seed, under the
+#      sanitizers (bench_fault_availability drives the whole failure-handling
+#      stack end to end).
+#   3. Plain Release build (what the benches/figures run as), all tests.
 # Usage: tools/check.sh [jobs]   (default: nproc)
 set -euo pipefail
 
@@ -10,16 +13,27 @@ jobs="${1:-$(nproc)}"
 
 run() { echo "+ $*"; "$@"; }
 
-echo "=== 1/2: ASan/UBSan build + tests (build-asan/) ==="
+echo "=== 1/3: ASan/UBSan build + tests (build-asan/) ==="
 run cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 run cmake --build build-asan -j "$jobs"
-run ctest --test-dir build-asan --output-on-failure -j "$jobs"
+run ctest --test-dir build-asan --output-on-failure -j "$jobs" --timeout 120
 
-echo "=== 2/2: Release build + tests (build/) ==="
+echo "=== 2/3: fault-matrix smoke (ASan/UBSan) ==="
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+for scenario in mec-ldns-crash edge-cache-partition wan-loss-burst \
+                cdns-brownout cache-wipe; do
+  run ./build-asan/bench/bench_fault_availability \
+      --scenario "$scenario" --requests 40 --spacing-ms 500 \
+      --fault-start-ms 8000 --fault-end-ms 14000 --seed 42 \
+      --json-out "$smoke_dir/fault_$scenario.json"
+done
+
+echo "=== 3/3: Release build + tests (build/) ==="
 run cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 run cmake --build build -j "$jobs"
-run ctest --test-dir build --output-on-failure -j "$jobs"
+run ctest --test-dir build --output-on-failure -j "$jobs" --timeout 120
 
 echo "All checks passed."
