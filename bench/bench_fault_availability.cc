@@ -30,6 +30,8 @@
 #include "core/fault_scenarios.h"
 #include "core/fig5.h"
 #include "mec/failover.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 #include "util/args.h"
 #include "util/stats.h"
 
@@ -64,6 +66,7 @@ struct RunResult {
   std::uint64_t monitor_transitions = 0;
   std::size_t ldns_switches = 0;
   std::size_t injections = 0;
+  obs::SloResult slo;  ///< fetch-success SLO over 500 ms sim-time windows
 };
 
 struct Sample {
@@ -80,7 +83,21 @@ simnet::Endpoint provider_endpoint() {
                           dns::kDnsPort};
 }
 
-RunResult run_scenario(const std::string& name, bool robust, const Knobs& k) {
+/// "series.json" + "node-down/robust" -> "series.node-down.robust.json".
+std::string with_slug(const std::string& path, std::string name) {
+  for (char& c : name) {
+    if (c == '/') c = '.';
+  }
+  const auto dot = path.rfind('.');
+  if (dot == std::string::npos || path.find('/', dot) != std::string::npos) {
+    return path + "." + name;
+  }
+  return path.substr(0, dot) + "." + name + path.substr(dot);
+}
+
+RunResult run_scenario(const std::string& name, bool robust, const Knobs& k,
+                       const std::string& series_out, double slo_target,
+                       bool* write_failed) {
   core::Fig5Testbed::Config config;
   // The WAN-loss scenario only bites when lookups cross the WAN, so it
   // runs the "MEC L-DNS w/ WAN C-DNS" deployment; everything else runs the
@@ -128,7 +145,12 @@ RunResult run_scenario(const std::string& name, bool robust, const Knobs& k) {
           ? core::make_cdns_brownout(testbed, fault_start, fault_end,
                                      simnet::SimTime::millis(2500))
           : core::make_fault_scenario(name, testbed, fault_start, fault_end);
-  chaos::ChaosController controller(net, name + (robust ? "/robust" : "/fragile"));
+  const std::string run_name = name + (robust ? "/robust" : "/fragile");
+  chaos::ChaosController controller(net, run_name);
+  // Per-window fetch counters; injections land as annotations on the same
+  // sim-time axis, so the SLO verdicts line up with the fault window.
+  obs::TimeSeries timeseries(sim, simnet::SimTime::millis(500));
+  controller.set_timeseries(&timeseries);
   controller.arm(scenario.schedule);
 
   // Robust extras that live beside the testbed rather than inside it: the
@@ -178,15 +200,22 @@ RunResult run_scenario(const std::string& name, bool robust, const Knobs& k) {
     const simnet::SimTime at =
         t0 + k.spacing * static_cast<std::int64_t>(i + 1);
     samples[i].sent = at;
-    sim.schedule_at(at, [&testbed, &samples, i] {
+    sim.schedule_at(at, [&testbed, &samples, &timeseries, i] {
       cdn::Url url;
       url.host = testbed.content_name();
       url.path = "/segment000" + std::to_string(i % 8);
       testbed.ue().resolve_and_fetch(
-          url, [&samples, i](const ran::UserEquipment::FetchOutcome& outcome) {
+          url, [&samples, &timeseries,
+                i](const ran::UserEquipment::FetchOutcome& outcome) {
             samples[i].ok = outcome.ok;
             samples[i].total_ms = outcome.total.to_millis();
             samples[i].error = outcome.error;
+            timeseries.add("fetch.requests");
+            if (outcome.ok) {
+              timeseries.observe("fetch.total_ms", outcome.total.to_millis());
+            } else {
+              timeseries.add("fetch.failures");
+            }
           });
     });
   }
@@ -249,6 +278,17 @@ RunResult run_scenario(const std::string& name, bool robust, const Knobs& k) {
     result.ldns_switches = ldns_failover->switches().size();
   }
   result.injections = controller.injected();
+  result.slo = obs::evaluate_slo(
+      obs::success_slo("fetch.requests", "fetch.failures", slo_target),
+      timeseries);
+  if (!series_out.empty()) {
+    const std::string path = with_slug(series_out, run_name);
+    if (!timeseries.write_json(path)) {
+      std::fprintf(stderr, "error: failed to write timeseries to %s\n",
+                   path.c_str());
+      if (write_failed != nullptr) *write_failed = true;
+    }
+  }
   return result;
 }
 
@@ -267,6 +307,11 @@ int main(int argc, char** argv) {
   args.add_int("fault-start-ms", 15000, "fault window start");
   args.add_int("fault-end-ms", 30000, "fault window end (restart/heal time)");
   args.add_int("seed", 42, "testbed RNG seed");
+  args.add_string("timeseries-out", "",
+                  "per-run windowed-metrics JSON with chaos annotations "
+                  "(scenario/mode slug is inserted before the extension)");
+  args.add_double("slo-target", 0.99,
+                  "per-window fetch success ratio the SLO requires");
   if (auto result = args.parse(argc - 1, argv + 1); !result.ok()) {
     std::fprintf(stderr, "%s\n%s", result.error().message.c_str(),
                  args.usage(argv[0]).c_str());
@@ -302,9 +347,13 @@ int main(int argc, char** argv) {
     RunResult r;
   };
   std::vector<Row> rows;
+  bool write_failed = false;
   for (const std::string& scenario : scenarios) {
     for (const bool robust : {false, true}) {
-      const RunResult r = run_scenario(scenario, robust, knobs);
+      const RunResult r =
+          run_scenario(scenario, robust, knobs,
+                       args.get_string("timeseries-out"),
+                       args.get_double("slo-target"), &write_failed);
       std::string notes;
       if (r.ue_failovers > 0) {
         notes += "ue-failovers=" + std::to_string(r.ue_failovers) + " ";
@@ -335,6 +384,8 @@ int main(int argc, char** argv) {
                   scenario.c_str(), robust ? "robust" : "fragile", r.ok,
                   r.requests, 100.0 * r.success_rate, r.latency.p50,
                   r.latency.p99, recover, notes.c_str());
+      std::printf("%-22s %-8s   %s\n", "", "",
+                  obs::slo_summary(r.slo).c_str());
       rows.push_back(Row{scenario, robust ? "robust" : "fragile", r});
     }
   }
@@ -369,7 +420,12 @@ int main(int argc, char** argv) {
           "\"forward_failovers\": %llu, \"stale_served\": %llu, "
           "\"fetch_retries\": %llu, "
           "\"monitor_transitions\": %llu, \"ldns_switches\": %zu, "
-          "\"injections\": %zu}%s\n",
+          "\"injections\": %zu, "
+          "\"slo_ok\": %s, \"slo_windows\": %zu, "
+          "\"slo_windows_violated\": %zu, \"slo_budget_consumed\": %.4f, "
+          "\"slo_worst_burn_rate\": %.4f, "
+          "\"slo_first_violation_ms\": %.1f, "
+          "\"slo_last_violation_ms\": %.1f}%s\n",
           row.scenario.c_str(), row.mode.c_str(), r.ok, r.requests,
           r.success_rate, r.latency.mean, r.latency.p50, r.latency.p99,
           r.latency.max, r.time_to_recover_ms, r.window_failures,
@@ -381,12 +437,16 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(r.stale_served),
           static_cast<unsigned long long>(r.fetch_retries),
           static_cast<unsigned long long>(r.monitor_transitions),
-          r.ldns_switches, r.injections, i + 1 < rows.size() ? "," : "");
+          r.ldns_switches, r.injections, r.slo.ok ? "true" : "false",
+          r.slo.windows.size(), r.slo.windows_violated,
+          r.slo.budget_consumed, r.slo.worst_burn_rate,
+          r.slo.first_violation_ms, r.slo.last_violation_ms,
+          i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
     std::fprintf(stderr, "wrote %zu runs to %s\n", rows.size(),
                  json_out.c_str());
   }
-  return 0;
+  return write_failed ? 1 : 0;
 }

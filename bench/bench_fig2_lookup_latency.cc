@@ -14,6 +14,7 @@
 
 #include "core/study.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "util/args.h"
 #include "util/strings.h"
@@ -28,6 +29,10 @@ int main(int argc, char** argv) {
                   "write every lookup's spans as Chrome trace-event JSON");
   args.add_string("metrics-out", "",
                   "write counters/gauges/histograms as JSON");
+  args.add_string("timeseries-out", "",
+                  "write sim-time-windowed metrics as JSON");
+  args.add_double("timeseries-window-ms", 500.0,
+                  "sim-time window width for --timeseries-out");
   if (auto result = args.parse(argc - 1, argv + 1); !result.ok()) {
     std::fprintf(stderr, "%s\n%s", result.error().message.c_str(),
                  args.usage(argv[0]).c_str());
@@ -46,10 +51,15 @@ int main(int argc, char** argv) {
 
   obs::TraceSink trace(study.network().simulator());
   obs::Registry metrics;
+  obs::TimeSeries timeseries(
+      study.network().simulator(),
+      simnet::SimTime::millis(args.get_double("timeseries-window-ms")));
   const bool want_trace = !args.get_string("trace-out").empty();
   const bool want_metrics = !args.get_string("metrics-out").empty();
+  const bool want_series = !args.get_string("timeseries-out").empty();
   study.set_observers(want_trace ? &trace : nullptr,
                       want_metrics ? &metrics : nullptr);
+  study.set_timeseries(want_series ? &timeseries : nullptr);
 
   std::printf("\n=== Figure 2: DNS lookup latency (ms) ===\n");
   std::printf("%-14s %-18s %10s %8s %8s %8s\n", "website", "network",
@@ -122,7 +132,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "wrote %zu scenarios to %s\n", bars.size(),
                  json_out.c_str());
   }
-  if (want_trace) trace.write_chrome_trace(args.get_string("trace-out"));
-  if (want_metrics) metrics.write_json(args.get_string("metrics-out"));
+  if (want_trace &&
+      !trace.write_chrome_trace(args.get_string("trace-out"))) {
+    std::fprintf(stderr, "error: failed to write trace to %s\n",
+                 args.get_string("trace-out").c_str());
+    return 1;
+  }
+  if (want_metrics && !metrics.write_json(args.get_string("metrics-out"))) {
+    std::fprintf(stderr, "error: failed to write metrics to %s\n",
+                 args.get_string("metrics-out").c_str());
+    return 1;
+  }
+  if (want_series &&
+      !timeseries.write_json(args.get_string("timeseries-out"))) {
+    std::fprintf(stderr, "error: failed to write timeseries to %s\n",
+                 args.get_string("timeseries-out").c_str());
+    return 1;
+  }
   return 0;
 }

@@ -18,6 +18,7 @@
 #include "core/fig5.h"
 #include "core/roles.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "util/args.h"
 #include "util/strings.h"
@@ -75,6 +76,11 @@ int main(int argc, char** argv) {
                   "is inserted before the extension)");
   args.add_string("metrics-out", "",
                   "combined metrics JSON, names prefixed per deployment");
+  args.add_string("timeseries-out", "",
+                  "per-deployment windowed-metrics JSON (deployment slug is "
+                  "inserted before the extension)");
+  args.add_double("timeseries-window-ms", 500.0,
+                  "sim-time window width for --timeseries-out");
   if (auto result = args.parse(argc - 1, argv + 1); !result.ok()) {
     std::fprintf(stderr, "%s\n%s", result.error().message.c_str(),
                  args.usage(argv[0]).c_str());
@@ -82,6 +88,7 @@ int main(int argc, char** argv) {
   }
   const bool want_trace = !args.get_string("trace-out").empty();
   const bool want_metrics = !args.get_string("metrics-out").empty();
+  const bool want_series = !args.get_string("timeseries-out").empty();
   obs::Registry combined;
 
   std::printf("=== Table 2: entities and roles in MEC CDN ===\n");
@@ -109,12 +116,30 @@ int main(int argc, char** argv) {
     core::Fig5Testbed testbed(config);
     obs::TraceSink trace(testbed.network().simulator());
     obs::Registry metrics;
+    obs::TimeSeries timeseries(
+        testbed.simulator(),
+        simnet::SimTime::millis(args.get_double("timeseries-window-ms")));
     testbed.set_observers(want_trace ? &trace : nullptr,
                           want_metrics ? &metrics : nullptr);
+    testbed.set_timeseries(want_series ? &timeseries : nullptr);
     const core::SeriesResult result = testbed.measure(50);
     if (want_trace) {
-      trace.write_chrome_trace(
-          with_slug(args.get_string("trace-out"), slug(deployment)));
+      const std::string path =
+          with_slug(args.get_string("trace-out"), slug(deployment));
+      if (!trace.write_chrome_trace(path)) {
+        std::fprintf(stderr, "error: failed to write trace to %s\n",
+                     path.c_str());
+        return 1;
+      }
+    }
+    if (want_series) {
+      const std::string path =
+          with_slug(args.get_string("timeseries-out"), slug(deployment));
+      if (!timeseries.write_json(path)) {
+        std::fprintf(stderr, "error: failed to write timeseries to %s\n",
+                     path.c_str());
+        return 1;
+      }
     }
     if (want_metrics) {
       testbed.export_metrics(metrics);
@@ -209,6 +234,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "wrote %zu scenarios to %s\n", rows.size(),
                  json_out.c_str());
   }
-  if (want_metrics) combined.write_json(args.get_string("metrics-out"));
+  if (want_metrics && !combined.write_json(args.get_string("metrics-out"))) {
+    std::fprintf(stderr, "error: failed to write metrics to %s\n",
+                 args.get_string("metrics-out").c_str());
+    return 1;
+  }
   return 0;
 }

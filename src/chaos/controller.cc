@@ -40,6 +40,7 @@ void ChaosController::inject_now(const FaultAction& action) {
     if (!scenario_.empty()) span.tag("scenario", scenario_);
     span.end();
   }
+  if (timeseries_ != nullptr) timeseries_->annotate(kind, what);
   injections_.push_back(InjectionRecord{net_.now(), kind, what});
   apply(action);
 }

@@ -18,6 +18,7 @@
 
 #include "chaos/fault_schedule.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "simnet/network.h"
 
@@ -45,6 +46,10 @@ class ChaosController {
   /// Each injection becomes an instant span (component "chaos") in `sink`.
   void set_trace(obs::TraceSink* sink) { trace_ = sink; }
 
+  /// Each injection becomes a sim-time annotation in `series`, so fault
+  /// windows line up with the per-window metrics they perturb.
+  void set_timeseries(obs::TimeSeries* series) { timeseries_ = series; }
+
   /// Schedules every event of `schedule` at its absolute sim time. May be
   /// called multiple times (schedules compose). An empty schedule arms
   /// nothing. Faults scheduled in the past run immediately (simulator
@@ -67,6 +72,7 @@ class ChaosController {
   std::string scenario_;
   obs::Registry* registry_ = nullptr;
   obs::TraceSink* trace_ = nullptr;
+  obs::TimeSeries* timeseries_ = nullptr;
   /// Disarms scheduled fault events if the controller dies before they fire.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   std::vector<InjectionRecord> injections_;

@@ -67,6 +67,8 @@ SeriesResult QueryRunner::run(const dns::DnsName& name, dns::RecordType type,
       auto handle = [this, result, measured, qname_text,
                      root](const dns::StubResult& stub_result) {
         root.tag("rcode", dns::to_string(stub_result.rcode));
+        // Failed lookups survive any trace-sampling rate (tail keep).
+        if (!stub_result.ok) root.keep();
         root.end();
         if (!measured) return;
         QuerySample sample;
@@ -100,6 +102,18 @@ SeriesResult QueryRunner::run(const dns::DnsName& name, dns::RecordType type,
             metrics_->histogram("runner.wireless_ms").add(sample.wireless_ms);
             metrics_->histogram("runner.beyond_pgw_ms")
                 .add(sample.beyond_pgw_ms);
+          }
+        }
+        if (timeseries_ != nullptr) {
+          timeseries_->add("runner.queries");
+          if (sample.ok) {
+            timeseries_->observe("runner.lookup_ms", sample.total_ms);
+          } else {
+            timeseries_->add("runner.failures");
+          }
+          if (sample.breakdown_valid) {
+            timeseries_->observe("runner.beyond_pgw_ms",
+                                 sample.beyond_pgw_ms);
           }
         }
         result->samples.push_back(std::move(sample));

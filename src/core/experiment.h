@@ -13,6 +13,7 @@
 
 #include "dns/stub.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "ran/tap.h"
 #include "simnet/network.h"
@@ -68,6 +69,10 @@ class QueryRunner {
     metrics_ = metrics;
   }
 
+  /// Attaches a sim-time-windowed series: per-window query/failure counts
+  /// and lookup-latency histograms land in `series`. nullptr disables.
+  void set_timeseries(obs::TimeSeries* series) { timeseries_ = series; }
+
   /// Schedules `options.warmup + options.queries` lookups of (name, type)
   /// and runs the simulator until all complete.
   SeriesResult run(const dns::DnsName& name, dns::RecordType type,
@@ -79,6 +84,7 @@ class QueryRunner {
   ran::DnsTap* tap_;
   obs::TraceSink* trace_ = nullptr;
   obs::Registry* metrics_ = nullptr;
+  obs::TimeSeries* timeseries_ = nullptr;
 };
 
 }  // namespace mecdns::core

@@ -363,6 +363,7 @@ SeriesResult Fig5Testbed::measure_name(const dns::DnsName& name,
                                        std::size_t warmup) {
   QueryRunner runner(*net_, ue_->resolver(), tap_.get());
   runner.set_observers(trace_sink_, metrics_);
+  runner.set_timeseries(timeseries_);
   QueryRunner::Options options;
   options.queries = queries;
   options.warmup = warmup;  // prime delegation caches, as a live resolver's

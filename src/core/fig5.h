@@ -102,6 +102,9 @@ class Fig5Testbed {
     metrics_ = metrics;
   }
 
+  /// Attaches a sim-time-windowed series, forwarded to the QueryRunner.
+  void set_timeseries(obs::TimeSeries* series) { timeseries_ = series; }
+
   /// Snapshots every component's counters into `registry`: the MEC site
   /// (L-DNS, C-DNS, edge caches), the scenario's external routers, the
   /// provider/public resolvers, the cloud cache and the P-GW tap.
@@ -198,6 +201,7 @@ class Fig5Testbed {
   simnet::Ipv4Address cloud_cache_addr_;
   obs::TraceSink* trace_sink_ = nullptr;
   obs::Registry* metrics_ = nullptr;
+  obs::TimeSeries* timeseries_ = nullptr;
 };
 
 }  // namespace mecdns::core

@@ -184,6 +184,7 @@ MeasurementStudy::CellResult MeasurementStudy::run_cell(
   const auto& profile = workload::figure3_profiles().at(site_index);
   QueryRunner runner(*net_, stub_for(network_class), nullptr);
   runner.set_observers(trace_sink_, metrics_);
+  runner.set_timeseries(timeseries_);
   QueryRunner::Options options;
   options.queries = config_.queries_per_cell;
   options.warmup = 2;  // prime the L-DNS delegation caches

@@ -51,6 +51,9 @@ class MeasurementStudy {
     metrics_ = metrics;
   }
 
+  /// Attaches a sim-time-windowed series, forwarded to every cell.
+  void set_timeseries(obs::TimeSeries* series) { timeseries_ = series; }
+
   /// Runs one (site, network) cell.
   CellResult run_cell(std::size_t site_index,
                       const std::string& network_class);
@@ -98,6 +101,7 @@ class MeasurementStudy {
   std::unique_ptr<ran::UserEquipment> mobile_ue_;
   obs::TraceSink* trace_sink_ = nullptr;
   obs::Registry* metrics_ = nullptr;
+  obs::TimeSeries* timeseries_ = nullptr;
 };
 
 }  // namespace mecdns::core

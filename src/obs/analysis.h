@@ -1,0 +1,80 @@
+// Critical-path analysis over a collected trace: which stage ate the
+// budget.
+//
+// A span's *self time* is its duration minus the time covered by its
+// direct children — the milliseconds that stage itself is responsible for,
+// as opposed to merely waiting on a callee. Summed per component across
+// every root lookup, self times turn a pile of Chrome-trace slices into
+// the paper's stage breakdown: wireless vs L-DNS serve vs C-DNS route vs
+// cache, with a mergeable LatencyHistogram per stage so breakdowns from
+// different runs or shards combine exactly.
+//
+// The analysis consumes a flat SpanInfo list rather than a live TraceSink,
+// so the same code serves both an in-process sink (snapshot()) and a trace
+// file read back by mecdns_report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mecdns::obs {
+
+/// One span, decoupled from sink storage. Times in milliseconds.
+struct SpanInfo {
+  SpanId id = 0;
+  SpanId parent = 0;  ///< 0 = root
+  std::string component;
+  std::string name;
+  double start_ms = 0.0;
+  double dur_ms = 0.0;
+  bool finished = true;
+};
+
+/// Flattens a sink's live spans (sampling tombstones skipped).
+std::vector<SpanInfo> snapshot(const TraceSink& sink);
+
+/// Per-stage aggregate across every root. Stage key = span component.
+struct StageStat {
+  std::string stage;
+  std::uint64_t spans = 0;
+  double total_self_ms = 0.0;
+  double total_child_ms = 0.0;  ///< time attributed to callees instead
+  LatencyHistogram self_ms;     ///< per-span self time, mergeable
+};
+
+struct CriticalPathReport {
+  /// Stages in first-appearance order (deterministic for a given trace).
+  std::vector<StageStat> stages;
+  std::size_t roots = 0;
+  std::size_t unfinished = 0;  ///< dropped-context bug signal when > 0
+  double total_root_ms = 0.0;  ///< summed root durations
+
+  struct Exemplar {
+    SpanId root = 0;
+    std::string name;
+    double total_ms = 0.0;
+  };
+  /// Slowest roots, descending duration (ties by id), capped at slowest_n —
+  /// the trace ids to open in Perfetto when a percentile looks wrong.
+  std::vector<Exemplar> slowest;
+};
+
+/// Computes self/child attribution per stage plus slowest-N exemplars.
+/// Unfinished spans are counted but excluded from the timing aggregates.
+CriticalPathReport critical_path(const std::vector<SpanInfo>& spans,
+                                 std::size_t slowest_n = 5);
+
+/// Exports the breakdown into `registry`: "critpath.<stage>.self_ms"
+/// histograms, "critpath.<stage>.spans" counters, "critpath.roots" and
+/// "critpath.unfinished".
+void export_critical_path(const CriticalPathReport& report,
+                          Registry& registry);
+
+/// Human-readable stage table (share of total self time, descending).
+std::string stage_table(const CriticalPathReport& report);
+
+}  // namespace mecdns::obs

@@ -1,10 +1,42 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 
 namespace mecdns::obs {
+
+std::string format_double(double value) {
+  // Shortest representation that round-trips exactly, independent of the
+  // process locale (to_chars never writes a locale decimal separator).
+  char buf[40];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec != std::errc()) return "0";  // cannot happen for finite doubles
+  return std::string(buf, ptr);
+}
+
+void append_json_string(std::string& out, const std::string& text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
 
 namespace {
 // Value at the lower edge of log-linear slot `slot` (0-based over the
@@ -92,7 +124,10 @@ double LatencyHistogram::percentile(double p) const {
     const std::uint64_t next = seen + counts_[i];
     if (static_cast<double>(next) >= rank) {
       const double lo = std::max(bucket_low(i), min_);
-      const double hi = std::min(bucket_high(i), max_);
+      // The overflow bucket is unbounded above; its only honest upper
+      // edge is the largest value actually observed.
+      const double hi = i == kBuckets - 1 ? max_
+                                          : std::min(bucket_high(i), max_);
       const double within =
           (rank - static_cast<double>(seen)) /
           static_cast<double>(counts_[i]);
@@ -155,36 +190,6 @@ void Registry::merge(const Registry& other) {
     histograms_[name].merge(hist);
   }
 }
-
-namespace {
-std::string format_double(double value) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.6g", value);
-  return buf;
-}
-
-void append_json_string(std::string& out, const std::string& text) {
-  out += '"';
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-}
-}  // namespace
 
 std::string Registry::to_text() const {
   std::string out;

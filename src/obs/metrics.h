@@ -20,6 +20,15 @@
 
 namespace mecdns::obs {
 
+/// Locale-independent, round-trippable double formatting (std::to_chars
+/// shortest form, the %.17g idea without the trailing noise): parsing the
+/// result back yields bit-identical doubles, so report diffs never flag
+/// formatting noise. Used by every JSON/text emitter in obs/.
+std::string format_double(double value);
+
+/// Appends `text` to `out` as a JSON string literal (quoted + escaped).
+void append_json_string(std::string& out, const std::string& text);
+
 /// Log-linear histogram over positive values (milliseconds by convention).
 /// Buckets: kSubBuckets linear sub-buckets per power of two, spanning
 /// 2^kMinExp .. 2^kMaxExp ms (≈1 µs .. ≈17 min), plus underflow/overflow.

@@ -1,0 +1,153 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace mecdns::obs {
+
+SloSpec mec_latency_slo(std::string histogram, double threshold_ms) {
+  SloSpec spec;
+  spec.name = "lookup-latency";
+  spec.kind = SloSpec::Kind::kLatencyQuantile;
+  spec.histogram = std::move(histogram);
+  spec.threshold_ms = threshold_ms;
+  return spec;
+}
+
+SloSpec success_slo(std::string total_counter, std::string bad_counter,
+                    double target) {
+  SloSpec spec;
+  spec.name = "success";
+  spec.kind = SloSpec::Kind::kSuccessRatio;
+  spec.total_counter = std::move(total_counter);
+  spec.bad_counter = std::move(bad_counter);
+  spec.target = target;
+  return spec;
+}
+
+namespace {
+/// Good/bad split of a histogram at a latency threshold: a sample is bad
+/// when its whole bucket lies above the threshold, and the straddling
+/// bucket counts bad too (conservative — a possibly-over sample burns
+/// budget).
+std::pair<std::uint64_t, std::uint64_t> split_at(
+    const LatencyHistogram& hist, double threshold_ms) {
+  std::uint64_t good = 0;
+  std::uint64_t bad = 0;
+  for (std::size_t i = 0; i < hist.bucket_count(); ++i) {
+    if (hist.bucket(i) == 0) continue;
+    if (hist.bucket_high(i) <= threshold_ms) {
+      good += hist.bucket(i);
+    } else {
+      bad += hist.bucket(i);
+    }
+  }
+  return {good, bad};
+}
+}  // namespace
+
+SloResult evaluate_slo(const SloSpec& spec, const TimeSeries& series) {
+  SloResult result;
+  result.spec = spec;
+  result.allowed_bad_fraction =
+      spec.kind == SloSpec::Kind::kLatencyQuantile
+          ? std::max(0.0, 1.0 - spec.quantile / 100.0)
+          : std::max(0.0, 1.0 - spec.target);
+
+  for (const auto& window : series.windows()) {
+    SloWindow verdict;
+    verdict.index = window.index;
+    verdict.start = window.start;
+    verdict.end = window.end;
+
+    if (spec.kind == SloSpec::Kind::kLatencyQuantile) {
+      const LatencyHistogram* hist =
+          window.metrics.find_histogram(spec.histogram);
+      if (hist == nullptr || hist->count() == 0) continue;  // no data
+      const auto [good, bad] = split_at(*hist, spec.threshold_ms);
+      verdict.good = good;
+      verdict.bad = bad;
+      verdict.value = hist->percentile(spec.quantile);
+      verdict.ok = verdict.value <= spec.threshold_ms;
+    } else {
+      const std::uint64_t total =
+          window.metrics.counter_value(spec.total_counter);
+      if (total == 0) continue;  // no data
+      const std::uint64_t bad =
+          std::min(total, window.metrics.counter_value(spec.bad_counter));
+      verdict.good = total - bad;
+      verdict.bad = bad;
+      verdict.value =
+          static_cast<double>(verdict.good) / static_cast<double>(total);
+      verdict.ok = verdict.value >= spec.target;
+    }
+
+    const std::uint64_t total = verdict.good + verdict.bad;
+    const double bad_fraction =
+        total == 0 ? 0.0
+                   : static_cast<double>(verdict.bad) /
+                         static_cast<double>(total);
+    verdict.burn_rate = result.allowed_bad_fraction > 0.0
+                            ? bad_fraction / result.allowed_bad_fraction
+                            : (verdict.bad > 0 ? -1.0 : 0.0);
+
+    result.good += verdict.good;
+    result.bad += verdict.bad;
+    result.worst_burn_rate =
+        std::max(result.worst_burn_rate, verdict.burn_rate);
+    if (!verdict.ok) {
+      result.ok = false;
+      ++result.windows_violated;
+      if (result.first_violation_ms < 0.0) {
+        result.first_violation_ms = verdict.start.to_millis();
+      }
+      result.last_violation_ms = verdict.end.to_millis();
+    }
+    result.windows.push_back(verdict);
+  }
+
+  const double allowed_bad = result.allowed_bad_fraction *
+                             static_cast<double>(result.good + result.bad);
+  result.budget_consumed =
+      allowed_bad > 0.0 ? static_cast<double>(result.bad) / allowed_bad
+                        : (result.bad > 0 ? -1.0 : 0.0);
+  return result;
+}
+
+void export_slo(const SloResult& result, Registry& registry) {
+  const std::string prefix = "slo." + result.spec.name + ".";
+  registry.add(prefix + "windows", result.windows.size());
+  registry.add(prefix + "windows_violated", result.windows_violated);
+  registry.add(prefix + "good", result.good);
+  registry.add(prefix + "bad", result.bad);
+  registry.set_gauge(prefix + "ok", result.ok ? 1.0 : 0.0);
+  registry.set_gauge(prefix + "budget_consumed", result.budget_consumed);
+  registry.set_gauge(prefix + "worst_burn_rate", result.worst_burn_rate);
+}
+
+std::string slo_summary(const SloResult& result) {
+  std::string objective;
+  if (result.spec.kind == SloSpec::Kind::kLatencyQuantile) {
+    objective = "p" + format_double(result.spec.quantile) + "(" +
+                result.spec.histogram + ")<=" +
+                format_double(result.spec.threshold_ms) + "ms";
+  } else {
+    objective =
+        "success>=" + format_double(100.0 * result.spec.target) + "%";
+  }
+  std::string out = "slo[" + result.spec.name + ": " + objective + "]: ";
+  if (result.ok) {
+    out += "OK (" + std::to_string(result.windows.size()) + " windows, " +
+           "budget " + format_double(result.budget_consumed) + "x)";
+  } else {
+    out += "VIOLATED " + std::to_string(result.windows_violated) + "/" +
+           std::to_string(result.windows.size()) + " windows, budget " +
+           format_double(result.budget_consumed) + "x, burn peak " +
+           format_double(result.worst_burn_rate) + "x, violations " +
+           format_double(result.first_violation_ms) + ".." +
+           format_double(result.last_violation_ms) + " ms";
+  }
+  return out;
+}
+
+}  // namespace mecdns::obs

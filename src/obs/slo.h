@@ -1,0 +1,95 @@
+// Declarative SLOs evaluated over a TimeSeries: per-window verdicts,
+// error-budget accounting, and burn rates.
+//
+// The paper's argument hinges on a hard budget — MEC applications need
+// sub-20 ms lookups — so "did this run meet the budget" should be a
+// machine verdict, not an eyeballed histogram. An SloSpec names a latency
+// quantile objective (p99 lookup <= 20 ms) or a success-ratio objective
+// (>= 99% of fetches succeed); evaluate_slo() walks the series window by
+// window and reports, per window, the measured value, the good/bad event
+// split, and the burn rate (bad fraction divided by the allowed bad
+// fraction — burn rate 1.0 consumes budget exactly as fast as the
+// objective allows, the SRE convention). Whole-run aggregates say whether
+// the budget survived and exactly when it was burning: under an injected
+// fault the violation interval must line up with the chaos annotations on
+// the same series.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+
+namespace mecdns::obs {
+
+struct SloSpec {
+  enum class Kind {
+    kLatencyQuantile,  ///< quantile(histogram) <= threshold_ms per window
+    kSuccessRatio,     ///< 1 - bad/total >= target per window
+  };
+
+  std::string name;  ///< registry/export key, e.g. "lookup-latency"
+  Kind kind = Kind::kLatencyQuantile;
+
+  // kLatencyQuantile: source histogram and objective. A sample counts
+  // "bad" when its bucket lies above the threshold (conservative on the
+  // straddling bucket).
+  std::string histogram = "runner.lookup_ms";
+  double quantile = 99.0;
+  double threshold_ms = 20.0;  ///< the paper's MEC budget
+
+  // kSuccessRatio: counter pair; good = total - bad.
+  std::string total_counter = "runner.queries";
+  std::string bad_counter = "runner.failures";
+  double target = 0.99;  ///< required good fraction
+};
+
+/// The paper's MEC budget: p99 of `histogram` at or under 20 ms.
+SloSpec mec_latency_slo(std::string histogram = "runner.lookup_ms",
+                        double threshold_ms = 20.0);
+/// Lookup/fetch success ratio objective.
+SloSpec success_slo(std::string total_counter, std::string bad_counter,
+                    double target = 0.99);
+
+struct SloWindow {
+  std::int64_t index = 0;
+  simnet::SimTime start;
+  simnet::SimTime end;
+  std::uint64_t good = 0;
+  std::uint64_t bad = 0;
+  double value = 0.0;      ///< measured quantile (ms) or good ratio
+  bool ok = true;          ///< objective held in this window
+  double burn_rate = 0.0;  ///< bad fraction / allowed bad fraction
+};
+
+struct SloResult {
+  SloSpec spec;
+  std::vector<SloWindow> windows;  ///< windows with data, in time order
+  std::uint64_t good = 0;
+  std::uint64_t bad = 0;
+  bool ok = true;  ///< every window met the objective
+  std::size_t windows_violated = 0;
+  double allowed_bad_fraction = 0.0;
+  /// Whole-run bad events over allowed bad events; > 1 = budget exhausted.
+  double budget_consumed = 0.0;
+  double worst_burn_rate = 0.0;
+  /// Start of the first / end of the last violated window (ms); -1 = none.
+  double first_violation_ms = -1.0;
+  double last_violation_ms = -1.0;
+};
+
+/// Evaluates `spec` over every window of `series` that has data for it.
+SloResult evaluate_slo(const SloSpec& spec, const TimeSeries& series);
+
+/// Exports the verdict into `registry` under "slo.<name>.*": counters
+/// windows / windows_violated / good / bad, gauges ok (0|1),
+/// budget_consumed, worst_burn_rate.
+void export_slo(const SloResult& result, Registry& registry);
+
+/// One-line human verdict, e.g.
+/// "slo[fetch-success>=99%]: VIOLATED 12/45 windows, budget 25.45x, ...".
+std::string slo_summary(const SloResult& result);
+
+}  // namespace mecdns::obs

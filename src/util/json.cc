@@ -1,0 +1,255 @@
+#include "util/json.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace mecdns::util {
+
+namespace {
+const JsonValue& null_value() {
+  static const JsonValue kNull;
+  return kNull;
+}
+}  // namespace
+
+std::size_t JsonValue::size() const {
+  if (is_array()) return array_.size();
+  if (is_object()) return object_.size();
+  return 0;
+}
+
+const JsonValue& JsonValue::at(std::size_t i) const {
+  if (!is_array() || i >= array_.size()) return null_value();
+  return array_[i];
+}
+
+const JsonValue& JsonValue::get(const std::string& key) const {
+  for (const auto& [name, value] : object_) {
+    if (name == key) return value;
+  }
+  return null_value();
+}
+
+bool JsonValue::has(const std::string& key) const {
+  for (const auto& [name, value] : object_) {
+    if (name == key) return true;
+  }
+  return false;
+}
+
+/// Recursive-descent parser over the document text. Depth is bounded to
+/// reject pathological nesting instead of overflowing the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> run() {
+    JsonValue value;
+    if (auto r = parse_value(value, 0); !r.ok()) return r.error();
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Error fail(const std::string& what) const {
+    return Err("json: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(const char* word) {
+    const std::size_t len = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  Result<void> parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"':
+        out.type_ = JsonValue::Type::kString;
+        return parse_string(out.string_);
+      case 't':
+        if (!consume_word("true")) return fail("bad literal");
+        out.type_ = JsonValue::Type::kBool;
+        out.bool_ = true;
+        return Ok();
+      case 'f':
+        if (!consume_word("false")) return fail("bad literal");
+        out.type_ = JsonValue::Type::kBool;
+        out.bool_ = false;
+        return Ok();
+      case 'n':
+        if (!consume_word("null")) return fail("bad literal");
+        out.type_ = JsonValue::Type::kNull;
+        return Ok();
+      default: return parse_number(out);
+    }
+  }
+
+  Result<void> parse_object(JsonValue& out, int depth) {
+    ++pos_;  // '{'
+    out.type_ = JsonValue::Type::kObject;
+    skip_ws();
+    if (consume('}')) return Ok();
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail("expected object key");
+      }
+      if (auto r = parse_string(key); !r.ok()) return r;
+      skip_ws();
+      if (!consume(':')) return fail("expected ':'");
+      JsonValue value;
+      if (auto r = parse_value(value, depth + 1); !r.ok()) return r;
+      out.object_.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (consume('}')) return Ok();
+      if (!consume(',')) return fail("expected ',' or '}'");
+    }
+  }
+
+  Result<void> parse_array(JsonValue& out, int depth) {
+    ++pos_;  // '['
+    out.type_ = JsonValue::Type::kArray;
+    skip_ws();
+    if (consume(']')) return Ok();
+    while (true) {
+      JsonValue value;
+      if (auto r = parse_value(value, depth + 1); !r.ok()) return r;
+      out.array_.push_back(std::move(value));
+      skip_ws();
+      if (consume(']')) return Ok();
+      if (!consume(',')) return fail("expected ',' or ']'");
+    }
+  }
+
+  Result<void> parse_string(std::string& out) {
+    ++pos_;  // '"'
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Ok();
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return fail("bad \\u escape");
+            }
+          }
+          // UTF-8 encode the code point (surrogate pairs are passed through
+          // as two 3-byte sequences — our emitters only escape < 0x20).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return fail("bad escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  Result<void> parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return fail("expected value");
+    double value = 0.0;
+    // from_chars is locale-independent, matching the %.17g-style emitters.
+    const auto [ptr, ec] = std::from_chars(text_.data() + start,
+                                           text_.data() + pos_, value);
+    if (ec != std::errc() || ptr != text_.data() + pos_) {
+      pos_ = start;
+      return fail("bad number");
+    }
+    out.type_ = JsonValue::Type::kNumber;
+    out.number_ = value;
+    return Ok();
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+Result<JsonValue> JsonValue::parse(const std::string& text) {
+  return JsonParser(text).run();
+}
+
+Result<JsonValue> JsonValue::parse_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Err("cannot open " + path);
+  std::string text;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return Err("read error on " + path);
+  auto parsed = parse(text);
+  if (!parsed.ok()) return Err(path + ": " + parsed.error().message);
+  return parsed;
+}
+
+}  // namespace mecdns::util

@@ -1,0 +1,74 @@
+// Minimal JSON document parser for the report tooling.
+//
+// mecdns_report has to read back the artifacts the testbed and benches
+// write (Chrome traces, metrics registries, time series, BENCH_*.json)
+// without external dependencies, so this is a small recursive-descent
+// parser into an immutable value tree. Object member order is preserved
+// (insertion order), numbers are doubles parsed locale-independently, and
+// parse errors carry the byte offset. It is a reader, not a writer — every
+// emitter in the tree builds its JSON by hand to stay byte-stable.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+
+namespace mecdns::util {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses one complete JSON document (trailing garbage is an error).
+  static Result<JsonValue> parse(const std::string& text);
+  /// Reads `path` and parses it; distinguishes I/O from syntax errors.
+  static Result<JsonValue> parse_file(const std::string& path);
+
+  JsonValue() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double as_double(double fallback = 0.0) const {
+    return is_number() ? number_ : fallback;
+  }
+  const std::string& as_string() const { return string_; }
+
+  /// Array element count / object member count (0 for scalars).
+  std::size_t size() const;
+  /// Array element by index; null value when out of range or not an array.
+  const JsonValue& at(std::size_t i) const;
+  /// Object member by key; null value when absent. `has` distinguishes an
+  /// absent member from an explicit null.
+  const JsonValue& get(const std::string& key) const;
+  bool has(const std::string& key) const;
+  /// Object members in document order.
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return object_;
+  }
+  const std::vector<JsonValue>& elements() const { return array_; }
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+}  // namespace mecdns::util

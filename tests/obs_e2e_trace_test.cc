@@ -85,6 +85,9 @@ TEST_F(ObsE2eTest, TracedLookupCoversEveryResolutionStage) {
   // total: children of the root must not outlast it, and the sum of the
   // root's direct children's durations cannot exceed the client-observed
   // time (the stages are sequential).
+  // A drained run must leave no span open — an unfinished span means a
+  // context guard was dropped without end().
+  EXPECT_EQ(sink_.unfinished(), 0u);
   SimTime child_sum = SimTime::zero();
   for (const auto& span : sink_.spans()) {
     ASSERT_TRUE(span.finished) << span.component << "/" << span.name;

@@ -2,8 +2,12 @@
 // the registry's counters/gauges/dump formats.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <charconv>
 #include <cstdint>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.h"
 
@@ -110,6 +114,60 @@ TEST(LatencyHistogramTest, OutOfRangeValuesLandInOverflowBuckets) {
   EXPECT_EQ(h.count(), 2u);
   EXPECT_EQ(h.bucket(0), 1u);
   EXPECT_EQ(h.bucket(h.bucket_count() - 1), 1u);
+}
+
+// Property test: the bucketed percentile tracks the exact sorted-sample
+// percentile within the log-linear bucket resolution (1/8 octave => <=
+// ~13% relative), including streams with underflow/overflow outliers.
+TEST(LatencyHistogramTest, PercentileTracksExactSamplePercentile) {
+  for (const std::uint64_t seed : {11ull, 12ull, 13ull}) {
+    LatencyHistogram h;
+    std::vector<double> values;
+    Lcg lcg(seed);
+    for (int i = 0; i < 2000; ++i) {
+      const double v = lcg.next_ms();
+      values.push_back(v);
+      h.add(v);
+    }
+    // Outliers beyond the bucketed range land in the underflow/overflow
+    // buckets; percentile clamps to observed min/max.
+    for (const double v : {1e-9, 2e-9, 1e9, 2e9}) {
+      values.push_back(v);
+      h.add(v);
+    }
+    std::sort(values.begin(), values.end());
+
+    for (const double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9}) {
+      const double rank = p / 100.0 * static_cast<double>(values.size());
+      std::size_t index = rank <= 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+      index = std::min(index, values.size() - 1);
+      const double exact = values[index];
+      const double approx = h.percentile(p);
+      EXPECT_NEAR(approx, exact, 0.15 * exact + 0.05)
+          << "p" << p << " seed " << seed;
+    }
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), values.front());
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), values.back());
+  }
+}
+
+// The JSON emitters must write doubles that parse back to identical bits,
+// independent of the process locale.
+TEST(FormatDoubleTest, ShortestRoundTrip) {
+  const double values[] = {0.0,  -0.0,  1.0,   0.1,    1.0 / 3.0, 20.0,
+                           -2.5, 1e300, 1e-300, 5e-324, 27.819302, 1e6};
+  for (const double value : values) {
+    const std::string text = format_double(value);
+    double back = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), back);
+    ASSERT_EQ(ec, std::errc()) << text;
+    ASSERT_EQ(ptr, text.data() + text.size()) << text;
+    EXPECT_EQ(std::memcmp(&back, &value, sizeof(double)), 0)
+        << value << " -> \"" << text << "\" -> " << back;
+    // Locale-independent: never a comma decimal separator.
+    EXPECT_EQ(text.find(','), std::string::npos);
+  }
 }
 
 TEST(RegistryTest, CountersGaugesHistograms) {

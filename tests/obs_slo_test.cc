@@ -1,0 +1,144 @@
+// obs/slo tests: per-window verdicts, burn-rate and error-budget math, and
+// the violation interval the fault story depends on.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/slo.h"
+#include "obs/timeseries.h"
+#include "simnet/simulator.h"
+
+namespace mecdns::obs {
+namespace {
+
+using simnet::SimTime;
+
+TEST(SloTest, SuccessRatioBurnRateMath) {
+  simnet::Simulator sim;
+  TimeSeries series(sim, SimTime::millis(500));
+  // Window 0: 10/10 ok. Window 1: 8/10 ok. Window 2: skipped (no data).
+  // Window 3: 10/10 ok.
+  sim.schedule_at(SimTime::millis(100), [&] { series.add("req", 10); });
+  sim.schedule_at(SimTime::millis(600), [&] {
+    series.add("req", 10);
+    series.add("fail", 2);
+  });
+  sim.schedule_at(SimTime::millis(1600), [&] { series.add("req", 10); });
+  sim.run();
+
+  const SloResult result =
+      evaluate_slo(success_slo("req", "fail", 0.99), series);
+  ASSERT_EQ(result.windows.size(), 3u);  // the empty window is skipped
+  EXPECT_NEAR(result.allowed_bad_fraction, 0.01, 1e-12);
+
+  EXPECT_TRUE(result.windows[0].ok);
+  EXPECT_DOUBLE_EQ(result.windows[0].burn_rate, 0.0);
+
+  const SloWindow& violated = result.windows[1];
+  EXPECT_FALSE(violated.ok);
+  EXPECT_EQ(violated.good, 8u);
+  EXPECT_EQ(violated.bad, 2u);
+  EXPECT_DOUBLE_EQ(violated.value, 0.8);
+  // bad fraction 0.2 over allowed 0.01 = burning 20x faster than budget.
+  EXPECT_NEAR(violated.burn_rate, 20.0, 1e-9);
+
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.windows_violated, 1u);
+  EXPECT_EQ(result.good, 28u);
+  EXPECT_EQ(result.bad, 2u);
+  // 2 bad over 0.01 * 30 allowed = 6.67x the whole-run budget.
+  EXPECT_NEAR(result.budget_consumed, 2.0 / 0.3, 1e-6);
+  EXPECT_NEAR(result.worst_burn_rate, 20.0, 1e-9);
+  // Violation interval = the violated window's bounds.
+  EXPECT_DOUBLE_EQ(result.first_violation_ms, 500.0);
+  EXPECT_DOUBLE_EQ(result.last_violation_ms, 1000.0);
+}
+
+TEST(SloTest, CleanRunMeetsObjectiveEverywhere) {
+  simnet::Simulator sim;
+  TimeSeries series(sim, SimTime::millis(500));
+  for (int w = 0; w < 5; ++w) {
+    sim.schedule_at(SimTime::millis(w * 500 + 50),
+                    [&] { series.add("req", 100); });
+  }
+  sim.run();
+  const SloResult result =
+      evaluate_slo(success_slo("req", "fail", 0.99), series);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.windows.size(), 5u);
+  EXPECT_EQ(result.windows_violated, 0u);
+  EXPECT_DOUBLE_EQ(result.budget_consumed, 0.0);
+  EXPECT_DOUBLE_EQ(result.worst_burn_rate, 0.0);
+  EXPECT_DOUBLE_EQ(result.first_violation_ms, -1.0);
+  EXPECT_DOUBLE_EQ(result.last_violation_ms, -1.0);
+}
+
+TEST(SloTest, LatencyQuantileSplitsAtThreshold) {
+  simnet::Simulator sim;
+  TimeSeries series(sim, SimTime::millis(500));
+  // Window 0: all fast (well under 20 ms). Window 1: half slow.
+  sim.schedule_at(SimTime::millis(10), [&] {
+    for (int i = 0; i < 10; ++i) series.observe("lookup_ms", 5.0);
+  });
+  sim.schedule_at(SimTime::millis(510), [&] {
+    for (int i = 0; i < 5; ++i) series.observe("lookup_ms", 5.0);
+    for (int i = 0; i < 5; ++i) series.observe("lookup_ms", 120.0);
+  });
+  sim.run();
+
+  const SloResult result = evaluate_slo(mec_latency_slo("lookup_ms"), series);
+  ASSERT_EQ(result.windows.size(), 2u);
+  EXPECT_TRUE(result.windows[0].ok);
+  EXPECT_LE(result.windows[0].value, 20.0);
+  EXPECT_EQ(result.windows[0].bad, 0u);
+
+  EXPECT_FALSE(result.windows[1].ok);
+  EXPECT_GT(result.windows[1].value, 20.0);
+  EXPECT_EQ(result.windows[1].good, 5u);
+  EXPECT_EQ(result.windows[1].bad, 5u);
+  EXPECT_FALSE(result.ok);
+  EXPECT_DOUBLE_EQ(result.first_violation_ms, 500.0);
+}
+
+TEST(SloTest, ExportPublishesVerdictIntoRegistry) {
+  simnet::Simulator sim;
+  TimeSeries series(sim, SimTime::millis(500));
+  sim.schedule_at(SimTime::millis(1), [&] {
+    series.add("req", 10);
+    series.add("fail", 10);
+  });
+  sim.run();
+  const SloResult result =
+      evaluate_slo(success_slo("req", "fail", 0.99), series);
+
+  Registry registry;
+  export_slo(result, registry);
+  EXPECT_EQ(registry.counter_value("slo.success.windows"), 1u);
+  EXPECT_EQ(registry.counter_value("slo.success.windows_violated"), 1u);
+  EXPECT_EQ(registry.counter_value("slo.success.bad"), 10u);
+  EXPECT_DOUBLE_EQ(registry.gauge_value("slo.success.ok"), 0.0);
+  EXPECT_GT(registry.gauge_value("slo.success.budget_consumed"), 1.0);
+
+  const std::string summary = slo_summary(result);
+  EXPECT_NE(summary.find("VIOLATED"), std::string::npos);
+  EXPECT_NE(summary.find("success>=99%"), std::string::npos);
+}
+
+TEST(SloTest, ZeroAllowedBudgetUsesSentinelBurnRate) {
+  simnet::Simulator sim;
+  TimeSeries series(sim, SimTime::millis(500));
+  sim.schedule_at(SimTime::millis(1), [&] {
+    series.add("req", 4);
+    series.add("fail", 1);
+  });
+  sim.run();
+  // target 1.0 => allowed bad fraction 0: any failure is unpayable.
+  const SloResult result =
+      evaluate_slo(success_slo("req", "fail", 1.0), series);
+  EXPECT_FALSE(result.ok);
+  EXPECT_DOUBLE_EQ(result.windows[0].burn_rate, -1.0);
+  EXPECT_DOUBLE_EQ(result.budget_consumed, -1.0);
+}
+
+}  // namespace
+}  // namespace mecdns::obs

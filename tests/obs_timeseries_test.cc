@@ -1,0 +1,143 @@
+// obs/timeseries tests: sim-time windowing, sparse storage, merge algebra,
+// annotations and byte-stable JSON export.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/timeseries.h"
+#include "simnet/simulator.h"
+
+namespace mecdns::obs {
+namespace {
+
+using simnet::SimTime;
+
+TEST(TimeSeriesTest, BucketsEventsByWindow) {
+  simnet::Simulator sim;
+  TimeSeries series(sim, SimTime::millis(500));
+  sim.schedule_at(SimTime::millis(100), [&] { series.add("q"); });
+  sim.schedule_at(SimTime::millis(499), [&] { series.add("q"); });
+  sim.schedule_at(SimTime::millis(500), [&] { series.add("q"); });
+  sim.schedule_at(SimTime::millis(1700), [&] {
+    series.observe("lookup_ms", 4.0);
+  });
+  sim.run();
+
+  ASSERT_EQ(series.windows().size(), 3u);  // sparse: window 2 never written
+  const auto& w0 = series.windows()[0];
+  EXPECT_EQ(w0.index, 0);
+  EXPECT_EQ(w0.start, SimTime::zero());
+  EXPECT_EQ(w0.end, SimTime::millis(500));
+  EXPECT_EQ(w0.metrics.counter_value("q"), 2u);
+  EXPECT_EQ(series.windows()[1].index, 1);
+  EXPECT_EQ(series.windows()[1].metrics.counter_value("q"), 1u);
+  EXPECT_EQ(series.windows()[2].index, 3);
+  const LatencyHistogram* hist =
+      series.windows()[2].metrics.find_histogram("lookup_ms");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count(), 1u);
+
+  EXPECT_NE(series.window_at(SimTime::millis(250)), nullptr);
+  EXPECT_EQ(series.window_at(SimTime::millis(250))->index, 0);
+  EXPECT_EQ(series.window_at(SimTime::millis(1100)), nullptr);  // sparse gap
+}
+
+TEST(TimeSeriesTest, TotalsCollapseAllWindows) {
+  simnet::Simulator sim;
+  TimeSeries series(sim, SimTime::millis(500));
+  sim.schedule_at(SimTime::millis(10), [&] {
+    series.add("q", 3);
+    series.observe("ms", 1.0);
+  });
+  sim.schedule_at(SimTime::millis(900), [&] {
+    series.add("q", 2);
+    series.observe("ms", 5.0);
+  });
+  sim.run();
+
+  Registry totals = series.totals();
+  EXPECT_EQ(totals.counter_value("q"), 5u);
+  EXPECT_EQ(totals.histogram("ms").count(), 2u);
+  EXPECT_DOUBLE_EQ(totals.histogram("ms").mean(), 3.0);
+}
+
+TEST(TimeSeriesTest, MergeAlignsWindowsByIndex) {
+  simnet::Simulator sim_a;
+  simnet::Simulator sim_b;
+  TimeSeries a(sim_a, SimTime::millis(500));
+  TimeSeries b(sim_b, SimTime::millis(500));
+  sim_a.schedule_at(SimTime::millis(100), [&] { a.add("q"); });
+  sim_a.schedule_at(SimTime::millis(1100), [&] { a.add("q"); });
+  sim_a.run();
+  sim_b.schedule_at(SimTime::millis(200), [&] {
+    b.add("q", 4);
+    b.annotate("fault", "link down");
+  });
+  sim_b.schedule_at(SimTime::millis(600), [&] { b.add("q"); });
+  sim_b.run();
+
+  ASSERT_TRUE(a.merge(b));
+  ASSERT_EQ(a.windows().size(), 3u);  // indices 0 (merged), 1 (from b), 2
+  EXPECT_EQ(a.windows()[0].metrics.counter_value("q"), 5u);
+  EXPECT_EQ(a.windows()[1].metrics.counter_value("q"), 1u);
+  EXPECT_EQ(a.windows()[2].metrics.counter_value("q"), 1u);
+  ASSERT_EQ(a.annotations().size(), 1u);
+  EXPECT_EQ(a.annotations()[0].kind, "fault");
+}
+
+TEST(TimeSeriesTest, MergeRejectsWindowSizeMismatch) {
+  simnet::Simulator sim;
+  TimeSeries a(sim, SimTime::millis(500));
+  TimeSeries b(sim, SimTime::millis(250));
+  sim.schedule_at(SimTime::millis(1), [&] {
+    a.add("q");
+    b.add("q");
+  });
+  sim.run();
+  EXPECT_FALSE(a.merge(b));
+  EXPECT_EQ(a.windows()[0].metrics.counter_value("q"), 1u);  // untouched
+}
+
+TEST(TimeSeriesTest, AnnotationsCarrySimTimestamps) {
+  simnet::Simulator sim;
+  TimeSeries series(sim, SimTime::millis(500));
+  sim.schedule_at(SimTime::millis(750), [&] {
+    series.annotate("node-down", "mec-ldns killed");
+  });
+  sim.run();
+  ASSERT_EQ(series.annotations().size(), 1u);
+  EXPECT_EQ(series.annotations()[0].at, SimTime::millis(750));
+  EXPECT_EQ(series.annotations()[0].kind, "node-down");
+  // Annotations alone don't materialize a metrics window.
+  EXPECT_TRUE(series.windows().empty());
+  EXPECT_FALSE(series.empty());
+}
+
+TEST(TimeSeriesTest, JsonIsByteStableAndWellFormed) {
+  const auto build = [](simnet::Simulator& sim, TimeSeries& series) {
+    sim.schedule_at(SimTime::millis(100), [&] {
+      series.add("runner.queries");
+      series.observe("runner.lookup_ms", 27.819302);
+    });
+    sim.schedule_at(SimTime::millis(800), [&] {
+      series.annotate("fault", "link-loss p=0.4");
+    });
+    sim.run();
+  };
+  simnet::Simulator sim_a;
+  TimeSeries a(sim_a, SimTime::millis(500));
+  build(sim_a, a);
+  simnet::Simulator sim_b;
+  TimeSeries b(sim_b, SimTime::millis(500));
+  build(sim_b, b);
+
+  EXPECT_EQ(a.to_json(), b.to_json());
+  const std::string json = a.to_json();
+  EXPECT_NE(json.find("\"window_ms\":500"), std::string::npos);
+  EXPECT_NE(json.find("\"runner.queries\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"fault\""), std::string::npos);
+  EXPECT_NE(json.find("\"t_ms\":800"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mecdns::obs

@@ -1,0 +1,114 @@
+// util/json tests: the reader mecdns_report uses to ingest the byte-stable
+// JSON our emitters produce — including exact double round-trips through
+// obs::format_double.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/json.h"
+
+namespace mecdns::util {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::parse("null").value().is_null());
+  EXPECT_TRUE(JsonValue::parse("true").value().as_bool());
+  EXPECT_FALSE(JsonValue::parse("false").value().as_bool());
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-12.5e2").value().as_double(), -1250.0);
+  EXPECT_EQ(JsonValue::parse("\"hi\"").value().as_string(), "hi");
+}
+
+TEST(JsonTest, ParsesNestedStructures) {
+  const auto doc = JsonValue::parse(
+      "{\"a\": [1, 2, {\"b\": \"x\"}], \"c\": {\"d\": null}, \"e\": 3}");
+  ASSERT_TRUE(doc.ok());
+  const JsonValue& root = doc.value();
+  ASSERT_TRUE(root.is_object());
+  EXPECT_EQ(root.size(), 3u);
+  EXPECT_EQ(root.get("a").size(), 3u);
+  EXPECT_DOUBLE_EQ(root.get("a").at(1).as_double(), 2.0);
+  EXPECT_EQ(root.get("a").at(2).get("b").as_string(), "x");
+  EXPECT_TRUE(root.get("c").get("d").is_null());
+  EXPECT_TRUE(root.has("e"));
+  EXPECT_FALSE(root.has("missing"));
+  // Out-of-range access degrades to null, never crashes.
+  EXPECT_TRUE(root.get("a").at(99).is_null());
+  EXPECT_TRUE(root.get("missing").get("deeper").is_null());
+}
+
+TEST(JsonTest, PreservesObjectMemberOrder) {
+  const auto doc = JsonValue::parse("{\"z\": 1, \"a\": 2, \"m\": 3}");
+  ASSERT_TRUE(doc.ok());
+  const auto& members = doc.value().members();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(JsonTest, DecodesEscapes) {
+  const auto doc =
+      JsonValue::parse("\"a\\\"b\\\\c\\n\\t\\u0041\\u00e9\"");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().as_string(), "a\"b\\c\n\tA\xc3\xa9");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(JsonValue::parse("").ok());
+  EXPECT_FALSE(JsonValue::parse("{\"a\": 1,}").ok());
+  EXPECT_FALSE(JsonValue::parse("[1, 2").ok());
+  EXPECT_FALSE(JsonValue::parse("nul").ok());
+  EXPECT_FALSE(JsonValue::parse("\"unterminated").ok());
+  EXPECT_FALSE(JsonValue::parse("\"bad \\q escape\"").ok());
+  EXPECT_FALSE(JsonValue::parse("1 trailing").ok());
+  // Pathological nesting is rejected, not a stack overflow.
+  EXPECT_FALSE(JsonValue::parse(std::string(100, '[')).ok());
+}
+
+TEST(JsonTest, ParseFileReportsMissingFile) {
+  const auto doc = JsonValue::parse_file("/nonexistent/nope.json");
+  EXPECT_FALSE(doc.ok());
+}
+
+// The satellite guarantee: every double our emitters write via
+// obs::format_double parses back to the exact same bits, independent of
+// locale — the JSON files are lossless.
+TEST(JsonTest, FormatDoubleRoundTripsExactly) {
+  const double values[] = {0.0,    -0.0,   1.0,       0.1,   1.0 / 3.0,
+                           20.0,   1e-300, 1e300,     -2.5,  123456.789,
+                           5e-324, 0.06,   27.819302, 1e6,   3.0000000000000004};
+  for (const double value : values) {
+    const std::string text = obs::format_double(value);
+    const auto parsed = JsonValue::parse(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    const double back = parsed.value().as_double();
+    EXPECT_EQ(std::memcmp(&back, &value, sizeof(double)), 0)
+        << value << " -> \"" << text << "\" -> " << back;
+  }
+}
+
+TEST(JsonTest, ParsesRegistryJsonOutput) {
+  obs::Registry registry;
+  registry.add("runner.queries", 42);
+  registry.set_gauge("sim.depth", 7.25);
+  registry.histogram("lookup_ms").add(12.5);
+  registry.histogram("lookup_ms").add(31.0);
+
+  const auto doc = JsonValue::parse(registry.to_json());
+  ASSERT_TRUE(doc.ok());
+  const JsonValue& root = doc.value();
+  EXPECT_DOUBLE_EQ(root.get("counters").get("runner.queries").as_double(),
+                   42.0);
+  EXPECT_DOUBLE_EQ(root.get("gauges").get("sim.depth").as_double(), 7.25);
+  const JsonValue& hist = root.get("histograms").get("lookup_ms");
+  EXPECT_DOUBLE_EQ(hist.get("count").as_double(), 2.0);
+  EXPECT_DOUBLE_EQ(hist.get("min").as_double(), 12.5);
+  EXPECT_DOUBLE_EQ(hist.get("max").as_double(), 31.0);
+  EXPECT_GE(hist.get("buckets").size(), 2u);
+}
+
+}  // namespace
+}  // namespace mecdns::util

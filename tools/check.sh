@@ -5,6 +5,9 @@
 #      sanitizers (bench_fault_availability drives the whole failure-handling
 #      stack end to end).
 #   3. Plain Release build (what the benches/figures run as), all tests.
+#   4. Observability gate: fig2 with trace/metrics/timeseries outputs,
+#      mecdns_report over each artifact, and a self-diff of two identical
+#      runs (any nonzero diff means the bench lost determinism).
 # Usage: tools/check.sh [jobs]   (default: nproc)
 set -euo pipefail
 
@@ -13,14 +16,14 @@ jobs="${1:-$(nproc)}"
 
 run() { echo "+ $*"; "$@"; }
 
-echo "=== 1/3: ASan/UBSan build + tests (build-asan/) ==="
+echo "=== 1/4: ASan/UBSan build + tests (build-asan/) ==="
 run cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 run cmake --build build-asan -j "$jobs"
 run ctest --test-dir build-asan --output-on-failure -j "$jobs" --timeout 120
 
-echo "=== 2/3: fault-matrix smoke (ASan/UBSan) ==="
+echo "=== 2/4: fault-matrix smoke (ASan/UBSan) ==="
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
 for scenario in mec-ldns-crash edge-cache-partition wan-loss-burst \
@@ -31,9 +34,23 @@ for scenario in mec-ldns-crash edge-cache-partition wan-loss-burst \
       --json-out "$smoke_dir/fault_$scenario.json"
 done
 
-echo "=== 3/3: Release build + tests (build/) ==="
+echo "=== 3/4: Release build + tests (build/) ==="
 run cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 run cmake --build build -j "$jobs"
 run ctest --test-dir build --output-on-failure -j "$jobs" --timeout 120
+
+echo "=== 4/4: observability pipeline + determinism self-diff ==="
+obs_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir" "$obs_dir"' EXIT
+run ./build/bench/bench_fig2_lookup_latency \
+    --json-out "$obs_dir/fig2_a.json" \
+    --trace-out "$obs_dir/trace.json" \
+    --metrics-out "$obs_dir/metrics.json" \
+    --timeseries-out "$obs_dir/series.json"
+run ./build/tools/mecdns_report --trace "$obs_dir/trace.json" \
+    --metrics "$obs_dir/metrics.json" --timeseries "$obs_dir/series.json"
+run ./build/bench/bench_fig2_lookup_latency --json-out "$obs_dir/fig2_b.json"
+run ./build/tools/mecdns_report \
+    --diff "$obs_dir/fig2_a.json" --against "$obs_dir/fig2_b.json"
 
 echo "All checks passed."

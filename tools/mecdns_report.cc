@@ -1,0 +1,429 @@
+// mecdns_report — offline analysis over the telemetry the testbed and
+// benches emit.
+//
+//   mecdns_report --trace trace.json              # critical-path breakdown
+//   mecdns_report --metrics metrics.json          # counters/gauges/histograms
+//   mecdns_report --timeseries series.json        # per-window SLO verdicts
+//   mecdns_report --bench BENCH_fig2.json         # scenario summary table
+//   mecdns_report --diff OLD.json NEW.json        # regression gate for CI
+//
+// --diff compares two BENCH_*.json files scenario by scenario and exits
+// nonzero when a latency metric regressed beyond both the relative
+// (--rel) and absolute (--abs-ms) thresholds, naming the regressed
+// scenario/metric — so check.sh and CI can gate on it. Exit codes: 0 clean,
+// 1 regression found, 2 usage or parse error.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/analysis.h"
+#include "util/args.h"
+#include "util/json.h"
+
+using namespace mecdns;
+
+namespace {
+
+// --- --trace: critical path over a Chrome trace-event file ----------------
+
+/// Rebuilds the flat span list from the trace-event JSON the TraceSink
+/// writes (ph:"X" events with args.span/args.parent, microsecond ts/dur).
+util::Result<std::vector<obs::SpanInfo>> spans_from_trace(
+    const util::JsonValue& doc) {
+  if (!doc.is_object() || !doc.get("traceEvents").is_array()) {
+    return util::Err("not a trace-event file (no traceEvents array)");
+  }
+  const util::JsonValue& events = doc.get("traceEvents");
+  std::vector<obs::SpanInfo> spans;
+  spans.reserve(events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const util::JsonValue& e = events.at(i);
+    if (!e.is_object() || e.get("ph").as_string() != "X") continue;
+    const util::JsonValue& args = e.get("args");
+    obs::SpanInfo info;
+    info.id = static_cast<obs::SpanId>(args.get("span").as_double());
+    info.parent = static_cast<obs::SpanId>(args.get("parent").as_double());
+    info.component = e.get("cat").as_string();
+    info.name = e.get("name").as_string();
+    info.start_ms = e.get("ts").as_double() / 1000.0;
+    info.dur_ms = e.get("dur").as_double() / 1000.0;
+    info.finished = !args.get("unfinished").as_bool();
+    spans.push_back(std::move(info));
+  }
+  return spans;
+}
+
+int report_trace(const std::string& path, std::size_t slowest_n) {
+  auto doc = util::JsonValue::parse_file(path);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "error: %s\n", doc.error().message.c_str());
+    return 2;
+  }
+  auto spans = spans_from_trace(doc.value());
+  if (!spans.ok()) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(),
+                 spans.error().message.c_str());
+    return 2;
+  }
+  const obs::CriticalPathReport report =
+      obs::critical_path(spans.value(), slowest_n);
+  std::printf("=== critical path: %s (%zu spans) ===\n", path.c_str(),
+              spans.value().size());
+  std::printf("%s", obs::stage_table(report).c_str());
+  if (report.unfinished > 0) {
+    std::fprintf(stderr,
+                 "warning: %zu unfinished span(s) in %s — a span guard was "
+                 "dropped without end(), or the run was cut short\n",
+                 report.unfinished, path.c_str());
+  }
+  return 0;
+}
+
+// --- --metrics: flat registry dump ----------------------------------------
+
+void print_registry(const util::JsonValue& reg, const std::string& indent) {
+  const util::JsonValue& counters = reg.get("counters");
+  for (const auto& [name, value] : counters.members()) {
+    std::printf("%s%-44s %12.0f\n", indent.c_str(), name.c_str(),
+                value.as_double());
+  }
+  const util::JsonValue& gauges = reg.get("gauges");
+  for (const auto& [name, value] : gauges.members()) {
+    std::printf("%s%-44s %12.3f\n", indent.c_str(), name.c_str(),
+                value.as_double());
+  }
+  const util::JsonValue& histograms = reg.get("histograms");
+  for (const auto& [name, h] : histograms.members()) {
+    std::printf("%s%-34s n=%-6.0f mean=%-8.3f p50=%-8.3f p99=%-8.3f "
+                "max=%.3f\n",
+                indent.c_str(), name.c_str(), h.get("count").as_double(),
+                h.get("mean").as_double(), h.get("p50").as_double(),
+                h.get("p99").as_double(), h.get("max").as_double());
+  }
+}
+
+int report_metrics(const std::string& path) {
+  auto doc = util::JsonValue::parse_file(path);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "error: %s\n", doc.error().message.c_str());
+    return 2;
+  }
+  if (!doc.value().has("counters") && !doc.value().has("histograms")) {
+    std::fprintf(stderr, "error: %s: not a metrics file\n", path.c_str());
+    return 2;
+  }
+  std::printf("=== metrics: %s ===\n", path.c_str());
+  print_registry(doc.value(), "  ");
+  return 0;
+}
+
+// --- --timeseries: per-window table + SLO verdicts ------------------------
+
+/// Conservative per-window quantile from the serialized bucket list: the
+/// upper edge (le) of the bucket holding the q-th sample. Matches
+/// LatencyHistogram::percentile's bucket resolution.
+double bucket_percentile(const util::JsonValue& hist, double q) {
+  const double count = hist.get("count").as_double();
+  if (count <= 0.0) return 0.0;
+  const double rank = q / 100.0 * count;
+  const util::JsonValue& buckets = hist.get("buckets");
+  double seen = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets.at(i).get("n").as_double();
+    if (seen >= rank) return buckets.at(i).get("le").as_double();
+  }
+  return hist.get("max").as_double();
+}
+
+/// Looks the name up in a window's registry JSON; {} / 0 when absent.
+const util::JsonValue& window_hist(const util::JsonValue& window,
+                                   const std::string& name) {
+  return window.get("metrics").get("histograms").get(name);
+}
+
+double window_counter(const util::JsonValue& window, const std::string& name) {
+  return window.get("metrics").get("counters").get(name).as_double();
+}
+
+int report_timeseries(const std::string& path, double slo_p99_ms,
+                      double slo_success_target) {
+  auto doc = util::JsonValue::parse_file(path);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "error: %s\n", doc.error().message.c_str());
+    return 2;
+  }
+  const util::JsonValue& root = doc.value();
+  if (!root.has("windows")) {
+    std::fprintf(stderr, "error: %s: not a timeseries file\n", path.c_str());
+    return 2;
+  }
+  const util::JsonValue& windows = root.get("windows");
+  std::printf("=== timeseries: %s (%zu windows of %.0f ms) ===\n",
+              path.c_str(), windows.size(),
+              root.get("window_ms").as_double());
+
+  // The testbed path records runner.*; the fault bench records fetch.*.
+  // Report whichever the file actually carries.
+  const bool fetch_style =
+      windows.size() > 0 &&
+      windows.at(0).get("metrics").get("counters").has("fetch.requests");
+  const std::string total_name =
+      fetch_style ? "fetch.requests" : "runner.queries";
+  const std::string bad_name =
+      fetch_style ? "fetch.failures" : "runner.failures";
+  const std::string hist_name =
+      fetch_style ? "fetch.total_ms" : "runner.lookup_ms";
+
+  std::printf("%10s %10s %8s %8s %10s %10s  %s\n", "start_ms", "end_ms",
+              "total", "bad", "p99(ms)", "burn", "verdict");
+  const double allowed_bad = 1.0 - slo_success_target;
+  std::size_t latency_violations = 0;
+  std::size_t success_violations = 0;
+  double total = 0.0;
+  double bad = 0.0;
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const util::JsonValue& w = windows.at(i);
+    const double w_total = window_counter(w, total_name);
+    const double w_bad = window_counter(w, bad_name);
+    const util::JsonValue& hist = window_hist(w, hist_name);
+    const double p99 = bucket_percentile(hist, 99.0);
+    total += w_total;
+    bad += w_bad;
+    const bool latency_ok = hist.get("count").as_double() == 0.0 ||
+                            p99 <= slo_p99_ms;
+    const bool success_ok =
+        w_total == 0.0 || (w_total - w_bad) / w_total >= slo_success_target;
+    if (!latency_ok) ++latency_violations;
+    if (!success_ok) ++success_violations;
+    const double burn =
+        w_total > 0.0 && allowed_bad > 0.0 ? (w_bad / w_total) / allowed_bad
+                                           : 0.0;
+    std::string verdict;
+    if (!latency_ok) {
+      char over[32];
+      std::snprintf(over, sizeof(over), "p99>%.0fms ", slo_p99_ms);
+      verdict += over;
+    }
+    if (!success_ok) verdict += "success-SLO-violated";
+    if (verdict.empty()) verdict = "ok";
+    std::printf("%10.0f %10.0f %8.0f %8.0f %10.3f %10.2f  %s\n",
+                w.get("start_ms").as_double(), w.get("end_ms").as_double(),
+                w_total, w_bad, p99, burn, verdict.c_str());
+  }
+  const util::JsonValue& annotations = root.get("annotations");
+  if (annotations.size() > 0) {
+    std::printf("annotations:\n");
+    for (std::size_t i = 0; i < annotations.size(); ++i) {
+      const util::JsonValue& a = annotations.at(i);
+      std::printf("  %10.0f ms  %-12s %s\n", a.get("t_ms").as_double(),
+                  a.get("kind").as_string().c_str(),
+                  a.get("description").as_string().c_str());
+    }
+  }
+  const double budget =
+      total > 0.0 && allowed_bad > 0.0 ? bad / (allowed_bad * total) : 0.0;
+  std::printf(
+      "slo[p99<=%.0fms]: %s (%zu/%zu windows violated)\n", slo_p99_ms,
+      latency_violations == 0 ? "MET" : "VIOLATED", latency_violations,
+      windows.size());
+  std::printf(
+      "slo[success>=%.1f%%]: %s (%zu/%zu windows violated, budget %.2fx)\n",
+      100.0 * slo_success_target,
+      success_violations == 0 ? "MET" : "VIOLATED", success_violations,
+      windows.size(), budget);
+  return 0;
+}
+
+// --- --bench / --diff: BENCH_*.json tables and regression gating ----------
+
+int report_bench(const std::string& path) {
+  auto doc = util::JsonValue::parse_file(path);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "error: %s\n", doc.error().message.c_str());
+    return 2;
+  }
+  const util::JsonValue& root = doc.value();
+  if (!root.get("scenarios").is_array()) {
+    std::fprintf(stderr, "error: %s: not a bench file\n", path.c_str());
+    return 2;
+  }
+  std::printf("=== bench %s: %s ===\n",
+              root.get("bench").as_string().c_str(), path.c_str());
+  std::printf("%-40s %10s %10s %10s %10s\n", "scenario", "mean", "p50",
+              "p99", "success");
+  const util::JsonValue& scenarios = root.get("scenarios");
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const util::JsonValue& s = scenarios.at(i);
+    std::string name = s.get("scenario").as_string();
+    if (s.has("mode")) name += "/" + s.get("mode").as_string();
+    std::printf("%-40s %10.3f %10.3f %10.3f %10s\n", name.c_str(),
+                s.get("mean").as_double(), s.get("p50").as_double(),
+                s.get("p99").as_double(),
+                s.has("success_rate")
+                    ? (std::to_string(s.get("success_rate").as_double())
+                           .substr(0, 6)
+                           .c_str())
+                    : "-");
+  }
+  return 0;
+}
+
+struct DiffThresholds {
+  double rel = 0.05;
+  double abs_ms = 0.5;
+};
+
+std::string scenario_key(const util::JsonValue& s) {
+  std::string key = s.get("scenario").as_string();
+  if (s.has("mode")) key += "/" + s.get("mode").as_string();
+  return key;
+}
+
+const util::JsonValue* find_scenario(const util::JsonValue& scenarios,
+                                     const std::string& key) {
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    if (scenario_key(scenarios.at(i)) == key) return &scenarios.at(i);
+  }
+  return nullptr;
+}
+
+int report_diff(const std::string& old_path, const std::string& new_path,
+                const DiffThresholds& t) {
+  auto old_doc = util::JsonValue::parse_file(old_path);
+  auto new_doc = util::JsonValue::parse_file(new_path);
+  if (!old_doc.ok() || !new_doc.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 (!old_doc.ok() ? old_doc : new_doc).error().message.c_str());
+    return 2;
+  }
+  const util::JsonValue& old_scenarios = old_doc.value().get("scenarios");
+  const util::JsonValue& new_scenarios = new_doc.value().get("scenarios");
+  if (!old_scenarios.is_array() || !new_scenarios.is_array()) {
+    std::fprintf(stderr, "error: --diff needs two BENCH_*.json files\n");
+    return 2;
+  }
+
+  // Latency metrics regress upward; success_rate regresses downward.
+  const char* latency_metrics[] = {"mean", "p50", "p99"};
+  std::size_t regressions = 0;
+  std::size_t compared = 0;
+  std::printf("=== diff: %s -> %s (rel %.1f%%, abs %.2f ms) ===\n",
+              old_path.c_str(), new_path.c_str(), 100.0 * t.rel, t.abs_ms);
+  for (std::size_t i = 0; i < new_scenarios.size(); ++i) {
+    const util::JsonValue& after = new_scenarios.at(i);
+    const std::string key = scenario_key(after);
+    const util::JsonValue* before = find_scenario(old_scenarios, key);
+    if (before == nullptr) {
+      std::printf("  %-40s new scenario (no baseline)\n", key.c_str());
+      continue;
+    }
+    ++compared;
+    for (const char* metric : latency_metrics) {
+      if (!before->has(metric) || !after.has(metric)) continue;
+      const double was = before->get(metric).as_double();
+      const double now = after.get(metric).as_double();
+      const double delta = now - was;
+      if (delta > t.abs_ms && (was <= 0.0 || delta / was > t.rel)) {
+        std::printf("  REGRESSION %-32s %s: %.3f -> %.3f ms (+%.1f%%)\n",
+                    key.c_str(), metric, was, now,
+                    was > 0.0 ? 100.0 * delta / was : 0.0);
+        ++regressions;
+      }
+    }
+    if (before->has("success_rate") && after.has("success_rate")) {
+      const double was = before->get("success_rate").as_double();
+      const double now = after.get("success_rate").as_double();
+      if (was - now > t.rel) {
+        std::printf(
+            "  REGRESSION %-32s success_rate: %.4f -> %.4f (-%.1f%%)\n",
+            key.c_str(), was, now, 100.0 * (was - now));
+        ++regressions;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < old_scenarios.size(); ++i) {
+    const std::string key = scenario_key(old_scenarios.at(i));
+    if (find_scenario(new_scenarios, key) == nullptr) {
+      std::printf("  REGRESSION %-32s scenario disappeared\n", key.c_str());
+      ++regressions;
+    }
+  }
+  if (regressions == 0) {
+    std::printf("  %zu scenario(s) compared, no regressions\n", compared);
+    return 0;
+  }
+  std::fprintf(stderr, "%zu regression(s) found\n", regressions);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args(
+      "mecdns_report: stage breakdowns, SLO verdicts and regression diffs "
+      "over testbed/bench telemetry");
+  args.add_string("trace", "", "Chrome trace-event JSON (--trace-out file)");
+  args.add_string("metrics", "", "metrics JSON (--metrics-out file)");
+  args.add_string("timeseries", "",
+                  "windowed-metrics JSON (--timeseries-out file)");
+  args.add_string("bench", "", "BENCH_*.json summary file");
+  args.add_string("diff", "",
+                  "baseline BENCH_*.json; compares against --against");
+  args.add_string("against", "", "candidate BENCH_*.json for --diff");
+  args.add_int("slowest", 5, "exemplar traces to list (--trace)");
+  args.add_double("slo-p99-ms", 20.0,
+                  "per-window p99 latency budget (--timeseries)");
+  args.add_double("slo-success-target", 0.99,
+                  "per-window success-ratio objective (--timeseries)");
+  args.add_double("rel", 0.05, "relative regression threshold (--diff)");
+  args.add_double("abs-ms", 0.5, "absolute regression threshold (--diff)");
+  args.add_bool("help", false, "print usage");
+
+  if (auto result = args.parse(argc - 1, argv + 1); !result.ok()) {
+    std::fprintf(stderr, "%s\n%s", result.error().message.c_str(),
+                 args.usage(argv[0]).c_str());
+    return 2;
+  }
+  if (args.get_bool("help")) {
+    std::printf("%s", args.usage(argv[0]).c_str());
+    return 0;
+  }
+
+  bool did_anything = false;
+  int worst = 0;
+  const auto run = [&](int rc) {
+    did_anything = true;
+    worst = std::max(worst, rc);
+  };
+  if (!args.get_string("trace").empty()) {
+    run(report_trace(args.get_string("trace"),
+                     static_cast<std::size_t>(args.get_int("slowest"))));
+  }
+  if (!args.get_string("metrics").empty()) {
+    run(report_metrics(args.get_string("metrics")));
+  }
+  if (!args.get_string("timeseries").empty()) {
+    run(report_timeseries(args.get_string("timeseries"),
+                          args.get_double("slo-p99-ms"),
+                          args.get_double("slo-success-target")));
+  }
+  if (!args.get_string("bench").empty()) {
+    run(report_bench(args.get_string("bench")));
+  }
+  if (!args.get_string("diff").empty()) {
+    if (args.get_string("against").empty()) {
+      std::fprintf(stderr, "--diff needs --against <candidate.json>\n");
+      return 2;
+    }
+    DiffThresholds t;
+    t.rel = args.get_double("rel");
+    t.abs_ms = args.get_double("abs-ms");
+    run(report_diff(args.get_string("diff"), args.get_string("against"), t));
+  }
+  if (!did_anything) {
+    std::fprintf(stderr, "nothing to do\n%s", args.usage(argv[0]).c_str());
+    return 2;
+  }
+  return worst;
+}

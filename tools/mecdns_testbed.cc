@@ -12,6 +12,7 @@
 #include "core/fig5.h"
 #include "core/study.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "util/args.h"
 
@@ -19,18 +20,24 @@ using namespace mecdns;
 
 namespace {
 
-/// Writes the collected trace/metrics files named by --trace-out and
-/// --metrics-out (either may be empty = disabled).
-void write_observability(const util::ArgParser& args,
+/// Writes the collected trace/metrics/timeseries files named by
+/// --trace-out, --metrics-out and --timeseries-out (any may be empty =
+/// disabled). Returns false if any requested file could not be written —
+/// silently dropping telemetry a CI gate depends on is worse than failing.
+bool write_observability(const util::ArgParser& args,
                          const obs::TraceSink& trace,
-                         const obs::Registry& metrics) {
+                         const obs::Registry& metrics,
+                         const obs::TimeSeries* timeseries) {
+  bool ok = true;
   const std::string trace_out = args.get_string("trace-out");
   if (!trace_out.empty()) {
     if (trace.write_chrome_trace(trace_out)) {
       std::fprintf(stderr, "wrote %zu spans to %s (load in chrome://tracing "
                    "or ui.perfetto.dev)\n", trace.size(), trace_out.c_str());
     } else {
-      std::fprintf(stderr, "failed to write trace to %s\n", trace_out.c_str());
+      std::fprintf(stderr, "error: failed to write trace to %s\n",
+                   trace_out.c_str());
+      ok = false;
     }
   }
   const std::string metrics_out = args.get_string("metrics-out");
@@ -38,10 +45,38 @@ void write_observability(const util::ArgParser& args,
     if (metrics.write_json(metrics_out)) {
       std::fprintf(stderr, "wrote metrics to %s\n", metrics_out.c_str());
     } else {
-      std::fprintf(stderr, "failed to write metrics to %s\n",
+      std::fprintf(stderr, "error: failed to write metrics to %s\n",
                    metrics_out.c_str());
+      ok = false;
     }
   }
+  const std::string series_out = args.get_string("timeseries-out");
+  if (!series_out.empty() && timeseries != nullptr) {
+    if (timeseries->write_json(series_out)) {
+      std::fprintf(stderr, "wrote %zu windows to %s\n",
+                   timeseries->windows().size(), series_out.c_str());
+    } else {
+      std::fprintf(stderr, "error: failed to write timeseries to %s\n",
+                   series_out.c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+/// Applies the --trace-sample* flags to the sink. A rate of 1.0 leaves
+/// sampling off entirely so the span stream is bit-identical to a plain
+/// unsampled run.
+void configure_sampling(const util::ArgParser& args, obs::TraceSink& trace) {
+  const double rate = args.get_double("trace-sample");
+  if (rate >= 1.0) return;
+  obs::TraceSink::SamplingConfig sampling;
+  sampling.head_rate = rate;
+  sampling.seed = static_cast<std::uint64_t>(args.get_int("seed")) ^
+                  static_cast<std::uint64_t>(args.get_int("trace-sample-seed"));
+  sampling.keep_slower_than =
+      simnet::SimTime::millis(args.get_double("trace-slow-keep-ms"));
+  trace.set_sampling(sampling);
 }
 
 util::Result<core::Fig5Deployment> parse_deployment(const std::string& text) {
@@ -68,14 +103,20 @@ int run_fig5(const util::ArgParser& args) {
   core::Fig5Testbed testbed(config);
   obs::TraceSink trace(testbed.network().simulator());
   obs::Registry metrics;
+  obs::TimeSeries timeseries(
+      testbed.simulator(),
+      simnet::SimTime::millis(args.get_double("timeseries-window-ms")));
   const bool want_trace = !args.get_string("trace-out").empty();
   const bool want_metrics = !args.get_string("metrics-out").empty();
+  const bool want_series = !args.get_string("timeseries-out").empty();
+  if (want_trace) configure_sampling(args, trace);
   testbed.set_observers(want_trace ? &trace : nullptr,
                         want_metrics ? &metrics : nullptr);
+  testbed.set_timeseries(want_series ? &timeseries : nullptr);
   const core::SeriesResult result =
       testbed.measure(static_cast<std::size_t>(args.get_int("queries")));
   if (want_metrics) testbed.export_metrics(metrics);
-  write_observability(args, trace, metrics);
+  if (!write_observability(args, trace, metrics, &timeseries)) return 1;
 
   if (args.get_bool("csv")) {
     std::printf("deployment,query,total_ms,wireless_ms,beyond_pgw_ms,answer\n");
@@ -113,12 +154,18 @@ int run_study(const util::ArgParser& args) {
   }
   obs::TraceSink trace(study.network().simulator());
   obs::Registry metrics;
+  obs::TimeSeries timeseries(
+      study.network().simulator(),
+      simnet::SimTime::millis(args.get_double("timeseries-window-ms")));
   const bool want_trace = !args.get_string("trace-out").empty();
   const bool want_metrics = !args.get_string("metrics-out").empty();
+  const bool want_series = !args.get_string("timeseries-out").empty();
+  if (want_trace) configure_sampling(args, trace);
   study.set_observers(want_trace ? &trace : nullptr,
                       want_metrics ? &metrics : nullptr);
+  study.set_timeseries(want_series ? &timeseries : nullptr);
   const auto cell = study.run_cell(site, args.get_string("network"));
-  write_observability(args, trace, metrics);
+  if (!write_observability(args, trace, metrics, &timeseries)) return 1;
 
   if (args.get_bool("csv")) {
     std::printf("website,network,query,latency_ms\n");
@@ -182,6 +229,19 @@ int main(int argc, char** argv) {
                   "(chrome://tracing / Perfetto)");
   args.add_string("metrics-out", "",
                   "write counters/gauges/histograms as JSON");
+  args.add_string("timeseries-out", "",
+                  "write sim-time-windowed metrics (with chaos annotations) "
+                  "as JSON");
+  args.add_double("timeseries-window-ms", 500.0,
+                  "sim-time window width for --timeseries-out");
+  args.add_double("trace-sample", 1.0,
+                  "head-sampling rate for root query spans (1.0 = keep all; "
+                  "slow or failed lookups are always kept)");
+  args.add_int("trace-sample-seed", 0,
+               "extra seed XORed into the sampling hash");
+  args.add_double("trace-slow-keep-ms", 20.0,
+                  "tail-keep threshold: sampled-out lookups slower than this "
+                  "are kept anyway");
   args.add_bool("help", false, "print usage");
 
   if (auto result = args.parse(argc - 1, argv + 1); !result.ok()) {
