@@ -13,10 +13,14 @@
 // true nearest group.
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "cdn/traffic_router.h"
+#include "core/parallel.h"
 #include "dns/stub.h"
 #include "ran/profiles.h"
+#include "util/args.h"
 
 using namespace mecdns;
 
@@ -28,9 +32,10 @@ struct Outcome {
 };
 
 Outcome run(std::size_t groups, std::size_t caches_per_group,
-            double mislocate_probability, bool use_coverage) {
+            double mislocate_probability, bool use_coverage,
+            std::uint64_t seed) {
   simnet::Simulator sim;
-  simnet::Network net(sim, util::Rng(99));
+  simnet::Network net(sim, util::Rng(seed));
   const auto client_addr = simnet::Ipv4Address::must_parse("203.0.113.10");
   const auto router_addr = simnet::Ipv4Address::must_parse("198.51.100.53");
   const simnet::NodeId client = net.add_node("client", client_addr);
@@ -119,27 +124,66 @@ Outcome run(std::size_t groups, std::size_t caches_per_group,
   return outcome;
 }
 
+/// One row of the sweep: a configuration plus its printed label.
+struct Spec {
+  std::string label;
+  std::size_t groups;
+  double mislocate;
+  bool use_coverage;
+};
+
 }  // namespace
 
-int main() {
-  std::printf("=== A3: C-DNS scope — edge coverage zone vs global GeoIP ===\n");
-  std::printf("%-44s %10s %10s\n", "configuration", "accuracy", "mean(ms)");
+int main(int argc, char** argv) {
+  util::ArgParser args("bench_ablation_cdns_scope: A3 C-DNS scope ablation");
+  args.add_int("seed", 99,
+               "campaign seed; each configuration runs with "
+               "split_mix64(seed ^ row_index)");
+  args.add_int("workers", 0,
+               "parallel campaign workers (0 = hardware concurrency, "
+               "1 = serial); output is byte-identical for any value");
+  if (auto result = args.parse(argc - 1, argv + 1); !result.ok()) {
+    std::fprintf(stderr, "%s\n%s", result.error().message.c_str(),
+                 args.usage(argv[0]).c_str());
+    return 2;
+  }
 
-  const Outcome edge = run(1, 4, 0.0, /*use_coverage=*/true);
-  std::printf("%-44s %9.0f%% %10.2f\n",
-              "edge-scoped (coverage zone, 1 group x 4)", 100 * edge.accuracy,
-              edge.mean_ms);
-
+  std::vector<Spec> specs;
+  specs.push_back(
+      Spec{"edge-scoped (coverage zone, 1 group x 4)", 1, 0.0, true});
   for (const double miss : {0.0, 0.1, 0.2, 0.4}) {
     for (const std::size_t groups : {4ul, 16ul, 64ul}) {
-      const Outcome global = run(groups, 4, miss, /*use_coverage=*/false);
       char label[80];
       std::snprintf(label, sizeof(label),
                     "global (GeoIP %.0f%% mislocation, %zu groups)",
                     miss * 100, groups);
-      std::printf("%-44s %9.0f%% %10.2f\n", label, 100 * global.accuracy,
-                  global.mean_ms);
+      specs.push_back(Spec{label, groups, miss, false});
     }
+  }
+
+  // Each row is one campaign job with a private simulator and derived seed,
+  // so no row's answer mix depends on the rows before it.
+  const auto campaign_seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const core::ParallelCampaign campaign(
+      core::resolve_workers(args.get_int("workers")));
+  const auto outcomes = campaign.run<Outcome>(
+      specs.size(), [&](std::size_t index) {
+        const Spec& spec = specs[index];
+        return run(spec.groups, 4, spec.mislocate, spec.use_coverage,
+                   core::job_seed(campaign_seed, index));
+      });
+
+  std::printf("=== A3: C-DNS scope — edge coverage zone vs global GeoIP ===\n");
+  std::printf("%-44s %10s %10s\n", "configuration", "accuracy", "mean(ms)");
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (!outcomes[i].ok) {
+      std::fprintf(stderr, "error: %s failed: %s\n", specs[i].label.c_str(),
+                   outcomes[i].error.c_str());
+      return 1;
+    }
+    const Outcome& outcome = outcomes[i].value;
+    std::printf("%-44s %9.0f%% %10.2f\n", specs[i].label.c_str(),
+                100 * outcome.accuracy, outcome.mean_ms);
   }
   std::printf(
       "\nexpected shape: the edge-scoped router is always correct; global "

@@ -12,10 +12,12 @@
 
 #include "core/experiment.h"
 #include "core/mec_cdn.h"
+#include "core/parallel.h"
 #include "ran/handoff.h"
 #include "ran/profiles.h"
 #include "ran/segment.h"
 #include "ran/ue.h"
+#include "util/args.h"
 
 using namespace mecdns;
 
@@ -31,8 +33,8 @@ struct TwoCellWorld {
   std::unique_ptr<ran::UserEquipment> ue;
   std::unique_ptr<ran::HandoffManager> handoff;
 
-  TwoCellWorld() {
-    net = std::make_unique<simnet::Network>(sim, util::Rng(11));
+  explicit TwoCellWorld(std::uint64_t seed) {
+    net = std::make_unique<simnet::Network>(sim, util::Rng(seed));
     const simnet::NodeId backbone = net->add_node(
         "backbone", simnet::Ipv4Address::must_parse("192.0.2.1"));
 
@@ -121,33 +123,66 @@ Phase measure(TwoCellWorld& world, core::MecCdnSite& local_site) {
   return phase;
 }
 
+/// One campaign job: a private two-cell world running the before-handoff
+/// phase and then the after-handoff phase with or without DNS re-targeting.
+struct HandoffResult {
+  Phase before;
+  Phase after;
+};
+
+HandoffResult run_world(bool retarget, std::uint64_t seed) {
+  TwoCellWorld world(seed);
+  HandoffResult result;
+  result.before = measure(world, *world.site_a);
+  world.handoff->attach(1, retarget);
+  result.after = measure(world, *world.site_b);
+  return result;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  util::ArgParser args(
+      "bench_ablation_handoff: A4 DNS re-targeting on cellular handoff");
+  args.add_int("seed", 11,
+               "campaign seed; each world runs with "
+               "split_mix64(seed ^ row_index)");
+  args.add_int("workers", 0,
+               "parallel campaign workers (0 = hardware concurrency, "
+               "1 = serial); output is byte-identical for any value");
+  if (auto result = args.parse(argc - 1, argv + 1); !result.ok()) {
+    std::fprintf(stderr, "%s\n%s", result.error().message.c_str(),
+                 args.usage(argv[0]).c_str());
+    return 2;
+  }
+  const auto campaign_seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const core::ParallelCampaign campaign(
+      core::resolve_workers(args.get_int("workers")));
+  const auto outcomes = campaign.run<HandoffResult>(
+      2, [&](std::size_t index) {
+        return run_world(index == 0, core::job_seed(campaign_seed, index));
+      });
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (!outcomes[i].ok) {
+      std::fprintf(stderr, "error: world %zu failed: %s\n", i,
+                   outcomes[i].error.c_str());
+      return 1;
+    }
+  }
+
   std::printf("=== A4: DNS re-target on handoff vs sticky L-DNS ===\n");
   std::printf("%-40s %10s %14s\n", "phase", "mean(ms)", "local answers");
-
-  {
-    TwoCellWorld world;
-    const Phase before = measure(world, *world.site_a);
-    std::printf("%-40s %10.1f %13.0f%%\n", "cell A, MEC L-DNS A", before.mean_ms,
-                100 * before.local_share);
-
-    world.handoff->attach(1, /*retarget_dns=*/true);
-    const Phase retarget = measure(world, *world.site_b);
-    std::printf("%-40s %10.1f %13.0f%%\n",
-                "cell B after handoff, re-targeted to B", retarget.mean_ms,
-                100 * retarget.local_share);
-  }
-  {
-    TwoCellWorld world;
-    measure(world, *world.site_a);
-    world.handoff->attach(1, /*retarget_dns=*/false);
-    const Phase sticky = measure(world, *world.site_b);
-    std::printf("%-40s %10.1f %13.0f%%\n",
-                "cell B after handoff, sticky L-DNS A", sticky.mean_ms,
-                100 * sticky.local_share);
-  }
+  const Phase& before = outcomes[0].value.before;
+  std::printf("%-40s %10.1f %13.0f%%\n", "cell A, MEC L-DNS A",
+              before.mean_ms, 100 * before.local_share);
+  const Phase& retarget = outcomes[0].value.after;
+  std::printf("%-40s %10.1f %13.0f%%\n",
+              "cell B after handoff, re-targeted to B", retarget.mean_ms,
+              100 * retarget.local_share);
+  const Phase& sticky = outcomes[1].value.after;
+  std::printf("%-40s %10.1f %13.0f%%\n",
+              "cell B after handoff, sticky L-DNS A", sticky.mean_ms,
+              100 * sticky.local_share);
   std::printf(
       "\nexpected shape: re-targeting keeps first-hop latency and 100%% "
       "local cache answers;\nthe sticky resolver pays the inter-site "

@@ -7,8 +7,11 @@
 // it the guard sheds (REFUSED) and the provider path keeps service alive —
 // "end users will observe only a degradation but not unavailability".
 #include <cstdio>
+#include <vector>
 
 #include "core/fig5.h"
+#include "core/parallel.h"
+#include "util/args.h"
 
 using namespace mecdns;
 
@@ -35,9 +38,11 @@ struct HysteresisRun {
 // keeps admitting ~threshold qps of the storm into the MEC; the hysteresis
 // guard trips coherently and re-admits only after the ingress has stayed
 // quiet for `recovery_windows` monitor windows.
-HysteresisRun run_storm_then_calm(std::size_t recovery_windows) {
+HysteresisRun run_storm_then_calm(std::size_t recovery_windows,
+                                  std::uint64_t seed) {
   core::Fig5Testbed::Config config;
   config.deployment = core::Fig5Deployment::kMecLdnsMecCdns;
+  config.seed = seed;
   config.provider_fallback = true;
   config.overload_threshold_qps = 50;
   config.overload_recovery_windows = recovery_windows;
@@ -63,9 +68,10 @@ HysteresisRun run_storm_then_calm(std::size_t recovery_windows) {
   return run;
 }
 
-Run run_at(double qps, std::size_t threshold) {
+Run run_at(double qps, std::size_t threshold, std::uint64_t seed) {
   core::Fig5Testbed::Config config;
   config.deployment = core::Fig5Deployment::kMecLdnsMecCdns;
+  config.seed = seed;
   config.provider_fallback = true;
   config.overload_threshold_qps = threshold;
   core::Fig5Testbed testbed(config);
@@ -88,16 +94,54 @@ Run run_at(double qps, std::size_t threshold) {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  util::ArgParser args(
+      "bench_ablation_ingress_fallback: A2 overload fallback ablation");
+  args.add_int("seed", 42,
+               "campaign seed; each run gets split_mix64(seed ^ row_index), "
+               "rows numbered across both sweeps");
+  args.add_int("workers", 0,
+               "parallel campaign workers (0 = hardware concurrency, "
+               "1 = serial); output is byte-identical for any value");
+  if (auto result = args.parse(argc - 1, argv + 1); !result.ok()) {
+    std::fprintf(stderr, "%s\n%s", result.error().message.c_str(),
+                 args.usage(argv[0]).c_str());
+    return 2;
+  }
+  const auto campaign_seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const core::ParallelCampaign campaign(
+      core::resolve_workers(args.get_int("workers")));
+
   constexpr std::size_t kThreshold = 50;  // queries/second
+  const std::vector<double> loads = {5.0, 20.0, 40.0, 80.0, 160.0, 320.0};
+  const auto load_outcomes = campaign.run<Run>(
+      loads.size(), [&](std::size_t index) {
+        return run_at(loads[index], kThreshold,
+                      core::job_seed(campaign_seed, index));
+      });
+  // The hysteresis rows continue the same row numbering so no two runs in
+  // the bench share a derived seed.
+  const std::vector<std::size_t> windows = {0, 2};
+  const auto storm_outcomes = campaign.run<HysteresisRun>(
+      windows.size(), [&](std::size_t index) {
+        return run_storm_then_calm(
+            windows[index],
+            core::job_seed(campaign_seed, loads.size() + index));
+      });
+
   std::printf(
       "=== A2: overload fallback (guard threshold %zu qps, UE multicasts "
       "MEC+provider) ===\n",
       kThreshold);
   std::printf("%8s %10s %12s %10s %10s\n", "load", "mean(ms)", "MEC-answers",
               "failures", "shed@MEC");
-  for (const double qps : {5.0, 20.0, 40.0, 80.0, 160.0, 320.0}) {
-    const Run run = run_at(qps, kThreshold);
+  for (std::size_t i = 0; i < load_outcomes.size(); ++i) {
+    if (!load_outcomes[i].ok) {
+      std::fprintf(stderr, "error: load %.0f/s failed: %s\n", loads[i],
+                   load_outcomes[i].error.c_str());
+      return 1;
+    }
+    const Run& run = load_outcomes[i].value;
     std::printf("%6.0f/s %10.1f %11.0f%% %10zu %10llu\n", run.qps,
                 run.mean_ms, 100.0 * run.mec_share, run.failures,
                 static_cast<unsigned long long>(run.shed));
@@ -112,13 +156,18 @@ int main() {
       "10 qps) ===\n");
   std::printf("%16s %11s %10s %8s %7s %11s %9s\n", "guard", "storm-MEC",
               "calm-MEC", "shed", "trips", "recoveries", "failures");
-  for (const std::size_t windows : {std::size_t{0}, std::size_t{2}}) {
-    const HysteresisRun run = run_storm_then_calm(windows);
+  for (std::size_t i = 0; i < storm_outcomes.size(); ++i) {
+    if (!storm_outcomes[i].ok) {
+      std::fprintf(stderr, "error: hysteresis(%zu) failed: %s\n", windows[i],
+                   storm_outcomes[i].error.c_str());
+      return 1;
+    }
+    const HysteresisRun& run = storm_outcomes[i].value;
     char label[32];
-    if (windows == 0) {
+    if (windows[i] == 0) {
       std::snprintf(label, sizeof label, "stateless");
     } else {
-      std::snprintf(label, sizeof label, "hysteresis(%zu)", windows);
+      std::snprintf(label, sizeof label, "hysteresis(%zu)", windows[i]);
     }
     std::printf("%16s %10.0f%% %9.0f%% %8llu %7llu %11llu %9zu\n", label,
                 100.0 * run.storm_mec_share, 100.0 * run.calm_mec_share,

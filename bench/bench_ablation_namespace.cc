@@ -10,61 +10,99 @@
 //   web domain   via MEC L-DNS      (forwarded: the "small overhead")
 //   web domain   via provider L-DNS (baseline for that overhead)
 //
-// and the multicast variant where the UE races both servers.
+// and the multicast variant where the UE races both servers. Each path is
+// one parallel-campaign job with a private testbed — the historical version
+// mutated a single testbed across six sequential measurements, so every
+// path's numbers (and resolver caches) depended on the paths measured
+// before it.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/fig5.h"
+#include "core/parallel.h"
+#include "util/args.h"
 
 using namespace mecdns;
 
-int main() {
+namespace {
+
+struct Spec {
+  std::string label;
+  bool mec_domain;       ///< resolve the MEC content name (else web name)
+  bool provider_server;  ///< re-target the stub at the provider L-DNS
+  bool multicast;        ///< race MEC and provider L-DNS
+};
+
+double run(const Spec& spec, std::uint64_t seed) {
   core::Fig5Testbed::Config config;
   config.deployment = core::Fig5Deployment::kMecLdnsMecCdns;
+  config.seed = seed;
   config.provider_fallback = true;
   core::Fig5Testbed testbed(config);
+  if (spec.provider_server) {
+    testbed.ue().resolver().set_server(testbed.provider_endpoint());
+  }
+  if (spec.multicast) {
+    testbed.ue().resolver().set_secondary(testbed.provider_endpoint());
+  }
+  const dns::DnsName name =
+      spec.mec_domain ? testbed.content_name() : testbed.web_name();
+  return testbed.measure_name(name, 40, simnet::SimTime::seconds(2))
+      .totals()
+      .mean();
+}
 
-  const simnet::SimTime spacing = simnet::SimTime::seconds(2);
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args(
+      "bench_ablation_namespace: A1 split-namespace L-DNS ablation");
+  args.add_int("seed", 42,
+               "campaign seed; each path runs with "
+               "split_mix64(seed ^ row_index)");
+  args.add_int("workers", 0,
+               "parallel campaign workers (0 = hardware concurrency, "
+               "1 = serial); output is byte-identical for any value");
+  if (auto result = args.parse(argc - 1, argv + 1); !result.ok()) {
+    std::fprintf(stderr, "%s\n%s", result.error().message.c_str(),
+                 args.usage(argv[0]).c_str());
+    return 2;
+  }
+
+  const std::vector<Spec> specs = {
+      {"MEC domain via MEC L-DNS", true, false, false},
+      {"MEC domain via provider L-DNS", true, true, false},
+      {"web domain via provider L-DNS", false, true, false},
+      {"web domain via MEC L-DNS (forward)", false, false, false},
+      {"web domain, multicast both", false, false, true},
+      {"MEC domain, multicast both", true, false, true},
+  };
+  const auto campaign_seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const core::ParallelCampaign campaign(
+      core::resolve_workers(args.get_int("workers")));
+  const auto outcomes = campaign.run<double>(
+      specs.size(), [&](std::size_t index) {
+        return run(specs[index], core::job_seed(campaign_seed, index));
+      });
 
   std::printf("=== A1: split-namespace MEC L-DNS vs provider L-DNS ===\n");
   std::printf("%-34s %10s\n", "path", "mean(ms)");
+  std::vector<double> means;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (!outcomes[i].ok) {
+      std::fprintf(stderr, "error: %s failed: %s\n", specs[i].label.c_str(),
+                   outcomes[i].error.c_str());
+      return 1;
+    }
+    means.push_back(outcomes[i].value);
+    std::printf("%-34s %10.1f\n", specs[i].label.c_str(), outcomes[i].value);
+  }
 
-  // MEC content through the MEC L-DNS (default UE configuration).
-  const double mec_via_mec =
-      testbed.measure_name(testbed.content_name(), 40, spacing).totals().mean();
-  std::printf("%-34s %10.1f\n", "MEC domain via MEC L-DNS", mec_via_mec);
-
-  // MEC content through the provider path (re-target the stub).
-  testbed.ue().resolver().set_server(testbed.provider_endpoint());
-  const double mec_via_provider =
-      testbed.measure_name(testbed.content_name(), 40, spacing).totals().mean();
-  std::printf("%-34s %10.1f\n", "MEC domain via provider L-DNS",
-              mec_via_provider);
-
-  // Non-MEC web content through the provider (today's baseline).
-  const double web_via_provider =
-      testbed.measure_name(testbed.web_name(), 40, spacing).totals().mean();
-  std::printf("%-34s %10.1f\n", "web domain via provider L-DNS",
-              web_via_provider);
-
-  // Non-MEC web content through the MEC L-DNS (forwarded upstream).
-  testbed.ue().resolver().set_server(testbed.site().ldns_endpoint());
-  const double web_via_mec =
-      testbed.measure_name(testbed.web_name(), 40, spacing).totals().mean();
-  std::printf("%-34s %10.1f\n", "web domain via MEC L-DNS (forward)",
-              web_via_mec);
-
-  // Multicast: race MEC L-DNS and provider L-DNS; first useful answer wins.
-  testbed.ue().resolver().set_secondary(testbed.provider_endpoint());
-  const double web_multicast =
-      testbed.measure_name(testbed.web_name(), 40, spacing).totals().mean();
-  const double mec_multicast =
-      testbed.measure_name(testbed.content_name(), 40, spacing)
-          .totals()
-          .mean();
-  testbed.ue().resolver().set_secondary(std::nullopt);
-  std::printf("%-34s %10.1f\n", "web domain, multicast both", web_multicast);
-  std::printf("%-34s %10.1f\n", "MEC domain, multicast both", mec_multicast);
-
+  const double mec_via_mec = means[0];
+  const double mec_via_provider = means[1];
+  const double web_via_provider = means[2];
+  const double web_via_mec = means[3];
   std::printf("\nMEC-domain speedup from MEC L-DNS:   %.1fx (paper: ~3.9x)\n",
               mec_via_provider / mec_via_mec);
   std::printf("web-domain overhead through MEC L-DNS: +%.1f ms (%.0f%%)\n",

@@ -8,8 +8,12 @@
 // C-DNS -> cloud cache) against first-hop resolution of edge-deployed
 // content, for both the DNS lookup alone and the complete DNS+fetch.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/fig5.h"
+#include "core/parallel.h"
+#include "util/args.h"
 
 using namespace mecdns;
 
@@ -45,25 +49,61 @@ PathStats run(core::Fig5Testbed& testbed, const dns::DnsName& host,
   return stats;
 }
 
-}  // namespace
-
-int main() {
+/// One campaign job: a private testbed resolving either the edge-deployed
+/// or the parent-tier-only name. The historical version reused one testbed
+/// for both phases, so the referred phase inherited the edge phase's
+/// resolver caches and RNG position.
+PathStats run_path(bool edge_content, std::uint64_t seed) {
   core::Fig5Testbed::Config config;
   config.deployment = core::Fig5Deployment::kMecLdnsMecCdns;
+  config.seed = seed;
   config.provider_fallback = true;
   core::Fig5Testbed testbed(config);
   testbed.ue().resolver().set_chase_cnames(true);
+  return run(testbed,
+             edge_content ? testbed.content_name() : testbed.tier2_name(),
+             30);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args(
+      "bench_ablation_tier_referral: A5 multi-tier miss referral");
+  args.add_int("seed", 42,
+               "campaign seed; each path runs with "
+               "split_mix64(seed ^ row_index)");
+  args.add_int("workers", 0,
+               "parallel campaign workers (0 = hardware concurrency, "
+               "1 = serial); output is byte-identical for any value");
+  if (auto result = args.parse(argc - 1, argv + 1); !result.ok()) {
+    std::fprintf(stderr, "%s\n%s", result.error().message.c_str(),
+                 args.usage(argv[0]).c_str());
+    return 2;
+  }
+  const auto campaign_seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const core::ParallelCampaign campaign(
+      core::resolve_workers(args.get_int("workers")));
+  const auto outcomes = campaign.run<PathStats>(
+      2, [&](std::size_t index) {
+        return run_path(index == 0, core::job_seed(campaign_seed, index));
+      });
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (!outcomes[i].ok) {
+      std::fprintf(stderr, "error: path %zu failed: %s\n", i,
+                   outcomes[i].error.c_str());
+      return 1;
+    }
+  }
+  const PathStats& edge = outcomes[0].value;
+  const PathStats& referred = outcomes[1].value;
 
   std::printf("=== A5: edge-deployed vs parent-tier-referred content ===\n");
   std::printf("%-44s %10s %12s %10s\n", "content", "dns(ms)", "dns+get(ms)",
               "failures");
-
-  const PathStats edge = run(testbed, testbed.content_name(), 30);
   std::printf("%-44s %10.1f %12.1f %10zu\n",
               "demo1 (deployed at MEC, first-hop answer)",
               edge.dns_ms.mean(), edge.total_ms.mean(), edge.failures);
-
-  const PathStats referred = run(testbed, testbed.tier2_name(), 30);
   std::printf("%-44s %10.1f %12.1f %10zu\n",
               "demo2 (cloud-tier only, cascading CNAME)",
               referred.dns_ms.mean(), referred.total_ms.mean(),

@@ -18,6 +18,7 @@
 // answer pointing at a dead cache counts as a failure, which is what makes
 // cache-level faults measurable. The JSON reports success rate, latency
 // percentiles and time-to-recover per (scenario, mode).
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -29,7 +30,9 @@
 #include "chaos/controller.h"
 #include "core/fault_scenarios.h"
 #include "core/fig5.h"
+#include "core/parallel.h"
 #include "mec/failover.h"
+#include "obs/metrics.h"
 #include "obs/slo.h"
 #include "obs/timeseries.h"
 #include "util/args.h"
@@ -95,9 +98,17 @@ std::string with_slug(const std::string& path, std::string name) {
   return path.substr(0, dot) + "." + name + path.substr(dot);
 }
 
-RunResult run_scenario(const std::string& name, bool robust, const Knobs& k,
-                       const std::string& series_out, double slo_target,
-                       bool* write_failed) {
+/// One (scenario, mode) campaign job: the availability numbers plus the
+/// serialized time series (written to disk by the caller, in job order).
+struct JobResult {
+  RunResult r;
+  std::string series_json;
+  std::string series_name;
+};
+
+JobResult run_scenario(const std::string& name, bool robust,
+                       std::uint64_t seed, const Knobs& k, bool want_series,
+                       double slo_target) {
   core::Fig5Testbed::Config config;
   // The WAN-loss scenario only bites when lookups cross the WAN, so it
   // runs the "MEC L-DNS w/ WAN C-DNS" deployment; everything else runs the
@@ -105,7 +116,7 @@ RunResult run_scenario(const std::string& name, bool robust, const Knobs& k,
   config.deployment = name == "wan-loss-burst"
                           ? core::Fig5Deployment::kMecLdnsWanCdns
                           : core::Fig5Deployment::kMecLdnsMecCdns;
-  config.seed = k.seed;
+  config.seed = seed;
   // Both modes get the identical topology (provider L-DNS built); only the
   // handling knobs differ, so the fault exposure is the same.
   config.provider_fallback = true;
@@ -281,15 +292,13 @@ RunResult run_scenario(const std::string& name, bool robust, const Knobs& k,
   result.slo = obs::evaluate_slo(
       obs::success_slo("fetch.requests", "fetch.failures", slo_target),
       timeseries);
-  if (!series_out.empty()) {
-    const std::string path = with_slug(series_out, run_name);
-    if (!timeseries.write_json(path)) {
-      std::fprintf(stderr, "error: failed to write timeseries to %s\n",
-                   path.c_str());
-      if (write_failed != nullptr) *write_failed = true;
-    }
+  JobResult job;
+  job.r = std::move(result);
+  if (want_series) {
+    job.series_json = timeseries.to_json();
+    job.series_name = run_name;
   }
-  return result;
+  return job;
 }
 
 }  // namespace
@@ -312,6 +321,15 @@ int main(int argc, char** argv) {
                   "(scenario/mode slug is inserted before the extension)");
   args.add_double("slo-target", 0.99,
                   "per-window fetch success ratio the SLO requires");
+  args.add_int("workers", 0,
+               "parallel campaign workers (0 = hardware concurrency, "
+               "1 = serial); output is byte-identical for any value");
+  args.add_string("scaling-out", "",
+                  "also run the whole matrix once per worker count in "
+                  "--scaling-workers, timing each, and write the speedup "
+                  "record as JSON ('' disables)");
+  args.add_string("scaling-workers", "1,2,4,8",
+                  "comma-separated worker counts for --scaling-out");
   if (auto result = args.parse(argc - 1, argv + 1); !result.ok()) {
     std::fprintf(stderr, "%s\n%s", result.error().message.c_str(),
                  args.usage(argv[0]).c_str());
@@ -346,14 +364,61 @@ int main(int argc, char** argv) {
     std::string mode;
     RunResult r;
   };
+  // The campaign grid: (scenario × mode), one private simulation per job.
+  // Fragile and robust runs of the same scenario share a seed derived from
+  // the scenario index — split_mix64(seed ^ scenario_index) — so both modes
+  // see the identical topology and fault exposure, while no scenario's RNG
+  // stream depends on which scenarios ran before it (or on worker count).
+  struct JobSpec {
+    std::string scenario;
+    std::size_t scenario_index;
+    bool robust;
+  };
+  std::vector<JobSpec> jobs;
+  for (std::size_t si = 0; si < scenarios.size(); ++si) {
+    jobs.push_back(JobSpec{scenarios[si], si, false});
+    jobs.push_back(JobSpec{scenarios[si], si, true});
+  }
+  const bool want_series = !args.get_string("timeseries-out").empty();
+  const double slo_target = args.get_double("slo-target");
+  const auto run_matrix = [&](std::size_t workers) {
+    const core::ParallelCampaign campaign(workers);
+    return campaign.run<JobResult>(jobs.size(), [&](std::size_t index) {
+      const JobSpec& spec = jobs[index];
+      return run_scenario(spec.scenario, spec.robust,
+                          core::job_seed(knobs.seed, spec.scenario_index),
+                          knobs, want_series, slo_target);
+    });
+  };
+
+  const auto outcomes =
+      run_matrix(core::resolve_workers(args.get_int("workers")));
+
   std::vector<Row> rows;
   bool write_failed = false;
-  for (const std::string& scenario : scenarios) {
-    for (const bool robust : {false, true}) {
-      const RunResult r =
-          run_scenario(scenario, robust, knobs,
-                       args.get_string("timeseries-out"),
-                       args.get_double("slo-target"), &write_failed);
+  for (std::size_t index = 0; index < outcomes.size(); ++index) {
+    const JobSpec& spec = jobs[index];
+    const bool robust = spec.robust;
+    const std::string& scenario = spec.scenario;
+    if (!outcomes[index].ok) {
+      std::fprintf(stderr, "error: %s/%s failed: %s\n", scenario.c_str(),
+                   robust ? "robust" : "fragile",
+                   outcomes[index].error.c_str());
+      write_failed = true;
+      continue;
+    }
+    const JobResult& job = outcomes[index].value;
+    if (want_series && !job.series_json.empty()) {
+      const std::string path =
+          with_slug(args.get_string("timeseries-out"), job.series_name);
+      if (!obs::write_text_file(path, job.series_json)) {
+        std::fprintf(stderr, "error: failed to write timeseries to %s\n",
+                     path.c_str());
+        write_failed = true;
+      }
+    }
+    {
+      const RunResult& r = job.r;
       std::string notes;
       if (r.ue_failovers > 0) {
         notes += "ue-failovers=" + std::to_string(r.ue_failovers) + " ";
@@ -390,27 +455,26 @@ int main(int argc, char** argv) {
     }
   }
 
-  const std::string json_out = args.get_string("json-out");
-  if (!json_out.empty()) {
-    std::FILE* f = std::fopen(json_out.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "failed to open %s\n", json_out.c_str());
-      return 1;
-    }
-    std::fprintf(f,
-                 "{\n  \"bench\": \"fault_availability\",\n"
-                 "  \"unit\": \"ms\",\n"
-                 "  \"requests\": %zu,\n"
-                 "  \"fault_window_ms\": [%lld, %lld],\n"
-                 "  \"scenarios\": [\n",
-                 knobs.requests,
-                 static_cast<long long>(knobs.fault_start.to_millis()),
-                 static_cast<long long>(knobs.fault_end.to_millis()));
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const Row& row = rows[i];
+  // Serializer shared by --json-out and the --scaling-out identity check:
+  // byte-for-byte the same payload a serial run produces.
+  const auto matrix_json = [&knobs](const std::vector<Row>& matrix_rows) {
+    std::string out;
+    char buf[1600];
+    std::snprintf(buf, sizeof(buf),
+                  "{\n  \"bench\": \"fault_availability\",\n"
+                  "  \"unit\": \"ms\",\n"
+                  "  \"requests\": %zu,\n"
+                  "  \"fault_window_ms\": [%lld, %lld],\n"
+                  "  \"scenarios\": [\n",
+                  knobs.requests,
+                  static_cast<long long>(knobs.fault_start.to_millis()),
+                  static_cast<long long>(knobs.fault_end.to_millis()));
+    out += buf;
+    for (std::size_t i = 0; i < matrix_rows.size(); ++i) {
+      const Row& row = matrix_rows[i];
       const RunResult& r = row.r;
-      std::fprintf(
-          f,
+      std::snprintf(
+          buf, sizeof(buf),
           "    {\"scenario\": \"%s\", \"mode\": \"%s\", \"ok\": %zu, "
           "\"requests\": %zu, \"success_rate\": %.4f, "
           "\"mean\": %.3f, \"p50\": %.3f, \"p99\": %.3f, \"max\": %.3f, "
@@ -441,12 +505,105 @@ int main(int argc, char** argv) {
           r.slo.windows.size(), r.slo.windows_violated,
           r.slo.budget_consumed, r.slo.worst_burn_rate,
           r.slo.first_violation_ms, r.slo.last_violation_ms,
-          i + 1 < rows.size() ? "," : "");
+          i + 1 < matrix_rows.size() ? "," : "");
+      out += buf;
     }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
+    out += "  ]\n}\n";
+    return out;
+  };
+
+  const std::string json_out = args.get_string("json-out");
+  if (!json_out.empty()) {
+    if (!obs::write_text_file(json_out, matrix_json(rows))) {
+      std::fprintf(stderr, "failed to open %s\n", json_out.c_str());
+      return 1;
+    }
     std::fprintf(stderr, "wrote %zu runs to %s\n", rows.size(),
                  json_out.c_str());
+  }
+
+  // --scaling-out: re-run the identical matrix once per worker count,
+  // recording wall-clock time and asserting that every run's JSON payload
+  // is byte-identical to the one above. Timings are hardware-dependent
+  // (speedup saturates at min(jobs, cores)); the `identical` bits are the
+  // determinism contract and must always be true.
+  const std::string scaling_out = args.get_string("scaling-out");
+  if (!scaling_out.empty()) {
+    std::vector<std::size_t> counts;
+    const std::string spec = args.get_string("scaling-workers");
+    for (std::size_t pos = 0; pos < spec.size();) {
+      const std::size_t comma = spec.find(',', pos);
+      const std::string item =
+          spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+      if (!item.empty()) {
+        const long n = std::atol(item.c_str());
+        if (n >= 1) counts.push_back(static_cast<std::size_t>(n));
+      }
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    if (counts.empty()) counts = {1, 2, 4, 8};
+    const std::string reference = matrix_json(rows);
+    struct Point {
+      std::size_t workers;
+      double wall_ms;
+      bool identical;
+    };
+    std::vector<Point> points;
+    std::printf("\n=== parallel scaling: %zu jobs ===\n", jobs.size());
+    std::printf("%8s %10s %9s %10s\n", "workers", "wall(ms)", "speedup",
+                "identical");
+    for (const std::size_t n : counts) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto rerun = run_matrix(n);
+      const auto t1 = std::chrono::steady_clock::now();
+      std::vector<Row> rerun_rows;
+      for (std::size_t index = 0; index < rerun.size(); ++index) {
+        if (!rerun[index].ok) continue;
+        rerun_rows.push_back(Row{jobs[index].scenario,
+                                 jobs[index].robust ? "robust" : "fragile",
+                                 rerun[index].value.r});
+      }
+      Point p;
+      p.workers = n;
+      p.wall_ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      p.identical = matrix_json(rerun_rows) == reference;
+      if (!p.identical) write_failed = true;
+      points.push_back(p);
+      const double speedup =
+          points.front().wall_ms > 0.0 ? points.front().wall_ms / p.wall_ms
+                                       : 0.0;
+      std::printf("%8zu %10.0f %8.2fx %10s\n", p.workers, p.wall_ms, speedup,
+                  p.identical ? "yes" : "NO");
+    }
+    std::string out = "{\n  \"bench\": \"parallel_scaling\",\n";
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"grid\": \"fault_matrix\",\n  \"jobs\": %zu,\n"
+                  "  \"requests_per_job\": %zu,\n"
+                  "  \"hardware_concurrency\": %zu,\n  \"points\": [\n",
+                  jobs.size(), knobs.requests, core::resolve_workers(0));
+    out += buf;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const Point& p = points[i];
+      std::snprintf(buf, sizeof(buf),
+                    "    {\"workers\": %zu, \"wall_ms\": %.1f, "
+                    "\"speedup_vs_first\": %.3f, \"identical\": %s}%s\n",
+                    p.workers, p.wall_ms,
+                    p.wall_ms > 0.0 ? points.front().wall_ms / p.wall_ms
+                                    : 0.0,
+                    p.identical ? "true" : "false",
+                    i + 1 < points.size() ? "," : "");
+      out += buf;
+    }
+    out += "  ]\n}\n";
+    if (!obs::write_text_file(scaling_out, out)) {
+      std::fprintf(stderr, "failed to open %s\n", scaling_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %zu scaling points to %s\n", points.size(),
+                 scaling_out.c_str());
   }
   return write_failed ? 1 : 0;
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/fig5.h"
+#include "core/parallel.h"
 #include "core/roles.h"
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
@@ -81,6 +82,12 @@ int main(int argc, char** argv) {
                   "inserted before the extension)");
   args.add_double("timeseries-window-ms", 500.0,
                   "sim-time window width for --timeseries-out");
+  args.add_int("seed", 42,
+               "campaign seed; each deployment runs with "
+               "split_mix64(seed ^ deployment_index)");
+  args.add_int("workers", 0,
+               "parallel campaign workers (0 = hardware concurrency, "
+               "1 = serial); output is byte-identical for any value");
   if (auto result = args.parse(argc - 1, argv + 1); !result.ok()) {
     std::fprintf(stderr, "%s\n%s", result.error().message.c_str(),
                  args.usage(argv[0]).c_str());
@@ -107,26 +114,81 @@ int main(int argc, char** argv) {
     double beyond;
     std::string answers;
   };
+  // Each deployment is one campaign job: a private testbed (simulator,
+  // network, RNG, observers), seeded independently of every other job.
+  // Artifacts are serialized inside the job; all file writes, merges and
+  // printing happen below in job-index order, so the bench's entire output
+  // is byte-identical for any --workers value.
+  struct JobOutput {
+    Row row;
+    std::string trace_json;
+    std::string timeseries_json;
+    obs::Registry metrics;
+  };
+  const auto& deployments = core::all_fig5_deployments();
+  const auto campaign_seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const core::ParallelCampaign campaign(
+      core::resolve_workers(args.get_int("workers")));
+  const auto outcomes = campaign.run<JobOutput>(
+      deployments.size(), [&](std::size_t index) {
+        const auto deployment = deployments[index];
+        core::Fig5Testbed::Config config;
+        config.deployment = deployment;
+        config.seed = core::job_seed(campaign_seed, index);
+        core::Fig5Testbed testbed(config);
+        obs::TraceSink trace(testbed.network().simulator());
+        obs::Registry metrics;
+        obs::TimeSeries timeseries(
+            testbed.simulator(),
+            simnet::SimTime::millis(args.get_double("timeseries-window-ms")));
+        testbed.set_observers(want_trace ? &trace : nullptr,
+                              want_metrics ? &metrics : nullptr);
+        testbed.set_timeseries(want_series ? &timeseries : nullptr);
+        const core::SeriesResult result = testbed.measure(50);
+
+        JobOutput out;
+        if (want_trace) out.trace_json = trace.to_chrome_trace();
+        if (want_series) out.timeseries_json = timeseries.to_json();
+        if (want_metrics) {
+          testbed.export_metrics(metrics);
+          out.metrics = std::move(metrics);
+        }
+        Row& row = out.row;
+        row.deployment = deployment;
+        row.summary = result.totals().summarize();
+        row.wireless = result.wireless().mean();
+        row.beyond = result.beyond_pgw().mean();
+        const double mec_share = result.answer_share(
+            [&](simnet::Ipv4Address a) { return testbed.is_mec_cache(a); });
+        const double cloud_share = result.answer_share(
+            [&](simnet::Ipv4Address a) { return testbed.is_cloud_cache(a); });
+        if (mec_share == 1.0) {
+          row.answers = "all MEC caches";
+        } else if (cloud_share == 1.0) {
+          row.answers = "all cloud cache";
+        } else {
+          row.answers = util::fmt_fixed(100.0 * mec_share, 0) + "% MEC / " +
+                        util::fmt_fixed(100.0 * cloud_share, 0) + "% cloud";
+        }
+        return out;
+      });
+
   std::vector<Row> rows;
   double mec_mean = 0.0;
   double worst_mean = 0.0;
-  for (const auto deployment : core::all_fig5_deployments()) {
-    core::Fig5Testbed::Config config;
-    config.deployment = deployment;
-    core::Fig5Testbed testbed(config);
-    obs::TraceSink trace(testbed.network().simulator());
-    obs::Registry metrics;
-    obs::TimeSeries timeseries(
-        testbed.simulator(),
-        simnet::SimTime::millis(args.get_double("timeseries-window-ms")));
-    testbed.set_observers(want_trace ? &trace : nullptr,
-                          want_metrics ? &metrics : nullptr);
-    testbed.set_timeseries(want_series ? &timeseries : nullptr);
-    const core::SeriesResult result = testbed.measure(50);
+  for (std::size_t index = 0; index < outcomes.size(); ++index) {
+    const auto& outcome = outcomes[index];
+    const auto deployment = deployments[index];
+    if (!outcome.ok) {
+      std::fprintf(stderr, "error: deployment %s failed: %s\n",
+                   slug(deployment).c_str(), outcome.error.c_str());
+      return 1;
+    }
+    const JobOutput& out = outcome.value;
     if (want_trace) {
       const std::string path =
           with_slug(args.get_string("trace-out"), slug(deployment));
-      if (!trace.write_chrome_trace(path)) {
+      if (!obs::write_text_file(path, out.trace_json)) {
         std::fprintf(stderr, "error: failed to write trace to %s\n",
                      path.c_str());
         return 1;
@@ -135,45 +197,25 @@ int main(int argc, char** argv) {
     if (want_series) {
       const std::string path =
           with_slug(args.get_string("timeseries-out"), slug(deployment));
-      if (!timeseries.write_json(path)) {
+      if (!obs::write_text_file(path, out.timeseries_json)) {
         std::fprintf(stderr, "error: failed to write timeseries to %s\n",
                      path.c_str());
         return 1;
       }
     }
     if (want_metrics) {
-      testbed.export_metrics(metrics);
-      merge_prefixed(combined, slug(deployment), metrics);
+      merge_prefixed(combined, slug(deployment), out.metrics);
     }
-
-    Row row;
-    row.deployment = deployment;
-    row.summary = result.totals().summarize();
-    row.wireless = result.wireless().mean();
-    row.beyond = result.beyond_pgw().mean();
-    const double mec_share = result.answer_share(
-        [&](simnet::Ipv4Address a) { return testbed.is_mec_cache(a); });
-    const double cloud_share = result.answer_share(
-        [&](simnet::Ipv4Address a) { return testbed.is_cloud_cache(a); });
-    if (mec_share == 1.0) {
-      row.answers = "all MEC caches";
-    } else if (cloud_share == 1.0) {
-      row.answers = "all cloud cache";
-    } else {
-      row.answers = util::fmt_fixed(100.0 * mec_share, 0) + "% MEC / " +
-                    util::fmt_fixed(100.0 * cloud_share, 0) + "% cloud";
-    }
-
+    const Row& row = out.row;
     std::printf("%-24s %10.1f %12.1f %12.1f %8.1f %8.1f %s\n",
                 core::to_string(deployment).c_str(), row.summary.mean,
                 row.wireless, row.beyond, row.summary.min, row.summary.max,
                 row.answers.c_str());
-
     if (deployment == core::Fig5Deployment::kMecLdnsMecCdns) {
       mec_mean = row.summary.mean;
     }
     if (row.summary.mean > worst_mean) worst_mean = row.summary.mean;
-    rows.push_back(std::move(row));
+    rows.push_back(row);
   }
 
   std::printf("\n%-24s 0 %s %.0f ms\n", "", std::string(38, '-').c_str(),

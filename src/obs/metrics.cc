@@ -292,21 +292,19 @@ std::string Registry::to_json() const {
   return out;
 }
 
-namespace {
-bool write_string(const std::string& path, const std::string& body) {
+bool write_text_file(const std::string& path, const std::string& body) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
   return std::fclose(f) == 0 && ok;
 }
-}  // namespace
 
 bool Registry::write_text(const std::string& path) const {
-  return write_string(path, to_text());
+  return write_text_file(path, to_text());
 }
 
 bool Registry::write_json(const std::string& path) const {
-  return write_string(path, to_json());
+  return write_text_file(path, to_json());
 }
 
 }  // namespace mecdns::obs

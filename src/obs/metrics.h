@@ -29,6 +29,11 @@ std::string format_double(double value);
 /// Appends `text` to `out` as a JSON string literal (quoted + escaped).
 void append_json_string(std::string& out, const std::string& text);
 
+/// Writes `body` to `path`, returning false on any I/O failure. Benches
+/// that serialize artifacts inside parallel campaign jobs use this to
+/// defer the actual write to the (single-threaded) merge phase.
+bool write_text_file(const std::string& path, const std::string& body);
+
 /// Log-linear histogram over positive values (milliseconds by convention).
 /// Buckets: kSubBuckets linear sub-buckets per power of two, spanning
 /// 2^kMinExp .. 2^kMaxExp ms (≈1 µs .. ≈17 min), plus underflow/overflow.

@@ -74,10 +74,17 @@ class Rng {
     return static_cast<std::uint64_t>(m >> 64);
   }
 
-  /// Uniform integer in [lo, hi] inclusive.
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
-    return lo + static_cast<std::int64_t>(
-                    uniform_int(static_cast<std::uint64_t>(hi - lo + 1)));
+    // The span must be computed in uint64: hi - lo + 1 in int64 is signed
+    // overflow (UB) whenever the range covers more than half the domain,
+    // e.g. [INT64_MIN, INT64_MAX] or [INT64_MIN, 0]. In uint64 the
+    // subtraction wraps to the mathematically correct span; a span of 0
+    // means the full 2^64 range, where every raw draw is admissible.
+    const std::uint64_t span = static_cast<std::uint64_t>(hi) -
+                               static_cast<std::uint64_t>(lo) + 1;
+    const std::uint64_t offset = span == 0 ? next() : uniform_int(span);
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + offset);
   }
 
   /// True with probability p.

@@ -52,6 +52,34 @@ TEST(Rng, UniformIntBounds) {
   }
 }
 
+TEST(Rng, UniformIntFullAndHalfRangeSpansDoNotOverflow) {
+  // Regression: the inclusive-range overload used to compute hi - lo + 1 in
+  // int64, which is signed-overflow UB once the span exceeds INT64_MAX —
+  // UBSan flagged [INT64_MIN, INT64_MAX] and [INT64_MIN, 0]. The span is now
+  // computed in uint64 (0 meaning the full 2^64 range). This test runs under
+  // the UBSan job in check.sh stage 1, which is what actually exercises the
+  // old overflow.
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  Rng rng(13);
+  bool saw_negative = false;
+  bool saw_positive = false;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(kMin, kMax);
+    saw_negative = saw_negative || v < 0;
+    saw_positive = saw_positive || v > 0;
+  }
+  EXPECT_TRUE(saw_negative);
+  EXPECT_TRUE(saw_positive);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(rng.uniform_int(kMin, std::int64_t{0}), 0);
+    EXPECT_GE(rng.uniform_int(std::int64_t{0}, kMax), 0);
+  }
+  // Degenerate one-value ranges at the extremes.
+  EXPECT_EQ(rng.uniform_int(kMax, kMax), kMax);
+  EXPECT_EQ(rng.uniform_int(kMin, kMin), kMin);
+}
+
 TEST(Rng, UniformIntCoversSupport) {
   Rng rng(11);
   std::vector<int> counts(8, 0);

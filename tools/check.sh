@@ -8,6 +8,10 @@
 #   4. Observability gate: fig2 with trace/metrics/timeseries outputs,
 #      mecdns_report over each artifact, and a self-diff of two identical
 #      runs (any nonzero diff means the bench lost determinism).
+#   5. TSan parallel-campaign gate: fig5 at --workers 1 and --workers 4
+#      under ThreadSanitizer, outputs compared byte for byte — the parallel
+#      runner's determinism contract, and its data-race freedom, in one
+#      stage.
 # Usage: tools/check.sh [jobs]   (default: nproc)
 set -euo pipefail
 
@@ -16,14 +20,14 @@ jobs="${1:-$(nproc)}"
 
 run() { echo "+ $*"; "$@"; }
 
-echo "=== 1/4: ASan/UBSan build + tests (build-asan/) ==="
+echo "=== 1/5: ASan/UBSan build + tests (build-asan/) ==="
 run cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 run cmake --build build-asan -j "$jobs"
 run ctest --test-dir build-asan --output-on-failure -j "$jobs" --timeout 120
 
-echo "=== 2/4: fault-matrix smoke (ASan/UBSan) ==="
+echo "=== 2/5: fault-matrix smoke (ASan/UBSan) ==="
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
 for scenario in mec-ldns-crash edge-cache-partition wan-loss-burst \
@@ -34,12 +38,12 @@ for scenario in mec-ldns-crash edge-cache-partition wan-loss-burst \
       --json-out "$smoke_dir/fault_$scenario.json"
 done
 
-echo "=== 3/4: Release build + tests (build/) ==="
+echo "=== 3/5: Release build + tests (build/) ==="
 run cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 run cmake --build build -j "$jobs"
 run ctest --test-dir build --output-on-failure -j "$jobs" --timeout 120
 
-echo "=== 4/4: observability pipeline + determinism self-diff ==="
+echo "=== 4/5: observability pipeline + determinism self-diff ==="
 obs_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir" "$obs_dir"' EXIT
 run ./build/bench/bench_fig2_lookup_latency \
@@ -47,10 +51,36 @@ run ./build/bench/bench_fig2_lookup_latency \
     --trace-out "$obs_dir/trace.json" \
     --metrics-out "$obs_dir/metrics.json" \
     --timeseries-out "$obs_dir/series.json"
-run ./build/tools/mecdns_report --trace "$obs_dir/trace.json" \
-    --metrics "$obs_dir/metrics.json" --timeseries "$obs_dir/series.json"
+# fig2 runs one simulation per (site, network) cell, so trace/timeseries
+# files carry the cell slug; spot-check the first cell's artifacts.
+run ./build/tools/mecdns_report \
+    --trace "$obs_dir/trace.airbnb.wired-campus.json" \
+    --metrics "$obs_dir/metrics.json" \
+    --timeseries "$obs_dir/series.airbnb.wired-campus.json"
 run ./build/bench/bench_fig2_lookup_latency --json-out "$obs_dir/fig2_b.json"
 run ./build/tools/mecdns_report \
     --diff "$obs_dir/fig2_a.json" --against "$obs_dir/fig2_b.json"
+
+echo "=== 5/5: TSan parallel-campaign determinism gate (build-tsan/) ==="
+run cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+run cmake --build build-tsan -j "$jobs" \
+    --target bench_fig5_deployments core_parallel_test mecdns_report
+run ./build-tsan/tests/core_parallel_test
+par_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir" "$obs_dir" "$par_dir"' EXIT
+run ./build-tsan/bench/bench_fig5_deployments --workers 1 \
+    --json-out "$par_dir/fig5_serial.json" \
+    --metrics-out "$par_dir/metrics_serial.json"
+run ./build-tsan/bench/bench_fig5_deployments --workers 4 \
+    --json-out "$par_dir/fig5_parallel.json" \
+    --metrics-out "$par_dir/metrics_parallel.json"
+run ./build-tsan/tools/mecdns_report \
+    --diff-bytes "$par_dir/fig5_serial.json" \
+    --against "$par_dir/fig5_parallel.json"
+run ./build-tsan/tools/mecdns_report \
+    --diff-bytes "$par_dir/metrics_serial.json" \
+    --against "$par_dir/metrics_parallel.json"
 
 echo "All checks passed."

@@ -5,13 +5,15 @@
 //   mecdns_report --metrics metrics.json          # counters/gauges/histograms
 //   mecdns_report --timeseries series.json        # per-window SLO verdicts
 //   mecdns_report --bench BENCH_fig2.json         # scenario summary table
-//   mecdns_report --diff OLD.json NEW.json        # regression gate for CI
+//   mecdns_report --diff OLD.json --against NEW.json        # regression gate
+//   mecdns_report --diff-bytes A.json --against B.json      # determinism gate
 //
 // --diff compares two BENCH_*.json files scenario by scenario and exits
 // nonzero when a latency metric regressed beyond both the relative
 // (--rel) and absolute (--abs-ms) thresholds, naming the regressed
-// scenario/metric — so check.sh and CI can gate on it. Exit codes: 0 clean,
-// 1 regression found, 2 usage or parse error.
+// scenario/metric — so check.sh and CI can gate on it. --diff-bytes demands
+// exact byte equality (serial vs parallel campaign output). Exit codes:
+// 0 clean, 1 regression/difference found, 2 usage or parse error.
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -288,6 +290,47 @@ const util::JsonValue* find_scenario(const util::JsonValue& scenarios,
   return nullptr;
 }
 
+/// --diff-bytes: exact byte equality between two artifact files — the CI
+/// gate for the parallel campaign's determinism contract (serial and
+/// parallel runs of the same bench must produce identical bytes, not just
+/// semantically-equal numbers). Exit 0 equal, 1 different, 2 I/O error.
+int report_diff_bytes(const std::string& a_path, const std::string& b_path) {
+  const auto slurp = [](const std::string& path,
+                        std::string& out) -> bool {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return false;
+    char buf[1 << 16];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+    const bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    return ok;
+  };
+  std::string a;
+  std::string b;
+  if (!slurp(a_path, a)) {
+    std::fprintf(stderr, "error: cannot read %s\n", a_path.c_str());
+    return 2;
+  }
+  if (!slurp(b_path, b)) {
+    std::fprintf(stderr, "error: cannot read %s\n", b_path.c_str());
+    return 2;
+  }
+  if (a == b) {
+    std::printf("=== diff-bytes: %s == %s (%zu bytes) ===\n", a_path.c_str(),
+                b_path.c_str(), a.size());
+    return 0;
+  }
+  std::size_t offset = 0;
+  const std::size_t limit = std::min(a.size(), b.size());
+  while (offset < limit && a[offset] == b[offset]) ++offset;
+  std::fprintf(stderr,
+               "diff-bytes: %s (%zu bytes) != %s (%zu bytes), first "
+               "difference at byte %zu\n",
+               a_path.c_str(), a.size(), b_path.c_str(), b.size(), offset);
+  return 1;
+}
+
 int report_diff(const std::string& old_path, const std::string& new_path,
                 const DiffThresholds& t) {
   auto old_doc = util::JsonValue::parse_file(old_path);
@@ -370,7 +413,11 @@ int main(int argc, char** argv) {
   args.add_string("bench", "", "BENCH_*.json summary file");
   args.add_string("diff", "",
                   "baseline BENCH_*.json; compares against --against");
-  args.add_string("against", "", "candidate BENCH_*.json for --diff");
+  args.add_string("diff-bytes", "",
+                  "first artifact for exact byte comparison with --against "
+                  "(parallel-campaign determinism gate)");
+  args.add_string("against", "",
+                  "candidate file for --diff / --diff-bytes");
   args.add_int("slowest", 5, "exemplar traces to list (--trace)");
   args.add_double("slo-p99-ms", 20.0,
                   "per-window p99 latency budget (--timeseries)");
@@ -420,6 +467,14 @@ int main(int argc, char** argv) {
     t.rel = args.get_double("rel");
     t.abs_ms = args.get_double("abs-ms");
     run(report_diff(args.get_string("diff"), args.get_string("against"), t));
+  }
+  if (!args.get_string("diff-bytes").empty()) {
+    if (args.get_string("against").empty()) {
+      std::fprintf(stderr, "--diff-bytes needs --against <file>\n");
+      return 2;
+    }
+    run(report_diff_bytes(args.get_string("diff-bytes"),
+                          args.get_string("against")));
   }
   if (!did_anything) {
     std::fprintf(stderr, "nothing to do\n%s", args.usage(argv[0]).c_str());

@@ -8,8 +8,10 @@
 // Prints a human-readable summary, or CSV rows (--csv) for plotting.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "core/fig5.h"
+#include "core/parallel.h"
 #include "core/study.h"
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
@@ -79,6 +81,156 @@ void configure_sampling(const util::ArgParser& args, obs::TraceSink& trace) {
   trace.set_sampling(sampling);
 }
 
+/// Filename-safe deployment slug (the same names --deployment accepts).
+std::string deployment_slug(core::Fig5Deployment deployment) {
+  switch (deployment) {
+    case core::Fig5Deployment::kMecLdnsMecCdns: return "mec-mec";
+    case core::Fig5Deployment::kMecLdnsLanCdns: return "mec-lan";
+    case core::Fig5Deployment::kMecLdnsWanCdns: return "mec-wan";
+    case core::Fig5Deployment::kProviderLdns: return "provider";
+    case core::Fig5Deployment::kGoogleDns: return "google";
+    case core::Fig5Deployment::kCloudflareDns: return "cloudflare";
+  }
+  return "unknown";
+}
+
+/// "trace.json" + "mec-mec" -> "trace.mec-mec.json".
+std::string with_slug(const std::string& path, const std::string& name) {
+  const auto dot = path.rfind('.');
+  if (dot == std::string::npos || path.find('/', dot) != std::string::npos) {
+    return path + "." + name;
+  }
+  return path.substr(0, dot) + "." + name + path.substr(dot);
+}
+
+/// --experiment fig5 --deployment all: the whole six-deployment sweep as a
+/// parallel campaign — one private testbed per deployment, seeded
+/// split_mix64(seed ^ deployment_index), output merged in deployment order
+/// (byte-identical for any --workers value).
+int run_fig5_sweep(const util::ArgParser& args) {
+  struct JobOutput {
+    std::string summary_lines;  ///< the per-deployment stdout block
+    std::string trace_json;
+    std::string timeseries_json;
+    obs::Registry metrics;
+  };
+  const auto& deployments = core::all_fig5_deployments();
+  const bool want_trace = !args.get_string("trace-out").empty();
+  const bool want_metrics = !args.get_string("metrics-out").empty();
+  const bool want_series = !args.get_string("timeseries-out").empty();
+  const bool csv = args.get_bool("csv");
+  const auto queries = static_cast<std::size_t>(args.get_int("queries"));
+  const auto campaign_seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const core::ParallelCampaign campaign(
+      core::resolve_workers(args.get_int("workers")));
+  const auto outcomes = campaign.run<JobOutput>(
+      deployments.size(), [&](std::size_t index) {
+        core::Fig5Testbed::Config config;
+        config.deployment = deployments[index];
+        config.seed = core::job_seed(campaign_seed, index);
+        config.enable_ecs = args.get_bool("ecs");
+        core::Fig5Testbed testbed(config);
+        obs::TraceSink trace(testbed.network().simulator());
+        obs::Registry metrics;
+        obs::TimeSeries timeseries(
+            testbed.simulator(),
+            simnet::SimTime::millis(
+                args.get_double("timeseries-window-ms")));
+        if (want_trace) configure_sampling(args, trace);
+        testbed.set_observers(want_trace ? &trace : nullptr,
+                              want_metrics ? &metrics : nullptr);
+        testbed.set_timeseries(want_series ? &timeseries : nullptr);
+        const core::SeriesResult result = testbed.measure(queries);
+
+        JobOutput out;
+        if (want_trace) out.trace_json = trace.to_chrome_trace();
+        if (want_series) out.timeseries_json = timeseries.to_json();
+        if (want_metrics) {
+          testbed.export_metrics(metrics);
+          out.metrics = std::move(metrics);
+        }
+        char buf[256];
+        if (csv) {
+          for (std::size_t i = 0; i < result.samples.size(); ++i) {
+            const auto& sample = result.samples[i];
+            std::snprintf(buf, sizeof(buf), "%s,%zu,%.3f,%.3f,%.3f,%s\n",
+                          deployment_slug(deployments[index]).c_str(), i,
+                          sample.total_ms, sample.wireless_ms,
+                          sample.beyond_pgw_ms,
+                          sample.address.to_string().c_str());
+            out.summary_lines += buf;
+          }
+          return out;
+        }
+        const util::Summary summary = result.totals().summarize();
+        std::snprintf(buf, sizeof(buf),
+                      "%s: mean %.1f ms (wireless %.1f + dns %.1f), min "
+                      "%.1f, max %.1f, failures %zu\n",
+                      core::to_string(config.deployment).c_str(),
+                      summary.mean, result.wireless().mean(),
+                      result.beyond_pgw().mean(), summary.min, summary.max,
+                      result.failures());
+        out.summary_lines += buf;
+        const double mec_share = result.answer_share(
+            [&](simnet::Ipv4Address a) { return testbed.is_mec_cache(a); });
+        std::snprintf(buf, sizeof(buf), "answers from MEC caches: %.0f%%\n",
+                      100.0 * mec_share);
+        out.summary_lines += buf;
+        return out;
+      });
+
+  if (csv) {
+    std::printf("deployment,query,total_ms,wireless_ms,beyond_pgw_ms,answer\n");
+  }
+  obs::Registry combined;
+  for (std::size_t index = 0; index < outcomes.size(); ++index) {
+    const std::string slug = deployment_slug(deployments[index]);
+    if (!outcomes[index].ok) {
+      std::fprintf(stderr, "error: deployment %s failed: %s\n", slug.c_str(),
+                   outcomes[index].error.c_str());
+      return 1;
+    }
+    const JobOutput& out = outcomes[index].value;
+    if (want_trace) {
+      const std::string path = with_slug(args.get_string("trace-out"), slug);
+      if (!obs::write_text_file(path, out.trace_json)) {
+        std::fprintf(stderr, "error: failed to write trace to %s\n",
+                     path.c_str());
+        return 1;
+      }
+    }
+    if (want_series) {
+      const std::string path =
+          with_slug(args.get_string("timeseries-out"), slug);
+      if (!obs::write_text_file(path, out.timeseries_json)) {
+        std::fprintf(stderr, "error: failed to write timeseries to %s\n",
+                     path.c_str());
+        return 1;
+      }
+    }
+    if (want_metrics) {
+      // One combined file, names prefixed per deployment (the six runs
+      // share metric names).
+      for (const auto& [key, value] : out.metrics.counters()) {
+        combined.add(slug + "." + key, value);
+      }
+      for (const auto& [key, value] : out.metrics.gauges()) {
+        combined.set_gauge(slug + "." + key, value);
+      }
+      for (const auto& [key, histogram] : out.metrics.histograms()) {
+        combined.histogram(slug + "." + key).merge(histogram);
+      }
+    }
+    std::fputs(out.summary_lines.c_str(), stdout);
+  }
+  if (want_metrics && !combined.write_json(args.get_string("metrics-out"))) {
+    std::fprintf(stderr, "error: failed to write metrics to %s\n",
+                 args.get_string("metrics-out").c_str());
+    return 1;
+  }
+  return 0;
+}
+
 util::Result<core::Fig5Deployment> parse_deployment(const std::string& text) {
   if (text == "mec-mec") return core::Fig5Deployment::kMecLdnsMecCdns;
   if (text == "mec-lan") return core::Fig5Deployment::kMecLdnsLanCdns;
@@ -91,6 +243,7 @@ util::Result<core::Fig5Deployment> parse_deployment(const std::string& text) {
 }
 
 int run_fig5(const util::ArgParser& args) {
+  if (args.get_string("deployment") == "all") return run_fig5_sweep(args);
   const auto deployment = parse_deployment(args.get_string("deployment"));
   if (!deployment.ok()) {
     std::fprintf(stderr, "%s\n", deployment.error().message.c_str());
@@ -216,7 +369,11 @@ int main(int argc, char** argv) {
   args.add_string("experiment", "fig5", "fig5 | study | ecs");
   args.add_string("deployment", "mec-mec",
                   "fig5/ecs deployment: mec-mec|mec-lan|mec-wan|provider|"
-                  "google|cloudflare");
+                  "google|cloudflare, or 'all' (fig5) for the whole sweep");
+  args.add_int("workers", 0,
+               "parallel campaign workers for --deployment all "
+               "(0 = hardware concurrency, 1 = serial); output is "
+               "byte-identical for any value");
   args.add_int("queries", 50, "measured queries per series");
   args.add_int("seed", 42, "simulation seed");
   args.add_bool("ecs", false, "enable EDNS Client Subnet (fig5)");
