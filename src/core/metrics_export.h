@@ -31,6 +31,10 @@ inline void export_server(obs::Registry& registry, const std::string& prefix,
                           const dns::DnsServer& server) {
   export_stats(registry, prefix, server.stats());
   registry.add(prefix + "dropped_overflow", server.dropped_overflow());
+  // High-water mark of the worker FIFO: gauges max-combine on merge, which
+  // is exactly the right semantic for a peak.
+  registry.set_gauge_max(prefix + "queue_depth_peak",
+                         static_cast<double>(server.max_queue_depth()));
 }
 
 inline void export_transport(obs::Registry& registry,

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/perfcount.h"
+
 namespace mecdns::dns {
 
 namespace {
@@ -52,6 +54,7 @@ void DnsCache::insert_negative(const DnsName& name, RecordType type,
 std::optional<CachedAnswer> DnsCache::lookup(const DnsName& name,
                                              RecordType type,
                                              simnet::SimTime now) {
+  ++util::perf::counters().cache_lookups;
   const auto it = entries_.find({name, type});
   if (it == entries_.end()) {
     ++stats_.misses;

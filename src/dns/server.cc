@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/log.h"
+#include "util/perfcount.h"
 
 namespace mecdns::dns {
 
@@ -30,6 +31,7 @@ void DnsServer::on_packet(const simnet::Packet& packet) {
     return;
   }
   ++stats_.queries;
+  ++util::perf::counters().dns_queries_served;
 
   QueryContext ctx;
   ctx.client = packet.src;
@@ -107,6 +109,9 @@ void DnsServer::enqueue(Work work) {
     return;
   }
   work_queue_.push_back(std::move(work));
+  if (work_queue_.size() > max_queue_depth_) {
+    max_queue_depth_ = work_queue_.size();
+  }
   pump();
 }
 

@@ -73,6 +73,9 @@ class DnsServer {
 
   std::uint64_t dropped_overflow() const { return dropped_overflow_; }
   std::size_t queue_depth() const { return work_queue_.size(); }
+  /// Deepest the worker FIFO has ever been — the saturation high-water mark
+  /// the load generator's queue-depth gauge reports.
+  std::size_t max_queue_depth() const { return max_queue_depth_; }
 
   /// Fixed latency added on top of each sampled processing delay — the
   /// chaos layer's server-brownout knob (a degraded-but-alive server).
@@ -114,6 +117,7 @@ class DnsServer {
   simnet::SimTime extra_processing_ = simnet::SimTime::zero();
   std::size_t busy_ = 0;
   std::deque<Work> work_queue_;
+  std::size_t max_queue_depth_ = 0;
   std::uint64_t dropped_overflow_ = 0;
 };
 

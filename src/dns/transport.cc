@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "util/log.h"
+#include "util/perfcount.h"
 
 namespace mecdns::dns {
 
@@ -85,6 +86,7 @@ void DnsTransport::send_attempt(std::uint16_t id) {
   p.generation = next_generation_++;
   // Deliveries and the timeout timer nest under the transaction's span.
   obs::AmbientSpanGuard ambient(p.span);
+  ++util::perf::counters().dns_queries_sent;
   socket_->send_to(p.server, encode(p.query));
   arm_timeout(id, p.generation);
 }
@@ -170,6 +172,7 @@ void DnsTransport::on_packet(const simnet::Packet& packet) {
   // Anti-spoofing checks a real resolver performs: the response must come
   // from the queried server and echo the question.
   if (packet.src != p.server) return;
+  ++util::perf::counters().dns_responses_received;
   if (!response.questions.empty() && !p.query.questions.empty()) {
     if (!(response.questions.front() == p.query.questions.front())) {
       return;

@@ -5,6 +5,7 @@
 
 #include "dns/edns.h"
 #include "util/bytes.h"
+#include "util/perfcount.h"
 #include "util/strings.h"
 
 namespace mecdns::dns {
@@ -350,10 +351,17 @@ std::vector<std::uint8_t> encode(const Message& message) {
   for (const auto& rr : message.answers) write_record(out, names, rr);
   for (const auto& rr : message.authorities) write_record(out, names, rr);
   for (const auto& rr : additionals) write_record(out, names, rr);
-  return out.take();
+  std::vector<std::uint8_t> wire = out.take();
+  auto& perf = util::perf::counters();
+  ++perf.dns_encoded;
+  perf.dns_bytes_encoded += wire.size();
+  return wire;
 }
 
 util::Result<Message> decode(std::span<const std::uint8_t> wire) {
+  auto& perf = util::perf::counters();
+  ++perf.dns_decoded;
+  perf.dns_bytes_decoded += wire.size();
   util::ByteReader reader(wire);
   Message msg;
 

@@ -1,0 +1,135 @@
+// Counting allocator: global operator new/delete replacements that bump the
+// thread-local perf counters, making allocs/query and bytes/query measurable
+// in any binary that links this translation unit.
+//
+// This file is built as an OBJECT library (mecdns_alloc_hooks) and linked
+// only into binaries that opt in (bench_throughput, the perf tests): object
+// files are always pulled into the link, so the replacements reliably take
+// effect there, while every other binary keeps the toolchain allocator
+// untouched. obs::alloc_counting_active() tells instrumented code which
+// world it is in.
+//
+// The hooks forward to std::malloc/std::free, so AddressSanitizer (which
+// intercepts malloc) still tracks every block in sanitizer builds. Nothing
+// here allocates, locks or recurses: one thread_local access and two adds
+// per call.
+#include <cstdlib>
+#include <new>
+
+#include "util/perfcount.h"
+
+namespace mecdns::obs::detail {
+extern bool g_alloc_hooks_linked;  // defined in perf.cc
+namespace {
+const bool g_registered = [] {
+  g_alloc_hooks_linked = true;
+  return true;
+}();
+}  // namespace
+}  // namespace mecdns::obs::detail
+
+namespace {
+
+inline void count_alloc(std::size_t size) {
+  auto& c = mecdns::util::perf::counters();
+  ++c.allocs;
+  c.alloc_bytes += size;
+}
+
+inline void count_free() { ++mecdns::util::perf::counters().frees; }
+
+void* alloc_or_throw(std::size_t size) {
+  for (;;) {
+    void* p = std::malloc(size == 0 ? 1 : size);
+    if (p != nullptr) {
+      count_alloc(size);
+      return p;
+    }
+    const std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+void* alloc_or_null(std::size_t size) noexcept {
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p != nullptr) count_alloc(size);
+  return p;
+}
+
+void* alloc_aligned_or_throw(std::size_t size, std::align_val_t alignment) {
+  const auto align = static_cast<std::size_t>(alignment);
+  for (;;) {
+    void* p = nullptr;
+    // posix_memalign requires alignment to be a power-of-two multiple of
+    // sizeof(void*); operator new alignments always are on this platform.
+    if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                       size == 0 ? 1 : size) == 0) {
+      count_alloc(size);
+      return p;
+    }
+    const std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+void free_counted(void* p) noexcept {
+  if (p == nullptr) return;
+  count_free();
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return alloc_or_throw(size); }
+void* operator new[](std::size_t size) { return alloc_or_throw(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return alloc_or_null(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return alloc_or_null(size);
+}
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  return alloc_aligned_or_throw(size, alignment);
+}
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  return alloc_aligned_or_throw(size, alignment);
+}
+void* operator new(std::size_t size, std::align_val_t alignment,
+                   const std::nothrow_t&) noexcept {
+  try {
+    return alloc_aligned_or_throw(size, alignment);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, std::align_val_t alignment,
+                     const std::nothrow_t&) noexcept {
+  try {
+    return alloc_aligned_or_throw(size, alignment);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept { free_counted(p); }
+void operator delete[](void* p) noexcept { free_counted(p); }
+void operator delete(void* p, std::size_t) noexcept { free_counted(p); }
+void operator delete[](void* p, std::size_t) noexcept { free_counted(p); }
+void operator delete(void* p, std::align_val_t) noexcept { free_counted(p); }
+void operator delete[](void* p, std::align_val_t) noexcept {
+  free_counted(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  free_counted(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  free_counted(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  free_counted(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  free_counted(p);
+}

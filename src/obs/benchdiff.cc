@@ -1,0 +1,213 @@
+#include "obs/benchdiff.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+
+namespace mecdns::obs {
+
+namespace {
+
+std::string scenario_key(const util::JsonValue& scenario) {
+  std::string key = scenario.get("scenario").as_string();
+  if (scenario.has("mode")) key += "/" + scenario.get("mode").as_string();
+  return key;
+}
+
+const util::JsonValue* find_scenario(const util::JsonValue& scenarios,
+                                     const std::string& key) {
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    if (scenario_key(scenarios.at(i)) == key) return &scenarios.at(i);
+  }
+  return nullptr;
+}
+
+const MetricRule* find_rule(const std::vector<MetricRule>& rules,
+                            const std::string& key) {
+  for (const MetricRule& rule : rules) {
+    if (rule.key == key) return &rule;
+  }
+  return nullptr;
+}
+
+/// Worsening movement in the rule's direction; <= 0 means no worse.
+double worsening(const MetricRule& rule, double before, double after) {
+  return rule.direction == Direction::kHigherIsWorse ? after - before
+                                                     : before - after;
+}
+
+bool regressed(const MetricRule& rule, double before, double after) {
+  const double delta = worsening(rule, before, after);
+  if (delta <= rule.abs) return false;
+  const double base = std::fabs(before);
+  return base <= 0.0 || delta / base > rule.rel;
+}
+
+}  // namespace
+
+std::vector<MetricRule> default_metric_rules(double rel, double abs_ms) {
+  const Direction up = Direction::kHigherIsWorse;
+  const Direction down = Direction::kLowerIsWorse;
+  return {
+      // Latency benches (BENCH_fig2/fig5/fault/...): milliseconds.
+      {"mean", up, rel, abs_ms},
+      {"p50", up, rel, abs_ms},
+      {"p99", up, rel, abs_ms},
+      {"success_rate", down, rel, 0.0},
+      // Throughput bench: per-query hot-path cost and offered load. No
+      // absolute slack — these are deterministic, so any drift is real.
+      {"qps_sim", down, rel, 0.0},
+      {"events_per_query", up, rel, 0.0},
+      {"allocs_per_query", up, rel, 0.0},
+      {"alloc_bytes_per_query", up, rel, 0.0},
+      {"dns_encoded_per_query", up, rel, 0.0},
+      {"dns_decoded_per_query", up, rel, 0.0},
+      {"wire_bytes_per_query", up, rel, 0.0},
+      {"failures", up, rel, 0.0},
+      // A couple of extra pending events is noise; a doubling is a leak.
+      {"peak_queue_depth", up, rel, 2.0},
+  };
+}
+
+bool apply_tolerances(std::vector<MetricRule>& rules, const std::string& spec,
+                      std::string& error) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= item.size()) {
+      error = "bad tolerance '" + item + "' (want metric=percent)";
+      return false;
+    }
+    const std::string key = item.substr(0, eq);
+    char* end = nullptr;
+    const double percent = std::strtod(item.c_str() + eq + 1, &end);
+    if (end == item.c_str() + eq + 1 || *end != '\0' || percent < 0.0) {
+      error = "bad tolerance percent in '" + item + "'";
+      return false;
+    }
+    bool found = false;
+    for (MetricRule& rule : rules) {
+      if (rule.key == key) {
+        rule.rel = percent / 100.0;
+        found = true;
+      }
+    }
+    if (!found) {
+      rules.push_back(
+          {key, Direction::kHigherIsWorse, percent / 100.0, 0.0});
+    }
+  }
+  return true;
+}
+
+BenchDiff diff_bench(const util::JsonValue& baseline,
+                     const util::JsonValue& candidate,
+                     const std::vector<MetricRule>& rules) {
+  BenchDiff diff;
+  const util::JsonValue& old_scenarios = baseline.get("scenarios");
+  const util::JsonValue& new_scenarios = candidate.get("scenarios");
+
+  for (std::size_t i = 0; i < new_scenarios.size(); ++i) {
+    const util::JsonValue& after = new_scenarios.at(i);
+    const std::string key = scenario_key(after);
+    const util::JsonValue* before = find_scenario(old_scenarios, key);
+    if (before == nullptr) {
+      diff.notes.push_back({DiffEntry::Kind::kScenarioNew, key, "", 0, 0});
+      continue;
+    }
+    ++diff.scenarios_compared;
+    for (const auto& [name, value] : after.members()) {
+      if (!value.is_number()) continue;
+      if (!before->has(name)) {
+        diff.notes.push_back({DiffEntry::Kind::kMetricNew, key, name, 0.0,
+                              value.as_double()});
+        continue;
+      }
+      const util::JsonValue& was = before->get(name);
+      if (!was.is_number()) continue;
+      const MetricRule* rule = find_rule(rules, name);
+      if (rule == nullptr) continue;  // unknown key: tolerated, not gated
+      ++diff.metrics_compared;
+      if (regressed(*rule, was.as_double(), value.as_double())) {
+        diff.regressions.push_back({DiffEntry::Kind::kRegression, key, name,
+                                    was.as_double(), value.as_double()});
+      }
+    }
+    for (const auto& [name, value] : before->members()) {
+      if (!value.is_number() || after.has(name)) continue;
+      diff.notes.push_back({DiffEntry::Kind::kMetricMissing, key, name,
+                            value.as_double(), 0.0});
+    }
+  }
+  for (std::size_t i = 0; i < old_scenarios.size(); ++i) {
+    const std::string key = scenario_key(old_scenarios.at(i));
+    if (find_scenario(new_scenarios, key) == nullptr) {
+      diff.regressions.push_back(
+          {DiffEntry::Kind::kScenarioMissing, key, "", 0, 0});
+    }
+  }
+  return diff;
+}
+
+std::string diff_report(const BenchDiff& diff) {
+  std::string out;
+  char line[256];
+  for (const DiffEntry& e : diff.regressions) {
+    if (e.kind == DiffEntry::Kind::kScenarioMissing) {
+      std::snprintf(line, sizeof(line),
+                    "  REGRESSION %-32s scenario disappeared\n",
+                    e.scenario.c_str());
+    } else {
+      const double base = std::fabs(e.before);
+      const double pct =
+          base > 0.0 ? 100.0 * (e.after - e.before) / base : 0.0;
+      std::snprintf(line, sizeof(line),
+                    "  REGRESSION %-32s %s: %s -> %s (%+.1f%%)\n",
+                    e.scenario.c_str(), e.metric.c_str(),
+                    format_double(e.before).c_str(),
+                    format_double(e.after).c_str(), pct);
+    }
+    out += line;
+  }
+  for (const DiffEntry& e : diff.notes) {
+    switch (e.kind) {
+      case DiffEntry::Kind::kScenarioNew:
+        std::snprintf(line, sizeof(line),
+                      "  %-43s new scenario (no baseline)\n",
+                      e.scenario.c_str());
+        break;
+      case DiffEntry::Kind::kMetricNew:
+        std::snprintf(line, sizeof(line),
+                      "  %-43s new metric %s = %s (no baseline)\n",
+                      e.scenario.c_str(), e.metric.c_str(),
+                      format_double(e.after).c_str());
+        break;
+      case DiffEntry::Kind::kMetricMissing:
+        std::snprintf(line, sizeof(line),
+                      "  %-43s metric %s gone (was %s)\n",
+                      e.scenario.c_str(), e.metric.c_str(),
+                      format_double(e.before).c_str());
+        break;
+      default:
+        line[0] = '\0';
+        break;
+    }
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "  %zu scenario(s), %zu metric(s) compared, "
+                "%zu regression(s)\n",
+                diff.scenarios_compared, diff.metrics_compared,
+                diff.regressions.size());
+  out += line;
+  return out;
+}
+
+}  // namespace mecdns::obs

@@ -1,0 +1,91 @@
+// Bench-artifact regression diffing: the engine behind
+// `mecdns_report --diff`.
+//
+// Compares two BENCH_*.json documents (objects with a "scenarios" array)
+// scenario by scenario against a rule table. Each rule names one metric
+// key, its regression direction (latency and per-query cost regress
+// upward, success rate and offered load regress downward) and a pair of
+// thresholds: a metric must move past BOTH the absolute slack and the
+// relative fraction before it counts as a regression, so tiny absolute
+// wobbles on tiny baselines don't trip the gate.
+//
+// Forward compatibility is deliberate: keys present in only one side are
+// *reported* (as new/missing notes), never errors and never regressions —
+// an old report binary must keep working when a newer bench adds columns,
+// and a baseline from an uninstrumented binary (no allocs_per_query) must
+// not fail against an instrumented candidate. Only the disappearance of a
+// whole scenario gates, because that usually means the bench lost coverage.
+//
+// Lives in obs/ (not the report tool) so tests can drive the verdict logic
+// directly with synthetic documents.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace mecdns::obs {
+
+enum class Direction {
+  kHigherIsWorse,  ///< latency, per-query cost, queue depth, failures
+  kLowerIsWorse,   ///< success rate, offered load
+};
+
+struct MetricRule {
+  std::string key;
+  Direction direction = Direction::kHigherIsWorse;
+  double rel = 0.05;  ///< relative threshold (fraction of the baseline)
+  double abs = 0.0;   ///< absolute slack, in the metric's own unit
+};
+
+/// The built-in rule table, covering both the latency benches (mean/p50/p99
+/// in ms, success_rate) and the throughput bench (per-query cost gauges,
+/// qps_sim, peak_queue_depth, failures). `rel` and `abs_ms` seed the
+/// latency rules exactly like the pre-existing --rel/--abs-ms flags;
+/// throughput cost metrics default to `rel` with zero absolute slack.
+std::vector<MetricRule> default_metric_rules(double rel, double abs_ms);
+
+/// Applies a "metric=percent[,metric=percent]" override spec (e.g.
+/// "p99=10,allocs_per_query=2" for 10% and 2%) to `rules`, adjusting the
+/// relative threshold of existing rules or appending a higher-is-worse rule
+/// for metrics the table doesn't know. Returns false with `error` set on a
+/// malformed spec.
+bool apply_tolerances(std::vector<MetricRule>& rules, const std::string& spec,
+                      std::string& error);
+
+struct DiffEntry {
+  enum class Kind {
+    kRegression,       ///< metric moved past both thresholds
+    kScenarioMissing,  ///< baseline scenario absent from candidate (gates)
+    kScenarioNew,      ///< candidate scenario with no baseline (note)
+    kMetricNew,        ///< candidate key absent from baseline (note)
+    kMetricMissing,    ///< baseline key absent from candidate (note)
+  };
+  Kind kind = Kind::kRegression;
+  std::string scenario;
+  std::string metric;  ///< empty for scenario-level entries
+  double before = 0.0;
+  double after = 0.0;
+};
+
+struct BenchDiff {
+  std::size_t scenarios_compared = 0;
+  std::size_t metrics_compared = 0;
+  std::vector<DiffEntry> regressions;  ///< nonempty -> the gate trips
+  std::vector<DiffEntry> notes;        ///< informational only
+  bool clean() const { return regressions.empty(); }
+};
+
+/// Diffs candidate against baseline. Both must be objects with a
+/// "scenarios" array of objects; scenarios match on "scenario" (suffixed
+/// with "/mode" when present). Non-numeric members are ignored.
+BenchDiff diff_bench(const util::JsonValue& baseline,
+                     const util::JsonValue& candidate,
+                     const std::vector<MetricRule>& rules);
+
+/// Human-readable rendering: one line per entry plus a summary line.
+std::string diff_report(const BenchDiff& diff);
+
+}  // namespace mecdns::obs

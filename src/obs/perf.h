@@ -1,0 +1,53 @@
+// obs/perf — snapshots of the hot-path performance counters, exported
+// through the metrics registry.
+//
+// util::perf::counters() gives every instrumented layer a cheap place to
+// count; this header turns those raw counts into observability:
+//
+//   obs::PerfSnapshot before = obs::PerfSnapshot::take();
+//   ... run the measured phase ...
+//   const util::perf::Counters delta = before.delta();
+//   obs::export_perf(registry, "perf.", delta, queries);
+//
+// export_perf writes absolute counters (perf.allocs, perf.dns_encoded, ...)
+// plus per-query cost gauges (perf.allocs_per_query, ...) so the existing
+// time-series/report tooling picks them up with zero extra plumbing.
+//
+// Allocation counts are only non-zero in binaries that link
+// obs/alloc_hooks.cc (an object library — see src/obs/CMakeLists.txt);
+// alloc_counting_active() reports whether the hooks are present so reports
+// can distinguish "0 allocations" from "not measured".
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/perfcount.h"
+
+namespace mecdns::obs {
+
+/// True when the global operator new/delete replacements from
+/// obs/alloc_hooks.cc are linked into this binary.
+bool alloc_counting_active();
+
+/// A copy of the calling thread's counters at a point in time.
+class PerfSnapshot {
+ public:
+  static PerfSnapshot take() { return PerfSnapshot(util::perf::counters()); }
+
+  /// Counter increments on this thread since the snapshot was taken.
+  util::perf::Counters delta() const;
+
+ private:
+  explicit PerfSnapshot(const util::perf::Counters& at) : at_(at) {}
+  util::perf::Counters at_;
+};
+
+/// Exports `delta` into `registry` under `prefix`: every counter verbatim,
+/// plus *_per_query cost gauges when `queries` > 0. Alloc-derived entries
+/// are only written when the counting allocator is linked, so registries
+/// from uninstrumented binaries don't report a misleading zero.
+void export_perf(Registry& registry, const std::string& prefix,
+                 const util::perf::Counters& delta, std::uint64_t queries);
+
+}  // namespace mecdns::obs

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "util/log.h"
+#include "util/perfcount.h"
 
 namespace mecdns::simnet {
 
@@ -22,6 +23,7 @@ void Simulator::schedule_at(SimTime at, Callback fn) {
   if (at < now_) at = now_;
   queue_.push(Event{at, next_seq_++, current_trace_token(), std::move(fn)});
   if (queue_.size() > max_queue_depth_) max_queue_depth_ = queue_.size();
+  ++util::perf::counters().events_scheduled;
 }
 
 std::size_t Simulator::run() {
@@ -49,6 +51,7 @@ bool Simulator::step() {
   queue_.pop();
   now_ = ev.at;
   ++executed_;
+  ++util::perf::counters().events_fired;
   // Run under the context captured at scheduling time, so trace spans
   // follow the request across asynchronous boundaries.
   TraceTokenGuard context(ev.trace);

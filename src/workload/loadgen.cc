@@ -1,0 +1,112 @@
+#include "workload/loadgen.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mecdns::workload {
+
+namespace {
+
+/// SplitMix64 step: advances `state` and returns the mixed output. The same
+/// finalizer core/parallel.h uses for job seeds, so per-UE streams inherit
+/// its avalanche quality with zero stored state beyond the counter.
+std::uint64_t split_mix64_next(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Uniform double in [0, 1) from one stream step.
+double uniform01(std::uint64_t& state) {
+  return static_cast<double>(split_mix64_next(state) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+LoadGenerator::LoadGenerator(simnet::Simulator& sim, Options options,
+                             Issue issue)
+    : sim_(sim), options_(options), issue_(std::move(issue)) {
+  rng_.resize(options_.ues);
+  for (std::uint32_t ue = 0; ue < options_.ues; ++ue) {
+    // Decorrelate neighbouring UEs: the stream position starts at the mixed
+    // (seed, ue) pair rather than at small consecutive integers.
+    std::uint64_t s = options_.seed ^ (0x9e3779b97f4a7c15ULL * (ue + 1));
+    split_mix64_next(s);
+    rng_[ue] = s;
+  }
+  heap_.reserve(options_.ues);
+}
+
+simnet::SimTime LoadGenerator::next_gap(std::uint32_t ue,
+                                        double mean_seconds) {
+  // Exponential via inverse CDF on 1-u (u in [0,1) keeps the log argument
+  // in (0,1], so the gap is finite and non-negative).
+  const double u = uniform01(rng_[ue]);
+  const double gap = -mean_seconds * std::log(1.0 - u);
+  return simnet::SimTime::seconds(gap);
+}
+
+void LoadGenerator::push(std::int64_t at_nanos, std::uint32_t ue) {
+  heap_.push_back(Arrival{at_nanos, ue});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+}
+
+void LoadGenerator::start() {
+  const std::int64_t now = sim_.now().count_nanos();
+  window_end_nanos_ = now + options_.duration.count_nanos();
+  if (options_.rate_hz <= 0.0 || options_.ues == 0) return;
+  const double mean_gap_s = 1.0 / options_.rate_hz;
+  for (std::uint32_t ue = 0; ue < options_.ues; ++ue) {
+    const std::int64_t at = now + next_gap(ue, mean_gap_s).count_nanos();
+    if (at < window_end_nanos_) push(at, ue);
+  }
+  arm();
+}
+
+void LoadGenerator::complete(std::uint32_t ue) {
+  ++completed_;
+  if (!options_.closed_loop) return;
+  const std::int64_t at =
+      sim_.now().count_nanos() +
+      next_gap(ue, options_.mean_think.to_seconds()).count_nanos();
+  if (at >= window_end_nanos_) return;
+  push(at, ue);
+  arm();
+}
+
+void LoadGenerator::arm() {
+  if (heap_.empty()) return;
+  const std::int64_t top = heap_.front().at_nanos;
+  // One live pump event suffices unless an earlier arrival appeared (a
+  // closed-loop completion); then arm a second, earlier event. The stale
+  // later event degenerates to a no-op wakeup — pump() drains by time, not
+  // by which event woke it.
+  if (armed_at_nanos_ >= 0 && armed_at_nanos_ <= top) return;
+  armed_at_nanos_ = top;
+  sim_.schedule_at(simnet::SimTime::nanos(top),
+                   [this, top] { pump(top); });
+}
+
+void LoadGenerator::pump(std::int64_t fired_for) {
+  if (armed_at_nanos_ == fired_for) armed_at_nanos_ = -1;
+  const std::int64_t now = sim_.now().count_nanos();
+  const double mean_gap_s =
+      options_.rate_hz > 0.0 ? 1.0 / options_.rate_hz : 0.0;
+  while (!heap_.empty() && heap_.front().at_nanos <= now) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+    const std::uint32_t ue = heap_.back().ue;
+    const std::int64_t at = heap_.back().at_nanos;
+    heap_.pop_back();
+    ++issued_;
+    issue_(ue);
+    if (!options_.closed_loop) {
+      const std::int64_t next = at + next_gap(ue, mean_gap_s).count_nanos();
+      if (next < window_end_nanos_) push(next, ue);
+    }
+  }
+  arm();
+}
+
+}  // namespace mecdns::workload

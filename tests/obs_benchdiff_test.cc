@@ -1,0 +1,176 @@
+// Bench diff engine: regression directions, threshold semantics,
+// forward-compatibility with unknown/missing keys, and the tolerance
+// override parser behind `mecdns_report --tol`.
+#include "obs/benchdiff.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/json.h"
+
+namespace mecdns {
+namespace {
+
+util::JsonValue parse(const std::string& text) {
+  auto result = util::JsonValue::parse(text);
+  EXPECT_TRUE(result.ok()) << text;
+  return result.ok() ? result.value() : util::JsonValue();
+}
+
+std::string scenario_doc(const std::string& fields) {
+  return "{\"bench\": \"t\", \"scenarios\": [{\"scenario\": \"s\", " +
+         fields + "}]}";
+}
+
+obs::BenchDiff diff(const std::string& before_fields,
+                    const std::string& after_fields) {
+  const auto rules = obs::default_metric_rules(0.05, 0.5);
+  return obs::diff_bench(parse(scenario_doc(before_fields)),
+                         parse(scenario_doc(after_fields)), rules);
+}
+
+TEST(BenchDiffTest, IdenticalDocumentsAreClean) {
+  const std::string fields = "\"p99\": 10.0, \"allocs_per_query\": 100.0";
+  const obs::BenchDiff d = diff(fields, fields);
+  EXPECT_TRUE(d.clean());
+  EXPECT_EQ(d.scenarios_compared, 1u);
+  EXPECT_EQ(d.metrics_compared, 2u);
+  EXPECT_TRUE(d.notes.empty());
+}
+
+TEST(BenchDiffTest, LatencyRegressionNeedsBothThresholds) {
+  // +0.4 ms on 10 ms: inside the 0.5 ms absolute slack -> clean.
+  EXPECT_TRUE(diff("\"p99\": 10.0", "\"p99\": 10.4").clean());
+  // +0.6 ms on 100 ms: past the slack but only +0.6% relative -> clean.
+  EXPECT_TRUE(diff("\"p99\": 100.0", "\"p99\": 100.6").clean());
+  // +2 ms on 10 ms: past both -> regression.
+  const obs::BenchDiff d = diff("\"p99\": 10.0", "\"p99\": 12.0");
+  ASSERT_EQ(d.regressions.size(), 1u);
+  EXPECT_EQ(d.regressions[0].metric, "p99");
+  EXPECT_EQ(d.regressions[0].scenario, "s");
+}
+
+TEST(BenchDiffTest, LatencyImprovementIsNotARegression) {
+  EXPECT_TRUE(diff("\"p99\": 12.0", "\"p99\": 8.0").clean());
+}
+
+TEST(BenchDiffTest, LowerIsWorseMetricsRegressDownward) {
+  EXPECT_FALSE(diff("\"success_rate\": 1.0", "\"success_rate\": 0.9")
+                   .clean());
+  EXPECT_TRUE(diff("\"success_rate\": 0.9", "\"success_rate\": 1.0")
+                  .clean());
+  EXPECT_FALSE(diff("\"qps_sim\": 2000.0", "\"qps_sim\": 1500.0").clean());
+  EXPECT_TRUE(diff("\"qps_sim\": 1500.0", "\"qps_sim\": 2000.0").clean());
+}
+
+TEST(BenchDiffTest, PerQueryCostGatesWithoutAbsoluteSlack) {
+  // 3% alloc growth: under the 5% relative threshold.
+  EXPECT_TRUE(diff("\"allocs_per_query\": 100.0",
+                   "\"allocs_per_query\": 103.0")
+                  .clean());
+  // 10% alloc growth: regression, no absolute floor to hide under.
+  EXPECT_FALSE(diff("\"allocs_per_query\": 100.0",
+                    "\"allocs_per_query\": 110.0")
+                   .clean());
+}
+
+TEST(BenchDiffTest, QueueDepthHasSmallIntegerSlack) {
+  EXPECT_TRUE(
+      diff("\"peak_queue_depth\": 10", "\"peak_queue_depth\": 12").clean());
+  EXPECT_FALSE(
+      diff("\"peak_queue_depth\": 10", "\"peak_queue_depth\": 13").clean());
+}
+
+TEST(BenchDiffTest, NewFailuresRegressEvenFromZero) {
+  EXPECT_FALSE(diff("\"failures\": 0", "\"failures\": 5").clean());
+  EXPECT_TRUE(diff("\"failures\": 0", "\"failures\": 0").clean());
+}
+
+TEST(BenchDiffTest, UnknownKeysAreToleratedNotGated) {
+  // A metric no rule knows can change wildly without tripping the gate.
+  EXPECT_TRUE(diff("\"exotic_metric\": 1.0", "\"exotic_metric\": 9999.0")
+                  .clean());
+}
+
+TEST(BenchDiffTest, NewMetricInCandidateIsANoteNotAnError) {
+  const obs::BenchDiff d = diff("\"p99\": 10.0",
+                                "\"p99\": 10.0, \"allocs_per_query\": 95.0");
+  EXPECT_TRUE(d.clean());
+  ASSERT_EQ(d.notes.size(), 1u);
+  EXPECT_EQ(d.notes[0].kind, obs::DiffEntry::Kind::kMetricNew);
+  EXPECT_EQ(d.notes[0].metric, "allocs_per_query");
+}
+
+TEST(BenchDiffTest, MissingMetricInCandidateIsANote) {
+  const obs::BenchDiff d = diff("\"p99\": 10.0, \"allocs_per_query\": 95.0",
+                                "\"p99\": 10.0");
+  EXPECT_TRUE(d.clean());
+  ASSERT_EQ(d.notes.size(), 1u);
+  EXPECT_EQ(d.notes[0].kind, obs::DiffEntry::Kind::kMetricMissing);
+}
+
+TEST(BenchDiffTest, ScenarioDisappearanceGatesNewScenarioDoesNot) {
+  const auto rules = obs::default_metric_rules(0.05, 0.5);
+  const auto two = parse(
+      "{\"scenarios\": [{\"scenario\": \"a\", \"p99\": 1.0}, "
+      "{\"scenario\": \"b\", \"p99\": 1.0}]}");
+  const auto one = parse("{\"scenarios\": [{\"scenario\": \"a\", "
+                         "\"p99\": 1.0}]}");
+  const obs::BenchDiff lost = obs::diff_bench(two, one, rules);
+  ASSERT_EQ(lost.regressions.size(), 1u);
+  EXPECT_EQ(lost.regressions[0].kind,
+            obs::DiffEntry::Kind::kScenarioMissing);
+  EXPECT_EQ(lost.regressions[0].scenario, "b");
+
+  const obs::BenchDiff gained = obs::diff_bench(one, two, rules);
+  EXPECT_TRUE(gained.clean());
+  ASSERT_EQ(gained.notes.size(), 1u);
+  EXPECT_EQ(gained.notes[0].kind, obs::DiffEntry::Kind::kScenarioNew);
+}
+
+TEST(BenchDiffTest, ModeSuffixDistinguishesScenarios) {
+  const auto rules = obs::default_metric_rules(0.05, 0.5);
+  const auto before = parse(
+      "{\"scenarios\": [{\"scenario\": \"a\", \"mode\": \"x\", "
+      "\"p99\": 1.0}]}");
+  const auto after = parse(
+      "{\"scenarios\": [{\"scenario\": \"a\", \"mode\": \"y\", "
+      "\"p99\": 1.0}]}");
+  const obs::BenchDiff d = obs::diff_bench(before, after, rules);
+  // a/x disappeared (regression), a/y is new (note).
+  EXPECT_EQ(d.regressions.size(), 1u);
+  EXPECT_EQ(d.notes.size(), 1u);
+}
+
+TEST(BenchDiffTest, ApplyTolerancesOverridesAndAppends) {
+  auto rules = obs::default_metric_rules(0.05, 0.5);
+  std::string error;
+  ASSERT_TRUE(obs::apply_tolerances(rules, "p99=10,exotic_metric=2", error))
+      << error;
+  // p99 now tolerates 10%: the earlier +20% case still trips, +8% passes.
+  EXPECT_TRUE(obs::diff_bench(parse(scenario_doc("\"p99\": 10.0")),
+                              parse(scenario_doc("\"p99\": 10.8")), rules)
+                  .clean());
+  EXPECT_FALSE(obs::diff_bench(parse(scenario_doc("\"p99\": 10.0")),
+                               parse(scenario_doc("\"p99\": 12.0")), rules)
+                   .clean());
+  // exotic_metric gained a higher-is-worse rule at 2%.
+  EXPECT_FALSE(
+      obs::diff_bench(parse(scenario_doc("\"exotic_metric\": 100.0")),
+                      parse(scenario_doc("\"exotic_metric\": 105.0")), rules)
+          .clean());
+}
+
+TEST(BenchDiffTest, ApplyTolerancesRejectsMalformedSpecs) {
+  auto rules = obs::default_metric_rules(0.05, 0.5);
+  std::string error;
+  EXPECT_FALSE(obs::apply_tolerances(rules, "p99", error));
+  EXPECT_FALSE(obs::apply_tolerances(rules, "p99=abc", error));
+  EXPECT_FALSE(obs::apply_tolerances(rules, "=5", error));
+  EXPECT_FALSE(obs::apply_tolerances(rules, "p99=-3", error));
+  EXPECT_TRUE(obs::apply_tolerances(rules, "", error));
+}
+
+}  // namespace
+}  // namespace mecdns

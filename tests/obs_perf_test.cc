@@ -1,0 +1,97 @@
+// Perf-counter layer: hot paths bump the thread-local counters, snapshots
+// delta correctly, and export_perf distinguishes "not measured" from zero.
+// This binary deliberately does NOT link obs/alloc_hooks.cc, so it also
+// pins the uninstrumented behaviour (core_throughput_test links the hooks
+// and pins the instrumented side).
+#include "obs/perf.h"
+
+#include <gtest/gtest.h>
+
+#include "dns/message.h"
+#include "dns/wire.h"
+#include "simnet/simulator.h"
+#include "util/perfcount.h"
+
+namespace mecdns {
+namespace {
+
+TEST(PerfCountTest, WireCodecBumpsCounters) {
+  const obs::PerfSnapshot before = obs::PerfSnapshot::take();
+  const dns::Message query = dns::make_query(
+      7, dns::DnsName::must_parse("video.demo1.mycdn.ciab.test"),
+      dns::RecordType::kA);
+  const auto wire = dns::encode(query);
+  auto decoded = dns::decode(wire);
+  ASSERT_TRUE(decoded.ok());
+  const util::perf::Counters delta = before.delta();
+  EXPECT_EQ(delta.dns_encoded, 1u);
+  EXPECT_EQ(delta.dns_decoded, 1u);
+  EXPECT_EQ(delta.dns_bytes_encoded, wire.size());
+  EXPECT_EQ(delta.dns_bytes_decoded, wire.size());
+}
+
+TEST(PerfCountTest, SimulatorBumpsEventCounters) {
+  const obs::PerfSnapshot before = obs::PerfSnapshot::take();
+  simnet::Simulator sim;
+  int ran = 0;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(simnet::SimTime::millis(i), [&ran] { ++ran; });
+  }
+  sim.run();
+  const util::perf::Counters delta = before.delta();
+  EXPECT_EQ(ran, 5);
+  EXPECT_EQ(delta.events_scheduled, 5u);
+  EXPECT_EQ(delta.events_fired, 5u);
+}
+
+TEST(PerfCountTest, SnapshotDeltaIsRelativeNotAbsolute) {
+  simnet::Simulator sim;
+  sim.schedule_at(simnet::SimTime::zero(), [] {});
+  sim.run();  // counters are now nonzero for this thread
+  const obs::PerfSnapshot before = obs::PerfSnapshot::take();
+  const util::perf::Counters delta = before.delta();
+  EXPECT_EQ(delta.events_fired, 0u);
+  EXPECT_EQ(delta.dns_encoded, 0u);
+}
+
+TEST(PerfExportTest, AllocCountingInactiveWithoutHooks) {
+  EXPECT_FALSE(obs::alloc_counting_active());
+  // Without the hook TU linked, allocations leave the counters untouched.
+  const obs::PerfSnapshot before = obs::PerfSnapshot::take();
+  auto* p = new int[32];
+  delete[] p;
+  EXPECT_EQ(before.delta().allocs, 0u);
+}
+
+TEST(PerfExportTest, ExportOmitsAllocMetricsWhenNotMeasured) {
+  util::perf::Counters delta;
+  delta.allocs = 123;  // garbage that must NOT surface as a real count
+  delta.dns_encoded = 8;
+  delta.dns_decoded = 12;
+  delta.dns_bytes_encoded = 400;
+  delta.dns_bytes_decoded = 600;
+  delta.events_fired = 40;
+  obs::Registry registry;
+  obs::export_perf(registry, "perf.", delta, /*queries=*/4);
+
+  EXPECT_EQ(registry.counters().count("perf.allocs"), 0u);
+  EXPECT_EQ(registry.gauges().count("perf.allocs_per_query"), 0u);
+  EXPECT_EQ(registry.counter_value("perf.dns_encoded"), 8u);
+  EXPECT_DOUBLE_EQ(registry.gauge_value("perf.dns_encoded_per_query"), 2.0);
+  EXPECT_DOUBLE_EQ(registry.gauge_value("perf.dns_decoded_per_query"), 3.0);
+  EXPECT_DOUBLE_EQ(registry.gauge_value("perf.wire_bytes_per_query"),
+                   250.0);
+  EXPECT_DOUBLE_EQ(registry.gauge_value("perf.events_per_query"), 10.0);
+}
+
+TEST(PerfExportTest, ZeroQueriesExportsCountersButNoRatios) {
+  util::perf::Counters delta;
+  delta.dns_encoded = 8;
+  obs::Registry registry;
+  obs::export_perf(registry, "perf.", delta, /*queries=*/0);
+  EXPECT_EQ(registry.counter_value("perf.dns_encoded"), 8u);
+  EXPECT_TRUE(registry.gauges().empty());
+}
+
+}  // namespace
+}  // namespace mecdns

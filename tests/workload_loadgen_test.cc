@@ -1,0 +1,164 @@
+// LoadGenerator: arrival-rate properties, closed-loop behaviour, the
+// O(in-flight) scheduling discipline, and determinism (the generator is
+// part of the byte-identical-across-workers contract of bench_throughput).
+#include "workload/loadgen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "simnet/simulator.h"
+#include "simnet/time.h"
+
+namespace mecdns {
+namespace {
+
+using workload::LoadGenerator;
+
+std::vector<std::pair<std::int64_t, std::uint32_t>> record_arrivals(
+    simnet::Simulator& sim, LoadGenerator::Options options) {
+  std::vector<std::pair<std::int64_t, std::uint32_t>> arrivals;
+  LoadGenerator gen(sim, options, [&](std::uint32_t ue) {
+    arrivals.emplace_back(sim.now().count_nanos(), ue);
+  });
+  gen.start();
+  sim.run();
+  return arrivals;
+}
+
+TEST(LoadGeneratorTest, OpenLoopRateMatchesConfiguredRate) {
+  simnet::Simulator sim;
+  LoadGenerator::Options options;
+  options.ues = 500;
+  options.rate_hz = 2.0;
+  options.duration = simnet::SimTime::seconds(10);
+  options.seed = 11;
+  const auto arrivals = record_arrivals(sim, options);
+
+  // 500 UEs x 2 Hz x 10 s = 10000 expected arrivals; Poisson stddev is
+  // sqrt(10000) = 100, so +-5% is a > 5-sigma band — a property, not a
+  // golden value.
+  const double expected = 500 * 2.0 * 10.0;
+  EXPECT_GT(static_cast<double>(arrivals.size()), expected * 0.95);
+  EXPECT_LT(static_cast<double>(arrivals.size()), expected * 1.05);
+}
+
+TEST(LoadGeneratorTest, ArrivalsStayInsideWindowAndAreTimeOrdered) {
+  simnet::Simulator sim;
+  LoadGenerator::Options options;
+  options.ues = 200;
+  options.rate_hz = 1.0;
+  options.duration = simnet::SimTime::seconds(5);
+  options.seed = 3;
+  const auto arrivals = record_arrivals(sim, options);
+  ASSERT_FALSE(arrivals.empty());
+  std::int64_t prev = -1;
+  for (const auto& [at, ue] : arrivals) {
+    EXPECT_GE(at, 0);
+    EXPECT_LT(at, simnet::SimTime::seconds(5).count_nanos());
+    EXPECT_GE(at, prev);  // issued in nondecreasing time order
+    prev = at;
+  }
+}
+
+TEST(LoadGeneratorTest, DeterministicAcrossRunsAndSeedSensitive) {
+  LoadGenerator::Options options;
+  options.ues = 300;
+  options.rate_hz = 0.5;
+  options.duration = simnet::SimTime::seconds(8);
+  options.seed = 42;
+
+  simnet::Simulator sim_a;
+  simnet::Simulator sim_b;
+  const auto a = record_arrivals(sim_a, options);
+  const auto b = record_arrivals(sim_b, options);
+  EXPECT_EQ(a, b);
+
+  options.seed = 43;
+  simnet::Simulator sim_c;
+  const auto c = record_arrivals(sim_c, options);
+  EXPECT_NE(a, c);
+}
+
+TEST(LoadGeneratorTest, EventQueueStaysTinyRegardlessOfPopulation) {
+  // The generator's whole point: 50k UEs' pending arrivals live in its own
+  // heap, not the simulator queue — one armed pump event at a time.
+  simnet::Simulator sim;
+  LoadGenerator::Options options;
+  options.ues = 50000;
+  options.rate_hz = 0.1;
+  options.duration = simnet::SimTime::seconds(2);
+  options.seed = 5;
+  std::uint64_t issued = 0;
+  LoadGenerator gen(sim, options, [&](std::uint32_t) { ++issued; });
+  gen.start();
+  sim.run();
+  EXPECT_GT(issued, 5000u);
+  EXPECT_LE(sim.max_queue_depth(), 3u);
+}
+
+TEST(LoadGeneratorTest, ClosedLoopWaitsForCompletions) {
+  simnet::Simulator sim;
+  LoadGenerator::Options options;
+  options.ues = 50;
+  options.rate_hz = 1.0;
+  options.closed_loop = true;
+  options.mean_think = simnet::SimTime::millis(100);
+  options.duration = simnet::SimTime::seconds(10);
+  options.seed = 9;
+
+  // Nobody calls complete(): each UE issues at most its first arrival.
+  std::uint64_t issued = 0;
+  LoadGenerator gen(sim, options, [&](std::uint32_t) { ++issued; });
+  gen.start();
+  sim.run();
+  EXPECT_LE(issued, 50u);
+  EXPECT_GT(issued, 0u);
+}
+
+TEST(LoadGeneratorTest, ClosedLoopCompletionsDriveFurtherArrivals) {
+  simnet::Simulator sim;
+  LoadGenerator::Options options;
+  options.ues = 50;
+  options.rate_hz = 1.0;
+  options.closed_loop = true;
+  options.mean_think = simnet::SimTime::millis(100);
+  options.duration = simnet::SimTime::seconds(10);
+  options.seed = 9;
+
+  // Complete immediately: each UE cycles think -> issue -> think...
+  LoadGenerator* gen_ptr = nullptr;
+  LoadGenerator gen(sim, options,
+                    [&](std::uint32_t ue) { gen_ptr->complete(ue); });
+  gen_ptr = &gen;
+  gen.start();
+  sim.run();
+  // ~50 UEs x (10 s / 0.1 s think) = ~5000; demand well above one round.
+  EXPECT_GT(gen.issued(), 1000u);
+  EXPECT_EQ(gen.issued(), gen.completed());
+  EXPECT_TRUE(gen.drained());
+}
+
+TEST(LoadGeneratorTest, ZeroRateOrZeroUesIssuesNothing) {
+  {
+    simnet::Simulator sim;
+    LoadGenerator::Options options;
+    options.ues = 0;
+    const auto arrivals = record_arrivals(sim, options);
+    EXPECT_TRUE(arrivals.empty());
+  }
+  {
+    simnet::Simulator sim;
+    LoadGenerator::Options options;
+    options.ues = 100;
+    options.rate_hz = 0.0;
+    const auto arrivals = record_arrivals(sim, options);
+    EXPECT_TRUE(arrivals.empty());
+  }
+}
+
+}  // namespace
+}  // namespace mecdns

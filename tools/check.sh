@@ -12,6 +12,11 @@
 #      under ThreadSanitizer, outputs compared byte for byte — the parallel
 #      runner's determinism contract, and its data-race freedom, in one
 #      stage.
+#   6. Perf gate: bench_micro emits BENCH_micro.json and bench_throughput
+#      drives the load generator against two fig5 deployments; the
+#      deterministic artifact is byte-compared across worker counts,
+#      self-diffed (must be clean), and an injected allocs/query regression
+#      must trip `mecdns_report --diff` nonzero.
 # Usage: tools/check.sh [jobs]   (default: nproc)
 set -euo pipefail
 
@@ -20,14 +25,14 @@ jobs="${1:-$(nproc)}"
 
 run() { echo "+ $*"; "$@"; }
 
-echo "=== 1/5: ASan/UBSan build + tests (build-asan/) ==="
+echo "=== 1/6: ASan/UBSan build + tests (build-asan/) ==="
 run cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 run cmake --build build-asan -j "$jobs"
 run ctest --test-dir build-asan --output-on-failure -j "$jobs" --timeout 120
 
-echo "=== 2/5: fault-matrix smoke (ASan/UBSan) ==="
+echo "=== 2/6: fault-matrix smoke (ASan/UBSan) ==="
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
 for scenario in mec-ldns-crash edge-cache-partition wan-loss-burst \
@@ -38,12 +43,12 @@ for scenario in mec-ldns-crash edge-cache-partition wan-loss-burst \
       --json-out "$smoke_dir/fault_$scenario.json"
 done
 
-echo "=== 3/5: Release build + tests (build/) ==="
+echo "=== 3/6: Release build + tests (build/) ==="
 run cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 run cmake --build build -j "$jobs"
 run ctest --test-dir build --output-on-failure -j "$jobs" --timeout 120
 
-echo "=== 4/5: observability pipeline + determinism self-diff ==="
+echo "=== 4/6: observability pipeline + determinism self-diff ==="
 obs_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir" "$obs_dir"' EXIT
 run ./build/bench/bench_fig2_lookup_latency \
@@ -61,7 +66,7 @@ run ./build/bench/bench_fig2_lookup_latency --json-out "$obs_dir/fig2_b.json"
 run ./build/tools/mecdns_report \
     --diff "$obs_dir/fig2_a.json" --against "$obs_dir/fig2_b.json"
 
-echo "=== 5/5: TSan parallel-campaign determinism gate (build-tsan/) ==="
+echo "=== 5/6: TSan parallel-campaign determinism gate (build-tsan/) ==="
 run cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
@@ -82,5 +87,42 @@ run ./build-tsan/tools/mecdns_report \
 run ./build-tsan/tools/mecdns_report \
     --diff-bytes "$par_dir/metrics_serial.json" \
     --against "$par_dir/metrics_parallel.json"
+
+echo "=== 6/6: perf gate (microbench artifact + throughput regression) ==="
+perf_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir" "$obs_dir" "$par_dir" "$perf_dir"' EXIT
+# Microbenchmarks as a pipeline artifact (the JSON is a reference record,
+# not a gate — wall time is machine-dependent).
+run ./build/bench/bench_micro \
+    --benchmark_out="$perf_dir/BENCH_micro.json" \
+    --benchmark_out_format=json
+run ./build/tools/mecdns_report --bench "$perf_dir/BENCH_micro.json"
+# Load-generator throughput: small population here (check.sh is a
+# pre-merge loop; the full 100k-UE run is one flag away). Worker-count
+# independence is part of the determinism contract, so compare bytes.
+tp="./build/bench/bench_throughput --ues 20000 --rate-hz 0.05 --duration-s 10"
+run $tp --workers 1 --json-out "$perf_dir/tp_serial.json" \
+    --metrics-out "$perf_dir/tp_metrics_serial.json"
+run $tp --workers 4 --json-out "$perf_dir/tp_parallel.json" \
+    --metrics-out "$perf_dir/tp_metrics_parallel.json"
+run ./build/tools/mecdns_report \
+    --diff-bytes "$perf_dir/tp_serial.json" \
+    --against "$perf_dir/tp_parallel.json"
+run ./build/tools/mecdns_report \
+    --diff-bytes "$perf_dir/tp_metrics_serial.json" \
+    --against "$perf_dir/tp_metrics_parallel.json"
+run ./build/tools/mecdns_report --bench "$perf_dir/tp_serial.json"
+run ./build/tools/mecdns_report \
+    --diff "$perf_dir/tp_serial.json" --against "$perf_dir/tp_parallel.json"
+# The gate must actually gate: inject a 10x allocs/query regression and
+# demand a nonzero exit.
+sed -E 's/"allocs_per_query": ([0-9.]+)/"allocs_per_query": 999999/' \
+    "$perf_dir/tp_serial.json" > "$perf_dir/tp_regressed.json"
+if ./build/tools/mecdns_report --diff "$perf_dir/tp_serial.json" \
+    --against "$perf_dir/tp_regressed.json" > /dev/null; then
+  echo "error: injected allocs_per_query regression was not detected" >&2
+  exit 1
+fi
+echo "+ injected regression correctly detected"
 
 echo "All checks passed."

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "obs/analysis.h"
+#include "obs/benchdiff.h"
 #include "util/args.h"
 #include "util/json.h"
 
@@ -239,6 +240,51 @@ int report_timeseries(const std::string& path, double slo_p99_ms,
 
 // --- --bench / --diff: BENCH_*.json tables and regression gating ----------
 
+/// google-benchmark JSON ({"context": ..., "benchmarks": [...]}) — the
+/// BENCH_micro.json artifact.
+int report_bench_micro(const std::string& path, const util::JsonValue& root) {
+  std::printf("=== bench micro: %s ===\n", path.c_str());
+  std::printf("%-44s %14s %14s %12s\n", "benchmark", "real(ns)", "cpu(ns)",
+              "iterations");
+  const util::JsonValue& benchmarks = root.get("benchmarks");
+  for (std::size_t i = 0; i < benchmarks.size(); ++i) {
+    const util::JsonValue& b = benchmarks.at(i);
+    std::printf("%-44s %14.1f %14.1f %12.0f\n",
+                b.get("name").as_string().c_str(),
+                b.get("real_time").as_double(),
+                b.get("cpu_time").as_double(),
+                b.get("iterations").as_double());
+  }
+  return 0;
+}
+
+/// BENCH_throughput.json: per-query cost and latency-under-load columns.
+int report_bench_throughput(const std::string& path,
+                            const util::JsonValue& root) {
+  std::printf("=== bench throughput: %s ===\n", path.c_str());
+  std::printf("%-12s %8s %9s %9s %8s %8s %9s %8s %8s\n", "scenario", "ues",
+              "queries", "qps_sim", "ev/q", "alloc/q", "wireB/q", "p50",
+              "p99");
+  const util::JsonValue& scenarios = root.get("scenarios");
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const util::JsonValue& s = scenarios.at(i);
+    std::printf("%-12s %8.0f %9.0f %9.1f %8.2f ",
+                s.get("scenario").as_string().c_str(),
+                s.get("ues").as_double(), s.get("queries").as_double(),
+                s.get("qps_sim").as_double(),
+                s.get("events_per_query").as_double());
+    if (s.has("allocs_per_query")) {
+      std::printf("%8.1f ", s.get("allocs_per_query").as_double());
+    } else {
+      std::printf("%8s ", "-");
+    }
+    std::printf("%9.1f %8.3f %8.3f\n",
+                s.get("wire_bytes_per_query").as_double(),
+                s.get("p50").as_double(), s.get("p99").as_double());
+  }
+  return 0;
+}
+
 int report_bench(const std::string& path) {
   auto doc = util::JsonValue::parse_file(path);
   if (!doc.ok()) {
@@ -246,9 +292,15 @@ int report_bench(const std::string& path) {
     return 2;
   }
   const util::JsonValue& root = doc.value();
+  if (root.get("benchmarks").is_array()) {
+    return report_bench_micro(path, root);
+  }
   if (!root.get("scenarios").is_array()) {
     std::fprintf(stderr, "error: %s: not a bench file\n", path.c_str());
     return 2;
+  }
+  if (root.get("bench").as_string() == "throughput") {
+    return report_bench_throughput(path, root);
   }
   std::printf("=== bench %s: %s ===\n",
               root.get("bench").as_string().c_str(), path.c_str());
@@ -269,25 +321,6 @@ int report_bench(const std::string& path) {
                     : "-");
   }
   return 0;
-}
-
-struct DiffThresholds {
-  double rel = 0.05;
-  double abs_ms = 0.5;
-};
-
-std::string scenario_key(const util::JsonValue& s) {
-  std::string key = s.get("scenario").as_string();
-  if (s.has("mode")) key += "/" + s.get("mode").as_string();
-  return key;
-}
-
-const util::JsonValue* find_scenario(const util::JsonValue& scenarios,
-                                     const std::string& key) {
-  for (std::size_t i = 0; i < scenarios.size(); ++i) {
-    if (scenario_key(scenarios.at(i)) == key) return &scenarios.at(i);
-  }
-  return nullptr;
 }
 
 /// --diff-bytes: exact byte equality between two artifact files — the CI
@@ -332,7 +365,8 @@ int report_diff_bytes(const std::string& a_path, const std::string& b_path) {
 }
 
 int report_diff(const std::string& old_path, const std::string& new_path,
-                const DiffThresholds& t) {
+                const std::vector<obs::MetricRule>& rules, double rel,
+                double abs_ms) {
   auto old_doc = util::JsonValue::parse_file(old_path);
   auto new_doc = util::JsonValue::parse_file(new_path);
   if (!old_doc.ok() || !new_doc.ok()) {
@@ -340,63 +374,19 @@ int report_diff(const std::string& old_path, const std::string& new_path,
                  (!old_doc.ok() ? old_doc : new_doc).error().message.c_str());
     return 2;
   }
-  const util::JsonValue& old_scenarios = old_doc.value().get("scenarios");
-  const util::JsonValue& new_scenarios = new_doc.value().get("scenarios");
-  if (!old_scenarios.is_array() || !new_scenarios.is_array()) {
+  if (!old_doc.value().get("scenarios").is_array() ||
+      !new_doc.value().get("scenarios").is_array()) {
     std::fprintf(stderr, "error: --diff needs two BENCH_*.json files\n");
     return 2;
   }
-
-  // Latency metrics regress upward; success_rate regresses downward.
-  const char* latency_metrics[] = {"mean", "p50", "p99"};
-  std::size_t regressions = 0;
-  std::size_t compared = 0;
   std::printf("=== diff: %s -> %s (rel %.1f%%, abs %.2f ms) ===\n",
-              old_path.c_str(), new_path.c_str(), 100.0 * t.rel, t.abs_ms);
-  for (std::size_t i = 0; i < new_scenarios.size(); ++i) {
-    const util::JsonValue& after = new_scenarios.at(i);
-    const std::string key = scenario_key(after);
-    const util::JsonValue* before = find_scenario(old_scenarios, key);
-    if (before == nullptr) {
-      std::printf("  %-40s new scenario (no baseline)\n", key.c_str());
-      continue;
-    }
-    ++compared;
-    for (const char* metric : latency_metrics) {
-      if (!before->has(metric) || !after.has(metric)) continue;
-      const double was = before->get(metric).as_double();
-      const double now = after.get(metric).as_double();
-      const double delta = now - was;
-      if (delta > t.abs_ms && (was <= 0.0 || delta / was > t.rel)) {
-        std::printf("  REGRESSION %-32s %s: %.3f -> %.3f ms (+%.1f%%)\n",
-                    key.c_str(), metric, was, now,
-                    was > 0.0 ? 100.0 * delta / was : 0.0);
-        ++regressions;
-      }
-    }
-    if (before->has("success_rate") && after.has("success_rate")) {
-      const double was = before->get("success_rate").as_double();
-      const double now = after.get("success_rate").as_double();
-      if (was - now > t.rel) {
-        std::printf(
-            "  REGRESSION %-32s success_rate: %.4f -> %.4f (-%.1f%%)\n",
-            key.c_str(), was, now, 100.0 * (was - now));
-        ++regressions;
-      }
-    }
-  }
-  for (std::size_t i = 0; i < old_scenarios.size(); ++i) {
-    const std::string key = scenario_key(old_scenarios.at(i));
-    if (find_scenario(new_scenarios, key) == nullptr) {
-      std::printf("  REGRESSION %-32s scenario disappeared\n", key.c_str());
-      ++regressions;
-    }
-  }
-  if (regressions == 0) {
-    std::printf("  %zu scenario(s) compared, no regressions\n", compared);
-    return 0;
-  }
-  std::fprintf(stderr, "%zu regression(s) found\n", regressions);
+              old_path.c_str(), new_path.c_str(), 100.0 * rel, abs_ms);
+  const obs::BenchDiff diff =
+      obs::diff_bench(old_doc.value(), new_doc.value(), rules);
+  std::printf("%s", obs::diff_report(diff).c_str());
+  if (diff.clean()) return 0;
+  std::fprintf(stderr, "%zu regression(s) found\n",
+               diff.regressions.size());
   return 1;
 }
 
@@ -425,6 +415,9 @@ int main(int argc, char** argv) {
                   "per-window success-ratio objective (--timeseries)");
   args.add_double("rel", 0.05, "relative regression threshold (--diff)");
   args.add_double("abs-ms", 0.5, "absolute regression threshold (--diff)");
+  args.add_string("tol", "",
+                  "per-metric percent tolerances for --diff, e.g. "
+                  "'p99=10,allocs_per_query=2' (overrides --rel per key)");
   args.add_bool("help", false, "print usage");
 
   if (auto result = args.parse(argc - 1, argv + 1); !result.ok()) {
@@ -463,10 +456,17 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "--diff needs --against <candidate.json>\n");
       return 2;
     }
-    DiffThresholds t;
-    t.rel = args.get_double("rel");
-    t.abs_ms = args.get_double("abs-ms");
-    run(report_diff(args.get_string("diff"), args.get_string("against"), t));
+    const double rel = args.get_double("rel");
+    const double abs_ms = args.get_double("abs-ms");
+    std::vector<obs::MetricRule> rules =
+        obs::default_metric_rules(rel, abs_ms);
+    std::string tol_error;
+    if (!obs::apply_tolerances(rules, args.get_string("tol"), tol_error)) {
+      std::fprintf(stderr, "error: %s\n", tol_error.c_str());
+      return 2;
+    }
+    run(report_diff(args.get_string("diff"), args.get_string("against"),
+                    rules, rel, abs_ms));
   }
   if (!args.get_string("diff-bytes").empty()) {
     if (args.get_string("against").empty()) {
