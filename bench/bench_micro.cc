@@ -3,11 +3,15 @@
 // event loop, and Zipf sampling.
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <utility>
+
 #include "cdn/consistent_hash.h"
 #include "dns/cache.h"
 #include "dns/wire.h"
 #include "dns/zone.h"
 #include "simnet/simulator.h"
+#include "util/flat_map.h"
 #include "util/rng.h"
 #include "workload/zipf.h"
 
@@ -112,6 +116,79 @@ void BM_SimulatorEvents(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_SimulatorEvents)->Arg(1024)->Arg(16384);
+
+// Parse text -> inline wire-format DnsName -> back to text. The PR 7 hot
+// path: the whole round trip should touch no heap for names <= 54 wire
+// bytes (the inline capacity).
+void BM_NameParseRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    auto name = dns::DnsName::parse("video.demo1.mycdn.ciab.test");
+    benchmark::DoNotOptimize(name.value().to_string());
+  }
+}
+BENCHMARK(BM_NameParseRoundTrip);
+
+// schedule_after + drain: the pooled-event churn pattern every simulated
+// timer exercises (schedule, fire, reschedule).
+void BM_ScheduleAfterDrain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    simnet::Simulator sim;
+    std::uint64_t counter = 0;
+    for (int i = 0; i < n; ++i) {
+      sim.schedule_after(simnet::SimTime::micros(static_cast<double>(i % 7)),
+                         [&counter] { ++counter; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScheduleAfterDrain)->Arg(1024)->Arg(16384);
+
+// Flat open-addressing map vs std::map on the DNS-cache key shape — the
+// head-to-head behind moving every hot map off the red-black tree.
+using CacheKey = std::pair<dns::DnsName, dns::RecordType>;
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& k) const {
+    return k.first.hash() * 31 + static_cast<std::size_t>(k.second);
+  }
+};
+
+std::vector<CacheKey> cache_keys(std::size_t n) {
+  std::vector<CacheKey> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.emplace_back(
+        dns::DnsName::must_parse("host" + std::to_string(i) + ".example.com"),
+        dns::RecordType::kA);
+  }
+  return keys;
+}
+
+void BM_FlatMapLookup(benchmark::State& state) {
+  const auto keys = cache_keys(static_cast<std::size_t>(state.range(0)));
+  util::FlatHashMap<CacheKey, std::uint64_t, CacheKeyHash> map;
+  for (std::size_t i = 0; i < keys.size(); ++i) map[keys[i]] = i;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.find(keys[i]));
+    if (++i == keys.size()) i = 0;
+  }
+}
+BENCHMARK(BM_FlatMapLookup)->Arg(64)->Arg(1024)->Arg(8192);
+
+void BM_StdMapLookup(benchmark::State& state) {
+  const auto keys = cache_keys(static_cast<std::size_t>(state.range(0)));
+  std::map<CacheKey, std::uint64_t> map;
+  for (std::size_t i = 0; i < keys.size(); ++i) map[keys[i]] = i;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.find(keys[i]));
+    if (++i == keys.size()) i = 0;
+  }
+}
+BENCHMARK(BM_StdMapLookup)->Arg(64)->Arg(1024)->Arg(8192);
 
 void BM_ZipfSample(benchmark::State& state) {
   workload::ZipfGenerator zipf(static_cast<std::size_t>(state.range(0)), 0.9);

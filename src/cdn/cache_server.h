@@ -8,16 +8,15 @@
 
 #include <cstdint>
 #include <list>
-#include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 
 #include "cdn/content.h"
 #include "obs/trace.h"
 #include "simnet/context.h"
 #include "simnet/latency.h"
 #include "simnet/network.h"
+#include "util/flat_map.h"
 #include "util/rng.h"
 
 namespace mecdns::cdn {
@@ -97,9 +96,19 @@ class CacheServer {
   /// Disarms scheduled service/timeout events after destruction.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 
+  struct UrlHash {
+    std::size_t operator()(const Url& url) const { return url.hash(); }
+  };
+  struct U64Hash {
+    std::size_t operator()(std::uint64_t v) const {
+      v *= 0x9e3779b97f4a7c15ULL;
+      return v ^ (v >> 32);
+    }
+  };
+
   // LRU: most-recent at front.
   std::list<ContentObject> lru_;
-  std::map<Url, std::list<ContentObject>::iterator> index_;
+  util::FlatHashMap<Url, std::list<ContentObject>::iterator, UrlHash> index_;
   std::uint64_t used_bytes_ = 0;
   simnet::SimTime extra_service_ = simnet::SimTime::zero();
 
@@ -110,7 +119,7 @@ class CacheServer {
     obs::SpanRef span;          ///< "parent-fetch" span (inert if untraced)
     simnet::TraceToken owner;   ///< serve span, restored for the response
   };
-  std::map<std::uint64_t, PendingFetch> pending_;
+  util::FlatHashMap<std::uint64_t, PendingFetch, U64Hash> pending_;
   std::uint64_t next_fetch_id_ = 1;
   CacheServerStats stats_;
 };
@@ -171,7 +180,13 @@ class ContentClient {
     obs::SpanRef span;          ///< "content get" span (inert if untraced)
     simnet::TraceToken caller;  ///< restored around the callback
   };
-  std::map<std::uint64_t, Pending> pending_;
+  struct U64Hash {
+    std::size_t operator()(std::uint64_t v) const {
+      v *= 0x9e3779b97f4a7c15ULL;
+      return v ^ (v >> 32);
+    }
+  };
+  util::FlatHashMap<std::uint64_t, Pending, U64Hash> pending_;
   std::uint64_t next_id_ = 1;
   std::uint64_t next_generation_ = 1;
 };

@@ -35,6 +35,16 @@ struct Url {
     if (a.host == b.host) return a.path < b.path;
     return a.host < b.host;
   }
+
+  /// Consistent with operator== (host compares case-insensitively).
+  std::size_t hash() const {
+    std::size_t h = host.hash();
+    for (const char c : path) {
+      h ^= static_cast<std::size_t>(static_cast<unsigned char>(c));
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
 };
 
 /// Immutable description of one object.

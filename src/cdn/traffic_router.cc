@@ -192,21 +192,16 @@ void TrafficRouter::handle(const dns::Message& query,
     // a cascading CNAME when configured, else NXDOMAIN.
     if (config_.parent_domain.has_value() &&
         q.name.label_count() > config_.cdn_domain.label_count()) {
-      std::vector<std::string> relative(
-          q.name.labels().begin(),
-          q.name.labels().end() -
-              static_cast<std::ptrdiff_t>(config_.cdn_domain.label_count()));
-      auto relative_name = dns::DnsName::from_labels(std::move(relative));
-      if (relative_name.ok()) {
-        auto target = relative_name.value().under(*config_.parent_domain);
-        if (target.ok()) {
-          ++router_stats_.referred_to_parent;
-          obs::ambient_span().tag("route", "parent-referral");
-          response.answers.push_back(
-              dns::make_cname(q.name, target.value(), config_.answer_ttl));
-          finish(std::move(response));
-          return;
-        }
+      const dns::DnsName relative_name = q.name.prefix(
+          q.name.label_count() - config_.cdn_domain.label_count());
+      auto target = relative_name.under(*config_.parent_domain);
+      if (target.ok()) {
+        ++router_stats_.referred_to_parent;
+        obs::ambient_span().tag("route", "parent-referral");
+        response.answers.push_back(
+            dns::make_cname(q.name, target.value(), config_.answer_ttl));
+        finish(std::move(response));
+        return;
       }
     }
     response.header.rcode = dns::RCode::kNxDomain;
@@ -221,21 +216,16 @@ void TrafficRouter::handle(const dns::Message& query,
     // No healthy cache anywhere for this service at this tier: refer up if
     // possible, else SERVFAIL (the router knows the name but cannot serve).
     if (config_.parent_domain.has_value()) {
-      std::vector<std::string> relative(
-          q.name.labels().begin(),
-          q.name.labels().end() -
-              static_cast<std::ptrdiff_t>(config_.cdn_domain.label_count()));
-      auto relative_name = dns::DnsName::from_labels(std::move(relative));
-      if (relative_name.ok()) {
-        if (auto target = relative_name.value().under(*config_.parent_domain);
-            target.ok()) {
-          ++router_stats_.referred_to_parent;
-          obs::ambient_span().tag("route", "parent-referral");
-          response.answers.push_back(
-              dns::make_cname(q.name, target.value(), config_.answer_ttl));
-          finish(std::move(response));
-          return;
-        }
+      const dns::DnsName relative_name = q.name.prefix(
+          q.name.label_count() - config_.cdn_domain.label_count());
+      if (auto target = relative_name.under(*config_.parent_domain);
+          target.ok()) {
+        ++router_stats_.referred_to_parent;
+        obs::ambient_span().tag("route", "parent-referral");
+        response.answers.push_back(
+            dns::make_cname(q.name, target.value(), config_.answer_ttl));
+        finish(std::move(response));
+        return;
       }
     }
     ++router_stats_.no_cache_available;

@@ -7,16 +7,23 @@
 namespace mecdns::dns {
 
 namespace {
-std::uint32_t min_ttl(const std::vector<ResourceRecord>& records) {
+std::uint32_t min_ttl(const RecordList& records) {
   std::uint32_t ttl = ~std::uint32_t{0};
   for (const auto& rr : records) ttl = std::min(ttl, rr.ttl);
   return records.empty() ? 0 : ttl;
 }
 }  // namespace
 
+void DnsCache::store(Key key, Entry entry) {
+  entry.seq = next_seq_++;
+  expiry_heap_.push_back(HeapItem{entry.expires, entry.seq, key});
+  std::push_heap(expiry_heap_.begin(), expiry_heap_.end(), LaterExpiry{});
+  entries_[key] = std::move(entry);
+  ++stats_.insertions;
+}
+
 void DnsCache::insert(const DnsName& name, RecordType type,
-                      std::vector<ResourceRecord> records,
-                      simnet::SimTime now) {
+                      RecordList records, simnet::SimTime now) {
   const std::uint32_t ttl = min_ttl(records);
   if (ttl == 0 || records.empty()) return;
   evict_if_full();
@@ -24,13 +31,11 @@ void DnsCache::insert(const DnsName& name, RecordType type,
   entry.answer.records = std::move(records);
   entry.inserted = now;
   entry.expires = now + simnet::SimTime::seconds(static_cast<double>(ttl));
-  entries_[{name, type}] = std::move(entry);
-  ++stats_.insertions;
+  store({name, type}, std::move(entry));
 }
 
 void DnsCache::insert_negative(const DnsName& name, RecordType type,
-                               RCode rcode,
-                               std::vector<ResourceRecord> soa,
+                               RCode rcode, RecordList soa,
                                simnet::SimTime now) {
   std::uint32_t ttl = 0;
   for (const auto& rr : soa) {
@@ -47,8 +52,7 @@ void DnsCache::insert_negative(const DnsName& name, RecordType type,
   entry.answer.soa = std::move(soa);
   entry.inserted = now;
   entry.expires = now + simnet::SimTime::seconds(static_cast<double>(ttl));
-  entries_[{name, type}] = std::move(entry);
-  ++stats_.insertions;
+  store({name, type}, std::move(entry));
 }
 
 std::optional<CachedAnswer> DnsCache::lookup(const DnsName& name,
@@ -65,7 +69,7 @@ std::optional<CachedAnswer> DnsCache::lookup(const DnsName& name,
     // resident for lookup_stale(); it is still a miss here so the normal
     // refresh path runs.
     if (!serve_stale_ || it->second.expires + max_stale_ <= now) {
-      entries_.erase(it);
+      entries_.erase(it->first);
       ++stats_.expired;
     }
     ++stats_.misses;
@@ -95,7 +99,7 @@ std::optional<CachedAnswer> DnsCache::lookup_stale(const DnsName& name,
   // A live entry is lookup()'s to serve; "stale" strictly means past expiry.
   if (now < it->second.expires) return std::nullopt;
   if (it->second.expires + max_stale_ <= now) {
-    entries_.erase(it);
+    entries_.erase(it->first);
     ++stats_.expired;
     return std::nullopt;
   }
@@ -108,26 +112,35 @@ std::optional<CachedAnswer> DnsCache::lookup_stale(const DnsName& name,
   return answer;
 }
 
-void DnsCache::flush() { entries_.clear(); }
+void DnsCache::flush() {
+  entries_.clear();
+  expiry_heap_.clear();
+}
 
 void DnsCache::flush_name(const DnsName& name) {
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->first.first == name) {
-      it = entries_.erase(it);
-    } else {
-      ++it;
-    }
+  // Backward-shift deletion invalidates iteration; collect keys first.
+  std::vector<Key> doomed;
+  for (const auto& [key, entry] : entries_) {
+    if (key.first == name) doomed.push_back(key);
   }
+  for (const auto& key : doomed) entries_.erase(key);
 }
 
 void DnsCache::evict_if_full() {
   if (entries_.size() < max_entries_) return;
-  auto victim = entries_.begin();
-  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-    if (it->second.expires < victim->second.expires) victim = it;
+  // Pop heap items until one still names a live entry; stale items (erased
+  // or overwritten since they were pushed) are discarded along the way.
+  while (!expiry_heap_.empty()) {
+    ++stats_.eviction_scan_steps;
+    std::pop_heap(expiry_heap_.begin(), expiry_heap_.end(), LaterExpiry{});
+    HeapItem item = std::move(expiry_heap_.back());
+    expiry_heap_.pop_back();
+    const auto it = entries_.find(item.key);
+    if (it == entries_.end() || it->second.seq != item.seq) continue;
+    entries_.erase(item.key);
+    ++stats_.evictions;
+    return;
   }
-  entries_.erase(victim);
-  ++stats_.evictions;
 }
 
 }  // namespace mecdns::dns

@@ -4,17 +4,22 @@
 // TTL never expires at L-DNS and the cached A records are used for lookup"),
 // and CDN routers defeat caching with tiny TTLs so every query reaches the
 // C-DNS — both effects fall out of an honest TTL cache.
+//
+// Storage is an open-addressing flat hash (the lookup is on every query's
+// hot path) plus a lazy-deletion min-heap ordered by expiry, which makes
+// full-cache eviction O(log n) instead of a linear scan over all entries.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "dns/message.h"
 #include "dns/name.h"
 #include "dns/rr.h"
 #include "simnet/time.h"
+#include "util/flat_map.h"
 
 namespace mecdns::dns {
 
@@ -25,6 +30,10 @@ struct CacheStats {
   std::uint64_t evictions = 0;
   std::uint64_t expired = 0;
   std::uint64_t stale_hits = 0;  ///< RFC 8767 serve-stale answers
+  /// Expiry-heap items examined while choosing eviction victims. With the
+  /// heap this stays O(log n) amortized per eviction; a regression back to
+  /// scanning would show up here as ~size() steps per eviction.
+  std::uint64_t eviction_scan_steps = 0;
 
   double hit_rate() const {
     const std::uint64_t total = hits + misses;
@@ -36,9 +45,9 @@ struct CacheStats {
 /// A positive or negative cached answer.
 struct CachedAnswer {
   bool negative = false;
-  RCode rcode = RCode::kNoError;              ///< for negative entries
-  std::vector<ResourceRecord> records;        ///< TTLs adjusted to remaining
-  std::vector<ResourceRecord> soa;            ///< for negative entries
+  RCode rcode = RCode::kNoError;  ///< for negative entries
+  RecordList records;             ///< TTLs adjusted to remaining
+  RecordList soa;                 ///< for negative entries
 };
 
 /// Cache keyed by (qname, qtype). Entries expire by wall (simulated) time;
@@ -50,12 +59,12 @@ class DnsCache {
 
   /// Caches a positive RRset. TTL used is the minimum across `records`;
   /// TTL 0 answers are not cached (per RFC 1035 semantics).
-  void insert(const DnsName& name, RecordType type,
-              std::vector<ResourceRecord> records, simnet::SimTime now);
+  void insert(const DnsName& name, RecordType type, RecordList records,
+              simnet::SimTime now);
 
   /// Caches a negative answer (NXDOMAIN or NODATA) for the SOA minimum TTL.
   void insert_negative(const DnsName& name, RecordType type, RCode rcode,
-                       std::vector<ResourceRecord> soa, simnet::SimTime now);
+                       RecordList soa, simnet::SimTime now);
 
   /// Looks up a live entry; returns records with decremented TTLs.
   std::optional<CachedAnswer> lookup(const DnsName& name, RecordType type,
@@ -92,15 +101,39 @@ class DnsCache {
     CachedAnswer answer;
     simnet::SimTime inserted;
     simnet::SimTime expires;
+    std::uint64_t seq = 0;  ///< stamp matching the live expiry-heap item
   };
   using Key = std::pair<DnsName, RecordType>;
 
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return k.first.hash() * 31 + static_cast<std::size_t>(k.second);
+    }
+  };
+
+  /// Lazy-deletion heap item; stale when the entry was erased or
+  /// overwritten (seq mismatch) since this item was pushed.
+  struct HeapItem {
+    simnet::SimTime expires;
+    std::uint64_t seq = 0;
+    Key key;
+  };
+  struct LaterExpiry {
+    bool operator()(const HeapItem& a, const HeapItem& b) const {
+      if (a.expires != b.expires) return a.expires > b.expires;
+      return a.seq > b.seq;
+    }
+  };
+
   void evict_if_full();
+  void store(Key key, Entry entry);
 
   std::size_t max_entries_;
   bool serve_stale_ = false;
   simnet::SimTime max_stale_ = simnet::SimTime::zero();
-  std::map<Key, Entry> entries_;
+  std::uint64_t next_seq_ = 1;
+  util::FlatHashMap<Key, Entry, KeyHash> entries_;
+  std::vector<HeapItem> expiry_heap_;  ///< min-heap by (expires, seq)
   CacheStats stats_;
 };
 

@@ -51,7 +51,7 @@ Zone& PublicDnsHierarchy::tld_zone(const DnsName& zone_origin) {
   if (zone_origin.is_root()) {
     throw std::invalid_argument("cannot delegate the root");
   }
-  const std::string tld = zone_origin.labels().back();
+  const std::string tld(zone_origin.label(zone_origin.label_count() - 1));
   const auto it = tlds_.find(tld);
   if (it == tlds_.end()) {
     throw std::logic_error("TLD '" + tld + "' not created; call ensure_tld");

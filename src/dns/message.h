@@ -9,6 +9,7 @@
 #include "dns/edns.h"
 #include "dns/name.h"
 #include "dns/rr.h"
+#include "util/small_vector.h"
 
 namespace mecdns::dns {
 
@@ -52,12 +53,18 @@ struct Question {
   std::string to_string() const;
 };
 
+/// Message sections hold their first record inline (typical messages carry
+/// 1-3 records; the single-record case is by far the most common), spilling
+/// to the heap only for larger messages.
+using QuestionList = util::SmallVector<Question, 1>;
+using RecordList = util::SmallVector<ResourceRecord, 1>;
+
 struct Message {
   Header header;
-  std::vector<Question> questions;
-  std::vector<ResourceRecord> answers;
-  std::vector<ResourceRecord> authorities;
-  std::vector<ResourceRecord> additionals;
+  QuestionList questions;
+  RecordList answers;
+  RecordList authorities;
+  RecordList additionals;
   /// Parsed EDNS(0) state (from/for the OPT pseudo-record). When set, the
   /// codec emits an OPT record in additionals; on decode the OPT record is
   /// lifted out of additionals into this field.

@@ -1,9 +1,8 @@
 #include "dns/name.h"
 
 #include <cctype>
+#include <cstring>
 #include <stdexcept>
-
-#include "util/strings.h"
 
 namespace mecdns::dns {
 
@@ -12,14 +11,70 @@ char fold(char c) {
   return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
 }
 
-bool label_equal_icase(const std::string& a, const std::string& b) {
-  if (a.size() != b.size()) return false;
-  for (std::size_t i = 0; i < a.size(); ++i) {
+// Case-folded bytewise comparison over wire-label bytes. Length prefixes
+// are 1..63, a range std::tolower never remaps, so folding the whole run
+// (prefixes included) is equivalent to folding only the label characters.
+bool wire_equal_icase(const char* a, const char* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
     if (fold(a[i]) != fold(b[i])) return false;
   }
   return true;
 }
 }  // namespace
+
+DnsName::DnsName(const DnsName& other)
+    : size_(other.size_), count_(other.count_) {
+  if (other.on_heap()) {
+    heap_ = new char[kMaxData];
+    std::memcpy(heap_, other.heap_, size_);
+  } else {
+    std::memcpy(inline_, other.inline_, size_);
+  }
+}
+
+DnsName::DnsName(DnsName&& other) noexcept
+    : size_(other.size_), count_(other.count_) {
+  if (other.on_heap()) {
+    heap_ = other.heap_;
+    other.size_ = 0;
+    other.count_ = 0;
+  } else {
+    std::memcpy(inline_, other.inline_, size_);
+  }
+}
+
+DnsName& DnsName::operator=(const DnsName& other) {
+  if (this == &other) return *this;
+  if (on_heap()) delete[] heap_;
+  size_ = other.size_;
+  count_ = other.count_;
+  if (other.on_heap()) {
+    heap_ = new char[kMaxData];
+    std::memcpy(heap_, other.heap_, size_);
+  } else {
+    std::memcpy(inline_, other.inline_, size_);
+  }
+  return *this;
+}
+
+DnsName& DnsName::operator=(DnsName&& other) noexcept {
+  if (this == &other) return *this;
+  if (on_heap()) delete[] heap_;
+  size_ = other.size_;
+  count_ = other.count_;
+  if (other.on_heap()) {
+    heap_ = other.heap_;
+    other.size_ = 0;
+    other.count_ = 0;
+  } else {
+    std::memcpy(inline_, other.inline_, size_);
+  }
+  return *this;
+}
+
+DnsName::~DnsName() {
+  if (on_heap()) delete[] heap_;
+}
 
 util::Result<void> DnsName::validate_label(std::string_view label) {
   if (label.empty()) return util::Err("empty label");
@@ -38,24 +93,44 @@ util::Result<void> DnsName::validate_label(std::string_view label) {
   return util::Ok();
 }
 
+util::Result<void> DnsName::append_label(std::string_view label) {
+  auto valid = validate_label(label);
+  if (!valid.ok()) return valid.error();
+  const std::size_t next = std::size_t{size_} + 1 + label.size();
+  if (next > kMaxData) return util::Err("name exceeds 255 octets");
+  if (!on_heap() && next > kInlineCapacity) {
+    // Crossing into heap storage: one fixed-size buffer covers any name.
+    char* heap = new char[kMaxData];
+    std::memcpy(heap, inline_, size_);
+    heap_ = heap;
+  }
+  // on_heap() keys off size_, which still holds the old length — write
+  // through the pointer we just decided on.
+  char* dst = (next > kInlineCapacity) ? heap_ : inline_;
+  dst[size_] = static_cast<char>(label.size());
+  std::memcpy(dst + size_ + 1, label.data(), label.size());
+  size_ = static_cast<std::uint8_t>(next);
+  ++count_;
+  return util::Ok();
+}
+
 util::Result<DnsName> DnsName::parse(std::string_view text) {
   if (text.empty()) return util::Err("empty name");
   if (text == ".") return DnsName();
   if (text.back() == '.') text.remove_suffix(1);
-  std::vector<std::string> labels;
+  DnsName name;
   std::size_t start = 0;
   while (start <= text.size()) {
     const std::size_t dot = text.find('.', start);
     const std::string_view label =
         dot == std::string_view::npos ? text.substr(start)
                                       : text.substr(start, dot - start);
-    auto valid = validate_label(label);
-    if (!valid.ok()) return valid.error();
-    labels.emplace_back(label);
+    auto appended = name.append_label(label);
+    if (!appended.ok()) return appended.error();
     if (dot == std::string_view::npos) break;
     start = dot + 1;
   }
-  return from_labels(std::move(labels));
+  return name;
 }
 
 DnsName DnsName::must_parse(std::string_view text) {
@@ -69,81 +144,158 @@ DnsName DnsName::must_parse(std::string_view text) {
 
 util::Result<DnsName> DnsName::from_labels(std::vector<std::string> labels) {
   DnsName name;
-  name.labels_ = std::move(labels);
-  for (const auto& label : name.labels_) {
-    auto valid = validate_label(label);
-    if (!valid.ok()) return valid.error();
+  for (const auto& label : labels) {
+    auto appended = name.append_label(label);
+    if (!appended.ok()) return appended.error();
   }
-  if (name.wire_length() > 255) return util::Err("name exceeds 255 octets");
   return name;
 }
 
-std::size_t DnsName::wire_length() const {
-  std::size_t length = 1;  // terminating root label
-  for (const auto& label : labels_) length += 1 + label.size();
-  return length;
+DnsName DnsName::from_wire_trusted(const char* data, std::size_t size,
+                                   std::size_t count) {
+  DnsName name;
+  name.size_ = static_cast<std::uint8_t>(size);
+  name.count_ = static_cast<std::uint8_t>(count);
+  if (name.on_heap()) {
+    name.heap_ = new char[kMaxData];
+    std::memcpy(name.heap_, data, size);
+  } else {
+    std::memcpy(name.inline_, data, size);
+  }
+  return name;
+}
+
+std::size_t DnsName::offset_of(std::size_t i) const {
+  const char* d = data_ptr();
+  std::size_t at = 0;
+  for (std::size_t k = 0; k < i; ++k) {
+    at += 1 + static_cast<unsigned char>(d[at]);
+  }
+  return at;
+}
+
+std::string_view DnsName::label(std::size_t i) const {
+  if (i >= count_) throw std::out_of_range("DnsName::label index");
+  const char* d = data_ptr();
+  const std::size_t at = offset_of(i);
+  const std::size_t len = static_cast<unsigned char>(d[at]);
+  return {d + at + 1, len};
+}
+
+std::vector<std::string> DnsName::labels() const {
+  std::vector<std::string> out;
+  out.reserve(count_);
+  const char* d = data_ptr();
+  std::size_t at = 0;
+  for (std::size_t i = 0; i < count_; ++i) {
+    const std::size_t len = static_cast<unsigned char>(d[at]);
+    out.emplace_back(d + at + 1, len);
+    at += 1 + len;
+  }
+  return out;
 }
 
 bool DnsName::is_subdomain_of(const DnsName& ancestor) const {
-  if (ancestor.labels_.size() > labels_.size()) return false;
-  const std::size_t offset = labels_.size() - ancestor.labels_.size();
-  for (std::size_t i = 0; i < ancestor.labels_.size(); ++i) {
-    if (!label_equal_icase(labels_[offset + i], ancestor.labels_[i])) {
-      return false;
-    }
-  }
-  return true;
+  if (ancestor.count_ > count_) return false;
+  const std::size_t at = offset_of(count_ - ancestor.count_);
+  if (size_ - at != ancestor.size_) return false;
+  return wire_equal_icase(data_ptr() + at, ancestor.data_ptr(),
+                          ancestor.size_);
 }
 
 DnsName DnsName::parent() const {
-  DnsName result;
-  if (labels_.size() <= 1) return result;
-  result.labels_.assign(labels_.begin() + 1, labels_.end());
-  return result;
+  if (count_ <= 1) return DnsName();
+  const std::size_t drop = 1 + static_cast<unsigned char>(data_ptr()[0]);
+  return from_wire_trusted(data_ptr() + drop, size_ - drop, count_ - 1);
+}
+
+DnsName DnsName::prefix(std::size_t n) const {
+  if (n >= count_) return *this;
+  return from_wire_trusted(data_ptr(), offset_of(n), n);
+}
+
+DnsName DnsName::suffix(std::size_t n) const {
+  if (n >= count_) return *this;
+  const std::size_t at = offset_of(count_ - n);
+  return from_wire_trusted(data_ptr() + at, size_ - at, n);
 }
 
 util::Result<DnsName> DnsName::with_prefix(std::string_view label) const {
-  auto valid = validate_label(label);
-  if (!valid.ok()) return valid.error();
-  std::vector<std::string> labels;
-  labels.reserve(labels_.size() + 1);
-  labels.emplace_back(label);
-  labels.insert(labels.end(), labels_.begin(), labels_.end());
-  return from_labels(std::move(labels));
+  DnsName name;
+  auto appended = name.append_label(label);
+  if (!appended.ok()) return appended.error();
+  const std::size_t next = std::size_t{name.size_} + size_;
+  if (next > kMaxData) return util::Err("name exceeds 255 octets");
+  if (!name.on_heap() && next > kInlineCapacity) {
+    char* heap = new char[kMaxData];
+    std::memcpy(heap, name.inline_, name.size_);
+    name.heap_ = heap;
+  }
+  char* dst = (next > kInlineCapacity) ? name.heap_ : name.inline_;
+  std::memcpy(dst + name.size_, data_ptr(), size_);
+  name.size_ = static_cast<std::uint8_t>(next);
+  name.count_ = static_cast<std::uint8_t>(count_ + 1);
+  return name;
 }
 
 util::Result<DnsName> DnsName::under(const DnsName& suffix) const {
-  std::vector<std::string> labels = labels_;
-  labels.insert(labels.end(), suffix.labels_.begin(), suffix.labels_.end());
-  return from_labels(std::move(labels));
+  const std::size_t next = std::size_t{size_} + suffix.size_;
+  if (next > kMaxData) return util::Err("name exceeds 255 octets");
+  DnsName name = *this;
+  if (!name.on_heap() && next > kInlineCapacity) {
+    char* heap = new char[kMaxData];
+    std::memcpy(heap, name.inline_, name.size_);
+    name.heap_ = heap;
+  }
+  char* dst = (next > kInlineCapacity) ? name.heap_ : name.inline_;
+  std::memcpy(dst + name.size_, suffix.data_ptr(), suffix.size_);
+  name.size_ = static_cast<std::uint8_t>(next);
+  name.count_ = static_cast<std::uint8_t>(count_ + suffix.count_);
+  return name;
 }
 
 DnsName DnsName::wildcard_sibling() const {
-  DnsName result = is_root() ? DnsName() : parent();
-  result.labels_.insert(result.labels_.begin(), "*");
-  return result;
+  DnsName base = is_root() ? DnsName() : parent();
+  DnsName star;
+  (void)star.append_label("*");
+  auto joined = star.under(base);
+  // "*" plus a parent of a valid name always fits (we dropped a label of
+  // >= 1 octet and added a 1-octet one).
+  return std::move(joined).value();
 }
 
 std::string DnsName::to_string() const {
-  if (labels_.empty()) return ".";
-  return util::join(labels_, ".");
+  if (count_ == 0) return ".";
+  std::string out;
+  out.reserve(size_);
+  const char* d = data_ptr();
+  std::size_t at = 0;
+  for (std::size_t i = 0; i < count_; ++i) {
+    const std::size_t len = static_cast<unsigned char>(d[at]);
+    if (i != 0) out.push_back('.');
+    out.append(d + at + 1, len);
+    at += 1 + len;
+  }
+  return out;
 }
 
 bool operator==(const DnsName& a, const DnsName& b) {
-  if (a.labels_.size() != b.labels_.size()) return false;
-  for (std::size_t i = 0; i < a.labels_.size(); ++i) {
-    if (!label_equal_icase(a.labels_[i], b.labels_[i])) return false;
-  }
-  return true;
+  if (a.size_ != b.size_ || a.count_ != b.count_) return false;
+  return wire_equal_icase(a.data_ptr(), b.data_ptr(), a.size_);
+}
+
+bool DnsName::equals_exact(const DnsName& other) const {
+  if (size_ != other.size_ || count_ != other.count_) return false;
+  return std::memcmp(data_ptr(), other.data_ptr(), size_) == 0;
 }
 
 bool operator<(const DnsName& a, const DnsName& b) {
   // Compare right-to-left by label, case-folded.
-  std::size_t ia = a.labels_.size();
-  std::size_t ib = b.labels_.size();
+  std::size_t ia = a.count_;
+  std::size_t ib = b.count_;
   while (ia > 0 && ib > 0) {
-    const std::string& la = a.labels_[ia - 1];
-    const std::string& lb = b.labels_[ib - 1];
+    const std::string_view la = a.label(ia - 1);
+    const std::string_view lb = b.label(ib - 1);
     const std::size_t n = std::min(la.size(), lb.size());
     for (std::size_t i = 0; i < n; ++i) {
       const char ca = fold(la[i]);
@@ -159,13 +311,17 @@ bool operator<(const DnsName& a, const DnsName& b) {
 
 std::size_t DnsName::hash() const {
   std::size_t h = 14695981039346656037ULL;
-  for (const auto& label : labels_) {
-    for (const char c : label) {
-      h ^= static_cast<std::size_t>(fold(c));
+  const char* d = data_ptr();
+  std::size_t at = 0;
+  for (std::size_t i = 0; i < count_; ++i) {
+    const std::size_t len = static_cast<unsigned char>(d[at]);
+    for (std::size_t k = 0; k < len; ++k) {
+      h ^= static_cast<std::size_t>(fold(d[at + 1 + k]));
       h *= 1099511628211ULL;
     }
     h ^= 0xff;  // label separator so {"ab","c"} != {"a","bc"}
     h *= 1099511628211ULL;
+    at += 1 + len;
   }
   return h;
 }

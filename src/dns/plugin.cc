@@ -204,16 +204,9 @@ void RewritePlugin::serve(const PluginContext& ctx, Respond respond,
     return;
   }
   // Re-root the qname under `to_`, preserving the relative labels.
-  std::vector<std::string> relative(
-      q.name.labels().begin(),
-      q.name.labels().end() -
-          static_cast<std::ptrdiff_t>(from_.label_count()));
-  auto relative_name = DnsName::from_labels(std::move(relative));
-  if (!relative_name.ok()) {
-    next(std::move(respond));
-    return;
-  }
-  auto rewritten = relative_name.value().under(to_);
+  const DnsName relative_name =
+      q.name.prefix(q.name.label_count() - from_.label_count());
+  auto rewritten = relative_name.under(to_);
   if (!rewritten.ok()) {
     next(std::move(respond));
     return;

@@ -11,23 +11,27 @@ namespace mecdns::dns {
 namespace {
 /// Randomizes ASCII letter case per label character (DNS-0x20).
 DnsName randomize_case(const DnsName& name, util::Rng& rng) {
-  std::vector<std::string> labels = name.labels();
-  for (auto& label : labels) {
-    for (char& c : label) {
+  DnsName randomized;
+  char scratch[64];
+  for (std::size_t i = 0; i < name.label_count(); ++i) {
+    const std::string_view label = name.label(i);
+    for (std::size_t k = 0; k < label.size(); ++k) {
+      char c = label[k];
       if (std::isalpha(static_cast<unsigned char>(c)) && rng.bernoulli(0.5)) {
         c = static_cast<char>(std::isupper(static_cast<unsigned char>(c))
                                   ? std::tolower(c)
                                   : std::toupper(c));
       }
+      scratch[k] = c;
     }
+    if (!randomized.append_label({scratch, label.size()}).ok()) return name;
   }
-  auto randomized = DnsName::from_labels(std::move(labels));
-  return randomized.ok() ? randomized.value() : name;
+  return randomized;
 }
 
 /// Byte-exact (case-sensitive) name equality, for 0x20 verification.
 bool exact_equal(const DnsName& a, const DnsName& b) {
-  return a.labels() == b.labels();
+  return a.equals_exact(b);
 }
 }  // namespace
 

@@ -8,7 +8,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <vector>
 
 #include "dns/message.h"
@@ -16,6 +15,7 @@
 #include "obs/trace.h"
 #include "simnet/context.h"
 #include "simnet/network.h"
+#include "util/flat_map.h"
 #include "util/result.h"
 #include "util/rng.h"
 
@@ -125,7 +125,18 @@ class DnsTransport {
   std::uint64_t tc_retries_ = 0;
   std::uint64_t servfails_ = 0;
   std::uint64_t failovers_ = 0;
-  std::map<std::uint16_t, Pending> pending_;
+  /// In-flight transactions by id. Touched on every send/receive/timeout,
+  /// so it uses the open-addressing flat map; ids are scrambled before
+  /// probing so sequential allocation doesn't cluster.
+  struct IdHash {
+    std::size_t operator()(std::uint16_t id) const {
+      std::size_t h = id;
+      h ^= h >> 7;
+      h *= 0x9e3779b97f4a7c15ULL;
+      return h ^ (h >> 32);
+    }
+  };
+  util::FlatHashMap<std::uint16_t, Pending, IdHash> pending_;
 };
 
 }  // namespace mecdns::dns

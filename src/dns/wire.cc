@@ -1,12 +1,14 @@
 #include "dns/wire.h"
 
-#include <map>
+#include <cctype>
 #include <string>
 
 #include "dns/edns.h"
+#include "util/arena.h"
 #include "util/bytes.h"
 #include "util/perfcount.h"
-#include "util/strings.h"
+#include "util/small_vector.h"
+#include "util/thread_fresh.h"
 
 namespace mecdns::dns {
 
@@ -15,48 +17,87 @@ namespace {
 constexpr std::uint8_t kPointerTag = 0xc0;
 constexpr std::size_t kMaxPointerChases = 32;
 
-/// Tracks previously written names so later occurrences can point at them.
+char fold_char(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+/// Tracks previously written names so later occurrences can point at them
+/// (RFC 1035 §4.1.4).
+///
+/// Instead of a std::map keyed by lowercased dotted-suffix strings (one
+/// string build + tree walk per label), this records the byte offset of
+/// every label start it writes and, on lookup, compares the candidate
+/// suffix against the name already in the output buffer at each recorded
+/// offset — chasing compression pointers, case-insensitively. Offsets are
+/// scanned in recording order, so the earliest occurrence of a suffix wins,
+/// exactly as std::map::emplace kept the first insertion.
 class NameCompressor {
  public:
   void write_name(util::ByteWriter& out, const DnsName& name) {
-    // For each suffix of the name (longest first), check whether we already
-    // wrote it; if so emit a pointer, otherwise write the label and recurse.
-    const auto& labels = name.labels();
-    for (std::size_t i = 0; i < labels.size(); ++i) {
-      const std::string key = suffix_key(labels, i);
-      const auto it = offsets_.find(key);
-      if (it != offsets_.end() && it->second < 0x3fff) {
-        out.u16(static_cast<std::uint16_t>(0xc000 | it->second));
+    const std::string_view wire = name.wire_labels();
+    std::size_t at = 0;
+    while (at < wire.size()) {
+      const std::size_t found = find_suffix(out, wire.substr(at));
+      if (found != kNotFound) {
+        out.u16(static_cast<std::uint16_t>(0xc000 | found));
         return;
       }
       if (out.size() < 0x3fff) {
-        offsets_.emplace(key, out.size());
+        offsets_.push_back(static_cast<std::uint16_t>(out.size()));
       }
-      out.u8(static_cast<std::uint8_t>(labels[i].size()));
-      out.bytes(labels[i]);
+      const std::size_t len = static_cast<unsigned char>(wire[at]);
+      out.bytes(wire.substr(at, 1 + len));
+      at += 1 + len;
     }
     out.u8(0);  // root
   }
 
  private:
-  static std::string suffix_key(const std::vector<std::string>& labels,
-                                std::size_t from) {
-    std::string key;
-    for (std::size_t i = from; i < labels.size(); ++i) {
-      key += util::to_lower(labels[i]);
-      key += '.';
+  static constexpr std::size_t kNotFound = static_cast<std::size_t>(-1);
+
+  /// Earliest recorded offset whose in-buffer name equals `want` (a run of
+  /// length-prefixed labels without the terminating root byte).
+  std::size_t find_suffix(const util::ByteWriter& out,
+                          std::string_view want) const {
+    for (const std::uint16_t offset : offsets_) {
+      if (matches_at(out, offset, want)) return offset;
     }
-    return key;
+    return kNotFound;
   }
 
-  std::map<std::string, std::size_t> offsets_;
+  static bool matches_at(const util::ByteWriter& out, std::size_t pos,
+                         std::string_view want) {
+    const std::uint8_t* buf = out.raw();
+    const std::size_t size = out.size();
+    std::size_t w = 0;
+    std::size_t chases = 0;
+    while (true) {
+      if (pos >= size) return false;
+      const std::uint8_t len = buf[pos];
+      if ((len & kPointerTag) == kPointerTag) {
+        if (++chases > kMaxPointerChases || pos + 1 >= size) return false;
+        pos = (static_cast<std::size_t>(len & 0x3f) << 8) | buf[pos + 1];
+        continue;
+      }
+      if (w == want.size()) return len == 0;
+      if (len != static_cast<std::uint8_t>(want[w])) return false;
+      if (pos + 1 + len > size) return false;
+      for (std::size_t k = 0; k < len; ++k) {
+        if (fold_char(static_cast<char>(buf[pos + 1 + k])) !=
+            fold_char(want[w + 1 + k])) {
+          return false;
+        }
+      }
+      pos += 1 + len;
+      w += 1 + len;
+    }
+  }
+
+  util::SmallVector<std::uint16_t, 32> offsets_;
 };
 
 void write_uncompressed_name(util::ByteWriter& out, const DnsName& name) {
-  for (const auto& label : name.labels()) {
-    out.u8(static_cast<std::uint8_t>(label.size()));
-    out.bytes(label);
-  }
+  out.bytes(name.wire_labels());
   out.u8(0);
 }
 
@@ -94,7 +135,7 @@ void write_record(util::ByteWriter& out, NameCompressor& names,
       for (const auto& s : txt.strings) {
         const std::size_t n = std::min<std::size_t>(s.size(), 255);
         out.u8(static_cast<std::uint8_t>(n));
-        out.bytes(s.substr(0, n));
+        out.bytes(std::string_view(s).substr(0, n));
       }
     }
     void operator()(const SrvRecord& srv) {
@@ -131,7 +172,7 @@ ResourceRecord make_opt_record(const Edns& edns) {
 }
 
 util::Result<DnsName> read_name(util::ByteReader& reader) {
-  std::vector<std::string> labels;
+  DnsName name;
   std::size_t chases = 0;
   bool jumped = false;
   std::size_t resume_at = 0;
@@ -164,17 +205,18 @@ util::Result<DnsName> read_name(util::ByteReader& reader) {
       return util::Err("reserved label type");
     }
     if (len == 0) break;
-    auto label = reader.str(len);
+    auto label = reader.view(len);
     if (!label.ok()) return label.error();
-    labels.push_back(std::move(label.value()));
-    if (labels.size() > 128) return util::Err("too many labels");
+    auto appended = name.append_label(label.value());
+    if (!appended.ok()) return appended.error();
+    if (name.label_count() > 127) return util::Err("too many labels");
   }
 
   if (jumped) {
     auto seek = reader.seek(resume_at);
     if (!seek.ok()) return seek.error();
   }
-  return DnsName::from_labels(std::move(labels));
+  return name;
 }
 
 util::Result<ResourceRecord> read_record(util::ByteReader& reader) {
@@ -314,10 +356,30 @@ util::Result<ResourceRecord> read_record(util::ByteReader& reader) {
   return rr;
 }
 
+/// Per-thread scratch for encode temporaries: reset (not freed) per message,
+/// so the steady state allocates only the final wire vector. Registered with
+/// the thread-fresh registry so the campaign runner can return it to a cold
+/// state before each job — otherwise a job landing on a warm worker thread
+/// would see different refill/allocation counts than the same job on a
+/// fresh thread, breaking worker-count byte-identity.
+util::Arena& encode_arena() {
+  thread_local struct Holder {
+    util::Arena arena{2048};
+    Holder() {
+      util::register_thread_cache(
+          [](void* ctx) { static_cast<util::Arena*>(ctx)->release(); },
+          &arena);
+    }
+  } holder;
+  return holder.arena;
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> encode(const Message& message) {
-  util::ByteWriter out;
+  util::Arena& arena = encode_arena();
+  arena.reset();
+  util::ByteWriter out(&arena);
   NameCompressor names;
 
   std::uint16_t flags = 0;
@@ -331,17 +393,15 @@ std::vector<std::uint8_t> encode(const Message& message) {
   if (h.ra) flags |= 0x0080;
   flags |= static_cast<std::uint16_t>(static_cast<std::uint8_t>(h.rcode) & 0xf);
 
-  std::vector<ResourceRecord> additionals = message.additionals;
-  if (message.edns.has_value()) {
-    additionals.push_back(make_opt_record(*message.edns));
-  }
+  const std::size_t arcount =
+      message.additionals.size() + (message.edns.has_value() ? 1 : 0);
 
   out.u16(h.id);
   out.u16(flags);
   out.u16(static_cast<std::uint16_t>(message.questions.size()));
   out.u16(static_cast<std::uint16_t>(message.answers.size()));
   out.u16(static_cast<std::uint16_t>(message.authorities.size()));
-  out.u16(static_cast<std::uint16_t>(additionals.size()));
+  out.u16(static_cast<std::uint16_t>(arcount));
 
   for (const auto& q : message.questions) {
     names.write_name(out, q.name);
@@ -350,7 +410,12 @@ std::vector<std::uint8_t> encode(const Message& message) {
   }
   for (const auto& rr : message.answers) write_record(out, names, rr);
   for (const auto& rr : message.authorities) write_record(out, names, rr);
-  for (const auto& rr : additionals) write_record(out, names, rr);
+  for (const auto& rr : message.additionals) write_record(out, names, rr);
+  // The OPT pseudo-record rides last in additionals, written directly from
+  // Message::edns — no section copy just to append it.
+  if (message.edns.has_value()) {
+    write_record(out, names, make_opt_record(*message.edns));
+  }
   std::vector<std::uint8_t> wire = out.take();
   auto& perf = util::perf::counters();
   ++perf.dns_encoded;
@@ -404,8 +469,7 @@ util::Result<Message> decode(std::span<const std::uint8_t> wire) {
   }
 
   const auto read_section = [&](std::uint16_t count,
-                                std::vector<ResourceRecord>& section)
-      -> util::Result<void> {
+                                RecordList& section) -> util::Result<void> {
     for (std::uint16_t i = 0; i < count; ++i) {
       auto rr = read_record(reader);
       if (!rr.ok()) return rr.error();

@@ -89,14 +89,10 @@ const std::vector<ResourceRecord>* Zone::find_delegation(const DnsName& name,
   if (name_labels <= apex_labels) return nullptr;
   for (std::size_t take = apex_labels + 1; take <= name_labels; ++take) {
     // Candidate = last `take` labels of `name`.
-    std::vector<std::string> labels(
-        name.labels().end() - static_cast<std::ptrdiff_t>(take),
-        name.labels().end());
-    auto candidate = DnsName::from_labels(std::move(labels));
-    if (!candidate.ok()) continue;
-    const auto it = records_.find({candidate.value(), RecordType::kNs});
+    DnsName candidate = name.suffix(take);
+    const auto it = records_.find({candidate, RecordType::kNs});
     if (it != records_.end()) {
-      if (cut != nullptr) *cut = candidate.value();
+      if (cut != nullptr) *cut = std::move(candidate);
       return &it->second;
     }
   }

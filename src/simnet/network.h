@@ -20,6 +20,7 @@
 #include "simnet/simulator.h"
 #include "simnet/time.h"
 #include "util/rng.h"
+#include "util/small_vector.h"
 
 namespace mecdns::simnet {
 
@@ -46,7 +47,9 @@ struct Packet {
   /// transfer (a content response representing megabytes of data) set it
   /// to the represented size so transfer time scales with object size.
   std::size_t virtual_size = 0;
-  std::vector<Hop> hops;
+  /// Typical paths in the MEC topologies traverse <= 4 nodes, so the hop
+  /// trail stays inline with the packet.
+  util::SmallVector<Hop, 4> hops;
   int ttl = 64;
 
   std::size_t wire_size() const {

@@ -1,5 +1,6 @@
 #include "simnet/simulator.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/log.h"
@@ -21,7 +22,8 @@ Simulator::~Simulator() { util::clear_log_clock(this); }
 
 void Simulator::schedule_at(SimTime at, Callback fn) {
   if (at < now_) at = now_;
-  queue_.push(Event{at, next_seq_++, current_trace_token(), std::move(fn)});
+  queue_.push_back(Event{at, next_seq_++, current_trace_token(), std::move(fn)});
+  std::push_heap(queue_.begin(), queue_.end(), Later{});
   if (queue_.size() > max_queue_depth_) max_queue_depth_ = queue_.size();
   ++util::perf::counters().events_scheduled;
 }
@@ -34,7 +36,7 @@ std::size_t Simulator::run() {
 
 std::size_t Simulator::run_until(SimTime until) {
   std::size_t n = 0;
-  while (!queue_.empty() && queue_.top().at <= until) {
+  while (!queue_.empty() && queue_.front().at <= until) {
     step();
     ++n;
   }
@@ -44,11 +46,11 @@ std::size_t Simulator::run_until(SimTime until) {
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-  // so copy the callback handle instead (std::function copy is cheap enough
-  // at simulation scale and keeps the code obviously correct).
-  Event ev = queue_.top();
-  queue_.pop();
+  // pop_heap moves the earliest event (per Later) to the back, from where
+  // it can be *moved* out — which is what lets Callback be move-only.
+  std::pop_heap(queue_.begin(), queue_.end(), Later{});
+  Event ev = std::move(queue_.back());
+  queue_.pop_back();
   now_ = ev.at;
   ++executed_;
   ++util::perf::counters().events_fired;

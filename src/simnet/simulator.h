@@ -2,12 +2,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "simnet/context.h"
 #include "simnet/time.h"
+#include "util/inline_function.h"
 
 namespace mecdns::simnet {
 
@@ -20,9 +19,17 @@ namespace mecdns::simnet {
 /// and processing delays without any per-component plumbing. While a
 /// simulator exists it also registers itself as the util::log clock, so log
 /// lines carry the simulated time.
+///
+/// The callback type is a move-only inline function with a 192-byte buffer:
+/// the lambdas the dns/simnet layers schedule (a TraceToken, an alive-flag,
+/// a Packet or a couple of values) fit in place, so the steady-state event
+/// costs zero heap allocations where std::function allocated nearly every
+/// time. The queue itself is a binary heap over a plain vector, managed
+/// with push_heap/pop_heap so events can be *moved* out (std::priority_queue
+/// only exposes a const top(), which forces a copy).
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = util::InlineFunction<void(), 192>;
 
   Simulator();
   ~Simulator();
@@ -75,7 +82,7 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::size_t executed_ = 0;
   std::size_t max_queue_depth_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Event> queue_;  ///< binary heap ordered by Later
 };
 
 }  // namespace mecdns::simnet

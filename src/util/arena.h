@@ -1,0 +1,121 @@
+// Arena: a chunked bump allocator for per-query scratch memory.
+//
+// The DNS codec needs short-lived buffers (wire bytes, decode scratch) once
+// per message; allocating them from the general heap is the single largest
+// contributor to allocs/query. An Arena hands out pointers by bumping an
+// offset into a pre-allocated chunk and releases everything at once via
+// reset(). Chunks are kept across resets, so a steady-state encode loop
+// performs zero heap allocations — only capacity *growth* touches the heap,
+// and each such refill bumps perf.pool_refills so pool churn stays visible
+// in metrics dumps even when allocs/query reads near zero.
+//
+// Not thread-safe; intended use is one thread_local arena per hot path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/perfcount.h"
+
+namespace mecdns::util {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t first_chunk_bytes = 4096)
+      : first_chunk_bytes_(first_chunk_bytes == 0 ? 64 : first_chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `size` bytes aligned to `align` (a power of two). Falls back to
+  /// a fresh chunk — never fails short of the heap itself failing.
+  void* alloc(std::size_t size, std::size_t align = alignof(std::max_align_t)) {
+    if (size == 0) size = 1;
+    while (chunk_ < chunks_.size()) {
+      Chunk& c = chunks_[chunk_];
+      std::size_t at = (c.used + align - 1) & ~(align - 1);
+      if (at + size <= c.size) {
+        c.used = at + size;
+        return c.data.get() + at;
+      }
+      // This chunk is full (or too fragmented for the request); move on.
+      ++chunk_;
+      if (chunk_ < chunks_.size()) chunks_[chunk_].used = 0;
+    }
+    return alloc_in_new_chunk(size, align);
+  }
+
+  /// Typed convenience: uninitialized storage for `count` Ts.
+  template <typename T>
+  T* alloc_array(std::size_t count) {
+    return static_cast<T*>(alloc(count * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds to empty without releasing chunks: the next allocation cycle
+  /// reuses the memory already fetched from the heap.
+  void reset() {
+    for (std::size_t i = 0; i <= chunk_ && i < chunks_.size(); ++i) {
+      chunks_[i].used = 0;
+    }
+    chunk_ = 0;
+  }
+
+  /// Returns every chunk to the heap: capacity drops to zero and the next
+  /// alloc() refills from scratch. Called at deterministic boundaries (a
+  /// campaign job starting on this thread) so a thread_local arena's warm-up
+  /// cost is a pure function of the job, never of which jobs happened to run
+  /// earlier on the same worker thread.
+  void release() {
+    chunks_.clear();
+    chunks_.shrink_to_fit();
+    chunk_ = 0;
+  }
+
+  /// Number of chunk allocations performed over the arena's lifetime.
+  std::uint64_t refills() const { return refills_; }
+
+  /// Total bytes held across all chunks (capacity, not live usage).
+  std::size_t capacity() const {
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::uint8_t[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  void* alloc_in_new_chunk(std::size_t size, std::size_t align) {
+    std::size_t chunk_size =
+        chunks_.empty() ? first_chunk_bytes_ : chunks_.back().size * 2;
+    // Worst case the request is misaligned against a fresh chunk by
+    // align-1 bytes; size the chunk so the request always fits.
+    if (chunk_size < size + align) chunk_size = size + align;
+    Chunk c;
+    c.data = std::make_unique<std::uint8_t[]>(chunk_size);
+    c.size = chunk_size;
+    ++refills_;
+    ++perf::counters().pool_refills;
+    chunks_.push_back(std::move(c));
+    chunk_ = chunks_.size() - 1;
+    Chunk& fresh = chunks_.back();
+    std::size_t at = (reinterpret_cast<std::uintptr_t>(fresh.data.get()) +
+                      align - 1) &
+                     ~(align - 1);
+    at -= reinterpret_cast<std::uintptr_t>(fresh.data.get());
+    fresh.used = at + size;
+    return fresh.data.get() + at;
+  }
+
+  std::size_t first_chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t chunk_ = 0;       ///< index of the chunk currently bumping
+  std::uint64_t refills_ = 0;
+};
+
+}  // namespace mecdns::util

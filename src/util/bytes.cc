@@ -1,13 +1,51 @@
 #include "util/bytes.h"
 
+#include <cstring>
+#include <stdexcept>
+
+#include "util/arena.h"
+
 namespace mecdns::util {
 
 void ByteWriter::patch_u16(std::size_t offset, std::uint16_t v) {
-  if (offset + 2 > buf_.size()) {
+  if (offset + 2 > size_) {
     throw std::out_of_range("ByteWriter::patch_u16 past end of buffer");
   }
-  buf_[offset] = static_cast<std::uint8_t>(v >> 8);
-  buf_[offset + 1] = static_cast<std::uint8_t>(v);
+  data_[offset] = static_cast<std::uint8_t>(v >> 8);
+  data_[offset + 1] = static_cast<std::uint8_t>(v);
+}
+
+std::vector<std::uint8_t> ByteWriter::take() {
+  if (arena_ != nullptr) {
+    std::vector<std::uint8_t> out(data_, data_ + size_);
+    data_ = nullptr;
+    size_ = cap_ = 0;
+    return out;
+  }
+  buf_.resize(size_);
+  data_ = nullptr;
+  size_ = cap_ = 0;
+  return std::move(buf_);
+}
+
+void ByteWriter::append(const std::uint8_t* src, std::size_t n) {
+  if (size_ + n > cap_) grow(n);
+  std::memcpy(data_ + size_, src, n);
+  size_ += n;
+}
+
+void ByteWriter::grow(std::size_t needed) {
+  std::size_t next = cap_ == 0 ? 64 : cap_ * 2;
+  while (next < size_ + needed) next *= 2;
+  if (arena_ != nullptr) {
+    auto* fresh = arena_->alloc_array<std::uint8_t>(next);
+    if (size_ != 0) std::memcpy(fresh, data_, size_);
+    data_ = fresh;
+  } else {
+    buf_.resize(next);
+    data_ = buf_.data();
+  }
+  cap_ = next;
 }
 
 Result<void> ByteReader::seek(std::size_t offset) {
@@ -54,6 +92,14 @@ Result<std::string> ByteReader::str(std::size_t n) {
   if (remaining() < n) return Err("truncated: need " + std::to_string(n) +
                                   " bytes, have " + std::to_string(remaining()));
   std::string out(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return out;
+}
+
+Result<std::string_view> ByteReader::view(std::size_t n) {
+  if (remaining() < n) return Err("truncated: need " + std::to_string(n) +
+                                  " bytes, have " + std::to_string(remaining()));
+  std::string_view out(reinterpret_cast<const char*>(data_.data() + pos_), n);
   pos_ += n;
   return out;
 }

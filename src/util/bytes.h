@@ -9,49 +9,76 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/result.h"
 
 namespace mecdns::util {
 
+class Arena;
+
 /// Appends big-endian integers and raw bytes to a growable buffer.
+///
+/// Two backing modes share one hot path (raw data_/size_/cap_ with a grow
+/// branch): the default mode owns a heap vector and take() moves it out;
+/// arena mode bumps scratch from a caller-owned Arena — nothing to free,
+/// and take() copies out the exact final size (one allocation per message
+/// instead of one per growth step).
 class ByteWriter {
  public:
   ByteWriter() = default;
 
-  void u8(std::uint8_t v) { buf_.push_back(v); }
+  /// Arena-backed scratch mode. The arena must outlive the writer; the
+  /// caller resets it between messages.
+  explicit ByteWriter(Arena* arena) : arena_(arena) {}
+
+  void u8(std::uint8_t v) {
+    if (size_ == cap_) grow(1);
+    data_[size_++] = v;
+  }
 
   void u16(std::uint16_t v) {
-    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
-    buf_.push_back(static_cast<std::uint8_t>(v));
+    if (size_ + 2 > cap_) grow(2);
+    data_[size_++] = static_cast<std::uint8_t>(v >> 8);
+    data_[size_++] = static_cast<std::uint8_t>(v);
   }
 
   void u32(std::uint32_t v) {
-    buf_.push_back(static_cast<std::uint8_t>(v >> 24));
-    buf_.push_back(static_cast<std::uint8_t>(v >> 16));
-    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
-    buf_.push_back(static_cast<std::uint8_t>(v));
+    if (size_ + 4 > cap_) grow(4);
+    data_[size_++] = static_cast<std::uint8_t>(v >> 24);
+    data_[size_++] = static_cast<std::uint8_t>(v >> 16);
+    data_[size_++] = static_cast<std::uint8_t>(v >> 8);
+    data_[size_++] = static_cast<std::uint8_t>(v);
   }
 
-  void bytes(std::span<const std::uint8_t> data) {
-    buf_.insert(buf_.end(), data.begin(), data.end());
-  }
+  void bytes(std::span<const std::uint8_t> data) { append(data.data(), data.size()); }
 
-  void bytes(const std::string& data) {
-    buf_.insert(buf_.end(), data.begin(), data.end());
+  void bytes(std::string_view data) {
+    append(reinterpret_cast<const std::uint8_t*>(data.data()), data.size());
   }
 
   /// Overwrites a previously written big-endian u16 at `offset`.
   /// Used for patching DNS message section counts and RDLENGTH fields.
   void patch_u16(std::size_t offset, std::uint16_t v);
 
-  std::size_t size() const { return buf_.size(); }
-  const std::vector<std::uint8_t>& data() const { return buf_; }
-  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  std::size_t size() const { return size_; }
+  std::span<const std::uint8_t> data() const { return {data_, size_}; }
+  const std::uint8_t* raw() const { return data_; }
+
+  /// Yields the written bytes as an owning vector. Heap mode moves the
+  /// backing vector out (no copy); arena mode copies the exact final size.
+  std::vector<std::uint8_t> take();
 
  private:
-  std::vector<std::uint8_t> buf_;
+  void append(const std::uint8_t* src, std::size_t n);
+  void grow(std::size_t needed);
+
+  Arena* arena_ = nullptr;
+  std::vector<std::uint8_t> buf_;  ///< storage owner in heap mode only
+  std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 0;
 };
 
 /// Reads big-endian integers and byte runs from a fixed buffer with full
@@ -74,6 +101,10 @@ class ByteReader {
   Result<std::uint32_t> u32();
   Result<std::vector<std::uint8_t>> bytes(std::size_t n);
   Result<std::string> str(std::size_t n);
+
+  /// Like str() but borrows the underlying buffer instead of copying —
+  /// the view is valid only as long as the buffer backing this reader.
+  Result<std::string_view> view(std::size_t n);
 
   /// Reads a u16 at an absolute offset without moving the cursor.
   Result<std::uint16_t> peek_u16_at(std::size_t offset) const;

@@ -1,0 +1,273 @@
+// FlatHashMap: open-addressing hash map with linear probing.
+//
+// The per-query hot maps (DNS cache entries, in-flight transaction tables,
+// CDN content index) live in std::map today: every insert heap-allocates a
+// red-black node and every lookup chases pointers through cold cache lines.
+// FlatHashMap stores entries in one contiguous slot array with a parallel
+// state-byte array, probes linearly from hash(key) & mask, and erases with
+// backward shifting (no tombstones, so lookup cost never degrades with
+// churn). Capacity is a power of two and doubles at 70% load.
+//
+// Iteration order is unspecified and MUST NOT leak into deterministic
+// outputs — callers that erase-while-iterating collect keys first.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace mecdns::util {
+
+template <typename K, typename V, typename Hash = std::hash<K>,
+          typename Eq = std::equal_to<K>>
+class FlatHashMap {
+ public:
+  using value_type = std::pair<K, V>;
+
+  FlatHashMap() = default;
+  FlatHashMap(const FlatHashMap& other) { copy_from(other); }
+  FlatHashMap(FlatHashMap&& other) noexcept { swap(other); }
+  FlatHashMap& operator=(const FlatHashMap& other) {
+    if (this != &other) {
+      clear_storage();
+      copy_from(other);
+    }
+    return *this;
+  }
+  FlatHashMap& operator=(FlatHashMap&& other) noexcept {
+    if (this != &other) {
+      clear_storage();
+      swap(other);
+    }
+    return *this;
+  }
+  ~FlatHashMap() { clear_storage(); }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Forward iterator over occupied slots (unspecified order).
+  template <bool Const>
+  class Iter {
+   public:
+    using MapT = std::conditional_t<Const, const FlatHashMap, FlatHashMap>;
+    using Ref = std::conditional_t<Const, const value_type&, value_type&>;
+    using Ptr = std::conditional_t<Const, const value_type*, value_type*>;
+
+    Iter(MapT* map, std::size_t i) : map_(map), i_(i) { skip(); }
+
+    Ref operator*() const { return *map_->slot(i_); }
+    Ptr operator->() const { return map_->slot(i_); }
+
+    Iter& operator++() {
+      ++i_;
+      skip();
+      return *this;
+    }
+
+    friend bool operator==(const Iter& a, const Iter& b) { return a.i_ == b.i_; }
+    friend bool operator!=(const Iter& a, const Iter& b) { return a.i_ != b.i_; }
+
+   private:
+    friend class FlatHashMap;
+    void skip() {
+      while (i_ < map_->cap_ && map_->state_[i_] == kEmpty) ++i_;
+    }
+    MapT* map_;
+    std::size_t i_;
+  };
+
+  using iterator = Iter<false>;
+  using const_iterator = Iter<true>;
+
+  iterator begin() { return iterator(this, 0); }
+  iterator end() { return iterator(this, cap_); }
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, cap_); }
+
+  iterator find(const K& key) {
+    std::size_t i = find_index(key);
+    return i == kNotFound ? end() : iterator(this, i);
+  }
+  const_iterator find(const K& key) const {
+    std::size_t i = find_index(key);
+    return i == kNotFound ? end() : const_iterator(this, i);
+  }
+
+  std::size_t count(const K& key) const {
+    return find_index(key) == kNotFound ? 0 : 1;
+  }
+
+  V& at(const K& key) {
+    std::size_t i = find_index(key);
+    if (i == kNotFound) throw std::out_of_range("FlatHashMap::at");
+    return slot(i)->second;
+  }
+  const V& at(const K& key) const {
+    std::size_t i = find_index(key);
+    if (i == kNotFound) throw std::out_of_range("FlatHashMap::at");
+    return slot(i)->second;
+  }
+
+  V& operator[](const K& key) {
+    std::size_t i = find_index(key);
+    if (i != kNotFound) return slot(i)->second;
+    return insert_fresh(key, V{})->second;
+  }
+
+  template <typename... Args>
+  std::pair<iterator, bool> emplace(const K& key, Args&&... args) {
+    std::size_t i = find_index(key);
+    if (i != kNotFound) return {iterator(this, i), false};
+    value_type* v = insert_fresh(key, V(std::forward<Args>(args)...));
+    return {iterator(this, static_cast<std::size_t>(
+                               v - std::launder(reinterpret_cast<value_type*>(
+                                       storage_.get())))),
+            true};
+  }
+
+  /// Erase by key; returns the number of elements removed (0 or 1).
+  std::size_t erase(const K& key) {
+    std::size_t i = find_index(key);
+    if (i == kNotFound) return 0;
+    erase_at(i);
+    return 1;
+  }
+
+  /// Erase by iterator; returns an iterator to the next occupied slot.
+  /// NOTE: backward-shift deletion can move a not-yet-visited entry into
+  /// slots before the cursor — do not use while iterating the whole map;
+  /// collect keys first instead.
+  iterator erase(iterator it) {
+    erase_at(it.i_);
+    it.skip();
+    return it;
+  }
+
+  void clear() {
+    for (std::size_t i = 0; i < cap_; ++i) {
+      if (state_[i] == kFull) slot(i)->~value_type();
+      state_[i] = kEmpty;
+    }
+    size_ = 0;
+  }
+
+ private:
+  static constexpr std::uint8_t kEmpty = 0;
+  static constexpr std::uint8_t kFull = 1;
+  static constexpr std::size_t kNotFound = static_cast<std::size_t>(-1);
+  static constexpr std::size_t kMinCapacity = 8;
+
+  value_type* slot(std::size_t i) {
+    return std::launder(reinterpret_cast<value_type*>(storage_.get())) + i;
+  }
+  const value_type* slot(std::size_t i) const {
+    return std::launder(reinterpret_cast<const value_type*>(storage_.get())) + i;
+  }
+
+  std::size_t find_index(const K& key) const {
+    if (cap_ == 0) return kNotFound;
+    std::size_t i = Hash{}(key) & (cap_ - 1);
+    while (state_[i] == kFull) {
+      if (Eq{}(slot(i)->first, key)) return i;
+      i = (i + 1) & (cap_ - 1);
+    }
+    return kNotFound;
+  }
+
+  value_type* insert_fresh(const K& key, V&& value) {
+    if ((size_ + 1) * 10 >= cap_ * 7) grow();
+    std::size_t i = Hash{}(key) & (cap_ - 1);
+    while (state_[i] == kFull) i = (i + 1) & (cap_ - 1);
+    value_type* v = slot(i);
+    ::new (static_cast<void*>(v)) value_type(key, std::move(value));
+    state_[i] = kFull;
+    ++size_;
+    return v;
+  }
+
+  void erase_at(std::size_t i) {
+    slot(i)->~value_type();
+    state_[i] = kEmpty;
+    --size_;
+    // Backward-shift: walk forward from the hole; any entry whose probe
+    // sequence crossed the hole is moved back into it.
+    std::size_t hole = i;
+    std::size_t j = (i + 1) & (cap_ - 1);
+    while (state_[j] == kFull) {
+      std::size_t home = Hash{}(slot(j)->first) & (cap_ - 1);
+      // Does slot j's probe path wrap over the hole? (cyclic range check)
+      bool between = ((hole - home) & (cap_ - 1)) < ((j - home) & (cap_ - 1));
+      if (home == hole || between) {
+        ::new (static_cast<void*>(slot(hole)))
+            value_type(std::move(*slot(j)));
+        slot(j)->~value_type();
+        state_[hole] = kFull;
+        state_[j] = kEmpty;
+        hole = j;
+      }
+      j = (j + 1) & (cap_ - 1);
+    }
+  }
+
+  void grow() {
+    std::size_t next_cap = cap_ == 0 ? kMinCapacity : cap_ * 2;
+    auto old_storage = std::move(storage_);
+    auto old_state = std::move(state_);
+    std::size_t old_cap = cap_;
+
+    storage_ = std::make_unique<unsigned char[]>(next_cap * sizeof(value_type));
+    state_ = std::make_unique<std::uint8_t[]>(next_cap);
+    for (std::size_t i = 0; i < next_cap; ++i) state_[i] = kEmpty;
+    cap_ = next_cap;
+    size_ = 0;
+
+    if (old_storage) {
+      value_type* old_slots =
+          std::launder(reinterpret_cast<value_type*>(old_storage.get()));
+      for (std::size_t i = 0; i < old_cap; ++i) {
+        if (old_state[i] != kFull) continue;
+        value_type& v = old_slots[i];
+        std::size_t j = Hash{}(v.first) & (cap_ - 1);
+        while (state_[j] == kFull) j = (j + 1) & (cap_ - 1);
+        ::new (static_cast<void*>(slot(j))) value_type(std::move(v));
+        state_[j] = kFull;
+        ++size_;
+        v.~value_type();
+      }
+    }
+  }
+
+  void copy_from(const FlatHashMap& other) {
+    for (const auto& [k, v] : other) {
+      V copy = v;
+      insert_fresh(k, std::move(copy));
+    }
+  }
+
+  void swap(FlatHashMap& other) noexcept {
+    storage_.swap(other.storage_);
+    state_.swap(other.state_);
+    std::swap(cap_, other.cap_);
+    std::swap(size_, other.size_);
+  }
+
+  void clear_storage() {
+    clear();
+    storage_.reset();
+    state_.reset();
+    cap_ = 0;
+  }
+
+  std::unique_ptr<unsigned char[]> storage_;
+  std::unique_ptr<std::uint8_t[]> state_;
+  std::size_t cap_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mecdns::util

@@ -47,6 +47,13 @@ struct Counters {
   // Discrete-event simulator (simnet/simulator.cc).
   std::uint64_t events_scheduled = 0;
   std::uint64_t events_fired = 0;
+
+  // Arena/pool growth (util/arena.h). Each chunk an arena fetches from the
+  // general heap counts here (the operator-new hooks still see it in
+  // `allocs`), so a steady state of zero refills is distinguishable from
+  // "the pools are churning": allocs/query near zero + pool_refills flat
+  // means the scratch capacity has converged.
+  std::uint64_t pool_refills = 0;
 };
 
 /// The calling thread's counters. The reference is stable for the thread's

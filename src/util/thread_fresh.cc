@@ -1,0 +1,30 @@
+#include "util/thread_fresh.h"
+
+#include <utility>
+#include <vector>
+
+namespace mecdns::util {
+
+namespace {
+
+struct Hook {
+  ThreadCacheReset fn;
+  void* ctx;
+};
+
+std::vector<Hook>& hooks() {
+  thread_local std::vector<Hook> list;
+  return list;
+}
+
+}  // namespace
+
+void register_thread_cache(ThreadCacheReset fn, void* ctx) {
+  hooks().push_back(Hook{fn, ctx});
+}
+
+void reset_thread_caches() {
+  for (const Hook& hook : hooks()) hook.fn(hook.ctx);
+}
+
+}  // namespace mecdns::util

@@ -1,0 +1,33 @@
+// Per-thread cache reset hooks.
+//
+// Hot paths keep thread_local scratch state (the DNS codec's encode arena,
+// for example) that survives between simulations run on the same thread.
+// That is exactly what the deterministic campaign runner must not allow to
+// leak between jobs: a job landing on a warm thread would behave differently
+// (fewer pool refills, fewer counted allocations) than the same job on a
+// fresh thread, and worker-count independence would be lost.
+//
+// The fix is a per-thread registry: any thread_local cache registers a reset
+// callback the first time it is constructed on a thread, and the campaign
+// runner calls reset_thread_caches() before every job body. After the reset
+// the thread looks cold to the job, so the job's behaviour is a pure
+// function of the job — the determinism contract ParallelCampaign documents.
+//
+// The registry itself is thread_local; registration and reset never touch
+// another thread's state, so no synchronization is involved.
+#pragma once
+
+namespace mecdns::util {
+
+/// Reset callback: must return the cache to its just-constructed state.
+using ThreadCacheReset = void (*)(void* ctx);
+
+/// Registers `fn(ctx)` to run on this thread at the next reset. Call once
+/// per thread per cache (typically from the thread_local's constructor).
+void register_thread_cache(ThreadCacheReset fn, void* ctx);
+
+/// Invokes every reset hook registered on the calling thread. Idempotent;
+/// cheap when nothing is registered.
+void reset_thread_caches();
+
+}  // namespace mecdns::util

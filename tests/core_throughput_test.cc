@@ -81,6 +81,12 @@ TEST(ThroughputTest, LoadRunProducesSaneMetrics) {
     EXPECT_TRUE(r.alloc_counted);
     EXPECT_GT(r.allocs_per_query, 1.0);
     EXPECT_GT(r.alloc_bytes_per_query, r.allocs_per_query);
+    // PR 7 allocation-elimination baseline (arena codec, inline names,
+    // pooled events, flat maps): ~34-35 allocs and ~5.5-6.7 KB per query.
+    // The ceilings leave headroom for small feature drift but trip well
+    // before the pre-arena world (274 allocs, ~21 KB) can sneak back.
+    EXPECT_LT(r.allocs_per_query, 120.0);
+    EXPECT_LT(r.alloc_bytes_per_query, 12000.0);
   }
   // The paper's ordering: the MEC path answers faster than the provider
   // path, under load just as in the 32-query measurements.

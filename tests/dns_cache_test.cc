@@ -142,6 +142,9 @@ TEST(DnsCache, EvictsClosestToExpiryWhenFull) {
                {a_record("new.example.com", 500)}, SimTime::seconds(0));
   EXPECT_EQ(cache.size(), 2u);
   EXPECT_EQ(cache.stats().evictions, 1u);
+  // Heap-backed eviction examines exactly one item here: the soonest-expiry
+  // entry is live, so no stale heap entries had to be skipped.
+  EXPECT_EQ(cache.stats().eviction_scan_steps, 1u);
   EXPECT_FALSE(cache
                    .lookup(DnsName::must_parse("short.example.com"),
                            RecordType::kA, SimTime::seconds(1))
@@ -150,6 +153,33 @@ TEST(DnsCache, EvictsClosestToExpiryWhenFull) {
                   .lookup(DnsName::must_parse("long.example.com"),
                           RecordType::kA, SimTime::seconds(1))
                   .has_value());
+}
+
+TEST(DnsCache, EvictionSkipsStaleHeapEntries) {
+  DnsCache cache(/*max_entries=*/2);
+  // Refreshing an entry leaves its original expiry-heap item behind as a
+  // stale tombstone; eviction must skip it (counting the scan step) rather
+  // than evict the refreshed entry at its old deadline.
+  cache.insert(DnsName::must_parse("a.example.com"), RecordType::kA,
+               {a_record("a.example.com", 10)}, SimTime::seconds(0));
+  cache.insert(DnsName::must_parse("a.example.com"), RecordType::kA,
+               {a_record("a.example.com", 1000)}, SimTime::seconds(0));
+  cache.insert(DnsName::must_parse("b.example.com"), RecordType::kA,
+               {a_record("b.example.com", 500)}, SimTime::seconds(0));
+  cache.insert(DnsName::must_parse("c.example.com"), RecordType::kA,
+               {a_record("c.example.com", 700)}, SimTime::seconds(0));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  // One stale heap item skipped, then the live soonest-expiry victim.
+  EXPECT_EQ(cache.stats().eviction_scan_steps, 2u);
+  EXPECT_TRUE(cache
+                  .lookup(DnsName::must_parse("a.example.com"), RecordType::kA,
+                          SimTime::seconds(1))
+                  .has_value());
+  EXPECT_FALSE(cache
+                   .lookup(DnsName::must_parse("b.example.com"), RecordType::kA,
+                           SimTime::seconds(1))
+                   .has_value());
 }
 
 TEST(DnsCache, FlushAndFlushName) {

@@ -129,5 +129,65 @@ TEST(DnsName, FromLabelsValidates) {
   EXPECT_FALSE(DnsName::from_labels({"a", ""}).ok());
 }
 
+TEST(DnsName, MaxLabelRoundTripsAtSixtyThreeBytes) {
+  const std::string max_label(63, 'x');
+  const auto name = DnsName::must_parse(max_label + ".example.com");
+  EXPECT_EQ(name.label(0), max_label);
+  EXPECT_EQ(name.to_string(), max_label + ".example.com");
+  // 64 + 8 + 4 wire bytes of label data + root byte.
+  EXPECT_EQ(name.wire_length(), 64u + 8u + 4u + 1u);
+}
+
+TEST(DnsName, NameAtExactWireLimitRoundTrips) {
+  // Three 63-byte labels (64 wire bytes each) plus one 61-byte label
+  // (62 wire bytes): 254 data bytes, 255 with the root byte — the RFC 1035
+  // maximum exactly.
+  std::string text = std::string(63, 'a') + "." + std::string(63, 'b') + "." +
+                     std::string(63, 'c') + "." + std::string(61, 'd');
+  const auto name = DnsName::must_parse(text);
+  EXPECT_EQ(name.wire_length(), 255u);
+  EXPECT_EQ(name.label_count(), 4u);
+  EXPECT_EQ(name.to_string(), text);
+  // One more byte anywhere pushes it over.
+  EXPECT_FALSE(DnsName::parse(text + ".e").ok());
+  std::string over = std::string(63, 'a') + "." + std::string(63, 'b') + "." +
+                     std::string(63, 'c') + "." + std::string(62, 'd');
+  EXPECT_FALSE(DnsName::parse(over).ok());
+}
+
+TEST(DnsName, InlineToHeapBoundaryIsSeamless) {
+  // Build names straddling the small-buffer capacity and check that
+  // representation (inline vs heap) never leaks into behaviour.
+  const std::string base = "example.com";  // 13 wire data bytes
+  std::string text = base;
+  DnsName prev = DnsName::must_parse(text);
+  for (int i = 0; i < 12; ++i) {
+    text = std::string(18, static_cast<char>('a' + i)) + "." + text;
+    const auto name = DnsName::must_parse(text);
+    EXPECT_EQ(name.to_string(), text);
+    EXPECT_EQ(name.parent(), prev);
+    EXPECT_TRUE(name.is_subdomain_of(DnsName::must_parse(base)));
+    const DnsName copy = name;          // deep copy when on heap
+    EXPECT_EQ(copy, name);
+    EXPECT_EQ(copy.hash(), name.hash());
+    DnsName scratch(name);
+    const DnsName moved = std::move(scratch);
+    EXPECT_EQ(moved, copy);
+    prev = name;
+  }
+  // The loop crossed kInlineCapacity several labels ago.
+  EXPECT_GT(prev.wire_length(), DnsName::kInlineCapacity + 1);
+}
+
+TEST(DnsName, WithPrefixCrossesIntoHeap) {
+  const auto base = DnsName::must_parse("mycdn.ciab.test");  // inline
+  const std::string big(63, 'z');
+  const auto child = base.with_prefix(big);
+  ASSERT_TRUE(child.ok());
+  EXPECT_EQ(child.value().to_string(), big + ".mycdn.ciab.test");
+  EXPECT_EQ(child.value().parent(), base);
+  EXPECT_GT(child.value().wire_length(), DnsName::kInlineCapacity + 1);
+}
+
 }  // namespace
 }  // namespace mecdns::dns

@@ -114,6 +114,17 @@ run ./build/tools/mecdns_report \
 run ./build/tools/mecdns_report --bench "$perf_dir/tp_serial.json"
 run ./build/tools/mecdns_report \
     --diff "$perf_dir/tp_serial.json" --against "$perf_dir/tp_parallel.json"
+# Absolute allocation ceilings (the arena/pool baseline is ~34 allocs and
+# ~6.7 KB per query). The diffs above only catch drift between the two runs
+# of this script, so pin hard numbers: the gate trips at less than half the
+# pre-arena cost (274 allocs, ~21 KB per query).
+awk 'BEGIN { RS = "," }
+  /"allocs_per_query"/ { split($0, kv, ":"); v = kv[2] + 0
+      if (v > 120) { printf "allocs_per_query %s exceeds ceiling 120\n", v; bad = 1 } }
+  /"alloc_bytes_per_query"/ { split($0, kv, ":"); v = kv[2] + 0
+      if (v > 12000) { printf "alloc_bytes_per_query %s exceeds ceiling 12000\n", v; bad = 1 } }
+  END { if (bad) exit 1; print "+ allocation ceilings respected" }' \
+  "$perf_dir/tp_serial.json"
 # The gate must actually gate: inject a 10x allocs/query regression and
 # demand a nonzero exit.
 sed -E 's/"allocs_per_query": ([0-9.]+)/"allocs_per_query": 999999/' \
