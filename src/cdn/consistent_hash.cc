@@ -22,39 +22,39 @@ std::uint64_t ConsistentHashRing::hash(const std::string& text) {
 void ConsistentHashRing::add(const std::string& member) {
   if (contains(member)) return;
   for (unsigned i = 0; i < vnodes_; ++i) {
-    ring_.emplace(hash(member + "#" + std::to_string(i)), member);
+    ring_.emplace(position(member + "#" + std::to_string(i)), member);
   }
-  ++members_;
+  members_.emplace(member, Member{});
 }
 
 void ConsistentHashRing::remove(const std::string& member) {
-  if (!contains(member)) return;
+  const auto it = members_.find(member);
+  if (it == members_.end()) return;
   for (unsigned i = 0; i < vnodes_; ++i) {
-    const std::uint64_t position = hash(member + "#" + std::to_string(i));
-    const auto [lo, hi] = ring_.equal_range(position);
-    for (auto it = lo; it != hi;) {
-      if (it->second == member) {
-        it = ring_.erase(it);
+    const std::uint64_t pos = position(member + "#" + std::to_string(i));
+    const auto [lo, hi] = ring_.equal_range(pos);
+    for (auto r = lo; r != hi;) {
+      if (r->second == member) {
+        r = ring_.erase(r);
       } else {
-        ++it;
+        ++r;
       }
     }
   }
-  --members_;
+  members_.erase(it);
 }
 
-bool ConsistentHashRing::contains(const std::string& member) const {
-  for (unsigned i = 0; i < vnodes_; ++i) {
-    const auto it = ring_.find(hash(member + "#" + std::to_string(i)));
-    if (it != ring_.end() && it->second == member) return true;
-  }
-  return false;
+std::vector<std::string> ConsistentHashRing::members() const {
+  std::vector<std::string> out;
+  out.reserve(members_.size());
+  for (const auto& [name, unused] : members_) out.push_back(name);
+  return out;
 }
 
 std::optional<std::string> ConsistentHashRing::pick(
     const std::string& key) const {
   if (ring_.empty()) return std::nullopt;
-  auto it = ring_.lower_bound(hash(key));
+  auto it = ring_.lower_bound(position(key));
   if (it == ring_.end()) it = ring_.begin();
   return it->second;
 }
@@ -63,7 +63,7 @@ std::vector<std::string> ConsistentHashRing::pick_n(const std::string& key,
                                                     std::size_t n) const {
   std::vector<std::string> out;
   if (ring_.empty() || n == 0) return out;
-  auto it = ring_.lower_bound(hash(key));
+  auto it = ring_.lower_bound(position(key));
   for (std::size_t steps = 0; steps < ring_.size() && out.size() < n;
        ++steps) {
     if (it == ring_.end()) it = ring_.begin();
@@ -78,6 +78,65 @@ std::vector<std::string> ConsistentHashRing::pick_n(const std::string& key,
     ++it;
   }
   return out;
+}
+
+void ConsistentHashRing::set_capacity(const std::string& member,
+                                      std::uint64_t capacity) {
+  const auto it = members_.find(member);
+  if (it != members_.end()) it->second.capacity = capacity;
+}
+
+std::uint64_t ConsistentHashRing::capacity(const std::string& member) const {
+  const auto it = members_.find(member);
+  return it == members_.end() ? 0 : it->second.capacity;
+}
+
+std::uint64_t ConsistentHashRing::load(const std::string& member) const {
+  const auto it = members_.find(member);
+  return it == members_.end() ? 0 : it->second.load;
+}
+
+void ConsistentHashRing::add_load(const std::string& member,
+                                  std::uint64_t units) {
+  const auto it = members_.find(member);
+  if (it != members_.end()) it->second.load += units;
+}
+
+void ConsistentHashRing::reset_loads() {
+  for (auto& [name, m] : members_) m.load = 0;
+}
+
+std::optional<std::string> ConsistentHashRing::pick_bounded(
+    const std::string& key, bool* overflowed) const {
+  if (overflowed != nullptr) *overflowed = false;
+  if (ring_.empty()) return std::nullopt;
+  auto it = ring_.lower_bound(position(key));
+  bool first = true;
+  // Walk clockwise past full members; each member appears vnodes_ times so
+  // the full loop visits everyone before giving up.
+  for (std::size_t steps = 0; steps < ring_.size(); ++steps) {
+    if (it == ring_.end()) it = ring_.begin();
+    const auto m = members_.find(it->second);
+    if (m != members_.end() && has_room(m->second)) {
+      if (overflowed != nullptr) *overflowed = !first;
+      return it->second;
+    }
+    first = false;
+    ++it;
+  }
+  return std::nullopt;  // every member at capacity
+}
+
+double ConsistentHashRing::remap_fraction(const ConsistentHashRing& before,
+                                          const ConsistentHashRing& after,
+                                          std::size_t probes) {
+  if (probes == 0 || before.empty() || after.empty()) return 0.0;
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < probes; ++i) {
+    const std::string key = "probe#" + std::to_string(i);
+    if (before.pick(key) != after.pick(key)) ++moved;
+  }
+  return static_cast<double>(moved) / static_cast<double>(probes);
 }
 
 }  // namespace mecdns::cdn

@@ -40,9 +40,42 @@ void TrafficRouter::set_cache_healthy(const std::string& group,
 }
 
 void TrafficRouter::rebuild_ring(Group& group) {
-  group.ring = ConsistentHashRing(64);
+  ConsistentHashRing next(64);
   for (const auto& cache : group.caches) {
-    if (cache.healthy) group.ring.add(cache.name);
+    if (cache.healthy) {
+      next.add(cache.name);
+      if (config_.cache_capacity_per_window > 0) {
+        next.set_capacity(cache.name, config_.cache_capacity_per_window);
+      }
+    }
+  }
+  // Churn accounting: what fraction of the key space this membership change
+  // moved. Bounded-load consistent hashing promises O(K/n); the counters
+  // let benches and tests hold it to that.
+  if (!group.ring.empty() && !next.empty()) {
+    const double fraction =
+        ConsistentHashRing::remap_fraction(group.ring, next);
+    ++router_stats_.topology_changes;
+    router_stats_.last_remap_fraction = fraction;
+    router_stats_.max_remap_fraction =
+        std::max(router_stats_.max_remap_fraction, fraction);
+    router_stats_.remap_fraction_sum += fraction;
+  }
+  // Loads do not carry across a rebuild: the window restarts with the new
+  // membership (deterministic, and conservative for the fuller ring).
+  group.load_window = UINT64_MAX;
+  group.ring = std::move(next);
+}
+
+void TrafficRouter::set_cache_capacity(std::uint64_t per_window,
+                                       simnet::SimTime window) {
+  config_.cache_capacity_per_window = per_window;
+  config_.capacity_window = window;
+  for (auto& [name, group] : groups_) {
+    for (const auto& cache : group.caches) {
+      if (cache.healthy) group.ring.set_capacity(cache.name, per_window);
+    }
+    group.load_window = UINT64_MAX;
   }
 }
 
@@ -122,9 +155,34 @@ std::optional<CacheInfo> TrafficRouter::choose_cache(
     const std::string& group, const dns::DnsName& qname) {
   const auto it = groups_.find(group);
   if (it == groups_.end()) return std::nullopt;
-  const auto member = it->second.ring.pick(qname.to_string());
+  Group& g = it->second;
+
+  std::optional<std::string> member;
+  if (config_.cache_capacity_per_window > 0 &&
+      config_.capacity_window > simnet::SimTime::zero()) {
+    const std::uint64_t window = static_cast<std::uint64_t>(
+        network().simulator().now().count_nanos() /
+        config_.capacity_window.count_nanos());
+    if (window != g.load_window) {
+      g.load_window = window;
+      g.ring.reset_loads();
+    }
+    bool overflowed = false;
+    member = g.ring.pick_bounded(qname.to_string(), &overflowed);
+    if (member.has_value()) {
+      g.ring.add_load(*member);
+      if (overflowed) ++router_stats_.bounded_overflows;
+    } else if (!g.ring.empty()) {
+      // Site over capacity this window: count it and let handle() degrade
+      // via the parent-tier referral.
+      ++router_stats_.capacity_exhausted;
+    }
+  } else {
+    member = g.ring.pick(qname.to_string());
+  }
+
   if (!member.has_value()) return std::nullopt;
-  for (const auto& cache : it->second.caches) {
+  for (const auto& cache : g.caches) {
     if (cache.name == *member) return cache;
   }
   return std::nullopt;

@@ -44,6 +44,14 @@ struct RouterStats {
   std::uint64_t coverage_hits = 0;
   std::uint64_t geo_fallbacks = 0;
   std::uint64_t ecs_localized = 0;
+  // Bounded-load allocation (only moves when cache_capacity_per_window > 0).
+  std::uint64_t bounded_overflows = 0;   ///< primary cache full, walked on
+  std::uint64_t capacity_exhausted = 0;  ///< every cache in the group full
+  // Allocation churn: how many keys a cache-group membership change moved.
+  std::uint64_t topology_changes = 0;
+  double last_remap_fraction = 0.0;
+  double max_remap_fraction = 0.0;
+  double remap_fraction_sum = 0.0;  ///< sum over changes (mean = sum/changes)
 };
 
 class TrafficRouter : public dns::DnsServer {
@@ -59,6 +67,14 @@ class TrafficRouter : public dns::DnsServer {
     std::optional<dns::DnsName> parent_domain;
     /// Location of this router's client base, for geo fallback distance.
     std::map<std::string, GeoPoint> group_locations;
+    /// Bounded-load consistent hashing: max selections per cache per
+    /// accounting window (0 disables; plain consistent hashing). When the
+    /// primary cache is full the pick overflows clockwise; when every cache
+    /// in the group is full the query takes the no-cache path (parent-tier
+    /// referral when configured) — overload degrades to the next tier
+    /// instead of melting the local caches.
+    std::uint64_t cache_capacity_per_window = 0;
+    simnet::SimTime capacity_window = simnet::SimTime::seconds(1);
   };
 
   TrafficRouter(simnet::Network& net, simnet::NodeId node, std::string name,
@@ -83,6 +99,10 @@ class TrafficRouter : public dns::DnsServer {
   void set_group_location(const std::string& group, GeoPoint location) {
     config_.group_locations[group] = location;
   }
+  /// (Re)configures bounded-load allocation and applies the capacity to
+  /// every healthy cache already on a ring.
+  void set_cache_capacity(std::uint64_t per_window,
+                          simnet::SimTime window = simnet::SimTime::seconds(1));
 
   const RouterStats& router_stats() const { return router_stats_; }
   /// Per-cache selection counts (cache name -> queries routed to it).
@@ -98,6 +118,9 @@ class TrafficRouter : public dns::DnsServer {
   struct Group {
     std::vector<CacheInfo> caches;
     ConsistentHashRing ring{64};
+    // Accounting window the ring's loads belong to; sentinel forces a
+    // reset on first use.
+    std::uint64_t load_window = UINT64_MAX;
   };
 
   const DeliveryService* match_service(const dns::DnsName& qname) const;

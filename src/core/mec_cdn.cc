@@ -42,6 +42,8 @@ MecCdnSite::MecCdnSite(simnet::Network& net, Config config)
     if (config_.parent_cdn_domain.has_value()) {
       rc.parent_domain = config_.parent_cdn_domain;
     }
+    rc.cache_capacity_per_window = config_.cache_selection_capacity;
+    rc.capacity_window = config_.cache_selection_window;
     router_ = std::make_unique<cdn::TrafficRouter>(
         net_, router_node, "mec-cdns", config_.cdns_processing, std::move(rc),
         cdns_ip_);
@@ -66,6 +68,7 @@ MecCdnSite::MecCdnSite(simnet::Network& net, Config config)
     cc.parent = config_.origin;
     caches_.push_back(std::make_unique<cdn::CacheServer>(
         net_, worker, cache_name, std::move(cc), dep.cluster_ip));
+    cache_active_.push_back(true);
     if (router_ != nullptr) {
       router_->add_cache(kEdgeGroup,
                          cdn::CacheInfo{cache_name, dep.cluster_ip, true});
@@ -75,6 +78,9 @@ MecCdnSite::MecCdnSite(simnet::Network& net, Config config)
   // --- split-namespace L-DNS -------------------------------------------------
   ldns_ = std::make_unique<dns::PluginChainServer>(
       net_, infra, "mec-coredns", config_.ldns_processing, ldns_ip_);
+  if (config_.ldns_workers > 0) {
+    ldns_->set_service_capacity(config_.ldns_workers, config_.ldns_max_queue);
+  }
   public_cache_ = std::make_shared<dns::DnsCache>(4096);
   if (config_.serve_stale) {
     public_cache_->set_serve_stale(true, config_.serve_stale_window);
@@ -102,8 +108,14 @@ MecCdnSite::MecCdnSite(simnet::Network& net, Config config)
   dns::PluginChain& pub = ldns_->add_default_view("public");
   if (config_.overload_threshold_qps > 0) {
     auto guard = std::make_unique<mec::OverloadGuardPlugin>(
-        orchestrator_->ingress(), config_.overload_threshold_qps);
+        orchestrator_->ingress(), config_.overload_threshold_qps,
+        config_.overload_action);
     guard->set_recovery_windows(config_.overload_recovery_windows);
+    if (config_.overload_queue_limit > 0) {
+      guard->set_queue_probe(
+          [srv = ldns_.get()] { return srv->queue_depth(); },
+          config_.overload_queue_limit);
+    }
     guard_ = guard.get();
     pub.add(std::move(guard));
   }
@@ -152,7 +164,64 @@ void MecCdnSite::add_delivery_service(const std::string& id,
     for (const auto& [url, object] : content.objects()) {
       for (auto& cache : caches_) cache->warm(object);
     }
+    // Remember it so scale-up replicas get the same placement.
+    warmed_catalogs_.push_back(content);
   }
+}
+
+cdn::CacheServer* MecCdnSite::add_edge_cache() {
+  mec::MecCluster& cluster = orchestrator_->cluster();
+  // Reactivate the lowest-index retired replica first: its node, address
+  // and (still warm) cache contents are already in place.
+  for (std::size_t i = 0; i < caches_.size(); ++i) {
+    if (cache_active_[i]) continue;
+    cache_active_[i] = true;
+    if (router_ != nullptr) {
+      router_->set_cache_healthy(kEdgeGroup, caches_[i]->name(), true);
+    }
+    return caches_[i].get();
+  }
+
+  const std::string cache_name =
+      "edge-cache-" + std::to_string(caches_.size());
+  const simnet::NodeId worker = cluster.add_worker(cache_name);
+  const mec::Deployment dep = orchestrator_->deploy(cache_name, "cdn", worker);
+  cache_ips_.push_back(dep.cluster_ip);
+
+  cdn::CacheServer::Config cc;
+  cc.capacity_bytes = config_.cache_capacity_bytes;
+  cc.parent = config_.origin;
+  caches_.push_back(std::make_unique<cdn::CacheServer>(
+      net_, worker, cache_name, std::move(cc), dep.cluster_ip));
+  cache_active_.push_back(true);
+  cdn::CacheServer* cache = caches_.back().get();
+  for (const auto& catalog : warmed_catalogs_) {
+    for (const auto& [url, object] : catalog.objects()) cache->warm(object);
+  }
+  if (router_ != nullptr) {
+    router_->add_cache(kEdgeGroup,
+                       cdn::CacheInfo{cache_name, dep.cluster_ip, true});
+  }
+  return cache;
+}
+
+bool MecCdnSite::retire_edge_cache() {
+  if (active_edge_caches() <= 1) return false;
+  for (std::size_t i = caches_.size(); i-- > 0;) {
+    if (!cache_active_[i]) continue;
+    cache_active_[i] = false;
+    if (router_ != nullptr) {
+      router_->set_cache_healthy(kEdgeGroup, caches_[i]->name(), false);
+    }
+    return true;
+  }
+  return false;
+}
+
+std::size_t MecCdnSite::active_edge_caches() const {
+  std::size_t n = 0;
+  for (const bool active : cache_active_) n += active ? 1 : 0;
+  return n;
 }
 
 simnet::Endpoint MecCdnSite::ldns_endpoint() const {
@@ -196,6 +265,9 @@ void MecCdnSite::export_metrics(obs::Registry& registry,
     registry.add(prefix + "ldns.overload.shed", guard_->shed());
     registry.add(prefix + "ldns.overload.trips", guard_->trips());
     registry.add(prefix + "ldns.overload.recoveries", guard_->recoveries());
+    // Full state machine under the mec.ingress.* convention, so reports can
+    // explain a failed SLO window (shedding? queue-full sheds? flapping?).
+    export_ingress(registry, prefix + "mec.ingress.", *guard_);
   }
   if (router_ != nullptr) {
     export_router(registry, prefix + "cdns.", *router_);
@@ -204,6 +276,8 @@ void MecCdnSite::export_metrics(obs::Registry& registry,
     export_stats(registry, prefix + "cache." + cache->name() + ".",
                  cache->stats());
   }
+  registry.set_gauge(prefix + "mec.edge_replicas",
+                     static_cast<double>(active_edge_caches()));
 }
 
 }  // namespace mecdns::core

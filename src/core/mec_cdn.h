@@ -72,6 +72,25 @@ class MecCdnSite {
     /// below-threshold windows before re-admitting (0 = stateless guard).
     std::size_t overload_recovery_windows = 0;
 
+    /// What the guard answers when shedding. kServFail composes with the
+    /// client transport's failover_on_servfail for one-RTT fallback to the
+    /// provider; kDrop forces the client timeout ladder.
+    mec::OverloadAction overload_action = mec::OverloadAction::kRefuse;
+
+    /// L-DNS service capacity: worker concurrency + bounded FIFO. 0 workers
+    /// keeps the legacy unlimited-concurrency server.
+    std::size_t ldns_workers = 0;
+    std::size_t ldns_max_queue = 256;
+
+    /// Queue-probe admission control: shed when the L-DNS worker FIFO is at
+    /// or beyond this depth (0 disables; requires the overload guard).
+    std::size_t overload_queue_limit = 0;
+
+    /// Bounded-load edge allocation on the in-cluster C-DNS: max routed
+    /// selections per cache per window (0 = plain consistent hashing).
+    std::uint64_t cache_selection_capacity = 0;
+    simnet::SimTime cache_selection_window = simnet::SimTime::seconds(1);
+
     /// RFC 8767 serve-stale on the L-DNS public-view cache: keep expired
     /// entries for `serve_stale_window` and serve them when the C-DNS path
     /// answers SERVFAIL (edge-cache partition, router down).
@@ -126,6 +145,18 @@ class MecCdnSite {
     return cache_ips_.at(i);
   }
 
+  // --- elastic edge capacity (what an AutoScaler drives) -------------------
+  /// Adds an edge cache replica: reactivates the lowest-index retired one,
+  /// or deploys a fresh server (warmed with every catalog that was warmed
+  /// at deploy time) and registers it with the in-cluster C-DNS. Returns
+  /// nullptr only if the cluster is out of addresses.
+  cdn::CacheServer* add_edge_cache();
+  /// Retires the highest-index active replica (deregisters it from the
+  /// ring; the server object stays for later reactivation). Refuses to
+  /// drop below one replica.
+  bool retire_edge_cache();
+  std::size_t active_edge_caches() const;
+
   /// Snapshots this site's counters into `registry` under `prefix`:
   /// L-DNS server/view/cache/forward/overload counters, C-DNS routing
   /// counters and per-edge-cache hit/miss/fetch counters.
@@ -140,6 +171,9 @@ class MecCdnSite {
   std::unique_ptr<cdn::TrafficRouter> router_;
   std::vector<std::unique_ptr<cdn::CacheServer>> caches_;
   std::vector<simnet::Ipv4Address> cache_ips_;
+  std::vector<bool> cache_active_;
+  /// Catalogs warmed at deploy time, replayed onto scale-up replicas.
+  std::vector<cdn::ContentCatalog> warmed_catalogs_;
   std::shared_ptr<dns::DnsCache> public_cache_;
   mec::OverloadGuardPlugin* guard_ = nullptr;
   dns::ForwardPlugin* cdn_forward_ = nullptr;

@@ -12,6 +12,7 @@
 #include "dns/cache.h"
 #include "dns/server.h"
 #include "dns/transport.h"
+#include "mec/ingress.h"
 #include "obs/metrics.h"
 
 namespace mecdns::core {
@@ -65,6 +66,14 @@ inline void export_stats(obs::Registry& registry, const std::string& prefix,
   registry.add(prefix + "coverage_hits", stats.coverage_hits);
   registry.add(prefix + "geo_fallbacks", stats.geo_fallbacks);
   registry.add(prefix + "ecs_localized", stats.ecs_localized);
+  registry.add(prefix + "alloc.bounded_overflows", stats.bounded_overflows);
+  registry.add(prefix + "alloc.capacity_exhausted", stats.capacity_exhausted);
+  registry.add(prefix + "alloc_churn.topology_changes",
+               stats.topology_changes);
+  registry.set_gauge(prefix + "alloc_churn.last_fraction",
+                     stats.last_remap_fraction);
+  registry.set_gauge_max(prefix + "alloc_churn.max_fraction",
+                         stats.max_remap_fraction);
 }
 
 inline void export_router(obs::Registry& registry, const std::string& prefix,
@@ -74,6 +83,20 @@ inline void export_router(obs::Registry& registry, const std::string& prefix,
   for (const auto& [cache, count] : router.selections()) {
     registry.add(prefix + "selected." + cache, count);
   }
+}
+
+/// Ingress-guard state machine under `prefix` (conventionally ending in
+/// "mec.ingress."): admission/shed counters, hysteresis transitions, and
+/// the current mode as a gauge — enough for mecdns_report to show *why* a
+/// window failed its SLO.
+inline void export_ingress(obs::Registry& registry, const std::string& prefix,
+                           const mec::OverloadGuardPlugin& guard) {
+  registry.add(prefix + "admitted", guard.admitted());
+  registry.add(prefix + "shed", guard.shed());
+  registry.add(prefix + "shed_queue_full", guard.shed_queue_full());
+  registry.add(prefix + "trips", guard.trips());
+  registry.add(prefix + "recoveries", guard.recoveries());
+  registry.set_gauge(prefix + "shedding", guard.shedding() ? 1.0 : 0.0);
 }
 
 inline void export_stats(obs::Registry& registry, const std::string& prefix,

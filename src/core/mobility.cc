@@ -1,0 +1,518 @@
+#include "core/mobility.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "cdn/content.h"
+#include "obs/timeseries.h"
+#include "ran/profiles.h"
+#include "workload/loadgen.h"
+
+namespace mecdns::core {
+
+using simnet::Ipv4Address;
+using simnet::LatencyModel;
+using simnet::SimTime;
+
+namespace {
+
+constexpr const char* kCloudGroup = "cloud";
+
+/// Fixed by the testbed so client fallback lists and site stub-domain
+/// forwards can be configured before the resolver node exists.
+simnet::Endpoint fixed_provider_endpoint() {
+  return simnet::Endpoint{Ipv4Address::must_parse("10.201.0.53"),
+                          dns::kDnsPort};
+}
+
+LatencyModel server_processing(double mean_ms) {
+  return LatencyModel::normal(SimTime::millis(mean_ms),
+                              SimTime::millis(mean_ms * 0.12),
+                              SimTime::millis(mean_ms * 0.4));
+}
+
+cdn::ContentCatalog demo_catalog(const dns::DnsName& content_host) {
+  cdn::ContentCatalog catalog;
+  // Small objects: the experiment stresses lookup/allocation churn, not
+  // transfer time, and every logical UE's fetch goes through one of these.
+  catalog.add_series(content_host, "seg", MobilityTestbed::kCatalogObjects,
+                     64 * 1024);
+  return catalog;
+}
+
+}  // namespace
+
+const char* mobility_mode_label(MobilityMode mode) {
+  switch (mode) {
+    case MobilityMode::kFragile:
+      return "fragile";
+    case MobilityMode::kRobust:
+    case MobilityMode::kMisconfigured:
+      return "robust";
+  }
+  return "?";
+}
+
+MobilityTestbed::MobilityTestbed(Config config)
+    : config_(std::move(config)),
+      content_name_(dns::DnsName::must_parse("video.demo1.mycdn.ciab.test")) {
+  if (config_.knobs.cells == 0 || config_.knobs.cells > 8) {
+    throw std::invalid_argument("MobilityTestbed supports 1..8 cells");
+  }
+  build();
+}
+
+simnet::Endpoint MobilityTestbed::provider_endpoint() const {
+  return fixed_provider_endpoint();
+}
+
+dns::DnsTransport::Options MobilityTestbed::client_options() const {
+  dns::DnsTransport::Options options;
+  if (config_.mode == MobilityMode::kRobust) {
+    options.max_retries = 1;
+    options.backoff_factor = 2.0;
+    options.max_backoff = SimTime::seconds(8);
+    options.fallback_servers = {fixed_provider_endpoint()};
+    // failover_on_servfail defaults true: a guard SERVFAIL moves the
+    // transaction to the provider within one RTT.
+  }
+  // Misconfigured: the site machinery is on but the operator forgot the
+  // client-side fallback — guard sheds become hard failures.
+  return options;
+}
+
+void MobilityTestbed::build() {
+  const MobilityKnobs& k = config_.knobs;
+  sim_ = std::make_unique<simnet::Simulator>();
+  net_ = std::make_unique<simnet::Network>(*sim_, util::Rng(config_.seed));
+  backbone_ =
+      net_->add_node("internet-backbone", Ipv4Address::must_parse("192.0.2.1"));
+
+  const dns::DnsName cdn_domain = dns::DnsName::must_parse("mycdn.ciab.test");
+  const dns::DnsName parent_domain = dns::DnsName::must_parse("cdn-parent.test");
+  const cdn::ContentCatalog catalog = demo_catalog(content_name_);
+
+  // --- shared cloud tier: origin, cloud cache, public DNS ----------------
+  const auto origin_addr = Ipv4Address::must_parse("198.51.100.10");
+  const simnet::NodeId origin_node = net_->add_node("cloud-origin", origin_addr);
+  net_->add_link(origin_node, backbone_, ran::wan_link(25.0));
+  origin_ = std::make_unique<cdn::OriginServer>(*net_, origin_node,
+                                                "cloud-origin", catalog);
+
+  const auto cloud_cache_addr = Ipv4Address::must_parse("198.51.100.20");
+  const simnet::NodeId cloud_cache_node =
+      net_->add_node("cloud-cache", cloud_cache_addr);
+  net_->add_link(cloud_cache_node, backbone_, ran::wan_link(24.0));
+  cdn::CacheServer::Config ccc;
+  ccc.parent = simnet::Endpoint{origin_addr, cdn::kContentPort};
+  cloud_cache_ = std::make_unique<cdn::CacheServer>(
+      *net_, cloud_cache_node, "cloud-cache", ccc, cloud_cache_addr);
+  for (const auto& [url, object] : catalog.objects()) {
+    cloud_cache_->warm(object);
+  }
+
+  hierarchy_ = std::make_unique<dns::PublicDnsHierarchy>(
+      *net_, backbone_, ran::wan_link(15.0), server_processing(0.5));
+  hierarchy_->ensure_tld("test", Ipv4Address::must_parse("199.7.50.1"),
+                         ran::wan_link(15.0));
+
+  // WAN C-DNS: the CDN domain's public authority. The provider path ends
+  // here, and it answers with the cloud cache — degraded but up.
+  {
+    const auto addr = Ipv4Address::must_parse("198.51.100.53");
+    const simnet::NodeId node = net_->add_node("wan-cdns", addr);
+    net_->add_link(node, backbone_, ran::wan_link(11.7));
+    cdn::TrafficRouter::Config wc;
+    wc.cdn_domain = cdn_domain;
+    wc.answer_ttl = 0;
+    wan_cdns_ = std::make_unique<cdn::TrafficRouter>(
+        *net_, node, "wan-cdns", server_processing(2.6), std::move(wc), addr);
+    wan_cdns_->add_cache(kCloudGroup,
+                         cdn::CacheInfo{"cloud-cache", cloud_cache_addr, true});
+    wan_cdns_->coverage().set_default_group(kCloudGroup);
+    wan_cdns_->add_delivery_service(cdn::DeliveryService{
+        "demo1", dns::DnsName::must_parse("demo1.mycdn.ciab.test"),
+        {kCloudGroup}});
+    hierarchy_->delegate_to(cdn_domain,
+                            dns::DnsName::must_parse("ns1.mycdn.ciab.test"),
+                            addr);
+  }
+
+  // Parent CDN tier: where a bounded-load-exhausted edge C-DNS refers
+  // demo1 queries via a cascading CNAME.
+  {
+    const auto addr = Ipv4Address::must_parse("198.51.100.63");
+    const simnet::NodeId node = net_->add_node("mid-cdns", addr);
+    net_->add_link(node, backbone_, ran::wan_link(11.7));
+    cdn::TrafficRouter::Config mc;
+    mc.cdn_domain = parent_domain;
+    mc.answer_ttl = 0;
+    mid_cdns_ = std::make_unique<cdn::TrafficRouter>(
+        *net_, node, "mid-cdns", server_processing(2.6), std::move(mc), addr);
+    mid_cdns_->add_cache(kCloudGroup,
+                         cdn::CacheInfo{"cloud-cache", cloud_cache_addr, true});
+    mid_cdns_->coverage().set_default_group(kCloudGroup);
+    mid_cdns_->add_delivery_service(cdn::DeliveryService{
+        "demo1", dns::DnsName::must_parse("demo1.cdn-parent.test"),
+        {kCloudGroup}});
+    hierarchy_->delegate_to(parent_domain,
+                            dns::DnsName::must_parse("ns1.cdn-parent.test"),
+                            addr);
+  }
+
+  // --- the cells ----------------------------------------------------------
+  for (std::uint16_t cell = 0; cell < k.cells; ++cell) build_cell(cell);
+
+  // Provider L-DNS: one resolver, reachable from every cell's P-GW.
+  {
+    const simnet::Endpoint ep = fixed_provider_endpoint();
+    const simnet::NodeId node = net_->add_node("provider-ldns", ep.addr);
+    for (auto& segment : segments_) {
+      net_->add_link(segment->pgw(), node, ran::wan_link(14.55));
+    }
+    dns::RecursiveResolver::Config rcfg;
+    rcfg.root_servers = hierarchy_->root_hints();
+    provider_ldns_ = std::make_unique<dns::RecursiveResolver>(
+        *net_, node, "provider-ldns", server_processing(0.8), rcfg, ep.addr);
+  }
+
+  for (auto& site : sites_) {
+    site->add_delivery_service("demo1", catalog, /*warm_caches=*/true);
+  }
+
+  // --- clients ------------------------------------------------------------
+  const bool robust_client = config_.mode == MobilityMode::kRobust;
+  for (std::uint16_t cell = 0; cell < k.cells; ++cell) {
+    auto ue = std::make_unique<ran::UserEquipment>(
+        *net_, *segments_[cell], "agg-ue-" + std::to_string(cell),
+        Ipv4Address::must_parse("10.45.1." + std::to_string(cell + 1)),
+        sites_[cell]->ldns_endpoint(), client_options());
+    if (robust_client) {
+      ue->set_fetch_retries(2);
+      ue->resolver().set_chase_cnames(true);
+    }
+    aggregate_ues_.push_back(std::move(ue));
+  }
+
+  const std::size_t cohort_n =
+      std::min<std::size_t>(k.cohort, k.ues);
+  for (std::size_t i = 0; i < cohort_n; ++i) {
+    CohortUe member;
+    member.ue = std::make_unique<ran::UserEquipment>(
+        *net_, *segments_[0], "cohort-ue-" + std::to_string(i),
+        Ipv4Address::must_parse("10.45.2." + std::to_string(i + 1)),
+        sites_[0]->ldns_endpoint(), client_options());
+    if (robust_client) {
+      member.ue->set_fetch_retries(2);
+      member.ue->resolver().set_chase_cnames(true);
+      // The handoff fix under test: transactions pending against the old
+      // cell's L-DNS follow the re-target instead of timing out.
+      member.ue->resolver().set_retarget_in_flight(true);
+    }
+    member.handoff = std::make_unique<ran::HandoffManager>(*net_, *member.ue);
+    member.handoff->add_cell(ran::HandoffManager::Cell{
+        "cell-0", segments_[0].get(), segments_[0]->ue_link(member.ue->node()),
+        sites_[0]->ldns_endpoint()});
+    for (std::uint16_t cell = 1; cell < k.cells; ++cell) {
+      const simnet::LinkId link =
+          net_->add_link(member.ue->node(), segments_[cell]->enb(),
+                         ran::lte().uplink, ran::lte().downlink);
+      net_->set_link_up(link, false);
+      member.handoff->add_cell(ran::HandoffManager::Cell{
+          "cell-" + std::to_string(cell), segments_[cell].get(), link,
+          sites_[cell]->ldns_endpoint()});
+    }
+    member.handoff->attach(0);
+    cohort_.push_back(std::move(member));
+  }
+}
+
+void MobilityTestbed::build_cell(std::uint16_t cell) {
+  const MobilityKnobs& k = config_.knobs;
+  const std::string prefix = "10.1" + std::string(1, '0' + 1 + cell % 9);
+  ran::RanSegment::Config rc;
+  rc.name = "cell-" + std::to_string(cell);
+  rc.enb_addr = Ipv4Address::must_parse(prefix + ".0.1");
+  rc.sgw_addr = Ipv4Address::must_parse(prefix + ".0.2");
+  rc.pgw_addr =
+      Ipv4Address::must_parse("203.0." + std::to_string(113 + cell) + ".1");
+  rc.ue_subnet = simnet::Cidr::must_parse("10.45.0.0/16");
+  rc.access = ran::lte();
+  auto segment = std::make_unique<ran::RanSegment>(*net_, rc);
+  net_->add_link(segment->pgw(), backbone_, ran::wan_link(4.0));
+
+  MecCdnSite::Config sc;
+  sc.orchestrator.cluster.name = "mec-" + std::to_string(cell);
+  sc.orchestrator.cluster.node_cidr =
+      simnet::Cidr::must_parse(prefix + ".64.0/24");
+  sc.orchestrator.cluster.service_cidr =
+      simnet::Cidr::must_parse(prefix + ".128.0/20");
+  sc.answer_ttl = 0;  // per-query routing: every lookup carries real load
+  sc.origin =
+      simnet::Endpoint{Ipv4Address::must_parse("198.51.100.10"),
+                       cdn::kContentPort};
+  sc.provider_ldns = fixed_provider_endpoint();
+  sc.parent_cdn_domain = dns::DnsName::must_parse("cdn-parent.test");
+  // The capacity constraint exists in every mode — robustness is in the
+  // handling, not in pretending the L-DNS is infinite.
+  sc.ldns_workers = k.ldns_workers;
+  sc.ldns_max_queue = k.ldns_max_queue;
+  if (config_.mode != MobilityMode::kFragile) {
+    sc.overload_threshold_qps = k.guard_threshold_qps;
+    sc.overload_recovery_windows = k.guard_recovery_windows;
+    sc.overload_action = mec::OverloadAction::kServFail;
+    sc.overload_queue_limit = k.queue_shed_limit;
+    sc.cache_selection_capacity = k.cache_selection_capacity;
+    sc.cache_selection_window = SimTime::seconds(1);
+    sc.cdns_fallback_to_provider = true;
+  }
+  auto site = std::make_unique<MecCdnSite>(*net_, sc);
+  net_->add_link(segment->pgw(), site->orchestrator().cluster().gateway(),
+                 LatencyModel::constant(SimTime::millis(0.5)));
+  segments_.push_back(std::move(segment));
+  sites_.push_back(std::move(site));
+}
+
+MobilityRunResult run_mobility_job(workload::MobilityScenario scenario,
+                                   MobilityMode mode, std::uint64_t seed,
+                                   const MobilityKnobs& knobs,
+                                   bool want_series) {
+  MobilityTestbed::Config config;
+  config.mode = mode;
+  config.seed = seed;
+  config.knobs = knobs;
+  MobilityTestbed bed(config);
+  simnet::Simulator& sim = bed.simulator();
+
+  obs::TimeSeries series(sim, knobs.slo_window);
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;
+  util::SampleSet latencies;
+  std::vector<std::uint32_t> population(knobs.cells, 0);
+
+  workload::MobilityModel::Options mo;
+  mo.ues = knobs.ues;
+  mo.cells = knobs.cells;
+  mo.scenario = scenario;
+  mo.duration = knobs.duration;
+  mo.event_start = knobs.event_start;
+  mo.event_end = knobs.event_end;
+  mo.target_cell = 0;
+  mo.participation = knobs.participation;
+  mo.crowd_burst = knobs.crowd_burst;
+  mo.dwell = knobs.dwell;
+  mo.seed = seed;
+  workload::MobilityModel model(
+      sim, mo,
+      [&bed, &series, &population](std::uint32_t ue, std::uint16_t from,
+                                   std::uint16_t to) {
+        --population[from];
+        ++population[to];
+        series.set_gauge("mob.pop.cell" + std::to_string(from),
+                         static_cast<double>(population[from]));
+        series.set_gauge("mob.pop.cell" + std::to_string(to),
+                         static_cast<double>(population[to]));
+        // The first `cohort` logical UEs are real: their handoff is a true
+        // bulk DNS re-target (and, when enabled, an in-flight retarget).
+        if (ue < bed.cohort_size()) {
+          bed.cohort_handoff(ue).attach(to, /*retarget_dns=*/true);
+        }
+      });
+
+  workload::LoadGenerator::Options lo;
+  lo.ues = knobs.ues;
+  lo.rate_hz = knobs.rate_hz;
+  lo.duration = knobs.duration;
+  lo.seed = seed;
+  workload::LoadGenerator load(
+      sim, lo, [&bed, &model, &series, &ok, &failed, &latencies](
+                   std::uint32_t ue) {
+        ran::UserEquipment& client =
+            ue < bed.cohort_size()
+                ? bed.cohort_ue(ue)
+                : bed.aggregate_ue(model.cell_of(ue));
+        char path[16];
+        std::snprintf(path, sizeof(path), "/seg%04u",
+                      ue % static_cast<std::uint32_t>(
+                               MobilityTestbed::kCatalogObjects));
+        cdn::Url url;
+        url.host = bed.content_name();
+        url.path = path;
+        client.resolve_and_fetch(
+            url, [&series, &ok, &failed,
+                  &latencies](const ran::UserEquipment::FetchOutcome& outcome) {
+              series.add("fetch.requests");
+              if (outcome.ok) {
+                ++ok;
+                latencies.add(outcome.total.to_millis());
+                series.observe("fetch.total_ms", outcome.total.to_millis());
+              } else {
+                ++failed;
+                series.add("fetch.failures");
+              }
+            });
+      });
+
+  // Overload-safe degradation includes elasticity: per-site control loops
+  // add cache replicas when routed load per replica crosses the watermark.
+  std::vector<std::unique_ptr<mec::AutoScaler>> scalers;
+  if (mode != MobilityMode::kFragile) {
+    for (std::uint16_t cell = 0; cell < knobs.cells; ++cell) {
+      MecCdnSite* site = &bed.site(cell);
+      mec::AutoScaler::Config ac;
+      ac.interval = SimTime::seconds(1);
+      ac.scale_up_per_replica = knobs.scale_up_per_replica;
+      ac.scale_down_per_replica = knobs.scale_down_per_replica;
+      ac.min_replicas = site->site_config().edge_caches;
+      ac.max_replicas = knobs.max_replicas;
+      ac.cooldown_intervals = 2;
+      scalers.push_back(std::make_unique<mec::AutoScaler>(
+          sim, ac,
+          [site] { return site->router()->router_stats().routed; },
+          [site] { return site->active_edge_caches(); },
+          [site] { return site->add_edge_cache() != nullptr; },
+          [site] { return site->retire_edge_cache(); }));
+      scalers.back()->run_for(static_cast<std::size_t>(
+          knobs.duration.count_nanos() / ac.interval.count_nanos()));
+    }
+  }
+
+  model.start();
+  for (std::uint16_t cell = 0; cell < knobs.cells; ++cell) {
+    population[cell] = model.population(cell);
+  }
+  // Move the cohort to its modelled starting cells before any load flows.
+  for (std::size_t i = 0; i < bed.cohort_size(); ++i) {
+    bed.cohort_handoff(i).attach(model.cell_of(static_cast<std::uint32_t>(i)),
+                                 /*retarget_dns=*/true);
+  }
+  std::uint64_t base_handoffs = 0;
+  for (std::size_t i = 0; i < bed.cohort_size(); ++i) {
+    base_handoffs += bed.cohort_handoff(i).handoffs();
+  }
+  load.start();
+  const SimTime t0 = sim.now();
+  sim.schedule_at(t0 + knobs.event_start, [&series, scenario] {
+    series.annotate("phase", std::string(workload::mobility_slug(scenario)) +
+                                 " event start");
+  });
+  sim.schedule_at(t0 + knobs.event_end, [&series, scenario] {
+    series.annotate("phase", std::string(workload::mobility_slug(scenario)) +
+                                 " event end");
+  });
+  sim.run();
+
+  MobilityRunResult r;
+  r.scenario = workload::mobility_slug(scenario);
+  r.mode = mobility_mode_label(mode);
+  r.issued = load.issued();
+  r.ok = ok;
+  r.failed = failed;
+  r.success_rate =
+      r.issued == 0 ? 0.0
+                    : static_cast<double>(ok) / static_cast<double>(r.issued);
+  r.latency = latencies.summarize();
+  r.moves = model.moves();
+
+  for (std::size_t i = 0; i < bed.cohort_size(); ++i) {
+    r.cohort_handoffs += bed.cohort_handoff(i).handoffs();
+    const dns::DnsTransport& t = bed.cohort_ue(i).resolver().transport();
+    r.in_flight_retargets += t.retargets();
+    r.ue_timeouts += t.timeouts();
+    r.ue_retransmissions += t.retransmissions();
+    r.ue_servfails += t.servfails();
+    r.ue_failovers += t.failovers();
+  }
+  r.cohort_handoffs -= base_handoffs;
+  for (std::uint16_t cell = 0; cell < knobs.cells; ++cell) {
+    const dns::DnsTransport& t =
+        bed.aggregate_ue(cell).resolver().transport();
+    r.ue_timeouts += t.timeouts();
+    r.ue_retransmissions += t.retransmissions();
+    r.ue_servfails += t.servfails();
+    r.ue_failovers += t.failovers();
+
+    MecCdnSite& site = bed.site(cell);
+    if (site.overload_guard() != nullptr) {
+      const mec::OverloadGuardPlugin& guard = *site.overload_guard();
+      r.shed += guard.shed();
+      r.shed_queue_full += guard.shed_queue_full();
+      r.guard_trips += guard.trips();
+      r.guard_recoveries += guard.recoveries();
+    }
+    const cdn::RouterStats& rs = site.router()->router_stats();
+    r.routed += rs.routed;
+    r.referred_to_parent += rs.referred_to_parent;
+    r.bounded_overflows += rs.bounded_overflows;
+    r.capacity_exhausted += rs.capacity_exhausted;
+    r.topology_changes += rs.topology_changes;
+    r.max_remap_fraction = std::max(r.max_remap_fraction,
+                                    rs.max_remap_fraction);
+    r.max_site_replicas =
+        std::max(r.max_site_replicas, site.active_edge_caches());
+  }
+  for (const auto& scaler : scalers) {
+    r.scale_ups += scaler->scale_ups();
+    r.scale_downs += scaler->scale_downs();
+  }
+
+  r.slo = obs::evaluate_slo(
+      obs::success_slo("fetch.requests", "fetch.failures", knobs.slo_target),
+      series);
+  if (want_series) r.series_json = series.to_json();
+  return r;
+}
+
+std::string mobility_row_json(const MobilityRunResult& r) {
+  char buf[1600];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"scenario\": \"%s\", \"mode\": \"%s\", \"issued\": %llu, "
+      "\"ok\": %llu, \"failed\": %llu, \"success_rate\": %.4f, "
+      "\"mean\": %.3f, \"p50\": %.3f, \"p90\": %.3f, \"p99\": %.3f, "
+      "\"max\": %.3f, "
+      "\"moves\": %llu, \"cohort_handoffs\": %llu, "
+      "\"in_flight_retargets\": %llu, "
+      "\"ue_timeouts\": %llu, \"ue_retransmissions\": %llu, "
+      "\"ue_servfails\": %llu, \"ue_failovers\": %llu, "
+      "\"shed\": %llu, \"shed_queue_full\": %llu, "
+      "\"guard_trips\": %llu, \"guard_recoveries\": %llu, "
+      "\"routed\": %llu, \"referred_to_parent\": %llu, "
+      "\"bounded_overflows\": %llu, \"capacity_exhausted\": %llu, "
+      "\"topology_changes\": %llu, \"max_remap_fraction\": %.4f, "
+      "\"scale_ups\": %llu, \"scale_downs\": %llu, "
+      "\"max_site_replicas\": %zu, "
+      "\"slo_ok\": %s, \"slo_windows\": %zu, "
+      "\"slo_windows_violated\": %zu, \"slo_budget_consumed\": %.4f, "
+      "\"slo_worst_burn_rate\": %.4f, \"slo_first_violation_ms\": %.1f, "
+      "\"slo_last_violation_ms\": %.1f}",
+      r.scenario.c_str(), r.mode.c_str(),
+      static_cast<unsigned long long>(r.issued),
+      static_cast<unsigned long long>(r.ok),
+      static_cast<unsigned long long>(r.failed), r.success_rate,
+      r.latency.mean, r.latency.p50, r.latency.p90, r.latency.p99,
+      r.latency.max, static_cast<unsigned long long>(r.moves),
+      static_cast<unsigned long long>(r.cohort_handoffs),
+      static_cast<unsigned long long>(r.in_flight_retargets),
+      static_cast<unsigned long long>(r.ue_timeouts),
+      static_cast<unsigned long long>(r.ue_retransmissions),
+      static_cast<unsigned long long>(r.ue_servfails),
+      static_cast<unsigned long long>(r.ue_failovers),
+      static_cast<unsigned long long>(r.shed),
+      static_cast<unsigned long long>(r.shed_queue_full),
+      static_cast<unsigned long long>(r.guard_trips),
+      static_cast<unsigned long long>(r.guard_recoveries),
+      static_cast<unsigned long long>(r.routed),
+      static_cast<unsigned long long>(r.referred_to_parent),
+      static_cast<unsigned long long>(r.bounded_overflows),
+      static_cast<unsigned long long>(r.capacity_exhausted),
+      static_cast<unsigned long long>(r.topology_changes),
+      r.max_remap_fraction, static_cast<unsigned long long>(r.scale_ups),
+      static_cast<unsigned long long>(r.scale_downs), r.max_site_replicas,
+      r.slo.ok ? "true" : "false", r.slo.windows.size(),
+      r.slo.windows_violated, r.slo.budget_consumed, r.slo.worst_burn_rate,
+      r.slo.first_violation_ms, r.slo.last_violation_ms);
+  return buf;
+}
+
+}  // namespace mecdns::core

@@ -42,8 +42,21 @@ class StubResolver {
                DnsTransport::Options options = {});
 
   /// Re-targets the primary DNS server (cellular handoff / MEC attach).
-  void set_server(simnet::Endpoint server) { server_ = server; }
+  /// With retarget-in-flight enabled, transactions still pending against
+  /// the old server are resent to the new one immediately instead of
+  /// timing out against a resolver the UE can no longer reach.
+  void set_server(simnet::Endpoint server) {
+    if (retarget_in_flight_ && server_ != server) {
+      transport_->retarget_pending(server_, server);
+    }
+    server_ = server;
+  }
   simnet::Endpoint server() const { return server_; }
+
+  /// Opt-in for the handoff fix above. Off by default: the fragile
+  /// baseline (query stranded until the timeout ladder fires) is exactly
+  /// what the mobility benches measure robustness against.
+  void set_retarget_in_flight(bool enable) { retarget_in_flight_ = enable; }
 
   /// The underlying transaction layer (timeout/retransmission counters).
   DnsTransport& transport() { return *transport_; }
@@ -93,6 +106,7 @@ class StubResolver {
   DnsTransport::Options options_;
   bool chase_cnames_ = false;
   int max_cname_hops_ = 4;
+  bool retarget_in_flight_ = false;
   obs::TraceSink* trace_ = nullptr;
 };
 

@@ -134,6 +134,30 @@ bool DnsTransport::fail_over(std::uint16_t id) {
   return true;
 }
 
+std::size_t DnsTransport::retarget_pending(const simnet::Endpoint& from,
+                                           const simnet::Endpoint& to) {
+  if (from == to) return 0;
+  // Collect first: send_attempt bumps generations and arms timers, so keep
+  // the scan over the flat map free of re-entrant sends.
+  std::vector<std::uint16_t> moved;
+  for (auto& [id, p] : pending_) {
+    if (p.server == from) moved.push_back(id);
+  }
+  for (const std::uint16_t id : moved) {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) continue;
+    Pending& p = it->second;
+    p.server = to;
+    p.attempts = 0;  // the new server gets the full retry budget
+    ++retargets_;
+    p.span.tag("retarget", to.to_string());
+    MECDNS_LOG(kDebug, "transport")
+        << "retargeting in-flight query to " << to.to_string();
+    send_attempt(id);
+  }
+  return moved.size();
+}
+
 void DnsTransport::arm_timeout(std::uint16_t id, std::uint64_t generation) {
   net_.simulator().schedule_after(
       retry_interval(pending_.at(id)),

@@ -83,6 +83,17 @@ class DnsTransport {
   /// Times a transaction switched to a fallback server.
   std::uint64_t failovers() const { return failovers_; }
 
+  /// Re-points every transaction pending against `from` at `to` and
+  /// resends immediately with a fresh retry budget. This is the handoff
+  /// fix: when a UE's resolver is switched to a new MEC L-DNS while a
+  /// query is in flight, the transaction follows the re-target instead of
+  /// waiting out the timeout ladder against a server it can no longer
+  /// reach. Returns the number of transactions moved.
+  std::size_t retarget_pending(const simnet::Endpoint& from,
+                               const simnet::Endpoint& to);
+  /// Transactions moved by retarget_pending.
+  std::uint64_t retargets() const { return retargets_; }
+
   /// Test seam: forces the next transaction id, so tests can stage an id
   /// collision with an in-flight query (wrap-around regression).
   void set_next_id(std::uint16_t id) { next_id_ = id; }
@@ -125,6 +136,7 @@ class DnsTransport {
   std::uint64_t tc_retries_ = 0;
   std::uint64_t servfails_ = 0;
   std::uint64_t failovers_ = 0;
+  std::uint64_t retargets_ = 0;
   /// In-flight transactions by id. Touched on every send/receive/timeout,
   /// so it uses the open-addressing flat map; ids are scrambled before
   /// probing so sequential allocation doesn't cluster.

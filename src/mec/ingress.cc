@@ -22,15 +22,33 @@ void IngressMonitor::prune(simnet::SimTime now) const {
 void OverloadGuardPlugin::shed_one(const dns::PluginContext& ctx,
                                    Respond& respond) {
   ++shed_;
-  if (action_ == OverloadAction::kRefuse) {
-    respond(dns::make_response(ctx.query, dns::RCode::kRefused));
+  switch (action_) {
+    case OverloadAction::kRefuse:
+      respond(dns::make_response(ctx.query, dns::RCode::kRefused));
+      break;
+    case OverloadAction::kServFail:
+      respond(dns::make_response(ctx.query, dns::RCode::kServFail));
+      break;
+    case OverloadAction::kDrop:
+      // Never respond; the client's timeout/fallback path handles it.
+      break;
   }
-  // kDrop: never respond; the client's timeout/fallback path handles it.
 }
 
 void OverloadGuardPlugin::serve(const dns::PluginContext& ctx,
                                 Respond respond, Next next) {
   const simnet::SimTime now = ctx.net.received;
+
+  // Bounded-queue admission control runs before the rate policy: a
+  // saturated worker FIFO behind this query means new arrivals are being
+  // dropped and the backlog is aging toward client timeouts — shed cheaply
+  // (no plugin chain, no upstream work) so the queue drains fast.
+  if (queue_probe_ && queue_limit_ > 0 && queue_probe_() >= queue_limit_) {
+    ++shed_queue_full_;
+    shed_one(ctx, respond);
+    return;
+  }
+
   const bool over = monitor_.rate(now) >= threshold_;
 
   if (recovery_windows_ == 0) {

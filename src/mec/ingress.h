@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 
 #include "dns/plugin.h"
@@ -41,6 +42,10 @@ class IngressMonitor {
 enum class OverloadAction {
   kRefuse,  ///< answer REFUSED; multicast/fallback clients use provider L-DNS
   kDrop,    ///< silently drop; clients time out onto their fallback
+  /// Answer SERVFAIL: composes with DnsTransport's failover_on_servfail so
+  /// clients with a provider fallback fail over within one RTT instead of
+  /// waiting out the timeout ladder — the overload-safe shed policy.
+  kServFail,
 };
 
 class OverloadGuardPlugin : public dns::Plugin {
@@ -73,12 +78,32 @@ class OverloadGuardPlugin : public dns::Plugin {
   std::uint64_t shed() const { return shed_; }
   std::uint64_t admitted() const { return admitted_; }
 
+  /// Admission control against a bounded server queue: when `probe()`
+  /// (typically DnsServer::queue_depth) reaches `limit`, the query is shed
+  /// with a deterministic answer instead of being served. A saturated FIFO
+  /// means the backlog is already rotting toward client timeouts; cheap
+  /// sheds drain it orders of magnitude faster than full service would,
+  /// and (with kServFail/kRefuse) tell the client immediately rather than
+  /// letting the overflow drop them silently.
+  void set_queue_probe(std::function<std::size_t()> probe,
+                       std::size_t limit) {
+    queue_probe_ = std::move(probe);
+    queue_limit_ = limit;
+  }
+  std::uint64_t shed_queue_full() const { return shed_queue_full_; }
+
+  OverloadAction action() const { return action_; }
+  void set_action(OverloadAction action) { action_ = action; }
+
  private:
   void shed_one(const dns::PluginContext& ctx, Respond& respond);
 
   IngressMonitor& monitor_;
   std::size_t threshold_;
   OverloadAction action_;
+  std::function<std::size_t()> queue_probe_;
+  std::size_t queue_limit_ = 0;
+  std::uint64_t shed_queue_full_ = 0;
   std::size_t recovery_windows_ = 0;
   bool shedding_ = false;
   /// When (while shedding) the rate was first observed below threshold;

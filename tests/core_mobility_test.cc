@@ -1,0 +1,142 @@
+// Mobility-churn integration: the fragile-vs-robust SLO grading, the
+// misconfigured-robust trap, worker-count byte-identity of the bench rows,
+// and the bounded-load churn envelope — on a downsized but still
+// overloading workload.
+#include "core/mobility.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "core/parallel.h"
+
+namespace mecdns {
+namespace {
+
+using core::MobilityKnobs;
+using core::MobilityMode;
+using core::MobilityRunResult;
+using workload::MobilityScenario;
+
+// Downsized to test scale but still past the fragile L-DNS's service
+// capacity: the flash crowd concentrates ~0.8 x 150 x 8 Hz ~= 960 qps on
+// the target cell, above the 1-worker / 1.1 ms ~= 909 qps ceiling.
+MobilityKnobs test_knobs() {
+  MobilityKnobs knobs;
+  knobs.ues = 150;
+  knobs.rate_hz = 8.0;
+  knobs.duration = simnet::SimTime::seconds(12);
+  knobs.event_start = simnet::SimTime::seconds(3);
+  knobs.event_end = simnet::SimTime::seconds(8);
+  return knobs;
+}
+
+constexpr std::uint64_t kSeed = 42;
+
+// One simulation per (scenario, mode) is ~0.5 s; share runs across tests.
+const MobilityRunResult& cached_run(MobilityScenario scenario,
+                                    MobilityMode mode) {
+  static std::map<std::pair<int, int>, MobilityRunResult> cache;
+  const auto key = std::make_pair(static_cast<int>(scenario),
+                                  static_cast<int>(mode));
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, core::run_mobility_job(scenario, mode, kSeed,
+                                                   test_knobs(), false))
+             .first;
+  }
+  return it->second;
+}
+
+TEST(MobilityChurnTest, FlashCrowdMeltsFragileButNotRobust) {
+  const MobilityRunResult& fragile =
+      cached_run(MobilityScenario::kFlashCrowd, MobilityMode::kFragile);
+  const MobilityRunResult& robust =
+      cached_run(MobilityScenario::kFlashCrowd, MobilityMode::kRobust);
+
+  // Identical seed => identical workload exposure.
+  EXPECT_EQ(fragile.issued, robust.issued);
+  EXPECT_EQ(fragile.moves, robust.moves);
+
+  // Fragile: silent queue drops become hard 2 s timeouts and the error
+  // budget is exhausted.
+  EXPECT_FALSE(fragile.slo.ok);
+  EXPECT_GT(fragile.ue_timeouts, 0u);
+  EXPECT_LT(fragile.success_rate, 0.99);
+  EXPECT_EQ(fragile.shed, 0u);  // nothing shed — the drops are silent
+
+  // Robust: the guard sheds with SERVFAIL, clients fail over to the
+  // provider, and every window stays inside the SLO.
+  EXPECT_TRUE(robust.slo.ok);
+  EXPECT_GE(robust.success_rate, 0.99);
+  EXPECT_GT(robust.shed, 0u);
+  EXPECT_GT(robust.ue_failovers, 0u);
+  EXPECT_GT(robust.scale_ups, 0u);
+  EXPECT_GT(robust.max_site_replicas,
+            static_cast<std::size_t>(1));  // elasticity actually engaged
+}
+
+TEST(MobilityChurnTest, MisconfiguredRobustFailsTheSloUnderItsOwnLabel) {
+  const MobilityRunResult& broken =
+      cached_run(MobilityScenario::kFlashCrowd, MobilityMode::kMisconfigured);
+  // The site machinery sheds, but the forgotten client fallback turns
+  // every shed into a hard SERVFAIL failure: the run *claims* robust and
+  // must still flunk the SLO — this is what the CI gate exists to catch.
+  EXPECT_EQ(broken.mode, "robust");
+  EXPECT_GT(broken.shed, 0u);
+  EXPECT_EQ(broken.ue_failovers, 0u);
+  EXPECT_FALSE(broken.slo.ok);
+  EXPECT_LT(broken.success_rate, 0.99);
+}
+
+TEST(MobilityChurnTest, HandoffStormRetargetsInFlightTransactions) {
+  const MobilityRunResult& robust =
+      cached_run(MobilityScenario::kHandoffStorm, MobilityMode::kRobust);
+  // Continuous churn: the cohort's HandoffManagers execute real bulk
+  // re-targets and some queries are caught mid-flight and follow them.
+  EXPECT_GT(robust.cohort_handoffs, 0u);
+  EXPECT_GT(robust.in_flight_retargets, 0u);
+  EXPECT_TRUE(robust.slo.ok);
+}
+
+TEST(MobilityChurnTest, AllocationChurnStaysInsideBoundedLoadEnvelope) {
+  const MobilityRunResult& robust =
+      cached_run(MobilityScenario::kFlashCrowd, MobilityMode::kRobust);
+  // Replica topology changed (bootstrap + auto-scaling), so churn was
+  // measured...
+  EXPECT_GT(robust.topology_changes, 0u);
+  EXPECT_GT(robust.max_remap_fraction, 0.0);
+  // ...and the worst observed remap stays at the bounded-load O(K/n)
+  // level: the 1->2 bootstrap transition (~1/2 the keyspace). A naive
+  // mod-N placement would remap ~everything on every change.
+  EXPECT_LE(robust.max_remap_fraction, 0.6);
+}
+
+TEST(MobilityChurnTest, RowsAreByteIdenticalAcrossWorkerCounts) {
+  const MobilityKnobs knobs = test_knobs();
+  const auto run_rows = [&](std::size_t workers) {
+    const core::ParallelCampaign campaign(workers);
+    const auto outcomes = campaign.run<std::string>(2, [&](std::size_t i) {
+      return core::mobility_row_json(core::run_mobility_job(
+          MobilityScenario::kFlashCrowd,
+          i == 0 ? MobilityMode::kFragile : MobilityMode::kRobust, kSeed,
+          knobs, false));
+    });
+    std::string rows;
+    for (const auto& outcome : outcomes) {
+      EXPECT_TRUE(outcome.ok) << outcome.error;
+      rows += outcome.value + "\n";
+    }
+    return rows;
+  };
+  const std::string serial = run_rows(1);
+  const std::string parallel = run_rows(4);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial.find("\"mode\": \"fragile\""), std::string::npos);
+  EXPECT_NE(serial.find("\"mode\": \"robust\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mecdns

@@ -17,6 +17,12 @@
 #      deterministic artifact is byte-compared across worker counts,
 #      self-diffed (must be clean), and an injected allocs/query regression
 #      must trip `mecdns_report --diff` nonzero.
+#   7. Mobility-churn robustness gate: bench_mobility_churn runs handoff
+#      storms / flash crowds fragile-vs-robust, byte-compares the artifact
+#      across worker counts, requires --gate to pass (robust meets the SLO
+#      everywhere, fragile exhausts its budget somewhere), and requires the
+#      --misconfigure run — robust machinery with the client fallback
+#      forgotten — to exit nonzero.
 # Usage: tools/check.sh [jobs]   (default: nproc)
 set -euo pipefail
 
@@ -25,14 +31,14 @@ jobs="${1:-$(nproc)}"
 
 run() { echo "+ $*"; "$@"; }
 
-echo "=== 1/6: ASan/UBSan build + tests (build-asan/) ==="
+echo "=== 1/7: ASan/UBSan build + tests (build-asan/) ==="
 run cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 run cmake --build build-asan -j "$jobs"
 run ctest --test-dir build-asan --output-on-failure -j "$jobs" --timeout 120
 
-echo "=== 2/6: fault-matrix smoke (ASan/UBSan) ==="
+echo "=== 2/7: fault-matrix smoke (ASan/UBSan) ==="
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
 for scenario in mec-ldns-crash edge-cache-partition wan-loss-burst \
@@ -43,12 +49,12 @@ for scenario in mec-ldns-crash edge-cache-partition wan-loss-burst \
       --json-out "$smoke_dir/fault_$scenario.json"
 done
 
-echo "=== 3/6: Release build + tests (build/) ==="
+echo "=== 3/7: Release build + tests (build/) ==="
 run cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 run cmake --build build -j "$jobs"
 run ctest --test-dir build --output-on-failure -j "$jobs" --timeout 120
 
-echo "=== 4/6: observability pipeline + determinism self-diff ==="
+echo "=== 4/7: observability pipeline + determinism self-diff ==="
 obs_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir" "$obs_dir"' EXIT
 run ./build/bench/bench_fig2_lookup_latency \
@@ -66,7 +72,7 @@ run ./build/bench/bench_fig2_lookup_latency --json-out "$obs_dir/fig2_b.json"
 run ./build/tools/mecdns_report \
     --diff "$obs_dir/fig2_a.json" --against "$obs_dir/fig2_b.json"
 
-echo "=== 5/6: TSan parallel-campaign determinism gate (build-tsan/) ==="
+echo "=== 5/7: TSan parallel-campaign determinism gate (build-tsan/) ==="
 run cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
@@ -88,7 +94,7 @@ run ./build-tsan/tools/mecdns_report \
     --diff-bytes "$par_dir/metrics_serial.json" \
     --against "$par_dir/metrics_parallel.json"
 
-echo "=== 6/6: perf gate (microbench artifact + throughput regression) ==="
+echo "=== 6/7: perf gate (microbench artifact + throughput regression) ==="
 perf_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir" "$obs_dir" "$par_dir" "$perf_dir"' EXIT
 # Microbenchmarks as a pipeline artifact (the JSON is a reference record,
@@ -135,5 +141,27 @@ if ./build/tools/mecdns_report --diff "$perf_dir/tp_serial.json" \
   exit 1
 fi
 echo "+ injected regression correctly detected"
+
+echo "=== 7/7: mobility-churn robustness gate ==="
+mob_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir" "$obs_dir" "$par_dir" "$perf_dir" "$mob_dir"' EXIT
+# Downsized population, same overload physics: the flash crowd still
+# concentrates ~960 qps on the hot cell's 1-worker (~909 qps) L-DNS.
+mob="./build/bench/bench_mobility_churn --ues 150 --rate-hz 8 \
+    --duration-s 12 --event-start-s 3 --event-end-s 8 --seed 42"
+run $mob --workers 1 --json-out "$mob_dir/mobility_serial.json" --gate
+run $mob --workers 4 --json-out "$mob_dir/mobility_parallel.json" --gate
+run ./build/tools/mecdns_report \
+    --diff-bytes "$mob_dir/mobility_serial.json" \
+    --against "$mob_dir/mobility_parallel.json"
+# The gate must actually gate: a mis-configured robust deployment (site
+# machinery on, client fallback forgotten) reports under the robust label
+# and must be rejected.
+if $mob --workers 4 --json-out "$mob_dir/mobility_broken.json" \
+    --gate --misconfigure > /dev/null; then
+  echo "error: mis-configured robust run was not rejected by --gate" >&2
+  exit 1
+fi
+echo "+ mis-configured robust run correctly rejected"
 
 echo "All checks passed."
