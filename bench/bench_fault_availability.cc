@@ -32,7 +32,10 @@
 #include "core/fig5.h"
 #include "core/parallel.h"
 #include "mec/failover.h"
+#include "obs/incident.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "obs/slo.h"
 #include "obs/timeseries.h"
 #include "util/args.h"
@@ -104,11 +107,13 @@ struct JobResult {
   RunResult r;
   std::string series_json;
   std::string series_name;
+  std::string journal_json;    ///< flight-recorder dump, when requested
+  std::string incidents_json;  ///< one BENCH_incidents scenario row
 };
 
 JobResult run_scenario(const std::string& name, bool robust,
                        std::uint64_t seed, const Knobs& k, bool want_series,
-                       double slo_target) {
+                       bool want_incidents, double slo_target) {
   core::Fig5Testbed::Config config;
   // The WAN-loss scenario only bites when lookups cross the WAN, so it
   // runs the "MEC L-DNS w/ WAN C-DNS" deployment; everything else runs the
@@ -162,6 +167,25 @@ JobResult run_scenario(const std::string& name, bool robust,
   // sim-time axis, so the SLO verdicts line up with the fault window.
   obs::TimeSeries timeseries(sim, simnet::SimTime::millis(500));
   controller.set_timeseries(&timeseries);
+  // Flight recorder: fault edges from the controller, reactions from every
+  // component that can fire in this bench (transport retargets, serve-stale
+  // entry, guard transitions, parent referrals; monitor drains and L-DNS
+  // switches attach below once the robust extras exist).
+  obs::Journal journal;
+  if (want_incidents) {
+    controller.set_journal(&journal);
+    testbed.ue().resolver().transport().set_journal(&journal);
+    testbed.site().public_dns_cache()->set_journal(&journal);
+    if (auto* guard = testbed.site().overload_guard()) {
+      guard->set_journal(&journal);
+    }
+    if (auto* router = testbed.site().router()) {
+      router->set_journal(&journal);
+    }
+    if (auto* forward = testbed.site().cdn_forward()) {
+      forward->set_journal(&journal);
+    }
+  }
   controller.arm(scenario.schedule);
 
   // Robust extras that live beside the testbed rather than inside it: the
@@ -189,6 +213,7 @@ JobResult run_scenario(const std::string& name, bool robust,
                                       cdn::kContentPort},
                      probe);
     }
+    if (want_incidents) monitor->set_journal(&journal);
     monitor->start();
 
     mec::LdnsFailover::Config fc;
@@ -199,6 +224,7 @@ JobResult run_scenario(const std::string& name, bool robust,
         [&testbed](const simnet::Endpoint& target, bool /*to_fallback*/) {
           testbed.ue().resolver().set_server(target);
         });
+    if (want_incidents) ldns_failover->set_journal(&journal);
     ldns_failover->start(static_cast<std::size_t>(
         (horizon - t0).to_millis() / fc.probe_interval.to_millis()));
   }
@@ -293,6 +319,14 @@ JobResult run_scenario(const std::string& name, bool robust,
       obs::success_slo("fetch.requests", "fetch.failures", slo_target),
       timeseries);
   JobResult job;
+  if (want_incidents) {
+    obs::append_slo_journal(result.slo, journal);
+    const obs::IncidentReport report = obs::correlate_incidents(journal);
+    job.journal_json = journal.to_json();
+    job.incidents_json = "{\"scenario\": \"" + name + "\", \"mode\": \"" +
+                         (robust ? "robust" : "fragile") + "\", " +
+                         obs::incident_report_json(report) + "}";
+  }
   job.r = std::move(result);
   if (want_series) {
     job.series_json = timeseries.to_json();
@@ -319,6 +353,12 @@ int main(int argc, char** argv) {
   args.add_string("timeseries-out", "",
                   "per-run windowed-metrics JSON with chaos annotations "
                   "(scenario/mode slug is inserted before the extension)");
+  args.add_string("journal-out", "",
+                  "per-run flight-recorder journal JSON (scenario/mode slug "
+                  "is inserted before the extension; '' disables)");
+  args.add_string("incidents-out", "",
+                  "correlated incident forensics (BENCH_incidents.json "
+                  "shape: MTTD/MTTR per scenario; '' disables)");
   args.add_double("slo-target", 0.99,
                   "per-window fetch success ratio the SLO requires");
   args.add_int("workers", 0,
@@ -380,6 +420,9 @@ int main(int argc, char** argv) {
     jobs.push_back(JobSpec{scenarios[si], si, true});
   }
   const bool want_series = !args.get_string("timeseries-out").empty();
+  const bool want_journal = !args.get_string("journal-out").empty();
+  const bool want_incidents =
+      want_journal || !args.get_string("incidents-out").empty();
   const double slo_target = args.get_double("slo-target");
   const auto run_matrix = [&](std::size_t workers) {
     const core::ParallelCampaign campaign(workers);
@@ -387,7 +430,7 @@ int main(int argc, char** argv) {
       const JobSpec& spec = jobs[index];
       return run_scenario(spec.scenario, spec.robust,
                           core::job_seed(knobs.seed, spec.scenario_index),
-                          knobs, want_series, slo_target);
+                          knobs, want_series, want_incidents, slo_target);
     });
   };
 
@@ -395,6 +438,7 @@ int main(int argc, char** argv) {
       run_matrix(core::resolve_workers(args.get_int("workers")));
 
   std::vector<Row> rows;
+  std::vector<std::string> incident_rows;
   bool write_failed = false;
   for (std::size_t index = 0; index < outcomes.size(); ++index) {
     const JobSpec& spec = jobs[index];
@@ -416,6 +460,19 @@ int main(int argc, char** argv) {
                      path.c_str());
         write_failed = true;
       }
+    }
+    if (want_journal && !job.journal_json.empty()) {
+      const std::string path =
+          with_slug(args.get_string("journal-out"),
+                    scenario + "/" + (robust ? "robust" : "fragile"));
+      if (!obs::write_text_file(path, job.journal_json)) {
+        std::fprintf(stderr, "error: failed to write journal to %s\n",
+                     path.c_str());
+        write_failed = true;
+      }
+    }
+    if (!job.incidents_json.empty()) {
+      incident_rows.push_back(job.incidents_json);
     }
     {
       const RunResult& r = job.r;
@@ -462,10 +519,13 @@ int main(int argc, char** argv) {
     char buf[1600];
     std::snprintf(buf, sizeof(buf),
                   "{\n  \"bench\": \"fault_availability\",\n"
+                  "  %s,\n"
                   "  \"unit\": \"ms\",\n"
                   "  \"requests\": %zu,\n"
                   "  \"fault_window_ms\": [%lld, %lld],\n"
                   "  \"scenarios\": [\n",
+                  obs::provenance_json("fault_availability", knobs.seed)
+                      .c_str(),
                   knobs.requests,
                   static_cast<long long>(knobs.fault_start.to_millis()),
                   static_cast<long long>(knobs.fault_end.to_millis()));
@@ -520,6 +580,24 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "wrote %zu runs to %s\n", rows.size(),
                  json_out.c_str());
+  }
+
+  const std::string incidents_out = args.get_string("incidents-out");
+  if (!incidents_out.empty()) {
+    std::string out = "{\n  \"bench\": \"fault_incidents\",\n  " +
+                      obs::provenance_json("fault_incidents", knobs.seed) +
+                      ",\n  \"scenarios\": [\n";
+    for (std::size_t i = 0; i < incident_rows.size(); ++i) {
+      out += "    " + incident_rows[i];
+      out += i + 1 < incident_rows.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+    if (!obs::write_text_file(incidents_out, out)) {
+      std::fprintf(stderr, "failed to open %s\n", incidents_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %zu incident rows to %s\n",
+                 incident_rows.size(), incidents_out.c_str());
   }
 
   // --scaling-out: re-run the identical matrix once per worker count,
@@ -577,7 +655,9 @@ int main(int argc, char** argv) {
       std::printf("%8zu %10.0f %8.2fx %10s\n", p.workers, p.wall_ms, speedup,
                   p.identical ? "yes" : "NO");
     }
-    std::string out = "{\n  \"bench\": \"parallel_scaling\",\n";
+    std::string out = "{\n  \"bench\": \"parallel_scaling\",\n  " +
+                      obs::provenance_json("parallel_scaling", knobs.seed) +
+                      ",\n";
     char buf[256];
     std::snprintf(buf, sizeof(buf),
                   "  \"grid\": \"fault_matrix\",\n  \"jobs\": %zu,\n"

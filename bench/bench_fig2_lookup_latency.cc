@@ -22,6 +22,7 @@
 #include "core/parallel.h"
 #include "core/study.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "util/args.h"
@@ -208,8 +209,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "failed to open %s\n", json_out.c_str());
       return 1;
     }
-    std::fprintf(f, "{\n  \"bench\": \"fig2_lookup_latency\",\n"
-                 "  \"unit\": \"ms\",\n  \"scenarios\": [\n");
+    std::fprintf(f, "{\n  \"bench\": \"fig2_lookup_latency\",\n  %s,\n"
+                 "  \"unit\": \"ms\",\n  \"scenarios\": [\n",
+                 obs::provenance_json("fig2_lookup_latency", campaign_seed).c_str());
     for (std::size_t i = 0; i < bars.size(); ++i) {
       const Bar& bar = bars[i];
       const util::Summary& s = bar.trimmed;

@@ -19,6 +19,7 @@
 #include "core/parallel.h"
 #include "core/roles.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "util/args.h"
@@ -256,8 +257,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "failed to open %s\n", json_out.c_str());
       return 1;
     }
-    std::fprintf(f, "{\n  \"bench\": \"fig5_deployments\",\n"
-                 "  \"unit\": \"ms\",\n  \"scenarios\": [\n");
+    std::fprintf(f, "{\n  \"bench\": \"fig5_deployments\",\n  %s,\n"
+                 "  \"unit\": \"ms\",\n  \"scenarios\": [\n",
+                 obs::provenance_json("fig5_deployments", campaign_seed).c_str());
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const Row& row = rows[i];
       const util::Summary& s = row.summary;

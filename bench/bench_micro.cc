@@ -10,6 +10,8 @@
 #include "dns/cache.h"
 #include "dns/wire.h"
 #include "dns/zone.h"
+#include "obs/journal.h"
+#include "obs/perf.h"
 #include "simnet/simulator.h"
 #include "util/flat_map.h"
 #include "util/rng.h"
@@ -198,6 +200,27 @@ void BM_ZipfSample(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(100000);
+
+// Flight-recorder append: the journal's zero-steady-state-cost claim as a
+// number. The ring is preallocated in the constructor, so record() must be
+// a bounded POD copy — allocs_per_op is pinned at 0 (the counting
+// allocator is linked into this binary; a regression shows up both here
+// and in the obs_journal unit test's hard assert).
+void BM_JournalAppend(benchmark::State& state) {
+  obs::Journal journal(static_cast<std::size_t>(state.range(0)));
+  simnet::SimTime at = simnet::SimTime::millis(1);
+  const obs::PerfSnapshot snapshot = obs::PerfSnapshot::take();
+  for (auto _ : state) {
+    at = at + simnet::SimTime::millis(1);
+    journal.record(at, obs::JournalKind::kGuardTrip, /*cell=*/2,
+                   "ingress shedding", 800, 1234);
+    benchmark::DoNotOptimize(journal.size());
+  }
+  const util::perf::Counters delta = snapshot.delta();
+  state.counters["allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(delta.allocs), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_JournalAppend)->Arg(256)->Arg(2048);
 
 }  // namespace
 

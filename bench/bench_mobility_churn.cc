@@ -32,6 +32,7 @@
 #include "core/mobility.h"
 #include "core/parallel.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "util/args.h"
 
 using namespace mecdns;
@@ -51,17 +52,20 @@ std::string with_slug(const std::string& path, std::string name) {
 }
 
 std::string matrix_json(const std::vector<core::MobilityRunResult>& rows,
-                        const core::MobilityKnobs& knobs) {
+                        const core::MobilityKnobs& knobs,
+                        std::uint64_t seed) {
   std::string out;
-  char buf[512];
+  char buf[768];
   std::snprintf(buf, sizeof(buf),
                 "{\n  \"bench\": \"mobility_churn\",\n"
+                "  %s,\n"
                 "  \"unit\": \"ms\",\n"
                 "  \"ues\": %u,\n  \"rate_hz\": %.2f,\n  \"cells\": %u,\n"
                 "  \"duration_ms\": %lld,\n"
                 "  \"event_window_ms\": [%lld, %lld],\n"
                 "  \"slo_target\": %.4f,\n"
                 "  \"runs\": [\n",
+                obs::provenance_json("mobility_churn", seed).c_str(),
                 knobs.ues, knobs.rate_hz,
                 static_cast<unsigned>(knobs.cells),
                 static_cast<long long>(knobs.duration.to_millis()),
@@ -113,6 +117,12 @@ int main(int argc, char** argv) {
   args.add_string("timeseries-out", "",
                   "per-run windowed-metrics JSON with phase annotations "
                   "(scenario/mode slug is inserted before the extension)");
+  args.add_string("journal-out", "",
+                  "per-run flight-recorder journal JSON (scenario/mode slug "
+                  "is inserted before the extension; '' disables)");
+  args.add_string("incidents-out", "",
+                  "correlated incident forensics (BENCH_incidents.json "
+                  "shape: MTTD/MTTR per scenario; '' disables)");
   args.add_bool("gate", false,
                 "CI verdict: exit nonzero unless robust meets the SLO on "
                 "every scenario AND fragile violates it on at least one");
@@ -174,6 +184,9 @@ int main(int argc, char** argv) {
     jobs.push_back(JobSpec{scenarios[si], si, hardened_mode});
   }
   const bool want_series = !args.get_string("timeseries-out").empty();
+  const bool want_journal = !args.get_string("journal-out").empty();
+  const bool want_incidents =
+      want_journal || !args.get_string("incidents-out").empty();
 
   std::printf("=== Mobility churn: %u UEs x %.1f Hz over %u cells, "
               "event [%lld, %lld) s ===\n",
@@ -188,7 +201,8 @@ int main(int argc, char** argv) {
         const JobSpec& spec = jobs[index];
         return core::run_mobility_job(
             spec.scenario, spec.mode,
-            core::job_seed(seed, spec.scenario_index), knobs, want_series);
+            core::job_seed(seed, spec.scenario_index), knobs, want_series,
+            want_incidents);
       });
 
   std::printf("%-14s %-8s %10s %9s %9s %9s %8s %8s %s\n", "scenario", "mode",
@@ -220,6 +234,15 @@ int main(int argc, char** argv) {
                     r.scenario + "/" + r.mode);
       if (!obs::write_text_file(path, r.series_json)) {
         std::fprintf(stderr, "error: failed to write timeseries to %s\n",
+                     path.c_str());
+        write_failed = true;
+      }
+    }
+    if (want_journal && !r.journal_json.empty()) {
+      const std::string path = with_slug(args.get_string("journal-out"),
+                                         r.scenario + "/" + r.mode);
+      if (!obs::write_text_file(path, r.journal_json)) {
+        std::fprintf(stderr, "error: failed to write journal to %s\n",
                      path.c_str());
         write_failed = true;
       }
@@ -256,12 +279,32 @@ int main(int argc, char** argv) {
 
   const std::string json_out = args.get_string("json-out");
   if (!json_out.empty()) {
-    if (!obs::write_text_file(json_out, matrix_json(rows, knobs))) {
+    if (!obs::write_text_file(json_out, matrix_json(rows, knobs, seed))) {
       std::fprintf(stderr, "failed to open %s\n", json_out.c_str());
       return 1;
     }
     std::fprintf(stderr, "wrote %zu runs to %s\n", rows.size(),
                  json_out.c_str());
+  }
+
+  const std::string incidents_out = args.get_string("incidents-out");
+  if (!incidents_out.empty()) {
+    std::string out = "{\n  \"bench\": \"mobility_incidents\",\n  " +
+                      obs::provenance_json("mobility_incidents", seed) +
+                      ",\n  \"scenarios\": [\n";
+    std::size_t emitted = 0;
+    for (const core::MobilityRunResult& r : rows) {
+      if (r.incidents_json.empty()) continue;
+      if (emitted++ > 0) out += ",\n";
+      out += "    " + r.incidents_json;
+    }
+    out += "\n  ]\n}\n";
+    if (!obs::write_text_file(incidents_out, out)) {
+      std::fprintf(stderr, "failed to open %s\n", incidents_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %zu incident rows to %s\n", emitted,
+                 incidents_out.c_str());
   }
 
   if (args.get_bool("gate")) {

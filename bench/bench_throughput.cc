@@ -68,6 +68,10 @@ int main(int argc, char** argv) {
   args.add_int("workers", 0,
                "parallel campaign workers (0 = hardware concurrency, "
                "1 = serial); --json-out is byte-identical for any value");
+  args.add_bool("journal", false,
+                "attach a flight-recorder journal to every hot-path "
+                "component (steady-state records nothing; used to verify "
+                "the allocs/query ceiling with journaling armed)");
   args.add_string("json-out", "BENCH_throughput.json",
                   "deterministic summary JSON ('' disables)");
   args.add_string("wall-out", "",
@@ -111,6 +115,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("warmup-queries"));
   config.seed = static_cast<std::uint64_t>(args.get_int("seed"));
   config.workers = core::resolve_workers(args.get_int("workers"));
+  config.journal = args.get_bool("journal");
 
   if (!obs::alloc_counting_active()) {
     std::fprintf(stderr,
@@ -158,7 +163,8 @@ int main(int argc, char** argv) {
 
   const std::string json_out = args.get_string("json-out");
   if (!json_out.empty()) {
-    if (!obs::write_text_file(json_out, core::throughput_json(rows))) {
+    if (!obs::write_text_file(json_out,
+                              core::throughput_json(rows, config.seed))) {
       std::fprintf(stderr, "error: failed to write %s\n", json_out.c_str());
       return 1;
     }
@@ -168,7 +174,8 @@ int main(int argc, char** argv) {
   const std::string wall_out = args.get_string("wall-out");
   if (!wall_out.empty()) {
     if (!obs::write_text_file(
-            wall_out, core::throughput_wall_json(rows, config.workers))) {
+            wall_out, core::throughput_wall_json(rows, config.workers,
+                                                 config.seed))) {
       std::fprintf(stderr, "error: failed to write %s\n", wall_out.c_str());
       return 1;
     }

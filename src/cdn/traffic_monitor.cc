@@ -56,6 +56,10 @@ void TrafficMonitor::on_result(std::size_t index, bool success) {
       cache.healthy = true;
       cache.successes = 0;
       ++transitions_;
+      if (journal_ != nullptr) {
+        journal_->record(net_.now(), obs::JournalKind::kCacheReadmit,
+                         journal_cell_, cache.name.c_str());
+      }
       MECDNS_LOG(kInfo, "monitor") << cache.name << " is healthy again";
       router_.set_cache_healthy(cache.group, cache.name, true);
     }
@@ -65,6 +69,11 @@ void TrafficMonitor::on_result(std::size_t index, bool success) {
       cache.healthy = false;
       cache.failures = 0;
       ++transitions_;
+      if (journal_ != nullptr) {
+        journal_->record(net_.now(), obs::JournalKind::kCacheDrain,
+                         journal_cell_, cache.name.c_str(),
+                         static_cast<std::uint64_t>(config_.down_threshold));
+      }
       MECDNS_LOG(kWarn, "monitor") << cache.name << " marked down after "
                                    << config_.down_threshold << " failures";
       router_.set_cache_healthy(cache.group, cache.name, false);

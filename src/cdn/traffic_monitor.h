@@ -17,6 +17,7 @@
 
 #include "cdn/cache_server.h"
 #include "cdn/traffic_router.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 
 namespace mecdns::cdn {
@@ -52,6 +53,14 @@ class TrafficMonitor {
   bool healthy(const std::string& cache_name) const;
   std::uint64_t transitions() const { return transitions_; }
   std::uint64_t probes_sent() const { return probes_sent_; }
+
+  /// Health transitions become journal events: cache_drain when a cache is
+  /// taken out of rotation, cache_readmit when it returns (detail = cache
+  /// name).
+  void set_journal(obs::Journal* journal, int cell = -1) {
+    journal_ = journal;
+    journal_cell_ = cell;
+  }
 
   /// Snapshots probe/transition counters plus a per-cache health gauge
   /// (1 = healthy) into `registry` under `prefix`.
@@ -90,6 +99,8 @@ class TrafficMonitor {
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   std::uint64_t transitions_ = 0;
   std::uint64_t probes_sent_ = 0;
+  obs::Journal* journal_ = nullptr;
+  int journal_cell_ = -1;
 };
 
 }  // namespace mecdns::cdn

@@ -279,6 +279,15 @@ void TrafficRouter::handle(const dns::Message& query,
       if (auto target = relative_name.under(*config_.parent_domain);
           target.ok()) {
         ++router_stats_.referred_to_parent;
+        // Journal the edge into referral mode: local caches became
+        // unusable and traffic started cascading to the parent tier.
+        if (!referring_) {
+          referring_ = true;
+          if (journal_ != nullptr) {
+            journal_->record(ctx.received, obs::JournalKind::kParentReferral,
+                             journal_cell_, "no healthy local cache");
+          }
+        }
         obs::ambient_span().tag("route", "parent-referral");
         response.answers.push_back(
             dns::make_cname(q.name, target.value(), config_.answer_ttl));
@@ -294,6 +303,7 @@ void TrafficRouter::handle(const dns::Message& query,
   }
 
   ++router_stats_.routed;
+  referring_ = false;
   ++selections_[cache->name];
   obs::ambient_span().tag("route", "routed");
   obs::ambient_span().tag("cache", cache->name);

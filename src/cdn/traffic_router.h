@@ -21,6 +21,7 @@
 #include "cdn/coverage.h"
 #include "cdn/geo.h"
 #include "dns/server.h"
+#include "obs/journal.h"
 
 namespace mecdns::cdn {
 
@@ -104,6 +105,14 @@ class TrafficRouter : public dns::DnsServer {
   void set_cache_capacity(std::uint64_t per_window,
                           simnet::SimTime window = simnet::SimTime::seconds(1));
 
+  /// Journals the *edge into* parent-referral mode (first referral after
+  /// any locally routed query), not every referred query — referral storms
+  /// are per-query traffic, the transition is the control-plane fact.
+  void set_journal(obs::Journal* journal, int cell = -1) {
+    journal_ = journal;
+    journal_cell_ = cell;
+  }
+
   const RouterStats& router_stats() const { return router_stats_; }
   /// Per-cache selection counts (cache name -> queries routed to it).
   const std::map<std::string, std::uint64_t>& selections() const {
@@ -137,6 +146,11 @@ class TrafficRouter : public dns::DnsServer {
   GeoIpDatabase geo_;
   RouterStats router_stats_;
   std::map<std::string, std::uint64_t> selections_;
+  obs::Journal* journal_ = nullptr;
+  int journal_cell_ = -1;
+  /// True between the first parent referral and the next locally routed
+  /// query; journals the transition only.
+  bool referring_ = false;
 };
 
 }  // namespace mecdns::cdn

@@ -41,6 +41,29 @@ void ChaosController::inject_now(const FaultAction& action) {
     span.end();
   }
   if (timeseries_ != nullptr) timeseries_->annotate(kind, what);
+  if (journal_ != nullptr) {
+    // Custom actions follow the schedule-builder naming convention: a label
+    // ending "-off" or "-heal" undoes an earlier injection.
+    const auto label_restores = [](const std::string& label) {
+      const auto ends_with = [&label](const char* suffix) {
+        const std::size_t n = std::char_traits<char>::length(suffix);
+        return label.size() >= n &&
+               label.compare(label.size() - n, n, suffix) == 0;
+      };
+      return ends_with("-off") || ends_with("-heal");
+    };
+    const bool restores =
+        std::holds_alternative<NodeUp>(action) ||
+        std::holds_alternative<LinkUp>(action) ||
+        (std::holds_alternative<LinkLoss>(action) &&
+         std::get<LinkLoss>(action).probability <= 0.0) ||
+        (std::holds_alternative<Custom>(action) &&
+         label_restores(std::get<Custom>(action).label));
+    journal_->record(net_.now(),
+                     restores ? obs::JournalKind::kFaultClear
+                              : obs::JournalKind::kFaultInject,
+                     /*cell=*/-1, what.c_str());
+  }
   injections_.push_back(InjectionRecord{net_.now(), kind, what});
   apply(action);
 }

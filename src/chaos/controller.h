@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "chaos/fault_schedule.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
@@ -50,6 +51,11 @@ class ChaosController {
   /// windows line up with the per-window metrics they perturb.
   void set_timeseries(obs::TimeSeries* series) { timeseries_ = series; }
 
+  /// Each injection becomes a journal event: restorative actions (node_up,
+  /// link_up, link_loss at probability 0) record fault_clear, everything
+  /// else fault_inject — the seeds incident correlation grows around.
+  void set_journal(obs::Journal* journal) { journal_ = journal; }
+
   /// Schedules every event of `schedule` at its absolute sim time. May be
   /// called multiple times (schedules compose). An empty schedule arms
   /// nothing. Faults scheduled in the past run immediately (simulator
@@ -73,6 +79,7 @@ class ChaosController {
   obs::Registry* registry_ = nullptr;
   obs::TraceSink* trace_ = nullptr;
   obs::TimeSeries* timeseries_ = nullptr;
+  obs::Journal* journal_ = nullptr;
   /// Disarms scheduled fault events if the controller dies before they fire.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   std::vector<InjectionRecord> injections_;

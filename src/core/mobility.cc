@@ -276,13 +276,38 @@ void MobilityTestbed::build_cell(std::uint16_t cell) {
 MobilityRunResult run_mobility_job(workload::MobilityScenario scenario,
                                    MobilityMode mode, std::uint64_t seed,
                                    const MobilityKnobs& knobs,
-                                   bool want_series) {
+                                   bool want_series, bool want_incidents) {
   MobilityTestbed::Config config;
   config.mode = mode;
   config.seed = seed;
   config.knobs = knobs;
   MobilityTestbed bed(config);
   simnet::Simulator& sim = bed.simulator();
+
+  // Control-plane flight recorder. Attaching it draws no randomness and
+  // schedules no events, so rows stay byte-identical either way; only
+  // transition points record, so the journal stays cold under load.
+  obs::Journal journal;
+  if (want_incidents) {
+    for (std::uint16_t cell = 0; cell < knobs.cells; ++cell) {
+      if (bed.site(cell).overload_guard() != nullptr) {
+        bed.site(cell).overload_guard()->set_journal(&journal, cell);
+      }
+      bed.site(cell).router()->set_journal(&journal, cell);
+    }
+    // Cohort transports see real handoffs; aggregate UEs are mass-load
+    // stand-ins whose failover churn would swamp the ring.
+    for (std::size_t i = 0; i < bed.cohort_size(); ++i) {
+      bed.cohort_ue(i).resolver().transport().set_journal(&journal);
+    }
+    // The churn event itself is the incident seed: its window is scripted,
+    // so record it with explicit timestamps up front.
+    journal.record(knobs.event_start, obs::JournalKind::kLoadStart,
+                   /*cell=*/0, workload::mobility_slug(scenario),
+                   knobs.ues);
+    journal.record(knobs.event_end, obs::JournalKind::kLoadEnd,
+                   /*cell=*/0, workload::mobility_slug(scenario));
+  }
 
   obs::TimeSeries series(sim, knobs.slo_window);
   std::uint64_t ok = 0;
@@ -372,6 +397,7 @@ MobilityRunResult run_mobility_job(workload::MobilityScenario scenario,
           [site] { return site->active_edge_caches(); },
           [site] { return site->add_edge_cache() != nullptr; },
           [site] { return site->retire_edge_cache(); }));
+      if (want_incidents) scalers.back()->set_journal(&journal, cell);
       scalers.back()->run_for(static_cast<std::size_t>(
           knobs.duration.count_nanos() / ac.interval.count_nanos()));
     }
@@ -460,6 +486,14 @@ MobilityRunResult run_mobility_job(workload::MobilityScenario scenario,
       obs::success_slo("fetch.requests", "fetch.failures", knobs.slo_target),
       series);
   if (want_series) r.series_json = series.to_json();
+  if (want_incidents) {
+    obs::append_slo_journal(r.slo, journal);
+    const obs::IncidentReport report = obs::correlate_incidents(journal);
+    r.journal_json = journal.to_json();
+    r.incidents_json = "{\"scenario\": \"" + r.scenario + "\", \"mode\": \"" +
+                       r.mode + "\", " + obs::incident_report_json(report) +
+                       "}";
+  }
   return r;
 }
 

@@ -44,6 +44,7 @@
 #include "dns/hierarchy.h"
 #include "dns/recursive.h"
 #include "mec/autoscaler.h"
+#include "obs/incident.h"
 #include "obs/slo.h"
 #include "ran/handoff.h"
 #include "ran/segment.h"
@@ -207,6 +208,10 @@ struct MobilityRunResult {
 
   obs::SloResult slo;      ///< fetch-success SLO over slo_window windows
   std::string series_json;  ///< when requested; "" otherwise
+
+  // Control-plane forensics, when requested (want_incidents); "" otherwise.
+  std::string journal_json;    ///< obs::Journal::to_json()
+  std::string incidents_json;  ///< one BENCH_incidents scenario row
 };
 
 /// Runs one (scenario, mode) job in a private simulation. Deterministic:
@@ -214,7 +219,8 @@ struct MobilityRunResult {
 MobilityRunResult run_mobility_job(workload::MobilityScenario scenario,
                                    MobilityMode mode, std::uint64_t seed,
                                    const MobilityKnobs& knobs,
-                                   bool want_series);
+                                   bool want_series,
+                                   bool want_incidents = false);
 
 /// Byte-stable one-row JSON fragment shared by the bench's --json-out and
 /// the determinism tests (no trailing comma or newline).

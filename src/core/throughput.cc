@@ -3,7 +3,9 @@
 #include <chrono>
 
 #include "dns/stub.h"
+#include "obs/journal.h"
 #include "obs/perf.h"
+#include "obs/provenance.h"
 #include "workload/loadgen.h"
 
 namespace mecdns::core {
@@ -49,6 +51,23 @@ ThroughputOutput run_one(const ThroughputConfig& cfg, Fig5Deployment d,
   tc.seed = seed;
   Fig5Testbed testbed(tc);
   simnet::Simulator& sim = testbed.simulator();
+
+  // Armed-but-silent flight recorder: with no faults injected, every hook
+  // sits on a transition edge that never fires, so the measured window
+  // must stay at the unjournaled allocation ceiling.
+  obs::Journal journal;
+  if (cfg.journal) {
+    testbed.ue().resolver().transport().set_journal(&journal);
+    if (auto cache = testbed.site().public_dns_cache()) {
+      cache->set_journal(&journal);
+    }
+    if (auto* guard = testbed.site().overload_guard()) {
+      guard->set_journal(&journal);
+    }
+    if (auto* router = testbed.site().router()) {
+      router->set_journal(&journal);
+    }
+  }
 
   // Prime delegation chains and caches so the measured window reflects
   // steady-state per-query cost, not one-time hierarchy walks.
@@ -134,6 +153,10 @@ ThroughputOutput run_one(const ThroughputConfig& cfg, Fig5Deployment d,
   out.metrics.add("loadgen.completed", gen.completed());
   out.metrics.add("loadgen.failures", failures);
   out.metrics.histogram("loadgen.lookup_ms").merge(latency);
+  if (cfg.journal) {
+    out.metrics.add("journal.recorded", journal.recorded());
+    out.metrics.add("journal.dropped", journal.dropped());
+  }
   out.metrics.add("sim.events", events);
   out.metrics.set_gauge_max("sim.queue_depth_peak",
                             static_cast<double>(sim.max_queue_depth()));
@@ -180,10 +203,12 @@ std::vector<JobOutcome<ThroughputOutput>> run_throughput(
       });
 }
 
-std::string throughput_json(const std::vector<ThroughputResult>& results) {
-  std::string out =
-      "{\n  \"bench\": \"throughput\",\n  \"unit\": \"ms\",\n"
-      "  \"scenarios\": [\n";
+std::string throughput_json(const std::vector<ThroughputResult>& results,
+                            std::uint64_t seed) {
+  std::string out = "{\n  \"bench\": \"throughput\",\n  " +
+                    obs::provenance_json("throughput", seed) +
+                    ",\n  \"unit\": \"ms\",\n"
+                    "  \"scenarios\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const ThroughputResult& r = results[i];
     out += "    {";
@@ -216,10 +241,14 @@ std::string throughput_json(const std::vector<ThroughputResult>& results) {
 }
 
 std::string throughput_wall_json(const std::vector<ThroughputResult>& results,
-                                 std::size_t workers) {
+                                 std::size_t workers, std::uint64_t seed) {
   // Machine-dependent numbers live here, apart from the deterministic
-  // artifact, so BENCH_throughput.json stays byte-comparable.
-  std::string out = "{\n  \"bench\": \"throughput_wall\",\n  \"workers\": ";
+  // artifact, so BENCH_throughput.json stays byte-comparable. The actual
+  // worker count is meaningful in this artifact, so it appears beside the
+  // meta block's fixed "any".
+  std::string out = "{\n  \"bench\": \"throughput_wall\",\n  " +
+                    obs::provenance_json("throughput_wall", seed) +
+                    ",\n  \"workers\": ";
   out += std::to_string(workers);
   out += ",\n  \"scenarios\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {

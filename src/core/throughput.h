@@ -48,6 +48,11 @@ struct ThroughputConfig {
   std::size_t warmup_queries = 5;  ///< dig-style queries priming caches
   std::uint64_t seed = 42;
   std::size_t workers = 1;
+  /// Attach a flight-recorder journal to every hot-path component (UE
+  /// transport, L-DNS cache, C-DNS router). Steady-state traffic records
+  /// nothing — the flag exists so the allocs/query ceiling can be
+  /// re-verified with journaling armed, proving attachment is free.
+  bool journal = false;
 };
 
 struct ThroughputResult {
@@ -92,10 +97,13 @@ std::vector<JobOutcome<ThroughputOutput>> run_throughput(
     const ThroughputConfig& config);
 
 /// Deterministic BENCH_throughput.json body (trailing newline included).
-std::string throughput_json(const std::vector<ThroughputResult>& results);
+/// `seed` only feeds the provenance meta block.
+std::string throughput_json(const std::vector<ThroughputResult>& results,
+                            std::uint64_t seed = 42);
 
 /// Wall-clock side artifact (BENCH_throughput_wall.json body).
 std::string throughput_wall_json(const std::vector<ThroughputResult>& results,
-                                 std::size_t workers);
+                                 std::size_t workers,
+                                 std::uint64_t seed = 42);
 
 }  // namespace mecdns::core

@@ -76,6 +76,7 @@ std::optional<CachedAnswer> DnsCache::lookup(const DnsName& name,
     return std::nullopt;
   }
   ++stats_.hits;
+  stale_active_ = false;
   CachedAnswer answer = it->second.answer;
   const auto elapsed_s = static_cast<std::uint32_t>(
       (now - it->second.inserted).to_seconds());
@@ -104,6 +105,16 @@ std::optional<CachedAnswer> DnsCache::lookup_stale(const DnsName& name,
     return std::nullopt;
   }
   ++stats_.stale_hits;
+  if (!stale_active_) {
+    stale_active_ = true;
+    if (journal_ != nullptr) {
+      journal_->record(now, obs::JournalKind::kStaleServe, journal_cell_,
+                       "serving stale past expiry",
+                       max_stale_.count_nanos() > 0
+                           ? static_cast<std::uint64_t>(max_stale_.to_seconds())
+                           : 0);
+    }
+  }
   CachedAnswer answer = it->second.answer;
   // RFC 8767 §4: stale data is served with a short TTL so clients re-try
   // the authoritative path soon.

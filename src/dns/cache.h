@@ -18,6 +18,7 @@
 #include "dns/message.h"
 #include "dns/name.h"
 #include "dns/rr.h"
+#include "obs/journal.h"
 #include "simnet/time.h"
 #include "util/flat_map.h"
 
@@ -96,6 +97,16 @@ class DnsCache {
   std::size_t size() const { return entries_.size(); }
   const CacheStats& stats() const { return stats_; }
 
+  /// Journals the *edge into* serve-stale operation (the first stale
+  /// answer after any fresh hit), not every stale hit: entering RFC 8767
+  /// territory is the control-plane fact that the authoritative path is
+  /// unreachable — and it is often the only detectable reaction a
+  /// loss-burst fault provokes.
+  void set_journal(obs::Journal* journal, int cell = -1) {
+    journal_ = journal;
+    journal_cell_ = cell;
+  }
+
  private:
   struct Entry {
     CachedAnswer answer;
@@ -131,6 +142,10 @@ class DnsCache {
   std::size_t max_entries_;
   bool serve_stale_ = false;
   simnet::SimTime max_stale_ = simnet::SimTime::zero();
+  obs::Journal* journal_ = nullptr;
+  int journal_cell_ = -1;
+  /// True between the first stale answer and the next fresh hit.
+  bool stale_active_ = false;
   std::uint64_t next_seq_ = 1;
   util::FlatHashMap<Key, Entry, KeyHash> entries_;
   std::vector<HeapItem> expiry_heap_;  ///< min-heap by (expires, seq)

@@ -115,12 +115,22 @@ void ForwardPlugin::try_upstream(Message upstream_query,
       upstream, upstream_query, options_,
       [this, upstream_query, client_id, attempt,
        respond = std::move(respond)](util::Result<Message> result,
-                                     simnet::SimTime) mutable {
+                                     simnet::SimTime /*rtt*/) mutable {
+        // The callback's SimTime is the transaction RTT, not a clock
+        // reading — journal stamps must come from the transport's clock.
+        const auto note_failover = [this] {
+          if (journal_ != nullptr && !journal_failing_) {
+            journal_failing_ = true;
+            journal_->record(transport_.now(), obs::JournalKind::kLdnsFailover,
+                             journal_cell_, "forward: upstream failover");
+          }
+        };
         if (!result.ok()) {
           ++upstream_failures_;
           // Fail over to the next configured upstream, if any remain.
           if (attempt + 1 < upstreams_.size()) {
             ++failovers_;
+            note_failover();
             try_upstream(std::move(upstream_query), client_id, attempt + 1,
                          std::move(respond));
             return;
@@ -142,9 +152,15 @@ void ForwardPlugin::try_upstream(Message upstream_query,
           ++upstream_failures_;
           ++failovers_;
           ++servfail_failovers_;
+          note_failover();
           try_upstream(std::move(upstream_query), client_id, attempt + 1,
                        std::move(respond));
           return;
+        }
+        if (attempt == 0 && journal_ != nullptr && journal_failing_) {
+          journal_failing_ = false;
+          journal_->record(transport_.now(), obs::JournalKind::kLdnsRestore,
+                           journal_cell_, "forward: primary recovered");
         }
         response.header.id = client_id;
         respond(std::move(response));

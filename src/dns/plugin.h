@@ -21,6 +21,7 @@
 #include "dns/server.h"
 #include "dns/transport.h"
 #include "dns/zone.h"
+#include "obs/journal.h"
 
 namespace mecdns::dns {
 
@@ -107,6 +108,17 @@ class ForwardPlugin : public Plugin {
   }
   bool add_ecs() const { return add_ecs_; }
 
+  /// Journals the *edge into* failover operation (the first query that
+  /// leaves the primary upstream after a run of primary answers) as
+  /// ldns_failover, and the edge back as ldns_restore — not every
+  /// failed-over query. For the C-DNS brownout and WAN-loss faults this
+  /// forwarder is the component that reacts, so without this hook those
+  /// incidents would grade as undetected.
+  void set_journal(obs::Journal* journal, int cell = -1) {
+    journal_ = journal;
+    journal_cell_ = cell;
+  }
+
  private:
   void try_upstream(Message upstream_query, std::uint16_t client_id,
                     std::size_t attempt, Respond respond);
@@ -120,6 +132,10 @@ class ForwardPlugin : public Plugin {
   std::size_t next_upstream_ = 0;
   DnsTransport& transport_;
   DnsTransport::Options options_;
+  obs::Journal* journal_ = nullptr;
+  int journal_cell_ = -1;
+  /// True between the first failover and the next primary answer.
+  bool journal_failing_ = false;
   std::uint64_t forwarded_ = 0;
   std::uint64_t upstream_failures_ = 0;
   std::uint64_t failovers_ = 0;

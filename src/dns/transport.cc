@@ -143,6 +143,18 @@ std::size_t DnsTransport::retarget_pending(const simnet::Endpoint& from,
   for (auto& [id, p] : pending_) {
     if (p.server == from) moved.push_back(id);
   }
+  // One span per batch (inert without an ambient trace): the handoff
+  // decision, tagged with how many in-flight queries it dragged along.
+  obs::SpanRef batch_span = obs::begin_span("transport", "retarget-pending");
+  batch_span.tag("to", to.to_string());
+  batch_span.tag("moved", std::to_string(moved.size()));
+  if (!moved.empty()) {
+    ++retarget_batches_;
+    if (journal_ != nullptr) {
+      journal_->record(net_.now(), obs::JournalKind::kRetarget,
+                       journal_cell_, to.to_string().c_str(), moved.size());
+    }
+  }
   for (const std::uint16_t id : moved) {
     auto it = pending_.find(id);
     if (it == pending_.end()) continue;
@@ -155,6 +167,7 @@ std::size_t DnsTransport::retarget_pending(const simnet::Endpoint& from,
         << "retargeting in-flight query to " << to.to_string();
     send_attempt(id);
   }
+  batch_span.end();
   return moved.size();
 }
 

@@ -12,6 +12,7 @@
 
 #include "dns/message.h"
 #include "dns/wire.h"
+#include "obs/journal.h"
 #include "obs/trace.h"
 #include "simnet/context.h"
 #include "simnet/network.h"
@@ -75,6 +76,10 @@ class DnsTransport {
 
   simnet::Endpoint local_endpoint() const { return socket_->endpoint(); }
 
+  /// Current simulated time, for callers (e.g. ForwardPlugin journaling)
+  /// whose callbacks only receive an RTT.
+  simnet::SimTime now() const { return net_.now(); }
+
   std::uint64_t timeouts() const { return timeouts_; }
   std::uint64_t retransmissions() const { return retransmissions_; }
   std::uint64_t tc_retries() const { return tc_retries_; }
@@ -93,6 +98,16 @@ class DnsTransport {
                                const simnet::Endpoint& to);
   /// Transactions moved by retarget_pending.
   std::uint64_t retargets() const { return retargets_; }
+  /// retarget_pending calls that actually moved something.
+  std::uint64_t retarget_batches() const { return retarget_batches_; }
+
+  /// Each non-empty retarget batch becomes a journal event (a = queries
+  /// moved). Attach only to low-rate transports (a UE cohort, a health
+  /// prober) — the journal records control transitions, not traffic.
+  void set_journal(obs::Journal* journal, int cell = -1) {
+    journal_ = journal;
+    journal_cell_ = cell;
+  }
 
   /// Test seam: forces the next transaction id, so tests can stage an id
   /// collision with an in-flight query (wrap-around regression).
@@ -137,6 +152,9 @@ class DnsTransport {
   std::uint64_t servfails_ = 0;
   std::uint64_t failovers_ = 0;
   std::uint64_t retargets_ = 0;
+  std::uint64_t retarget_batches_ = 0;
+  obs::Journal* journal_ = nullptr;
+  int journal_cell_ = -1;
   /// In-flight transactions by id. Touched on every send/receive/timeout,
   /// so it uses the open-addressing flat map; ids are scrambled before
   /// probing so sequential allocation doesn't cluster.

@@ -1,8 +1,23 @@
 #include "mec/autoscaler.h"
 
 #include <algorithm>
+#include <string>
 
 namespace mecdns::mec {
+
+void AutoScaler::note_decision(obs::JournalKind kind, const char* what,
+                               std::size_t replicas_now) {
+  if (trace_ != nullptr) {
+    obs::SpanRef span = obs::begin_root_span(trace_, "autoscaler", what);
+    span.tag("load_per_replica", std::to_string(last_load_per_replica_));
+    span.tag("replicas", std::to_string(replicas_now));
+    span.end();
+  }
+  if (journal_ != nullptr) {
+    journal_->record(sim_.now(), kind, journal_cell_, what, replicas_now,
+                     static_cast<std::uint64_t>(last_load_per_replica_));
+  }
+}
 
 void AutoScaler::run_for(std::size_t ticks) {
   if (ticks == 0) return;
@@ -27,6 +42,7 @@ void AutoScaler::tick(std::size_t remaining) {
     if (scale_up_ && scale_up_()) {
       ++scale_ups_;
       cooldown_ = config_.cooldown_intervals;
+      note_decision(obs::JournalKind::kScaleUp, "scale-up", replicas + 1);
     }
   } else if (config_.scale_down_per_replica > 0.0 &&
              last_load_per_replica_ < config_.scale_down_per_replica &&
@@ -34,6 +50,8 @@ void AutoScaler::tick(std::size_t remaining) {
     if (scale_down_ && scale_down_()) {
       ++scale_downs_;
       cooldown_ = config_.cooldown_intervals;
+      note_decision(obs::JournalKind::kScaleDown, "scale-down",
+                    replicas - 1);
     }
   }
 

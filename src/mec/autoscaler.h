@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <functional>
 
+#include "obs/journal.h"
+#include "obs/trace.h"
 #include "simnet/simulator.h"
 
 namespace mecdns::mec {
@@ -62,6 +64,19 @@ class AutoScaler {
   std::uint64_t scale_downs() const { return scale_downs_; }
   double last_load_per_replica() const { return last_load_per_replica_; }
 
+  /// Each applied scaling decision becomes a root span on an
+  /// "autoscaler" track, tagged with the observed load and replica count
+  /// — the decision evidence, not just the action tally.
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+
+  /// Scale-up / scale-down decisions become journal events (a = replicas
+  /// after the action, b = load per replica, rounded) attributed to
+  /// `cell`.
+  void set_journal(obs::Journal* journal, int cell = -1) {
+    journal_ = journal;
+    journal_cell_ = cell;
+  }
+
  private:
   void tick(std::size_t remaining);
 
@@ -71,6 +86,13 @@ class AutoScaler {
   ReplicaProbe replicas_;
   ScaleAction scale_up_;
   ScaleAction scale_down_;
+
+  void note_decision(obs::JournalKind kind, const char* what,
+                     std::size_t replicas_now);
+
+  obs::TraceSink* trace_ = nullptr;
+  obs::Journal* journal_ = nullptr;
+  int journal_cell_ = -1;
 
   std::uint64_t last_load_ = 0;
   std::size_t cooldown_ = 0;

@@ -52,6 +52,11 @@ void LdnsFailover::on_result(bool alive) {
       on_fallback_ = true;
       fail_streak_ = 0;
       switches_.push_back(Switch{net_.now(), true});
+      if (journal_ != nullptr) {
+        journal_->record(net_.now(), obs::JournalKind::kLdnsFailover,
+                         journal_cell_, "primary dead, using fallback",
+                         probe_failures_);
+      }
       MECDNS_LOG(kInfo, "ldns-failover")
           << "primary L-DNS dead; switching clients to fallback";
       if (on_switch_) on_switch_(config_.fallback, true);
@@ -63,6 +68,11 @@ void LdnsFailover::on_result(bool alive) {
     on_fallback_ = false;
     ok_streak_ = 0;
     switches_.push_back(Switch{net_.now(), false});
+    if (journal_ != nullptr) {
+      journal_->record(net_.now(), obs::JournalKind::kLdnsRestore,
+                       journal_cell_, "primary recovered",
+                       probe_failures_);
+    }
     MECDNS_LOG(kInfo, "ldns-failover")
         << "primary L-DNS recovered; switching clients back";
     if (on_switch_) on_switch_(config_.primary, false);

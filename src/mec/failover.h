@@ -21,6 +21,7 @@
 
 #include "dns/message.h"
 #include "dns/transport.h"
+#include "obs/journal.h"
 #include "simnet/network.h"
 #include "simnet/time.h"
 
@@ -60,6 +61,14 @@ class LdnsFailover {
 
   void set_on_switch(SwitchHandler handler) { on_switch_ = std::move(handler); }
 
+  /// Each switch decision becomes a journal event: ldns_failover when
+  /// re-targeting clients at the fallback, ldns_restore when back on the
+  /// primary (a = probe failures so far).
+  void set_journal(obs::Journal* journal, int cell = -1) {
+    journal_ = journal;
+    journal_cell_ = cell;
+  }
+
   /// Schedules `rounds` probes, one per probe_interval, starting one
   /// interval from now. Bounded so simulations still drain their queue.
   void start(std::size_t rounds);
@@ -78,6 +87,8 @@ class LdnsFailover {
   Config config_;
   dns::DnsTransport transport_;
   SwitchHandler on_switch_;
+  obs::Journal* journal_ = nullptr;
+  int journal_cell_ = -1;
   /// Disarms scheduled probe events after destruction.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   bool on_fallback_ = false;

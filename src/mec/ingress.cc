@@ -45,9 +45,18 @@ void OverloadGuardPlugin::serve(const dns::PluginContext& ctx,
   // (no plugin chain, no upstream work) so the queue drains fast.
   if (queue_probe_ && queue_limit_ > 0 && queue_probe_() >= queue_limit_) {
     ++shed_queue_full_;
+    if (!queue_full_active_) {
+      queue_full_active_ = true;
+      if (journal_ != nullptr) {
+        journal_->record(now, obs::JournalKind::kQueueProbeShed,
+                         journal_cell_, "queue probe at limit",
+                         queue_limit_);
+      }
+    }
     shed_one(ctx, respond);
     return;
   }
+  queue_full_active_ = false;
 
   const bool over = monitor_.rate(now) >= threshold_;
 
@@ -74,10 +83,19 @@ void OverloadGuardPlugin::serve(const dns::PluginContext& ctx,
     shedding_ = false;
     below_since_.reset();
     ++recoveries_;
+    if (journal_ != nullptr) {
+      journal_->record(now, obs::JournalKind::kGuardRecover, journal_cell_,
+                       "ingress back under threshold", threshold_);
+    }
   } else if (over) {
     shedding_ = true;
     below_since_.reset();
     ++trips_;
+    if (journal_ != nullptr) {
+      journal_->record(now, obs::JournalKind::kGuardTrip, journal_cell_,
+                       "ingress over threshold", threshold_,
+                       monitor_.rate(now));
+    }
     shed_one(ctx, respond);
     return;
   }

@@ -15,6 +15,7 @@
 #include <optional>
 
 #include "dns/plugin.h"
+#include "obs/journal.h"
 #include "simnet/time.h"
 
 namespace mecdns::mec {
@@ -95,6 +96,14 @@ class OverloadGuardPlugin : public dns::Plugin {
   OverloadAction action() const { return action_; }
   void set_action(OverloadAction action) { action_ = action; }
 
+  /// Journals guard *transitions* only (trip, recover, and the edge into
+  /// queue-probe shedding), never per-query sheds — the journal is a
+  /// control-plane recorder and this plugin sits on the query hot path.
+  void set_journal(obs::Journal* journal, int cell = -1) {
+    journal_ = journal;
+    journal_cell_ = cell;
+  }
+
  private:
   void shed_one(const dns::PluginContext& ctx, Respond& respond);
 
@@ -113,6 +122,11 @@ class OverloadGuardPlugin : public dns::Plugin {
   std::uint64_t recoveries_ = 0;
   std::uint64_t shed_ = 0;
   std::uint64_t admitted_ = 0;
+  obs::Journal* journal_ = nullptr;
+  int journal_cell_ = -1;
+  /// True between the first queue-full shed and the next query that finds
+  /// queue headroom again; journals the transition, not every shed.
+  bool queue_full_active_ = false;
 };
 
 }  // namespace mecdns::mec

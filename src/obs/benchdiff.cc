@@ -45,6 +45,49 @@ bool regressed(const MetricRule& rule, double before, double after) {
   return base <= 0.0 || delta / base > rule.rel;
 }
 
+/// Scalar rendering for provenance members (numbers, strings, bools).
+std::string meta_scalar(const util::JsonValue& value) {
+  if (value.is_number()) return format_double(value.as_double());
+  if (value.is_string()) return value.as_string();
+  if (value.is_bool()) return value.as_bool() ? "true" : "false";
+  return "?";
+}
+
+/// Provenance changes are context, never verdicts: report each differing
+/// (or one-sided) "meta" member as a note.
+void diff_meta(const util::JsonValue& baseline,
+               const util::JsonValue& candidate, BenchDiff& diff) {
+  const bool old_has = baseline.has("meta");
+  const bool new_has = candidate.has("meta");
+  if (!old_has && !new_has) return;
+  static const util::JsonValue kEmpty;
+  const util::JsonValue& before = old_has ? baseline.get("meta") : kEmpty;
+  const util::JsonValue& after = new_has ? candidate.get("meta") : kEmpty;
+  auto note = [&](const std::string& name, const std::string& was,
+                  const std::string& now) {
+    DiffEntry entry;
+    entry.kind = DiffEntry::Kind::kMetaChanged;
+    entry.scenario = "meta";
+    entry.metric = name + ": " + was + " -> " + now;
+    diff.notes.push_back(entry);
+  };
+  if (before.is_object()) {
+    for (const auto& [name, value] : before.members()) {
+      if (!after.is_object() || !after.has(name)) {
+        note(name, meta_scalar(value), "(gone)");
+      } else if (meta_scalar(value) != meta_scalar(after.get(name))) {
+        note(name, meta_scalar(value), meta_scalar(after.get(name)));
+      }
+    }
+  }
+  if (after.is_object()) {
+    for (const auto& [name, value] : after.members()) {
+      if (before.is_object() && before.has(name)) continue;
+      note(name, "(none)", meta_scalar(value));
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<MetricRule> default_metric_rules(double rel, double abs_ms) {
@@ -68,6 +111,13 @@ std::vector<MetricRule> default_metric_rules(double rel, double abs_ms) {
       {"failures", up, rel, 0.0},
       // A couple of extra pending events is noise; a doubling is a leak.
       {"peak_queue_depth", up, rel, 2.0},
+      // Incident forensics (BENCH_incidents): detection and recovery
+      // times regress upward like latencies. The absolute slack absorbs
+      // one SLO-window quantum of wobble.
+      {"mttd_ms", up, rel, abs_ms},
+      {"mttr_ms", up, rel, abs_ms},
+      {"orphan_events", up, rel, 0.0},
+      {"journal_dropped", up, rel, 0.0},
   };
 }
 
@@ -111,6 +161,7 @@ BenchDiff diff_bench(const util::JsonValue& baseline,
                      const util::JsonValue& candidate,
                      const std::vector<MetricRule>& rules) {
   BenchDiff diff;
+  diff_meta(baseline, candidate, diff);
   const util::JsonValue& old_scenarios = baseline.get("scenarios");
   const util::JsonValue& new_scenarios = candidate.get("scenarios");
 
@@ -194,6 +245,10 @@ std::string diff_report(const BenchDiff& diff) {
                       "  %-43s metric %s gone (was %s)\n",
                       e.scenario.c_str(), e.metric.c_str(),
                       format_double(e.before).c_str());
+        break;
+      case DiffEntry::Kind::kMetaChanged:
+        std::snprintf(line, sizeof(line), "  %-43s %s (provenance note)\n",
+                      e.scenario.c_str(), e.metric.c_str());
         break;
       default:
         line[0] = '\0';

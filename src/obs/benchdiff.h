@@ -62,6 +62,7 @@ struct DiffEntry {
     kScenarioNew,      ///< candidate scenario with no baseline (note)
     kMetricNew,        ///< candidate key absent from baseline (note)
     kMetricMissing,    ///< baseline key absent from candidate (note)
+    kMetaChanged,      ///< top-level "meta" provenance member differs (note)
   };
   Kind kind = Kind::kRegression;
   std::string scenario;

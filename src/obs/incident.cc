@@ -1,0 +1,268 @@
+#include "obs/incident.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace mecdns::obs {
+
+namespace {
+
+bool cell_matches(const Incident& incident, std::int16_t cell) {
+  if (cell < 0) return true;  // global event joins anything
+  if (incident.cells.empty()) return true;  // global-only incident so far
+  return std::binary_search(incident.cells.begin(), incident.cells.end(),
+                            static_cast<int>(cell));
+}
+
+void add_cell(Incident& incident, std::int16_t cell) {
+  if (cell < 0) return;
+  const int value = static_cast<int>(cell);
+  auto it =
+      std::lower_bound(incident.cells.begin(), incident.cells.end(), value);
+  if (it == incident.cells.end() || *it != value) {
+    incident.cells.insert(it, value);
+  }
+}
+
+void append_event(Incident& incident, const JournalEvent& event) {
+  incident.timeline.push_back(event);
+  if (incident.timeline.size() == 1) incident.start = event.at;
+  incident.end = event.at;
+  add_cell(incident, event.cell);
+  if (journal_kind_is_action(event.kind)) {
+    ++incident.actions;
+    ++incident.action_counts[journal_kind_slug(event.kind)];
+  }
+  if (event.kind == JournalKind::kRetarget) ++incident.retarget_batches;
+  switch (event.kind) {
+    case JournalKind::kFaultInject:
+    case JournalKind::kLoadStart:
+    case JournalKind::kSloBreach:
+      ++incident.open_causes;
+      break;
+    case JournalKind::kFaultClear:
+    case JournalKind::kLoadEnd:
+    case JournalKind::kSloRecover:
+      // Floor at zero: a clear can join an incident whose inject opened a
+      // different (cell-mismatched) incident.
+      if (incident.open_causes > 0) --incident.open_causes;
+      break;
+    default:
+      break;
+  }
+}
+
+void grade(Incident& incident) {
+  // Detection clock starts at the first physical cause; an incident seeded
+  // only by a breach (nothing journaled the cause) measures from the
+  // breach itself.
+  simnet::SimTime detect_from;
+  bool have_cause = false;
+  for (const JournalEvent& e : incident.timeline) {
+    if (e.kind == JournalKind::kFaultInject ||
+        e.kind == JournalKind::kLoadStart) {
+      detect_from = e.at;
+      have_cause = true;
+      break;
+    }
+  }
+  if (!have_cause) {
+    for (const JournalEvent& e : incident.timeline) {
+      if (e.kind == JournalKind::kSloBreach) {
+        detect_from = e.at;
+        have_cause = true;
+        break;
+      }
+    }
+  }
+  incident.mttd_ms = -1.0;
+  if (have_cause) {
+    for (const JournalEvent& e : incident.timeline) {
+      if (e.at >= detect_from && journal_kind_is_action(e.kind)) {
+        incident.mttd_ms = (e.at - detect_from).to_millis();
+        break;
+      }
+    }
+  }
+
+  // Recovery: first breach to the recover event after which no further
+  // breach appears in this incident.
+  bool breached = false;
+  simnet::SimTime first_breach;
+  bool recovered = false;
+  simnet::SimTime last_recover;
+  for (const JournalEvent& e : incident.timeline) {
+    if (e.kind == JournalKind::kSloBreach) {
+      if (!breached) {
+        breached = true;
+        first_breach = e.at;
+      }
+      recovered = false;
+    } else if (e.kind == JournalKind::kSloRecover) {
+      recovered = true;
+      last_recover = e.at;
+    }
+  }
+  if (!breached) {
+    incident.mttr_ms = 0.0;
+  } else if (recovered) {
+    incident.mttr_ms = (last_recover - first_breach).to_millis();
+  } else {
+    incident.mttr_ms = -1.0;
+  }
+
+  // A fault the system absorbed — no SLO breach, no control reaction —
+  // needed no detection: MTTD 0, not "undetected". -1 is reserved for the
+  // damning case where the objective broke and nothing reacted.
+  if (incident.mttd_ms < 0.0 && incident.actions == 0 && !breached) {
+    incident.mttd_ms = 0.0;
+  }
+}
+
+double aggregate_worst(const std::vector<Incident>& incidents,
+                       double Incident::* field) {
+  double worst = 0.0;
+  for (const Incident& incident : incidents) {
+    const double value = incident.*field;
+    if (value < 0.0) return -1.0;
+    worst = std::max(worst, value);
+  }
+  return worst;
+}
+
+}  // namespace
+
+double IncidentReport::mttd_ms() const {
+  return aggregate_worst(incidents, &Incident::mttd_ms);
+}
+
+double IncidentReport::mttr_ms() const {
+  return aggregate_worst(incidents, &Incident::mttr_ms);
+}
+
+std::uint64_t IncidentReport::total_actions() const {
+  std::uint64_t total = 0;
+  for (const Incident& incident : incidents) total += incident.actions;
+  return total;
+}
+
+std::size_t IncidentReport::cells_affected() const {
+  std::vector<int> all;
+  for (const Incident& incident : incidents) {
+    all.insert(all.end(), incident.cells.begin(), incident.cells.end());
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all.size();
+}
+
+void append_slo_journal(const SloResult& result, Journal& journal, int cell) {
+  bool in_violation = false;
+  simnet::SimTime run_end;
+  for (const SloWindow& window : result.windows) {
+    if (!window.ok) {
+      if (!in_violation) {
+        journal.record(window.start, JournalKind::kSloBreach, cell,
+                       result.spec.name.c_str(),
+                       static_cast<std::uint64_t>(window.index));
+        in_violation = true;
+      }
+      run_end = window.end;
+    } else if (in_violation) {
+      journal.record(run_end, JournalKind::kSloRecover, cell,
+                     result.spec.name.c_str());
+      in_violation = false;
+    }
+  }
+  // A violation run still open at the end of the series never recovered:
+  // no slo_recover event, so the incident grades MTTR = -1.
+}
+
+IncidentReport correlate_incidents(const Journal& journal,
+                                   const IncidentConfig& config) {
+  IncidentReport report;
+  report.journal_recorded = journal.recorded();
+  report.journal_dropped = journal.dropped();
+
+  const std::vector<JournalEvent> events = journal.sorted_events();
+  for (const JournalEvent& event : events) {
+    // Latest open incident that is close enough in time and cell. Walking
+    // newest-first keeps a storm of overlapping faults from funneling
+    // everything into the oldest incident.
+    Incident* open = nullptr;
+    for (auto it = report.incidents.rbegin(); it != report.incidents.rend();
+         ++it) {
+      if (it->open_causes == 0 && event.at - it->end > config.join_gap) {
+        continue;
+      }
+      if (!cell_matches(*it, event.cell)) continue;
+      open = &*it;
+      break;
+    }
+    if (open != nullptr) {
+      append_event(*open, event);
+    } else if (journal_kind_is_seed(event.kind)) {
+      Incident incident;
+      incident.id = static_cast<int>(report.incidents.size()) + 1;
+      append_event(incident, event);
+      report.incidents.push_back(std::move(incident));
+    } else {
+      ++report.orphan_events;
+    }
+  }
+  for (Incident& incident : report.incidents) grade(incident);
+  return report;
+}
+
+std::string incident_json(const Incident& incident) {
+  std::string out = "{\"id\": " + std::to_string(incident.id);
+  out += ", \"start_ms\": " + format_double(incident.start.to_millis());
+  out += ", \"end_ms\": " + format_double(incident.end.to_millis());
+  out += ", \"mttd_ms\": " + format_double(incident.mttd_ms);
+  out += ", \"mttr_ms\": " + format_double(incident.mttr_ms);
+  out += ", \"actions\": " + std::to_string(incident.actions);
+  out += ", \"retarget_batches\": " +
+         std::to_string(incident.retarget_batches);
+  out += ", \"cells\": [";
+  for (std::size_t i = 0; i < incident.cells.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(incident.cells[i]);
+  }
+  out += "], \"action_counts\": {";
+  bool first = true;
+  for (const auto& [slug, count] : incident.action_counts) {
+    if (!first) out += ", ";
+    first = false;
+    append_json_string(out, slug);
+    out += ": " + std::to_string(count);
+  }
+  out += "}, \"timeline\": [";
+  for (std::size_t i = 0; i < incident.timeline.size(); ++i) {
+    if (i > 0) out += ", ";
+    append_journal_event_json(out, incident.timeline[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string incident_report_json(const IncidentReport& report) {
+  std::string out;
+  out += "\"incidents\": " + std::to_string(report.incidents.size());
+  out += ", \"orphan_events\": " + std::to_string(report.orphan_events);
+  out += ", \"journal_events\": " + std::to_string(report.journal_recorded);
+  out += ", \"journal_dropped\": " + std::to_string(report.journal_dropped);
+  out += ", \"mttd_ms\": " + format_double(report.mttd_ms());
+  out += ", \"mttr_ms\": " + format_double(report.mttr_ms());
+  out += ", \"actions\": " + std::to_string(report.total_actions());
+  out += ", \"cells_affected\": " + std::to_string(report.cells_affected());
+  out += ", \"detail\": [";
+  for (std::size_t i = 0; i < report.incidents.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += incident_json(report.incidents[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace mecdns::obs

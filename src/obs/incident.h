@@ -1,0 +1,101 @@
+// Incident forensics: correlates journal events into incidents and grades
+// each with MTTD/MTTR, action counts and blast radius.
+//
+// An incident opens on a *seed* event (fault injection, SLO breach, or a
+// mobility load event) and accumulates every later event that is close in
+// time (within `join_gap` of the incident's last event) and overlapping in
+// cell (cell -1 is a wildcard: global events join any incident and any
+// event joins a global incident). Non-seed events with no open incident to
+// join are counted as orphans — a nonzero orphan count means a control
+// fired with no visible cause, which is itself a finding.
+//
+// Per incident:
+//   MTTD  fault (or load start; falling back to the first breach) to the
+//         first control action at or after it; -1 when nothing reacted.
+//   MTTR  first SLO breach to the final SLO recovery (the recover event
+//         after which no further breach joins the incident); 0 when the
+//         objective never broke, -1 when it broke and never came back.
+//   actions      count + per-kind breakdown of control actions.
+//   blast radius distinct non-negative cells touched, and the number of
+//                in-flight retarget batches (≈ UE handoffs affected).
+//
+// The whole pass is deterministic: it consumes the journal's (time, seq)
+// order and emits byte-stable JSON, so BENCH_incidents.json inherits the
+// campaign runner's any-worker-count byte-identity contract.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/journal.h"
+#include "obs/slo.h"
+#include "simnet/time.h"
+
+namespace mecdns::obs {
+
+struct IncidentConfig {
+  /// Maximum quiet gap between an incident's last event and a new event
+  /// that still joins it; a larger gap opens a fresh incident instead.
+  /// The gap only applies to *closed* incidents: while an incident has an
+  /// open cause (a fault injected but not cleared, a load event still
+  /// running, an SLO breach not yet recovered) it stays joinable no matter
+  /// how long the system is quiet — a fragile run that does nothing for
+  /// the whole fault window must still attribute the eventual clear and
+  /// recovery to the fault that caused them.
+  simnet::SimTime join_gap = simnet::SimTime::seconds(8);
+};
+
+struct Incident {
+  int id = 0;  ///< 1-based, in order of opening
+  std::vector<JournalEvent> timeline;  ///< (time, seq)-ordered
+  simnet::SimTime start;
+  simnet::SimTime end;
+  double mttd_ms = -1.0;
+  double mttr_ms = 0.0;
+  std::uint64_t actions = 0;
+  std::map<std::string, std::uint64_t> action_counts;  ///< slug -> count
+  std::vector<int> cells;  ///< sorted distinct non-negative cells
+  std::uint64_t retarget_batches = 0;  ///< ≈ UE handoffs affected
+  /// Correlation bookkeeping (not serialized): causes opened minus causes
+  /// closed. Nonzero keeps the incident joinable past join_gap.
+  int open_causes = 0;
+};
+
+struct IncidentReport {
+  std::vector<Incident> incidents;
+  std::size_t orphan_events = 0;
+  std::uint64_t journal_recorded = 0;
+  std::uint64_t journal_dropped = 0;
+
+  /// Scenario-level worst-case aggregates: the maximum across incidents
+  /// when every incident is finite, -1 as soon as any incident is not
+  /// (so "some incident went undetected/unrecovered" survives the merge).
+  double mttd_ms() const;
+  double mttr_ms() const;
+  std::uint64_t total_actions() const;
+  std::size_t cells_affected() const;
+};
+
+/// Derives SLO breach/recover journal events from a window-level verdict:
+/// one slo_breach at the start of each violation run, one slo_recover at
+/// the end of the last violated window of the run. Call after the
+/// simulation, before correlate_incidents().
+void append_slo_journal(const SloResult& result, Journal& journal,
+                        int cell = -1);
+
+/// Groups the journal into incidents. Consumes Journal::sorted_events().
+IncidentReport correlate_incidents(const Journal& journal,
+                                   const IncidentConfig& config = {});
+
+/// JSON object body for one incident (id, spans, mttd/mttr, actions,
+/// cells, timeline). Byte-stable.
+std::string incident_json(const Incident& incident);
+
+/// JSON fields for a scenario row of BENCH_incidents.json: the aggregate
+/// verdict columns plus a "detail" array of per-incident objects. The
+/// caller wraps it with its own "scenario"/"mode" members.
+std::string incident_report_json(const IncidentReport& report);
+
+}  // namespace mecdns::obs

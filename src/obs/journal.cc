@@ -1,0 +1,174 @@
+#include "obs/journal.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace mecdns::obs {
+
+namespace {
+
+struct KindSlug {
+  JournalKind kind;
+  const char* slug;
+};
+
+constexpr KindSlug kSlugs[] = {
+    {JournalKind::kFaultInject, "fault_inject"},
+    {JournalKind::kFaultClear, "fault_clear"},
+    {JournalKind::kSloBreach, "slo_breach"},
+    {JournalKind::kSloRecover, "slo_recover"},
+    {JournalKind::kLoadStart, "load_start"},
+    {JournalKind::kLoadEnd, "load_end"},
+    {JournalKind::kGuardTrip, "guard_trip"},
+    {JournalKind::kGuardRecover, "guard_recover"},
+    {JournalKind::kQueueProbeShed, "queue_probe_shed"},
+    {JournalKind::kScaleUp, "scale_up"},
+    {JournalKind::kScaleDown, "scale_down"},
+    {JournalKind::kLdnsFailover, "ldns_failover"},
+    {JournalKind::kLdnsRestore, "ldns_restore"},
+    {JournalKind::kCacheDrain, "cache_drain"},
+    {JournalKind::kCacheReadmit, "cache_readmit"},
+    {JournalKind::kParentReferral, "parent_referral"},
+    {JournalKind::kRetarget, "retarget"},
+    {JournalKind::kStaleServe, "stale_serve"},
+};
+
+}  // namespace
+
+const char* journal_kind_slug(JournalKind kind) {
+  for (const KindSlug& entry : kSlugs) {
+    if (entry.kind == kind) return entry.slug;
+  }
+  return "unknown";
+}
+
+bool journal_kind_from_slug(const std::string& slug, JournalKind& out) {
+  for (const KindSlug& entry : kSlugs) {
+    if (slug == entry.slug) {
+      out = entry.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool journal_kind_is_seed(JournalKind kind) {
+  switch (kind) {
+    case JournalKind::kFaultInject:
+    case JournalKind::kSloBreach:
+    case JournalKind::kLoadStart:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool journal_kind_is_action(JournalKind kind) {
+  switch (kind) {
+    case JournalKind::kGuardTrip:
+    case JournalKind::kQueueProbeShed:
+    case JournalKind::kScaleUp:
+    case JournalKind::kScaleDown:
+    case JournalKind::kLdnsFailover:
+    case JournalKind::kLdnsRestore:
+    case JournalKind::kCacheDrain:
+    case JournalKind::kCacheReadmit:
+    case JournalKind::kParentReferral:
+    case JournalKind::kRetarget:
+    case JournalKind::kStaleServe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Journal::Journal(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.resize(capacity_);
+}
+
+void Journal::record(simnet::SimTime at, JournalKind kind, int cell,
+                     const char* detail, std::uint64_t a, std::uint64_t b) {
+  JournalEvent& slot = ring_[head_];
+  slot.at = at;
+  slot.seq = seq_++;
+  slot.kind = kind;
+  slot.cell = static_cast<std::int16_t>(cell);
+  slot.a = a;
+  slot.b = b;
+  // Bounded copy into the fixed buffer; silently truncates long details.
+  std::size_t n = 0;
+  if (detail != nullptr) {
+    while (n + 1 < sizeof(slot.detail) && detail[n] != '\0') {
+      slot.detail[n] = detail[n];
+      ++n;
+    }
+  }
+  slot.detail[n] = '\0';
+  head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
+  if (count_ < capacity_) {
+    ++count_;
+  } else {
+    ++dropped_;
+  }
+}
+
+void Journal::clear() {
+  head_ = 0;
+  count_ = 0;
+  seq_ = 0;
+  dropped_ = 0;
+}
+
+std::vector<JournalEvent> Journal::sorted_events() const {
+  std::vector<JournalEvent> events;
+  events.reserve(count_);
+  // Oldest surviving entry first: with a full ring head_ points at it.
+  const std::size_t start = count_ < capacity_ ? 0 : head_;
+  for (std::size_t i = 0; i < count_; ++i) {
+    events.push_back(ring_[(start + i) % capacity_]);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const JournalEvent& x, const JournalEvent& y) {
+              if (x.at != y.at) return x.at < y.at;
+              return x.seq < y.seq;
+            });
+  return events;
+}
+
+void append_journal_event_json(std::string& out, const JournalEvent& event) {
+  out += "{\"t_ms\": ";
+  out += format_double(event.at.to_millis());
+  out += ", \"kind\": ";
+  append_json_string(out, journal_kind_slug(event.kind));
+  out += ", \"cell\": ";
+  out += std::to_string(event.cell);
+  out += ", \"a\": ";
+  out += std::to_string(event.a);
+  out += ", \"b\": ";
+  out += std::to_string(event.b);
+  out += ", \"detail\": ";
+  append_json_string(out, event.detail);
+  out += "}";
+}
+
+std::string Journal::to_json() const {
+  std::string out = "{\n  \"events\": [";
+  const std::vector<JournalEvent> events = sorted_events();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    append_journal_event_json(out, events[i]);
+  }
+  out += events.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"recorded\": " + std::to_string(seq_) + ",\n";
+  out += "  \"dropped\": " + std::to_string(dropped_) + "\n}\n";
+  return out;
+}
+
+bool Journal::write_json(const std::string& path) const {
+  return write_text_file(path, to_json());
+}
+
+}  // namespace mecdns::obs

@@ -1,0 +1,118 @@
+// Control-plane flight recorder: a bounded, typed, sim-time-stamped event
+// journal.
+//
+// Eight PRs of robustness machinery (chaos injection, ingress-guard
+// hysteresis, autoscaling, L-DNS failover, cache drain/re-admit, in-flight
+// retargeting, serve-stale) react to faults — but counters only say *how
+// often* each control fired, not *in what order* or *how long after the
+// fault*. The journal records control-plane **transitions** (never
+// per-query traffic) into a ring buffer preallocated at construction:
+// record() copies a POD event into the next slot, so steady-state appends
+// are allocation-free and safe on the hot path. When the ring overflows it
+// keeps the newest events and counts the drop — forensics wants the
+// reaction tail, not the quiet prefix.
+//
+// Events carry an explicit SimTime (components pass their own clock), a
+// cell id (-1 = global/single-cell), two kind-specific integer args and a
+// short fixed-size detail string. Export sorts by (time, sequence) —
+// post-run passes such as SLO breach derivation append out of order — and
+// serializes to byte-stable JSON, so journals and everything derived from
+// them (obs/incident) stay byte-identical at any --workers count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simnet/time.h"
+
+namespace mecdns::obs {
+
+/// Control-plane event taxonomy. Seeds open incidents, actions are the
+/// system's reactions (MTTD = seed -> first action), recoveries close the
+/// loop (MTTR = first breach -> final slo_recover).
+enum class JournalKind : std::uint8_t {
+  // Seeds (chaos/, obs/slo, workload phases).
+  kFaultInject,    ///< chaos: node/link taken down or degraded
+  kFaultClear,     ///< chaos: fault lifted (node_up / link_up / loss off)
+  kSloBreach,      ///< slo: first bad window of a violation run
+  kSloRecover,     ///< slo: objective back in budget after a violation run
+  kLoadStart,      ///< mobility: churn event (wave/crowd/storm) begins
+  kLoadEnd,        ///< mobility: churn event ends
+  // Control actions (mec/, cdn/, dns/).
+  kGuardTrip,      ///< ingress overload guard starts shedding
+  kGuardRecover,   ///< ingress overload guard stops shedding
+  kQueueProbeShed, ///< ingress queue probe began rejecting (transition)
+  kScaleUp,        ///< autoscaler added a replica
+  kScaleDown,      ///< autoscaler retired a replica
+  kLdnsFailover,   ///< client switched to fallback resolver
+  kLdnsRestore,    ///< client switched back to primary resolver
+  kCacheDrain,     ///< traffic monitor took an origin out of rotation
+  kCacheReadmit,   ///< traffic monitor re-admitted an origin
+  kParentReferral, ///< forwarder referred a miss to the parent tier
+  kRetarget,       ///< in-flight queries re-pointed across a handoff
+  kStaleServe,     ///< cache served a stale (RFC 8767) answer (transition)
+};
+
+/// Stable snake_case slug, used in JSON and report tables.
+const char* journal_kind_slug(JournalKind kind);
+/// Parses a slug back; returns false on unknown input.
+bool journal_kind_from_slug(const std::string& slug, JournalKind& out);
+
+/// True for kinds that open an incident (fault_inject, slo_breach,
+/// load_start).
+bool journal_kind_is_seed(JournalKind kind);
+/// True for control actions — the events MTTD measures to.
+bool journal_kind_is_action(JournalKind kind);
+
+/// One journal entry. POD: record() copies it into a preallocated ring
+/// slot, no allocation, no pointers out.
+struct JournalEvent {
+  simnet::SimTime at;
+  std::uint64_t seq = 0;  ///< record order, tiebreak for equal timestamps
+  JournalKind kind = JournalKind::kFaultInject;
+  std::int16_t cell = -1;  ///< site/cell index; -1 = global / single-cell
+  std::uint64_t a = 0;     ///< kind-specific (e.g. retarget: moved queries)
+  std::uint64_t b = 0;     ///< kind-specific (e.g. retarget: new server)
+  char detail[40] = {};    ///< short free text, truncated to fit
+};
+
+/// Bounded ring of JournalEvents. All storage is allocated in the
+/// constructor; record() never allocates. Overflow keeps the newest
+/// `capacity` events and counts what was dropped.
+class Journal {
+ public:
+  explicit Journal(std::size_t capacity = 2048);
+
+  void record(simnet::SimTime at, JournalKind kind, int cell = -1,
+              const char* detail = "", std::uint64_t a = 0,
+              std::uint64_t b = 0);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return count_; }
+  std::uint64_t recorded() const { return seq_; }
+  std::uint64_t dropped() const { return dropped_; }
+  bool overflowed() const { return dropped_ > 0; }
+  void clear();
+
+  /// Events ordered by (at, seq). Post-run passes append with past
+  /// timestamps, so the ring order alone is not the causal order.
+  std::vector<JournalEvent> sorted_events() const;
+
+  /// Byte-stable JSON: {"events": [...], "recorded": N, "dropped": N}.
+  std::string to_json() const;
+  bool write_json(const std::string& path) const;
+
+ private:
+  std::vector<JournalEvent> ring_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;  ///< next slot to write
+  std::size_t count_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Appends one event's JSON object (no trailing separator) to `out`.
+void append_journal_event_json(std::string& out, const JournalEvent& event);
+
+}  // namespace mecdns::obs

@@ -1,0 +1,25 @@
+#include "obs/provenance.h"
+
+#include "obs/metrics.h"
+
+namespace mecdns::obs {
+
+std::string provenance_json(const std::string& bench, std::uint64_t seed) {
+#ifdef NDEBUG
+  const char* build = "release";
+#else
+  const char* build = "debug";
+#endif
+  std::string out = "\"meta\": {\"schema\": ";
+  out += std::to_string(kBenchSchemaVersion);
+  out += ", \"bench\": ";
+  append_json_string(out, bench);
+  out += ", \"seed\": ";
+  out += std::to_string(seed);
+  out += ", \"workers\": \"any\", \"build\": \"";
+  out += build;
+  out += "\"}";
+  return out;
+}
+
+}  // namespace mecdns::obs

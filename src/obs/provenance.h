@@ -1,0 +1,29 @@
+// Provenance stamps for bench artifacts.
+//
+// Every BENCH_*.json is a claim about the system at some configuration;
+// six months later nobody remembers which seed or build produced it. The
+// shared `meta` block records the answer inside the artifact itself:
+// schema version, bench name, campaign seed, and build flavor. `workers`
+// is deliberately the fixed string "any" — worker count must never leak
+// into artifact bytes (the parallel-campaign determinism contract,
+// byte-compared in check.sh stages 5-8), so the stamp documents the
+// contract instead of a number that would break it.
+//
+// benchdiff reports meta changes as notes, never regressions: a re-seeded
+// baseline is context for a human, not a gate verdict.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mecdns::obs {
+
+/// Bumped when any BENCH_*.json shape changes incompatibly.
+inline constexpr int kBenchSchemaVersion = 2;
+
+/// One-line `"meta": {...}` JSON fragment (no trailing separator), e.g.
+/// "meta": {"schema": 2, "bench": "fault", "seed": 42,
+///          "workers": "any", "build": "release"}
+std::string provenance_json(const std::string& bench, std::uint64_t seed);
+
+}  // namespace mecdns::obs

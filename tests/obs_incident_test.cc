@@ -1,0 +1,209 @@
+// Incident forensics: correlation (join gap, open causes, cell overlap,
+// orphans) and grading (MTTD/MTTR pins, the absorbed-fault rule, -1
+// propagation through the scenario aggregate) over synthetic journals with
+// exactly known answers.
+#include "obs/incident.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/journal.h"
+#include "obs/slo.h"
+
+namespace mecdns {
+namespace {
+
+using obs::Incident;
+using obs::IncidentReport;
+using obs::Journal;
+using obs::JournalKind;
+using simnet::SimTime;
+
+TEST(IncidentTest, GradesPinnedMttdAndMttr) {
+  Journal journal;
+  journal.record(SimTime::millis(1000), JournalKind::kFaultInject, -1,
+                 "node_down");
+  journal.record(SimTime::millis(1400), JournalKind::kLdnsFailover);
+  journal.record(SimTime::millis(2000), JournalKind::kSloBreach);
+  journal.record(SimTime::millis(5000), JournalKind::kSloRecover);
+  journal.record(SimTime::millis(6000), JournalKind::kFaultClear);
+
+  const IncidentReport report = obs::correlate_incidents(journal);
+  ASSERT_EQ(report.incidents.size(), 1u);
+  EXPECT_EQ(report.orphan_events, 0u);
+  const Incident& incident = report.incidents[0];
+  EXPECT_DOUBLE_EQ(incident.mttd_ms, 400.0);   // inject -> first action
+  EXPECT_DOUBLE_EQ(incident.mttr_ms, 3000.0);  // breach -> final recover
+  EXPECT_EQ(incident.actions, 1u);
+  EXPECT_EQ(incident.action_counts.at("ldns_failover"), 1u);
+  EXPECT_EQ(incident.timeline.size(), 5u);
+  EXPECT_DOUBLE_EQ(report.mttd_ms(), 400.0);
+  EXPECT_DOUBLE_EQ(report.mttr_ms(), 3000.0);
+}
+
+TEST(IncidentTest, AbsorbedFaultGradesMttdZeroNotUndetected) {
+  // No breach, no reaction: the system absorbed it (e.g. cache-wipe under
+  // prefetch). MTTD -1 is reserved for "objective broke, nothing reacted".
+  Journal journal;
+  journal.record(SimTime::millis(1000), JournalKind::kFaultInject);
+  journal.record(SimTime::millis(2000), JournalKind::kFaultClear);
+
+  const IncidentReport report = obs::correlate_incidents(journal);
+  ASSERT_EQ(report.incidents.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.incidents[0].mttd_ms, 0.0);
+  EXPECT_DOUBLE_EQ(report.incidents[0].mttr_ms, 0.0);
+}
+
+TEST(IncidentTest, UndetectedBreachKeepsMinusOne) {
+  // Fragile mode: the objective broke, nothing reacted. MTTD stays -1 and
+  // MTTR measures breach -> recover driven purely by the fault clearing.
+  Journal journal;
+  journal.record(SimTime::millis(1000), JournalKind::kFaultInject);
+  journal.record(SimTime::millis(3000), JournalKind::kSloBreach);
+  journal.record(SimTime::millis(16000), JournalKind::kFaultClear);
+  journal.record(SimTime::millis(18000), JournalKind::kSloRecover);
+
+  const IncidentReport report = obs::correlate_incidents(journal);
+  ASSERT_EQ(report.incidents.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.incidents[0].mttd_ms, -1.0);
+  EXPECT_DOUBLE_EQ(report.incidents[0].mttr_ms, 15000.0);
+}
+
+TEST(IncidentTest, UnrecoveredBreachGradesMttrMinusOne) {
+  Journal journal;
+  journal.record(SimTime::millis(1000), JournalKind::kSloBreach);
+  journal.record(SimTime::millis(1200), JournalKind::kGuardTrip);
+
+  const IncidentReport report = obs::correlate_incidents(journal);
+  ASSERT_EQ(report.incidents.size(), 1u);
+  // Breach-seeded incident: detection clock starts at the breach itself.
+  EXPECT_DOUBLE_EQ(report.incidents[0].mttd_ms, 200.0);
+  EXPECT_DOUBLE_EQ(report.incidents[0].mttr_ms, -1.0);
+}
+
+TEST(IncidentTest, OpenCauseStaysJoinablePastJoinGap) {
+  // A fault injected but not yet cleared keeps its incident joinable no
+  // matter how quiet the system is: the clear 99 s later (far beyond the
+  // 8 s join gap) must still attribute to the fault that caused it.
+  Journal journal;
+  journal.record(SimTime::millis(1000), JournalKind::kFaultInject);
+  journal.record(SimTime::millis(100000), JournalKind::kFaultClear);
+  journal.record(SimTime::millis(101000), JournalKind::kSloRecover);
+
+  const IncidentReport report = obs::correlate_incidents(journal);
+  EXPECT_EQ(report.incidents.size(), 1u);
+  EXPECT_EQ(report.orphan_events, 0u);
+  EXPECT_EQ(report.incidents[0].timeline.size(), 3u);
+}
+
+TEST(IncidentTest, ClosedIncidentStopsJoiningAfterGap) {
+  Journal journal;
+  journal.record(SimTime::millis(1000), JournalKind::kFaultInject);
+  journal.record(SimTime::millis(2000), JournalKind::kFaultClear);
+  // 48 s after the closed incident's last event: a lone control action
+  // with no visible cause is an orphan — itself a finding.
+  journal.record(SimTime::millis(50000), JournalKind::kGuardTrip);
+
+  const IncidentReport report = obs::correlate_incidents(journal);
+  EXPECT_EQ(report.incidents.size(), 1u);
+  EXPECT_EQ(report.orphan_events, 1u);
+  EXPECT_EQ(report.incidents[0].timeline.size(), 2u);
+}
+
+TEST(IncidentTest, CellMismatchOpensSeparateIncident) {
+  Journal journal;
+  journal.record(SimTime::millis(1000), JournalKind::kFaultInject, 0);
+  journal.record(SimTime::millis(1100), JournalKind::kFaultInject, 3);
+  journal.record(SimTime::millis(1500), JournalKind::kGuardTrip, 3);
+  journal.record(SimTime::millis(1600), JournalKind::kGuardTrip, 0);
+
+  const IncidentReport report = obs::correlate_incidents(journal);
+  ASSERT_EQ(report.incidents.size(), 2u);
+  EXPECT_EQ(report.orphan_events, 0u);
+  // Newest-first joining: each action lands on its own cell's incident.
+  EXPECT_DOUBLE_EQ(report.incidents[0].mttd_ms, 600.0);  // cell 0
+  EXPECT_DOUBLE_EQ(report.incidents[1].mttd_ms, 400.0);  // cell 3
+  EXPECT_EQ(report.cells_affected(), 2u);
+}
+
+TEST(IncidentTest, GlobalEventJoinsCellIncident) {
+  Journal journal;
+  journal.record(SimTime::millis(1000), JournalKind::kLoadStart, 2);
+  journal.record(SimTime::millis(1250), JournalKind::kRetarget, -1, "", 4);
+  journal.record(SimTime::millis(2000), JournalKind::kLoadEnd, 2);
+
+  const IncidentReport report = obs::correlate_incidents(journal);
+  ASSERT_EQ(report.incidents.size(), 1u);
+  EXPECT_EQ(report.orphan_events, 0u);
+  EXPECT_DOUBLE_EQ(report.incidents[0].mttd_ms, 250.0);
+  EXPECT_EQ(report.incidents[0].retarget_batches, 1u);
+}
+
+TEST(IncidentTest, AggregateReportsMinusOneIfAnyIncidentHasIt) {
+  Journal journal;
+  journal.record(SimTime::millis(1000), JournalKind::kFaultInject, 0);
+  journal.record(SimTime::millis(1300), JournalKind::kGuardTrip, 0);
+  journal.record(SimTime::millis(1000), JournalKind::kFaultInject, 5);
+  journal.record(SimTime::millis(2000), JournalKind::kSloBreach, 5);
+
+  const IncidentReport report = obs::correlate_incidents(journal);
+  ASSERT_EQ(report.incidents.size(), 2u);
+  // Cell 5 broke and nothing reacted: -1 must survive the aggregate so
+  // "some incident went undetected" is visible at the scenario level.
+  EXPECT_DOUBLE_EQ(report.mttd_ms(), -1.0);
+  EXPECT_DOUBLE_EQ(report.mttr_ms(), -1.0);
+}
+
+TEST(IncidentTest, SloJournalDerivesBreachAndRecoverRuns) {
+  obs::SloResult result;
+  result.spec.name = "success";
+  const auto window = [](int index, bool ok) {
+    obs::SloWindow w;
+    w.index = index;
+    w.start = SimTime::millis(index * 1000);
+    w.end = SimTime::millis((index + 1) * 1000);
+    w.ok = ok;
+    return w;
+  };
+  // ok, bad, bad, ok, bad  ->  breach@1000/recover@3000, breach@4000 open.
+  result.windows = {window(0, true), window(1, false), window(2, false),
+                    window(3, true), window(4, false)};
+
+  Journal journal;
+  obs::append_slo_journal(result, journal);
+  const auto events = journal.sorted_events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, JournalKind::kSloBreach);
+  EXPECT_EQ(events[0].at, SimTime::millis(1000));
+  EXPECT_EQ(events[1].kind, JournalKind::kSloRecover);
+  EXPECT_EQ(events[1].at, SimTime::millis(3000));
+  EXPECT_EQ(events[2].kind, JournalKind::kSloBreach);
+  EXPECT_EQ(events[2].at, SimTime::millis(4000));
+
+  // The still-open violation run never recovered: MTTR grades -1.
+  const IncidentReport report = obs::correlate_incidents(journal);
+  ASSERT_EQ(report.incidents.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.incidents[0].mttr_ms, -1.0);
+}
+
+TEST(IncidentTest, ReportJsonIsByteStable) {
+  const auto build = [] {
+    Journal journal;
+    journal.record(SimTime::millis(1000), JournalKind::kFaultInject, 1,
+                   "link_loss", 2, 3);
+    journal.record(SimTime::millis(1500), JournalKind::kCacheDrain, 1,
+                   "origin 2");
+    journal.record(SimTime::millis(4000), JournalKind::kFaultClear, 1);
+    return obs::incident_report_json(obs::correlate_incidents(journal));
+  };
+  const std::string json = build();
+  EXPECT_EQ(json, build());
+  EXPECT_NE(json.find("\"incidents\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"mttd_ms\": 500"), std::string::npos);
+  EXPECT_NE(json.find("\"action_counts\": {\"cache_drain\": 1}"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace mecdns

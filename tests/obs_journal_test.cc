@@ -1,0 +1,139 @@
+// Flight-recorder journal: record/sort semantics, ring overflow keeps the
+// newest events and counts the drop, byte-stable JSON, and — because this
+// binary links the alloc hooks — a hard pin that steady-state record() is
+// allocation-free (the journal sits on control paths inside the simulator
+// hot loop).
+#include "obs/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "obs/perf.h"
+
+namespace mecdns {
+namespace {
+
+using obs::Journal;
+using obs::JournalEvent;
+using obs::JournalKind;
+using simnet::SimTime;
+
+TEST(JournalTest, SortsByTimeThenSequence) {
+  Journal journal(16);
+  // Post-run passes (SLO derivation) append with past timestamps, so the
+  // export order must be (time, seq), not ring order.
+  journal.record(SimTime::millis(300), JournalKind::kGuardTrip);
+  journal.record(SimTime::millis(100), JournalKind::kFaultInject);
+  journal.record(SimTime::millis(300), JournalKind::kGuardRecover);
+  journal.record(SimTime::millis(200), JournalKind::kSloBreach);
+
+  const auto events = journal.sorted_events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].kind, JournalKind::kFaultInject);
+  EXPECT_EQ(events[1].kind, JournalKind::kSloBreach);
+  // Equal timestamps keep record order via seq.
+  EXPECT_EQ(events[2].kind, JournalKind::kGuardTrip);
+  EXPECT_EQ(events[3].kind, JournalKind::kGuardRecover);
+  EXPECT_LT(events[2].seq, events[3].seq);
+}
+
+TEST(JournalTest, OverflowKeepsNewestAndCountsDropped) {
+  Journal journal(4);
+  for (int i = 0; i < 10; ++i) {
+    journal.record(SimTime::millis(i), JournalKind::kRetarget, /*cell=*/-1,
+                   "", static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(journal.size(), 4u);
+  EXPECT_EQ(journal.recorded(), 10u);
+  EXPECT_EQ(journal.dropped(), 6u);
+  EXPECT_TRUE(journal.overflowed());
+
+  // Forensics wants the reaction tail: the survivors are events 6..9.
+  const auto events = journal.sorted_events();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].a, 6u + i);
+  }
+}
+
+TEST(JournalTest, ToJsonReportsDropFlagAndIsByteStable) {
+  const auto build = [] {
+    Journal journal(2);
+    journal.record(SimTime::millis(5), JournalKind::kFaultInject, 0,
+                   "node_down", 7, 9);
+    journal.record(SimTime::millis(6), JournalKind::kGuardTrip, 1);
+    journal.record(SimTime::millis(7), JournalKind::kGuardRecover, 1);
+    return journal.to_json();
+  };
+  const std::string json = build();
+  EXPECT_EQ(json, build());
+  EXPECT_NE(json.find("\"recorded\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\": 1"), std::string::npos);
+  // The dropped (oldest) event is gone from the export.
+  EXPECT_EQ(json.find("fault_inject"), std::string::npos);
+  EXPECT_NE(json.find("guard_trip"), std::string::npos);
+}
+
+TEST(JournalTest, DetailTruncatesToFixedSlot) {
+  Journal journal(4);
+  const std::string longer(200, 'x');
+  journal.record(SimTime::zero(), JournalKind::kCacheDrain, -1,
+                 longer.c_str());
+  const auto events = journal.sorted_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_LT(std::strlen(events[0].detail), sizeof(events[0].detail));
+}
+
+TEST(JournalTest, ClearResetsEverything) {
+  Journal journal(2);
+  journal.record(SimTime::zero(), JournalKind::kScaleUp);
+  journal.record(SimTime::zero(), JournalKind::kScaleUp);
+  journal.record(SimTime::zero(), JournalKind::kScaleUp);
+  journal.clear();
+  EXPECT_EQ(journal.size(), 0u);
+  EXPECT_EQ(journal.recorded(), 0u);
+  EXPECT_EQ(journal.dropped(), 0u);
+  EXPECT_TRUE(journal.sorted_events().empty());
+}
+
+TEST(JournalTest, SlugRoundTripsForEveryKind) {
+  for (int k = 0; k <= static_cast<int>(JournalKind::kStaleServe); ++k) {
+    const auto kind = static_cast<JournalKind>(k);
+    JournalKind parsed;
+    ASSERT_TRUE(obs::journal_kind_from_slug(obs::journal_kind_slug(kind),
+                                            parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  JournalKind parsed;
+  EXPECT_FALSE(obs::journal_kind_from_slug("not-a-kind", parsed));
+}
+
+TEST(JournalTest, SeedAndActionTaxonomyIsDisjoint) {
+  for (int k = 0; k <= static_cast<int>(JournalKind::kStaleServe); ++k) {
+    const auto kind = static_cast<JournalKind>(k);
+    EXPECT_FALSE(obs::journal_kind_is_seed(kind) &&
+                 obs::journal_kind_is_action(kind))
+        << obs::journal_kind_slug(kind);
+  }
+  EXPECT_TRUE(obs::journal_kind_is_seed(JournalKind::kFaultInject));
+  EXPECT_TRUE(obs::journal_kind_is_action(JournalKind::kLdnsFailover));
+}
+
+TEST(JournalAllocTest, SteadyStateRecordIsAllocationFree) {
+  ASSERT_TRUE(obs::alloc_counting_active());
+  Journal journal(256);
+  // Warm up: first pass fills the ring; overflow path must also be free.
+  journal.record(SimTime::zero(), JournalKind::kGuardTrip);
+  const obs::PerfSnapshot before = obs::PerfSnapshot::take();
+  for (int i = 0; i < 4096; ++i) {
+    journal.record(SimTime::millis(i), JournalKind::kGuardTrip, i % 8,
+                   "shed on", static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(before.delta().allocs, 0u);
+  EXPECT_EQ(journal.dropped(), 4097u - 256u);
+}
+
+}  // namespace
+}  // namespace mecdns

@@ -23,6 +23,12 @@
 #      everywhere, fragile exhausts its budget somewhere), and requires the
 #      --misconfigure run — robust machinery with the client fallback
 #      forgotten — to exit nonzero.
+#   8. Incident-forensics gate: the fault matrix emits BENCH_incidents.json
+#      (flight-recorder journal correlated into graded incidents),
+#      byte-compared across worker counts and rendered by
+#      `mecdns_report --incidents`. Every robust incident must grade a
+#      finite MTTD and a bounded MTTR (the awk gate owns finiteness; --diff
+#      owns drift, so an injected MTTR regression must trip it nonzero).
 # Usage: tools/check.sh [jobs]   (default: nproc)
 set -euo pipefail
 
@@ -31,14 +37,14 @@ jobs="${1:-$(nproc)}"
 
 run() { echo "+ $*"; "$@"; }
 
-echo "=== 1/7: ASan/UBSan build + tests (build-asan/) ==="
+echo "=== 1/8: ASan/UBSan build + tests (build-asan/) ==="
 run cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 run cmake --build build-asan -j "$jobs"
 run ctest --test-dir build-asan --output-on-failure -j "$jobs" --timeout 120
 
-echo "=== 2/7: fault-matrix smoke (ASan/UBSan) ==="
+echo "=== 2/8: fault-matrix smoke (ASan/UBSan) ==="
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
 for scenario in mec-ldns-crash edge-cache-partition wan-loss-burst \
@@ -49,12 +55,12 @@ for scenario in mec-ldns-crash edge-cache-partition wan-loss-burst \
       --json-out "$smoke_dir/fault_$scenario.json"
 done
 
-echo "=== 3/7: Release build + tests (build/) ==="
+echo "=== 3/8: Release build + tests (build/) ==="
 run cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 run cmake --build build -j "$jobs"
 run ctest --test-dir build --output-on-failure -j "$jobs" --timeout 120
 
-echo "=== 4/7: observability pipeline + determinism self-diff ==="
+echo "=== 4/8: observability pipeline + determinism self-diff ==="
 obs_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir" "$obs_dir"' EXIT
 run ./build/bench/bench_fig2_lookup_latency \
@@ -72,7 +78,7 @@ run ./build/bench/bench_fig2_lookup_latency --json-out "$obs_dir/fig2_b.json"
 run ./build/tools/mecdns_report \
     --diff "$obs_dir/fig2_a.json" --against "$obs_dir/fig2_b.json"
 
-echo "=== 5/7: TSan parallel-campaign determinism gate (build-tsan/) ==="
+echo "=== 5/8: TSan parallel-campaign determinism gate (build-tsan/) ==="
 run cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
@@ -94,7 +100,7 @@ run ./build-tsan/tools/mecdns_report \
     --diff-bytes "$par_dir/metrics_serial.json" \
     --against "$par_dir/metrics_parallel.json"
 
-echo "=== 6/7: perf gate (microbench artifact + throughput regression) ==="
+echo "=== 6/8: perf gate (microbench artifact + throughput regression) ==="
 perf_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir" "$obs_dir" "$par_dir" "$perf_dir"' EXIT
 # Microbenchmarks as a pipeline artifact (the JSON is a reference record,
@@ -106,7 +112,10 @@ run ./build/tools/mecdns_report --bench "$perf_dir/BENCH_micro.json"
 # Load-generator throughput: small population here (check.sh is a
 # pre-merge loop; the full 100k-UE run is one flag away). Worker-count
 # independence is part of the determinism contract, so compare bytes.
-tp="./build/bench/bench_throughput --ues 20000 --rate-hz 0.05 --duration-s 10"
+# --journal arms the flight recorder on the hot path, so the allocation
+# ceilings below are verified with journaling enabled (it must stay free).
+tp="./build/bench/bench_throughput --ues 20000 --rate-hz 0.05 --duration-s 10 \
+    --journal"
 run $tp --workers 1 --json-out "$perf_dir/tp_serial.json" \
     --metrics-out "$perf_dir/tp_metrics_serial.json"
 run $tp --workers 4 --json-out "$perf_dir/tp_parallel.json" \
@@ -142,7 +151,7 @@ if ./build/tools/mecdns_report --diff "$perf_dir/tp_serial.json" \
 fi
 echo "+ injected regression correctly detected"
 
-echo "=== 7/7: mobility-churn robustness gate ==="
+echo "=== 7/8: mobility-churn robustness gate ==="
 mob_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir" "$obs_dir" "$par_dir" "$perf_dir" "$mob_dir"' EXIT
 # Downsized population, same overload physics: the flash crowd still
@@ -163,5 +172,63 @@ if $mob --workers 4 --json-out "$mob_dir/mobility_broken.json" \
   exit 1
 fi
 echo "+ mis-configured robust run correctly rejected"
+
+echo "=== 8/8: incident-forensics gate ==="
+inc_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir" "$obs_dir" "$par_dir" "$perf_dir" "$mob_dir" \
+    "$inc_dir"' EXIT
+fault="./build/bench/bench_fault_availability --requests 40 --spacing-ms 500 \
+    --fault-start-ms 8000 --fault-end-ms 14000 --seed 42"
+run $fault --workers 1 --json-out "" \
+    --incidents-out "$inc_dir/inc_serial.json"
+run $fault --workers 4 --json-out "" \
+    --incidents-out "$inc_dir/inc_parallel.json"
+run ./build/tools/mecdns_report \
+    --diff-bytes "$inc_dir/inc_serial.json" \
+    --against "$inc_dir/inc_parallel.json"
+run ./build/tools/mecdns_report --incidents "$inc_dir/inc_serial.json"
+run ./build/tools/mecdns_report \
+    --diff "$inc_dir/inc_serial.json" --against "$inc_dir/inc_parallel.json"
+# Finiteness gate (the --diff above only catches drift): every scenario
+# must correlate at least one incident from its injected fault, nothing may
+# fall off the journal ring, and every robust incident must grade a finite
+# MTTD (the control plane visibly reacted) and a bounded MTTR. -1 means
+# "broke and never detected/recovered" — exactly what must not ship.
+awk '
+  /"mode": "robust"/ {
+    match($0, /"scenario": "[^"]+"/); row = substr($0, RSTART + 13, RLENGTH - 14)
+    match($0, /"mttd_ms": -?[0-9.]+/); mttd = substr($0, RSTART + 11, RLENGTH - 11) + 0
+    match($0, /"mttr_ms": -?[0-9.]+/); mttr = substr($0, RSTART + 11, RLENGTH - 11) + 0
+    if (mttd < 0) { printf "%s: robust MTTD %s (undetected)\n", row, mttd; bad = 1 }
+    if (mttr < 0 || mttr > 4000) { printf "%s: robust MTTR %s out of [0, 4000]\n", row, mttr; bad = 1 }
+  }
+  /"incidents": 0/ { printf "scenario row with zero incidents: %s\n", $0; bad = 1 }
+  /"journal_dropped": [1-9]/ { printf "journal overflow: %s\n", $0; bad = 1 }
+  END { if (bad) exit 1; print "+ incident grades within bounds" }' \
+  "$inc_dir/inc_serial.json"
+# The recovery-time gate must actually gate: inject a huge MTTR and demand
+# a nonzero exit from --diff.
+sed -E 's/"mttr_ms": [0-9.]+/"mttr_ms": 999999/' \
+    "$inc_dir/inc_serial.json" > "$inc_dir/inc_regressed.json"
+if ./build/tools/mecdns_report --diff "$inc_dir/inc_serial.json" \
+    --against "$inc_dir/inc_regressed.json" > /dev/null; then
+  echo "error: injected mttr_ms regression was not detected" >&2
+  exit 1
+fi
+echo "+ injected MTTR regression correctly detected"
+# Mobility churn feeds the same journal/correlator: byte-stable across
+# workers and at least one incident per churn scenario.
+run $mob --workers 1 --json-out "" \
+    --incidents-out "$inc_dir/mob_inc_serial.json"
+run $mob --workers 4 --json-out "" \
+    --incidents-out "$inc_dir/mob_inc_parallel.json"
+run ./build/tools/mecdns_report \
+    --diff-bytes "$inc_dir/mob_inc_serial.json" \
+    --against "$inc_dir/mob_inc_parallel.json"
+run ./build/tools/mecdns_report --incidents "$inc_dir/mob_inc_serial.json"
+awk '
+  /"incidents": 0/ { printf "churn row with zero incidents: %s\n", $0; bad = 1 }
+  END { if (bad) exit 1; print "+ every churn scenario correlated an incident" }' \
+  "$inc_dir/mob_inc_serial.json"
 
 echo "All checks passed."

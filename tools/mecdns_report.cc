@@ -5,6 +5,7 @@
 //   mecdns_report --metrics metrics.json          # counters/gauges/histograms
 //   mecdns_report --timeseries series.json        # per-window SLO verdicts
 //   mecdns_report --bench BENCH_fig2.json         # scenario summary table
+//   mecdns_report --incidents BENCH_incidents.json  # MTTD/MTTR timelines
 //   mecdns_report --diff OLD.json --against NEW.json        # regression gate
 //   mecdns_report --diff-bytes A.json --against B.json      # determinism gate
 //
@@ -323,6 +324,91 @@ int report_bench(const std::string& path) {
   return 0;
 }
 
+// --- --incidents: BENCH_incidents.json forensics tables -------------------
+
+/// -1 sentinels read as words, not numbers: MTTD -1 = nothing reacted,
+/// MTTR -1 = the objective never came back.
+std::string grade_ms(double value, const char* if_negative) {
+  if (value < 0.0) return if_negative;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", value);
+  return buf;
+}
+
+/// BENCH_incidents.json: the per-scenario MTTD/MTTR summary table, then a
+/// causal timeline table per incident. Exit 0 rendered, 2 parse error.
+int report_incidents(const std::string& path) {
+  auto doc = util::JsonValue::parse_file(path);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "error: %s\n", doc.error().message.c_str());
+    return 2;
+  }
+  const util::JsonValue& root = doc.value();
+  const util::JsonValue& scenarios = root.get("scenarios");
+  if (!scenarios.is_array() ||
+      (scenarios.size() > 0 && !scenarios.at(0).has("incidents"))) {
+    std::fprintf(stderr, "error: %s: not an incidents file\n", path.c_str());
+    return 2;
+  }
+  std::printf("=== incident forensics: %s ===\n", path.c_str());
+  if (root.get("meta").is_object()) {
+    const util::JsonValue& meta = root.get("meta");
+    std::printf("schema %d, seed %.0f, %s build\n",
+                static_cast<int>(meta.get("schema").as_double()),
+                meta.get("seed").as_double(),
+                meta.get("build").as_string().c_str());
+  }
+  std::printf("%-32s %9s %10s %10s %8s %6s %8s\n", "scenario", "incidents",
+              "mttd(ms)", "mttr(ms)", "actions", "cells", "orphans");
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const util::JsonValue& s = scenarios.at(i);
+    std::string name = s.get("scenario").as_string();
+    if (s.has("mode")) name += "/" + s.get("mode").as_string();
+    std::printf("%-32s %9.0f %10s %10s %8.0f %6.0f %8.0f\n", name.c_str(),
+                s.get("incidents").as_double(),
+                grade_ms(s.get("mttd_ms").as_double(), "none").c_str(),
+                grade_ms(s.get("mttr_ms").as_double(), "never").c_str(),
+                s.get("actions").as_double(),
+                s.get("cells_affected").as_double(),
+                s.get("orphan_events").as_double());
+    if (s.get("journal_dropped").as_double() > 0.0) {
+      std::printf("%-32s   WARNING: ring overflowed, %0.f oldest events "
+                  "dropped\n",
+                  "", s.get("journal_dropped").as_double());
+    }
+  }
+  // Timelines after the summary so the verdict is readable first.
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const util::JsonValue& s = scenarios.at(i);
+    std::string name = s.get("scenario").as_string();
+    if (s.has("mode")) name += "/" + s.get("mode").as_string();
+    const util::JsonValue& detail = s.get("detail");
+    for (std::size_t j = 0; j < detail.size(); ++j) {
+      const util::JsonValue& inc = detail.at(j);
+      std::printf("\n--- %s incident #%d: [%.1f, %.1f] ms, mttd %s, "
+                  "mttr %s ---\n",
+                  name.c_str(), static_cast<int>(inc.get("id").as_double()),
+                  inc.get("start_ms").as_double(),
+                  inc.get("end_ms").as_double(),
+                  grade_ms(inc.get("mttd_ms").as_double(), "none").c_str(),
+                  grade_ms(inc.get("mttr_ms").as_double(), "never").c_str());
+      std::printf("%10s %-18s %5s %12s %12s  %s\n", "t(ms)", "event", "cell",
+                  "a", "b", "detail");
+      const util::JsonValue& timeline = inc.get("timeline");
+      for (std::size_t k = 0; k < timeline.size(); ++k) {
+        const util::JsonValue& e = timeline.at(k);
+        std::printf("%10.1f %-18s %5.0f %12.0f %12.0f  %s\n",
+                    e.get("t_ms").as_double(),
+                    e.get("kind").as_string().c_str(),
+                    e.get("cell").as_double(), e.get("a").as_double(),
+                    e.get("b").as_double(),
+                    e.get("detail").as_string().c_str());
+      }
+    }
+  }
+  return 0;
+}
+
 /// --diff-bytes: exact byte equality between two artifact files — the CI
 /// gate for the parallel campaign's determinism contract (serial and
 /// parallel runs of the same bench must produce identical bytes, not just
@@ -401,6 +487,9 @@ int main(int argc, char** argv) {
   args.add_string("timeseries", "",
                   "windowed-metrics JSON (--timeseries-out file)");
   args.add_string("bench", "", "BENCH_*.json summary file");
+  args.add_string("incidents", "",
+                  "BENCH_incidents.json forensics file: MTTD/MTTR summary "
+                  "plus per-incident causal timelines");
   args.add_string("diff", "",
                   "baseline BENCH_*.json; compares against --against");
   args.add_string("diff-bytes", "",
@@ -450,6 +539,9 @@ int main(int argc, char** argv) {
   }
   if (!args.get_string("bench").empty()) {
     run(report_bench(args.get_string("bench")));
+  }
+  if (!args.get_string("incidents").empty()) {
+    run(report_incidents(args.get_string("incidents")));
   }
   if (!args.get_string("diff").empty()) {
     if (args.get_string("against").empty()) {
