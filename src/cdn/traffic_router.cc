@@ -161,7 +161,7 @@ std::optional<CacheInfo> TrafficRouter::choose_cache(
   if (config_.cache_capacity_per_window > 0 &&
       config_.capacity_window > simnet::SimTime::zero()) {
     const std::uint64_t window = static_cast<std::uint64_t>(
-        network().simulator().now().count_nanos() /
+        now().count_nanos() /
         config_.capacity_window.count_nanos());
     if (window != g.load_window) {
       g.load_window = window;
@@ -217,7 +217,7 @@ void TrafficRouter::handle(const dns::Message& query,
       // Extra work: option parsing, subnet validation, scoped answer
       // bookkeeping. The paper measured ECS shifting latency by roughly
       // 1.01x-1.08x; this models that small cost explicitly.
-      network().simulator().schedule_after(
+      runtime().schedule_after(
           config_.ecs_processing,
           [respond, response = std::move(response)]() mutable {
             respond(std::move(response));

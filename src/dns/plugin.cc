@@ -321,6 +321,15 @@ PluginChainServer::PluginChainServer(simnet::Network& net,
   transport_ = std::make_unique<DnsTransport>(net, node);
 }
 
+PluginChainServer::PluginChainServer(netio::Runtime& runtime, std::string name,
+                                     simnet::LatencyModel processing_delay,
+                                     std::uint16_t port, std::uint64_t seed,
+                                     simnet::Ipv4Address addr)
+    : DnsServer(runtime, std::move(name), std::move(processing_delay), port,
+                seed, addr) {
+  transport_ = std::make_unique<DnsTransport>(runtime, seed);
+}
+
 PluginChain& PluginChainServer::add_view(
     std::string view_name, std::vector<simnet::Cidr> client_subnets) {
   views_.push_back(View{std::move(client_subnets),

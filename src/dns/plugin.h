@@ -265,6 +265,13 @@ class PluginChainServer : public DnsServer {
                     std::string name, simnet::LatencyModel processing_delay,
                     simnet::Ipv4Address addr = simnet::Ipv4Address());
 
+  /// Live-wire constructor: the same split-horizon MEC L-DNS, served from
+  /// a real UDP port (with its forward transport on the same runtime).
+  PluginChainServer(netio::Runtime& runtime, std::string name,
+                    simnet::LatencyModel processing_delay,
+                    std::uint16_t port = kDnsPort, std::uint64_t seed = 1,
+                    simnet::Ipv4Address addr = simnet::Ipv4Address());
+
   /// Adds a view matching clients whose source address is inside any of
   /// `client_subnets`. Views are evaluated in insertion order.
   PluginChain& add_view(std::string view_name,

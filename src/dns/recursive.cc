@@ -58,7 +58,7 @@ void RecursiveResolver::handle(const Message& query, const QueryContext& ctx,
 void RecursiveResolver::resolve(std::shared_ptr<Job> job) {
   // 1. Serve from cache, following cached CNAME chains.
   while (true) {
-    auto cached = cache_.lookup(job->qname, job->qtype, network().now());
+    auto cached = cache_.lookup(job->qname, job->qtype, now());
     if (cached.has_value()) {
       if (cached->negative) {
         job->done(cached->rcode, job);
@@ -71,7 +71,7 @@ void RecursiveResolver::resolve(std::shared_ptr<Job> job) {
     }
     if (job->qtype != RecordType::kCname) {
       auto cname = cache_.lookup(job->qname, RecordType::kCname,
-                                 network().now());
+                                 now());
       if (cname.has_value() && !cname->negative && !cname->records.empty()) {
         job->answers.insert(job->answers.end(), cname->records.begin(),
                             cname->records.end());
@@ -128,7 +128,7 @@ std::vector<simnet::Endpoint> RecursiveResolver::candidate_servers(
       std::vector<simnet::Endpoint> servers;
       DnsName first_unresolved = DnsName::root();
       for (const DnsName& ns : it->second) {
-        auto cached = cache_.lookup(ns, RecordType::kA, network().now());
+        auto cached = cache_.lookup(ns, RecordType::kA, now());
         if (cached.has_value() && !cached->negative) {
           for (const auto& rr : cached->records) {
             if (const auto* a = std::get_if<ARecord>(&rr.rdata)) {
@@ -199,7 +199,7 @@ void RecursiveResolver::cache_response_sections(const Message& response) {
       rrsets[{rr.name, rr.type}].push_back(rr);
     }
     for (auto& [key, rrs] : rrsets) {
-      cache_.insert(key.first, key.second, std::move(rrs), network().now());
+      cache_.insert(key.first, key.second, std::move(rrs), now());
     }
   }
 
@@ -219,7 +219,7 @@ void RecursiveResolver::cache_response_sections(const Message& response) {
     if (rr.type == RecordType::kA) glue[{rr.name, rr.type}].push_back(rr);
   }
   for (auto& [key, rrs] : glue) {
-    cache_.insert(key.first, key.second, std::move(rrs), network().now());
+    cache_.insert(key.first, key.second, std::move(rrs), now());
   }
 }
 
@@ -231,7 +231,7 @@ void RecursiveResolver::on_response(std::shared_ptr<Job> job,
 
   if (response.header.rcode == RCode::kNxDomain) {
     cache_.insert_negative(job->qname, job->qtype, RCode::kNxDomain,
-                           response.authorities, network().now());
+                           response.authorities, now());
     job->done(RCode::kNxDomain, job);
     return;
   }
@@ -291,7 +291,7 @@ void RecursiveResolver::on_response(std::shared_ptr<Job> job,
   if (has_soa || response.header.aa) {
     // NODATA.
     cache_.insert_negative(job->qname, job->qtype, RCode::kNoError,
-                           response.authorities, network().now());
+                           response.authorities, now());
     job->done(RCode::kNoError, job);
     return;
   }

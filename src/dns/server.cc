@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "netio/sim_runtime.h"
 #include "util/log.h"
 #include "util/perfcount.h"
 
@@ -10,17 +11,28 @@ namespace mecdns::dns {
 DnsServer::DnsServer(simnet::Network& net, simnet::NodeId node,
                      std::string name, simnet::LatencyModel processing_delay,
                      simnet::Ipv4Address addr)
-    : net_(net), node_(node), name_(std::move(name)),
+    : owned_runtime_(std::make_unique<netio::SimRuntime>(net, node)),
+      rt_(owned_runtime_.get()), node_(node), name_(std::move(name)),
       processing_delay_(std::move(processing_delay)),
       rng_(0xd5a79147930aa725ULL ^ (static_cast<std::uint64_t>(node) << 17)) {
-  socket_ = net_.open_socket(
-      node, kDnsPort,
-      [this](const simnet::Packet& packet) { on_packet(packet); }, addr);
+  socket_ = rt_->open_socket(
+      kDnsPort, [this](const simnet::Packet& packet) { on_packet(packet); },
+      addr);
+}
+
+DnsServer::DnsServer(netio::Runtime& runtime, std::string name,
+                     simnet::LatencyModel processing_delay, std::uint16_t port,
+                     std::uint64_t seed, simnet::Ipv4Address addr)
+    : rt_(&runtime), name_(std::move(name)),
+      processing_delay_(std::move(processing_delay)),
+      rng_(0xd5a79147930aa725ULL ^ (seed << 17)) {
+  socket_ = rt_->open_socket(
+      port, [this](const simnet::Packet& packet) { on_packet(packet); }, addr);
 }
 
 DnsServer::~DnsServer() {
   *alive_ = false;
-  net_.close_socket(socket_);
+  rt_->close_socket(socket_);
 }
 
 void DnsServer::on_packet(const simnet::Packet& packet) {
@@ -35,7 +47,7 @@ void DnsServer::on_packet(const simnet::Packet& packet) {
 
   QueryContext ctx;
   ctx.client = packet.src;
-  ctx.received = net_.now();
+  ctx.received = rt_->now();
 
   // When the delivering packet carries a trace (the client's transport
   // span is ambient), open a serve span under it: one slice per query,
@@ -64,7 +76,10 @@ void DnsServer::on_packet(const simnet::Packet& packet) {
       default: break;
     }
     span.tag("rcode", to_string(response.header.rcode));
-    std::vector<std::uint8_t> wire = encode(response);
+    // The reply is sent straight from the encoder's arena (the socket
+    // copies into a pooled buffer / the real wire) — no per-response
+    // vector.
+    std::span<const std::uint8_t> wire = encode_view(response);
     if (wire.size() > payload_limit) {
       // Truncate per RFC 2181 §9: set TC and drop the record sections; the
       // client re-queries with a larger EDNS buffer (or TCP, not modelled).
@@ -73,16 +88,16 @@ void DnsServer::on_packet(const simnet::Packet& packet) {
       response.answers.clear();
       response.authorities.clear();
       response.additionals.clear();
-      wire = encode(response);
+      wire = encode_view(response);
     }
-    socket_->send_to(reply_to, std::move(wire));
+    socket_->send(reply_to, wire);
     span.end();
   };
 
   if (workers_ == 0) {
     // Idealized server: every query gets its own processing slot.
     obs::AmbientSpanGuard ambient(span);
-    net_.simulator().schedule_after(
+    rt_->schedule_after(
         delay, [this, alive = alive_, query = std::move(decoded.value()), ctx,
                 respond = std::move(respond)]() mutable {
           if (!*alive) return;
@@ -125,7 +140,7 @@ void DnsServer::pump() {
     // pump() runs under whatever event freed the worker; restore the
     // queued query's own serve span before scheduling its processing.
     obs::AmbientSpanGuard ambient(work.span);
-    net_.simulator().schedule_after(
+    rt_->schedule_after(
         delay, [this, alive = alive_, work = std::move(work)]() mutable {
           if (!*alive) return;
           // The worker is released when processing ends; any wait for
@@ -143,6 +158,14 @@ AuthoritativeServer::AuthoritativeServer(simnet::Network& net,
                                          simnet::Ipv4Address addr)
     : DnsServer(net, node, std::move(name), std::move(processing_delay),
                 addr) {}
+
+AuthoritativeServer::AuthoritativeServer(netio::Runtime& runtime,
+                                         std::string name,
+                                         simnet::LatencyModel processing_delay,
+                                         std::uint16_t port, std::uint64_t seed,
+                                         simnet::Ipv4Address addr)
+    : DnsServer(runtime, std::move(name), std::move(processing_delay), port,
+                seed, addr) {}
 
 Zone& AuthoritativeServer::add_zone(DnsName origin) {
   zones_.emplace_back(std::move(origin));

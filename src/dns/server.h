@@ -1,6 +1,7 @@
 // DNS server base class and the authoritative server.
 //
-// A DnsServer binds UDP port 53 on a simulated node, decodes incoming
+// A DnsServer binds a UDP port on a netio::Runtime — port 53 of a simulated
+// node, or a real socket under the epoll event loop — decodes incoming
 // queries, applies a configurable processing delay (the "time spent in the
 // DNS resolvers" component the paper measures) and hands the query to a
 // subclass. Responses may be produced asynchronously, so servers that need
@@ -18,6 +19,7 @@
 #include "dns/message.h"
 #include "dns/wire.h"
 #include "dns/zone.h"
+#include "netio/runtime.h"
 #include "obs/trace.h"
 #include "simnet/latency.h"
 #include "simnet/network.h"
@@ -47,9 +49,18 @@ class DnsServer {
  public:
   using Responder = std::function<void(Message)>;
 
-  /// Binds port 53 at `addr` on `node` (default: node's first address).
+  /// Binds port 53 at `addr` on `node` of the simulated network (default:
+  /// node's first address). Wraps the network in an owned SimRuntime.
   DnsServer(simnet::Network& net, simnet::NodeId node, std::string name,
             simnet::LatencyModel processing_delay,
+            simnet::Ipv4Address addr = simnet::Ipv4Address());
+
+  /// Binds `port` (0 = ephemeral, useful for tests) on `runtime` — the
+  /// live-wire constructor. `seed` keeps the processing-delay RNG
+  /// deterministic per server.
+  DnsServer(netio::Runtime& runtime, std::string name,
+            simnet::LatencyModel processing_delay,
+            std::uint16_t port = kDnsPort, std::uint64_t seed = 1,
             simnet::Ipv4Address addr = simnet::Ipv4Address());
 
   virtual ~DnsServer();
@@ -58,8 +69,8 @@ class DnsServer {
 
   const std::string& name() const { return name_; }
   simnet::Endpoint endpoint() const { return socket_->endpoint(); }
+  /// The simulated node (sim constructor only; kInvalidNode on live wire).
   simnet::NodeId node() const { return node_; }
-  simnet::Network& network() { return net_; }
   const ServerStats& stats() const { return stats_; }
 
   /// Bounds service concurrency: at most `workers` queries are in their
@@ -90,6 +101,11 @@ class DnsServer {
                       Responder respond) = 0;
 
   util::Rng& rng() { return rng_; }
+  /// The server's clock (simulated or wall), for cache TTL math etc.
+  simnet::SimTime now() const { return rt_->now(); }
+  /// The runtime this server is bound to, for subclasses that open their
+  /// own upstream transports.
+  netio::Runtime& runtime() { return *rt_; }
 
  private:
   struct Work {
@@ -103,11 +119,13 @@ class DnsServer {
   void enqueue(Work work);
   void pump();
 
-  simnet::Network& net_;
-  simnet::NodeId node_;
+  /// Owned by the sim-compat constructor (null otherwise); rt_ always set.
+  std::unique_ptr<netio::Runtime> owned_runtime_;
+  netio::Runtime* rt_;
+  simnet::NodeId node_ = simnet::kInvalidNode;
   std::string name_;
   simnet::LatencyModel processing_delay_;
-  simnet::UdpSocket* socket_;
+  netio::DatagramSocket* socket_;
   util::Rng rng_;
   /// Disarms scheduled processing events after destruction.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
@@ -127,6 +145,12 @@ class AuthoritativeServer : public DnsServer {
  public:
   AuthoritativeServer(simnet::Network& net, simnet::NodeId node,
                       std::string name, simnet::LatencyModel processing_delay,
+                      simnet::Ipv4Address addr = simnet::Ipv4Address());
+
+  /// Live-wire constructor: serve zones on a real (or test) runtime port.
+  AuthoritativeServer(netio::Runtime& runtime, std::string name,
+                      simnet::LatencyModel processing_delay,
+                      std::uint16_t port = kDnsPort, std::uint64_t seed = 1,
                       simnet::Ipv4Address addr = simnet::Ipv4Address());
 
   /// Adds a zone. Zones must not be nested within each other's origins

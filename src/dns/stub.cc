@@ -22,8 +22,14 @@ StubResult result_from_response(const Message& response, simnet::SimTime rtt,
 StubResolver::StubResolver(simnet::Network& net, simnet::NodeId node,
                            simnet::Endpoint server,
                            DnsTransport::Options options)
-    : net_(net), server_(server), options_(options) {
+    : server_(server), options_(options) {
   transport_ = std::make_unique<DnsTransport>(net, node);
+}
+
+StubResolver::StubResolver(netio::Runtime& runtime, simnet::Endpoint server,
+                           DnsTransport::Options options)
+    : server_(server), options_(options) {
+  transport_ = std::make_unique<DnsTransport>(runtime);
 }
 
 void StubResolver::resolve(const DnsName& name, RecordType type,

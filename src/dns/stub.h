@@ -41,6 +41,11 @@ class StubResolver {
                simnet::Endpoint server,
                DnsTransport::Options options = {});
 
+  /// Live-wire constructor: what a real client process runs — the same
+  /// resolver over an EpollRuntime (or any other Runtime).
+  StubResolver(netio::Runtime& runtime, simnet::Endpoint server,
+               DnsTransport::Options options = {});
+
   /// Re-targets the primary DNS server (cellular handoff / MEC attach).
   /// With retarget-in-flight enabled, transactions still pending against
   /// the old server are resent to the new one immediately instead of
@@ -99,7 +104,6 @@ class StubResolver {
   /// Opens the root lookup span and wraps `callback` to close it.
   void resolve_traced(const DnsName& name, Message query, Callback callback);
 
-  simnet::Network& net_;
   std::unique_ptr<DnsTransport> transport_;
   simnet::Endpoint server_;
   std::optional<simnet::Endpoint> secondary_;

@@ -1,8 +1,10 @@
 #include "dns/transport.h"
 
 #include <cctype>
+#include <limits>
 #include <utility>
 
+#include "netio/sim_runtime.h"
 #include "util/log.h"
 #include "util/perfcount.h"
 
@@ -37,24 +39,53 @@ bool exact_equal(const DnsName& a, const DnsName& b) {
 
 DnsTransport::DnsTransport(simnet::Network& net, simnet::NodeId node,
                            std::uint64_t id_seed)
-    : net_(net),
+    : owned_runtime_(std::make_unique<netio::SimRuntime>(net, node)),
+      rt_(owned_runtime_.get()),
       rng_(0x20202020u ^ (static_cast<std::uint64_t>(node) << 24) ^ id_seed),
       next_id_(static_cast<std::uint16_t>(id_seed * 40503u % 65535u + 1)) {
-  socket_ = net_.open_socket(node, 0, [this](const simnet::Packet& packet) {
+  socket_ = rt_->open_socket(0, [this](const simnet::Packet& packet) {
+    on_packet(packet);
+  });
+}
+
+DnsTransport::DnsTransport(netio::Runtime& runtime, std::uint64_t id_seed)
+    : rt_(&runtime),
+      rng_(0x20202020u ^ (0x11feULL << 24) ^ id_seed),
+      next_id_(static_cast<std::uint16_t>(id_seed * 40503u % 65535u + 1)) {
+  socket_ = rt_->open_socket(0, [this](const simnet::Packet& packet) {
     on_packet(packet);
   });
 }
 
 DnsTransport::~DnsTransport() {
-  // Sockets are owned by the Network; closing detaches our handler so late
-  // packets cannot call into a destroyed object. Pending timeout events
-  // are disarmed via the alive flag.
+  // Sockets are owned by the runtime; closing detaches our handler so late
+  // packets cannot call into a destroyed object. Pending retry timers are
+  // really cancelled where the runtime supports it; the alive flag disarms
+  // the rest.
   *alive_ = false;
-  net_.close_socket(socket_);
+  for (auto& [id, p] : pending_) rt_->cancel(p.timer);
+  rt_->close_socket(socket_);
 }
 
 void DnsTransport::query(const simnet::Endpoint& server, Message query,
                          const Options& options, Callback callback) {
+  // With every one of the 65535 usable ids in flight, the id-hunt below
+  // would spin forever. Fail fast instead — asynchronously, preserving the
+  // "callback exactly once, never re-entrantly" contract.
+  if (pending_.size() >= 0xFFFF) {
+    ++id_exhausted_;
+    rt_->schedule_after(
+        simnet::SimTime::zero(),
+        [alive = alive_, callback = std::move(callback),
+         caller = simnet::current_trace_token()]() mutable {
+          if (!*alive) return;
+          simnet::TraceTokenGuard context(caller);
+          callback(util::Err("transaction id space exhausted "
+                             "(65535 queries in flight)"),
+                   simnet::SimTime::zero());
+        });
+    return;
+  }
   // Pick an unused transaction id.
   std::uint16_t id = next_id_;
   while (pending_.count(id) != 0 || id == 0) ++id;
@@ -70,7 +101,7 @@ void DnsTransport::query(const simnet::Endpoint& server, Message query,
   pending.query = std::move(query);
   pending.options = options;
   pending.callback = std::move(callback);
-  pending.first_sent = net_.now();
+  pending.first_sent = rt_->now();
   pending.generation = next_generation_++;
   pending.span = obs::begin_span(
       "transport",
@@ -86,34 +117,61 @@ void DnsTransport::send_attempt(std::uint16_t id) {
   auto it = pending_.find(id);
   if (it == pending_.end()) return;
   Pending& p = it->second;
-  ++p.attempts;
+  // Any previously armed timer is now for a superseded attempt. This is
+  // what keeps a retargeted/failed-over transaction from waking the live
+  // event loop for a server it no longer talks to (sim: no-op, the
+  // generation bump below already neutralizes it).
+  rt_->cancel(p.timer);
+  // Saturate instead of wrapping: with max_retries near INT_MAX a busy
+  // transaction could overflow `attempts` into UB; a saturated counter
+  // keeps retrying (the configured budget really is that large) and keeps
+  // the backoff exponent finite.
+  if (p.attempts < std::numeric_limits<int>::max()) ++p.attempts;
   p.generation = next_generation_++;
   // Deliveries and the timeout timer nest under the transaction's span.
   obs::AmbientSpanGuard ambient(p.span);
   ++util::perf::counters().dns_queries_sent;
-  socket_->send_to(p.server, encode(p.query));
+  // The wire bytes are borrowed straight from the encoder's arena — the
+  // socket copies them into a pooled buffer (sim) or onto the wire (live),
+  // so no per-send vector is allocated.
+  socket_->send(p.server, encode_view(p.query));
   arm_timeout(id, p.generation);
 }
 
 simnet::SimTime DnsTransport::retry_interval(const Pending& pending) {
+  // Uncapped configs still need a finite timer: 10^attempts milliseconds
+  // overflows a double into +inf, and casting that to the int64 nanosecond
+  // clock is UB. One hour is beyond any sane retransmission interval.
+  constexpr double kUncappedCeilingMs = 3600.0 * 1000.0;
   // The fast path (no backoff, no jitter) must return the configured
   // timeout unmodified so default runs stay bit-identical.
   simnet::SimTime interval = pending.options.timeout;
+  const simnet::SimTime cap = pending.options.max_backoff;
   if (pending.options.backoff_factor != 1.0 && pending.attempts > 1) {
+    const double ceiling_ms =
+        cap > simnet::SimTime::zero() ? cap.to_millis() : kUncappedCeilingMs;
     double ms = interval.to_millis();
     for (int i = 1; i < pending.attempts; ++i) {
       ms *= pending.options.backoff_factor;
+      // Clamping inside the loop bounds both the value (no double
+      // overflow) and the work (no O(attempts) multiplies once saturated).
+      if (ms >= ceiling_ms) {
+        ms = ceiling_ms;
+        break;
+      }
     }
     interval = simnet::SimTime::millis(ms);
   }
-  if (pending.options.max_backoff > simnet::SimTime::zero() &&
-      interval > pending.options.max_backoff) {
-    interval = pending.options.max_backoff;
-  }
+  if (cap > simnet::SimTime::zero() && interval > cap) interval = cap;
   if (pending.options.retry_jitter > 0.0) {
     interval = simnet::SimTime::millis(
         interval.to_millis() *
         (1.0 + rng_.uniform(0.0, pending.options.retry_jitter)));
+    // Re-clamp after the jitter multiplier: the cap is a hard bound (RFC
+    // 1035 §4.2.1 backoff caps mean it on a real wire), so jitter spreads
+    // timers *below* it, never past it. The old order — clamp, then
+    // jitter — let every jittered timer exceed max_backoff.
+    if (cap > simnet::SimTime::zero() && interval > cap) interval = cap;
   }
   return interval;
 }
@@ -151,7 +209,7 @@ std::size_t DnsTransport::retarget_pending(const simnet::Endpoint& from,
   if (!moved.empty()) {
     ++retarget_batches_;
     if (journal_ != nullptr) {
-      journal_->record(net_.now(), obs::JournalKind::kRetarget,
+      journal_->record(rt_->now(), obs::JournalKind::kRetarget,
                        journal_cell_, to.to_string().c_str(), moved.size());
     }
   }
@@ -172,7 +230,7 @@ std::size_t DnsTransport::retarget_pending(const simnet::Endpoint& from,
 }
 
 void DnsTransport::arm_timeout(std::uint16_t id, std::uint64_t generation) {
-  net_.simulator().schedule_after(
+  pending_.at(id).timer = rt_->schedule_after(
       retry_interval(pending_.at(id)),
       [this, alive = alive_, id, generation] {
         if (!*alive) return;
@@ -180,6 +238,7 @@ void DnsTransport::arm_timeout(std::uint16_t id, std::uint64_t generation) {
         if (it == pending_.end() || it->second.generation != generation) {
           return;  // answered or retransmitted since this timer was armed
         }
+        it->second.timer = netio::kNoTimer;  // this timer just fired
         if (it->second.attempts <= it->second.options.max_retries) {
           ++retransmissions_;
           send_attempt(id);
@@ -197,7 +256,7 @@ void DnsTransport::arm_timeout(std::uint16_t id, std::uint64_t generation) {
         simnet::TraceTokenGuard context(p.caller);
         p.callback(util::Err("query timed out after " +
                              std::to_string(p.attempts) + " attempt(s)"),
-                   net_.now() - p.first_sent);
+                   rt_->now() - p.first_sent);
       });
 }
 
@@ -253,13 +312,16 @@ void DnsTransport::on_packet(const simnet::Packet& packet) {
 
   Pending done = std::move(p);
   pending_.erase(it);
+  // The transaction is complete; its retry timer must not wake the live
+  // event loop (no-op in sim — the erase alone makes the firing stale).
+  rt_->cancel(done.timer);
   done.span.tag("rcode", to_string(response.header.rcode));
   if (done.attempts > 1) {
     done.span.tag("attempts", std::to_string(done.attempts));
   }
   done.span.end();
   simnet::TraceTokenGuard context(done.caller);
-  done.callback(std::move(decoded), net_.now() - done.first_sent);
+  done.callback(std::move(decoded), rt_->now() - done.first_sent);
 }
 
 }  // namespace mecdns::dns

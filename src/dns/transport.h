@@ -1,17 +1,20 @@
 // Client-side DNS-over-UDP transaction layer.
 //
-// Sends wire-encoded queries through the simulated network, matches
-// responses to pending transactions by (id, server, question), and applies
+// Sends wire-encoded queries through a netio::Runtime (the simulated
+// network or a real epoll/UDP event loop), matches responses to pending
+// transactions by (id, server, question), and applies
 // timeout/retransmission — the machinery under every resolver in this
 // library (stub, recursive, forwarding).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "dns/message.h"
 #include "dns/wire.h"
+#include "netio/runtime.h"
 #include "obs/journal.h"
 #include "obs/trace.h"
 #include "simnet/context.h"
@@ -61,9 +64,14 @@ class DnsTransport {
   using Callback =
       std::function<void(util::Result<Message>, simnet::SimTime rtt)>;
 
-  /// Opens an ephemeral UDP socket on `node`.
+  /// Opens an ephemeral UDP socket on `node` of the simulated network
+  /// (wraps the network in an internally owned SimRuntime).
   DnsTransport(simnet::Network& net, simnet::NodeId node,
                std::uint64_t id_seed = 1);
+
+  /// Opens an ephemeral datagram socket on `runtime` — sim or live wire,
+  /// the transaction machinery is identical.
+  explicit DnsTransport(netio::Runtime& runtime, std::uint64_t id_seed = 1);
 
   DnsTransport(const DnsTransport&) = delete;
   DnsTransport& operator=(const DnsTransport&) = delete;
@@ -76,9 +84,9 @@ class DnsTransport {
 
   simnet::Endpoint local_endpoint() const { return socket_->endpoint(); }
 
-  /// Current simulated time, for callers (e.g. ForwardPlugin journaling)
-  /// whose callbacks only receive an RTT.
-  simnet::SimTime now() const { return net_.now(); }
+  /// Current runtime time (simulated or wall-clock), for callers (e.g.
+  /// ForwardPlugin journaling) whose callbacks only receive an RTT.
+  simnet::SimTime now() const { return rt_->now(); }
 
   std::uint64_t timeouts() const { return timeouts_; }
   std::uint64_t retransmissions() const { return retransmissions_; }
@@ -87,6 +95,9 @@ class DnsTransport {
   std::uint64_t servfails() const { return servfails_; }
   /// Times a transaction switched to a fallback server.
   std::uint64_t failovers() const { return failovers_; }
+  /// Queries rejected because all 65535 transaction ids were in flight
+  /// (delivered as an immediate error instead of hunting a free id forever).
+  std::uint64_t id_exhausted() const { return id_exhausted_; }
 
   /// Re-points every transaction pending against `from` at `to` and
   /// resends immediately with a fresh retry budget. This is the handoff
@@ -123,6 +134,11 @@ class DnsTransport {
     int attempts = 0;
     std::size_t server_index = 0;  ///< next entry of fallback_servers
     std::uint64_t generation = 0;  ///< guards stale timeout events
+    /// The armed retry timer, cancelled whenever the transaction re-sends,
+    /// completes, or is destroyed. Real cancellation on the live wire; a
+    /// no-op under SimRuntime, where the generation guard above keeps stale
+    /// firings harmless (and part of the pinned event counts).
+    netio::TimerId timer = netio::kNoTimer;
     obs::SpanRef span;             ///< transport span (inert if untraced)
     /// Ambient token at query() time, restored around the callback so
     /// continuations (CNAME chases, next queries) become siblings of this
@@ -138,8 +154,12 @@ class DnsTransport {
   /// remains; false once the list is exhausted.
   bool fail_over(std::uint16_t id);
 
-  simnet::Network& net_;
-  simnet::UdpSocket* socket_;
+  /// Set by the (Network, NodeId) compatibility constructor, which wraps
+  /// the simulated network in a SimRuntime it owns. Null when the caller
+  /// supplied the runtime.
+  std::unique_ptr<netio::Runtime> owned_runtime_;
+  netio::Runtime* rt_;
+  netio::DatagramSocket* socket_;
   util::Rng rng_;
   /// Guards scheduled timeouts against running after destruction: the
   /// timer lambdas hold a copy and bail out once the owner is gone.
@@ -153,6 +173,7 @@ class DnsTransport {
   std::uint64_t failovers_ = 0;
   std::uint64_t retargets_ = 0;
   std::uint64_t retarget_batches_ = 0;
+  std::uint64_t id_exhausted_ = 0;
   obs::Journal* journal_ = nullptr;
   int journal_cell_ = -1;
   /// In-flight transactions by id. Touched on every send/receive/timeout,

@@ -376,7 +376,10 @@ util::Arena& encode_arena() {
 
 }  // namespace
 
-std::vector<std::uint8_t> encode(const Message& message) {
+namespace {
+/// Shared encode body: leaves the wire bytes in the thread-local arena and
+/// returns the writer (whose data() views them).
+util::ByteWriter encode_to_arena(const Message& message) {
   util::Arena& arena = encode_arena();
   arena.reset();
   util::ByteWriter out(&arena);
@@ -416,11 +419,21 @@ std::vector<std::uint8_t> encode(const Message& message) {
   if (message.edns.has_value()) {
     write_record(out, names, make_opt_record(*message.edns));
   }
-  std::vector<std::uint8_t> wire = out.take();
   auto& perf = util::perf::counters();
   ++perf.dns_encoded;
-  perf.dns_bytes_encoded += wire.size();
-  return wire;
+  perf.dns_bytes_encoded += out.size();
+  return out;
+}
+}  // namespace
+
+std::vector<std::uint8_t> encode(const Message& message) {
+  return encode_to_arena(message).take();
+}
+
+std::span<const std::uint8_t> encode_view(const Message& message) {
+  // The writer's bytes live in the thread-local arena, which outlives the
+  // writer object itself — the view stays valid until the next encode.
+  return encode_to_arena(message).data();
 }
 
 util::Result<Message> decode(std::span<const std::uint8_t> wire) {

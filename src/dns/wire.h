@@ -20,6 +20,12 @@ namespace mecdns::dns {
 /// "well-known" types; SRV targets are left uncompressed per RFC 2782).
 std::vector<std::uint8_t> encode(const Message& message);
 
+/// Like encode(), but returns a view into the thread-local encode arena —
+/// valid only until the next encode()/encode_view() on this thread. Send
+/// paths that copy the bytes onward anyway (a pooled sim packet buffer, a
+/// real sendto()) use this to skip the per-message take() copy entirely.
+std::span<const std::uint8_t> encode_view(const Message& message);
+
 /// Decodes wire bytes. Fails (never throws, never reads out of bounds) on
 /// truncated input, compression-pointer loops, or structural violations.
 util::Result<Message> decode(std::span<const std::uint8_t> wire);

@@ -1,0 +1,94 @@
+// Clock/IO abstraction: the seam between the DNS/MEC/CDN stack and the
+// thing that moves time and datagrams.
+//
+// Everything above this interface — DnsTransport's retransmission ladder,
+// DnsServer's processing-delay scheduling, the plugin chain, the mec
+// ingress guard — only ever needs three primitives: what time is it
+// (`now`), run this later (`schedule_after`/`cancel`), and send/receive
+// datagrams (`open_socket` → DatagramSocket). Two implementations provide
+// them:
+//
+//   * SimRuntime (sim_runtime.h) adapts the existing discrete-event
+//     simulator + simulated Network, so every sim-mode artifact stays
+//     byte-identical to the pre-abstraction code.
+//   * EpollRuntime (epoll_runtime.h) is an epoll event loop with
+//     CLOCK_MONOTONIC wall-clock timers and real UDP sockets, turning the
+//     identical resolver/server code into a live prototype `dig` can query.
+//
+// The interface deliberately reuses simnet's value types (SimTime as a
+// nanosecond duration since the runtime's epoch, Endpoint, Packet) so
+// porting a component is a constructor change, not a rewrite.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "simnet/ip.h"
+#include "simnet/network.h"
+#include "simnet/simulator.h"
+#include "simnet/time.h"
+
+namespace mecdns::netio {
+
+/// Handle for a scheduled timer, usable with Runtime::cancel. kNoTimer is
+/// never returned for a live cancellable timer; implementations that cannot
+/// cancel (SimRuntime) return it from schedule_after.
+using TimerId = std::uint64_t;
+inline constexpr TimerId kNoTimer = 0;
+
+/// A bound datagram endpoint. Owned by the Runtime; obtained via
+/// open_socket() and returned with close_socket().
+class DatagramSocket {
+ public:
+  using ReceiveHandler = std::function<void(const simnet::Packet&)>;
+
+  virtual ~DatagramSocket() = default;
+
+  /// The bound local address/port (after ephemeral-port resolution).
+  virtual simnet::Endpoint endpoint() const = 0;
+
+  /// Sends a datagram to `dst`, borrowing `payload` — the bytes are copied
+  /// (or written to the wire) before return, so callers may pass a view of
+  /// the encoder's arena scratch. `virtual_size` only matters to simulated
+  /// bandwidth-limited links; real sockets ignore it.
+  virtual void send(const simnet::Endpoint& dst,
+                    std::span<const std::uint8_t> payload,
+                    std::size_t virtual_size = 0) = 0;
+};
+
+/// The clock + scheduler + datagram fabric a protocol component runs on.
+class Runtime {
+ public:
+  using Callback = simnet::Simulator::Callback;
+
+  virtual ~Runtime() = default;
+
+  /// Sim: current simulated time. Live: monotonic time since the runtime
+  /// was constructed. Either way a nanosecond duration, so intervals and
+  /// RTT math are mode-independent.
+  virtual simnet::SimTime now() const = 0;
+
+  /// Runs `fn` once, `delay` from now. The returned id is valid for
+  /// cancel() until the timer fires.
+  virtual TimerId schedule_after(simnet::SimTime delay, Callback fn) = 0;
+
+  /// Best-effort: a cancelled timer never runs. SimRuntime implements this
+  /// as a no-op (callers there carry generation guards, and firing stale
+  /// timers is part of the pinned deterministic event counts); EpollRuntime
+  /// really removes the timer so a live process does not wake up for work
+  /// that was superseded.
+  virtual void cancel(TimerId timer) = 0;
+
+  /// Binds a datagram socket (port 0 = ephemeral). `addr` selects the local
+  /// address when the node/host has several; default picks the runtime's
+  /// primary (sim: node's first address, live: 127.0.0.1).
+  virtual DatagramSocket* open_socket(std::uint16_t port,
+                                      DatagramSocket::ReceiveHandler handler,
+                                      simnet::Ipv4Address addr =
+                                          simnet::Ipv4Address()) = 0;
+
+  virtual void close_socket(DatagramSocket* socket) = 0;
+};
+
+}  // namespace mecdns::netio

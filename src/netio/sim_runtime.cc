@@ -1,0 +1,54 @@
+#include "netio/sim_runtime.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace mecdns::netio {
+
+/// Wraps a Network-owned UdpSocket. send() borrows the caller's bytes and
+/// copies them into a pooled payload vector inside the Network, so the
+/// per-send allocation disappears in steady state.
+class SimRuntime::Socket final : public DatagramSocket {
+ public:
+  explicit Socket(simnet::UdpSocket* inner) : inner_(inner) {}
+
+  simnet::Endpoint endpoint() const override { return inner_->endpoint(); }
+
+  void send(const simnet::Endpoint& dst, std::span<const std::uint8_t> payload,
+            std::size_t virtual_size) override {
+    inner_->send(dst, payload, virtual_size);
+  }
+
+  simnet::UdpSocket* inner() const { return inner_; }
+
+ private:
+  simnet::UdpSocket* inner_;
+};
+
+SimRuntime::SimRuntime(simnet::Network& net, simnet::NodeId node)
+    : net_(net), node_(node) {}
+
+SimRuntime::~SimRuntime() {
+  for (auto& socket : sockets_) net_.close_socket(socket->inner());
+}
+
+DatagramSocket* SimRuntime::open_socket(std::uint16_t port,
+                                        DatagramSocket::ReceiveHandler handler,
+                                        simnet::Ipv4Address addr) {
+  simnet::UdpSocket* inner =
+      net_.open_socket(node_, port, std::move(handler), addr);
+  sockets_.push_back(std::make_unique<Socket>(inner));
+  return sockets_.back().get();
+}
+
+void SimRuntime::close_socket(DatagramSocket* socket) {
+  if (socket == nullptr) return;
+  const auto it = std::find_if(
+      sockets_.begin(), sockets_.end(),
+      [socket](const std::unique_ptr<Socket>& s) { return s.get() == socket; });
+  if (it == sockets_.end()) return;
+  net_.close_socket((*it)->inner());
+  sockets_.erase(it);
+}
+
+}  // namespace mecdns::netio

@@ -1,0 +1,56 @@
+// Runtime adapter over the discrete-event simulator.
+//
+// Binds the abstract clock/IO interface to one node of a simulated Network.
+// The adapter is deliberately thin — every call forwards to the exact
+// Simulator/Network entry points the pre-abstraction code used, in the same
+// order, so sim-mode artifacts (event counts, ephemeral-port allocation,
+// RNG draws) stay byte-identical.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "netio/runtime.h"
+#include "simnet/network.h"
+
+namespace mecdns::netio {
+
+class SimRuntime final : public Runtime {
+ public:
+  /// All sockets opened through this runtime live on `node`.
+  SimRuntime(simnet::Network& net, simnet::NodeId node);
+
+  SimRuntime(const SimRuntime&) = delete;
+  SimRuntime& operator=(const SimRuntime&) = delete;
+  ~SimRuntime() override;
+
+  simnet::SimTime now() const override { return net_.now(); }
+
+  /// Returns kNoTimer: simulator events are not individually cancellable
+  /// (see Runtime::cancel) — callers' generation guards make stale firings
+  /// harmless, and the firings themselves are part of the pinned
+  /// deterministic event counts.
+  TimerId schedule_after(simnet::SimTime delay, Callback fn) override {
+    net_.simulator().schedule_after(delay, std::move(fn));
+    return kNoTimer;
+  }
+
+  void cancel(TimerId) override {}
+
+  DatagramSocket* open_socket(
+      std::uint16_t port, DatagramSocket::ReceiveHandler handler,
+      simnet::Ipv4Address addr = simnet::Ipv4Address()) override;
+  void close_socket(DatagramSocket* socket) override;
+
+  simnet::Network& network() { return net_; }
+  simnet::NodeId node() const { return node_; }
+
+ private:
+  class Socket;
+
+  simnet::Network& net_;
+  simnet::NodeId node_;
+  std::vector<std::unique_ptr<Socket>> sockets_;
+};
+
+}  // namespace mecdns::netio

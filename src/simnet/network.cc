@@ -17,6 +17,16 @@ void UdpSocket::send_to(const Endpoint& dst, std::vector<std::uint8_t> payload,
   net_->send_from(node_, std::move(packet));
 }
 
+void UdpSocket::send(const Endpoint& dst, std::span<const std::uint8_t> payload,
+                     std::size_t virtual_size) {
+  Packet packet;
+  packet.src = endpoint();
+  packet.dst = dst;
+  packet.payload = net_->acquire_payload(payload);
+  packet.virtual_size = virtual_size;
+  net_->send_from(node_, std::move(packet));
+}
+
 NodeId Network::add_node(std::string name, Ipv4Address primary_addr) {
   const NodeId id = static_cast<NodeId>(nodes_.size());
   nodes_.push_back(NodeRec{std::move(name), {}, true, nullptr, {}, {}});
@@ -148,6 +158,7 @@ void Network::arrive(NodeId node, Packet packet) {
   NodeRec& rec = nodes_[node];
   if (!rec.up) {
     ++stats_.dropped_node_down;
+    recycle_payload(std::move(packet.payload));
     return;
   }
   packet.hops.push_back(Hop{node, sim_.now()});
@@ -155,12 +166,16 @@ void Network::arrive(NodeId node, Packet packet) {
   if (rec.hook) {
     if (rec.hook(packet) == TransitAction::kDrop) {
       ++stats_.dropped_by_hook;
+      recycle_payload(std::move(packet.payload));
       return;
     }
   }
   const NodeId owner = find_node(packet.dst.addr);
   if (owner == node) {
     deliver_local(node, packet);
+    // The handler saw the packet by const reference; its buffer is free to
+    // serve the next send() now.
+    recycle_payload(std::move(packet.payload));
     return;
   }
   forward(node, std::move(packet));
@@ -179,27 +194,32 @@ void Network::deliver_local(NodeId node, const Packet& packet) {
 void Network::forward(NodeId node, Packet&& packet) {
   if (--packet.ttl <= 0) {
     ++stats_.dropped_ttl;
+    recycle_payload(std::move(packet.payload));
     return;
   }
   ensure_routes();
   const NodeId dest_node = find_node(packet.dst.addr);
   if (dest_node == kInvalidNode) {
     ++stats_.dropped_no_route;
+    recycle_payload(std::move(packet.payload));
     return;
   }
   const NodeId next = next_hop_[node * nodes_.size() + dest_node];
   if (next == kInvalidNode) {
     ++stats_.dropped_no_route;
+    recycle_payload(std::move(packet.payload));
     return;
   }
   const auto link_id = pick_link(node, next);
   if (!link_id.has_value()) {
     ++stats_.dropped_link_down;
+    recycle_payload(std::move(packet.payload));
     return;
   }
   Link& link = links_[*link_id];
   if (link.loss > 0.0 && rng_.bernoulli(link.loss)) {
     ++stats_.dropped_loss;
+    recycle_payload(std::move(packet.payload));
     return;
   }
   const LatencyModel& model = link.a == node ? link.a_to_b : link.b_to_a;
@@ -268,6 +288,26 @@ void Network::ensure_routes() {
     }
   }
   routes_dirty_ = false;
+}
+
+std::vector<std::uint8_t> Network::acquire_payload(
+    std::span<const std::uint8_t> bytes) {
+  if (payload_pool_.empty()) {
+    return std::vector<std::uint8_t>(bytes.begin(), bytes.end());
+  }
+  std::vector<std::uint8_t> payload = std::move(payload_pool_.back());
+  payload_pool_.pop_back();
+  payload.assign(bytes.begin(), bytes.end());
+  return payload;
+}
+
+void Network::recycle_payload(std::vector<std::uint8_t>&& payload) {
+  // Cap the pool so a burst cannot pin unbounded memory; capacity kept in
+  // the pooled vectors is bounded by the largest message each one carried.
+  constexpr std::size_t kPoolCap = 1024;
+  if (payload.capacity() == 0 || payload_pool_.size() >= kPoolCap) return;
+  payload.clear();
+  payload_pool_.push_back(std::move(payload));
 }
 
 std::optional<SimTime> Network::route_cost(NodeId from, NodeId to) {

@@ -11,6 +11,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -93,6 +94,13 @@ class UdpSocket {
   /// used on bandwidth-limited links — see Packet::virtual_size.
   void send_to(const Endpoint& dst, std::vector<std::uint8_t> payload,
                std::size_t virtual_size = 0);
+
+  /// Borrowed-payload send: `payload` is copied into a pooled packet buffer
+  /// recycled at delivery/drop, so steady-state sends allocate nothing.
+  /// This is how the dns hot path ships the encoder's arena bytes without
+  /// the per-send take() copy into a fresh vector.
+  void send(const Endpoint& dst, std::span<const std::uint8_t> payload,
+            std::size_t virtual_size = 0);
 
   void set_handler(ReceiveHandler handler) { handler_ = std::move(handler); }
 
@@ -211,6 +219,15 @@ class Network {
   void ensure_routes();
   std::optional<LinkId> pick_link(NodeId from, NodeId to) const;
 
+  /// Payload vectors are pooled: every packet that reaches a terminal point
+  /// (delivered or dropped) donates its buffer back, and send() reuses one
+  /// instead of allocating. Per-Network (so per campaign job), which keeps
+  /// worker-count byte-identity: the pool's LIFO order only depends on the
+  /// job's own deterministic event order.
+  std::vector<std::uint8_t> acquire_payload(
+      std::span<const std::uint8_t> bytes);
+  void recycle_payload(std::vector<std::uint8_t>&& payload);
+
   Simulator& sim_;
   util::Rng rng_;
   std::vector<NodeRec> nodes_;
@@ -225,6 +242,7 @@ class Network {
   std::vector<NodeId> next_hop_;
   std::vector<std::int64_t> route_cost_ns_;
   NetworkStats stats_;
+  std::vector<std::vector<std::uint8_t>> payload_pool_;
 };
 
 }  // namespace mecdns::simnet

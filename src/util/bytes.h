@@ -24,7 +24,9 @@ class Arena;
 /// branch): the default mode owns a heap vector and take() moves it out;
 /// arena mode bumps scratch from a caller-owned Arena — nothing to free,
 /// and take() copies out the exact final size (one allocation per message
-/// instead of one per growth step).
+/// instead of one per growth step). Send paths that only need to look at
+/// the bytes (dns::encode_view) skip even that copy and borrow data()
+/// directly, since arena-backed bytes outlive the writer.
 class ByteWriter {
  public:
   ByteWriter() = default;

@@ -21,6 +21,7 @@ class ScriptedServer {
       : net_(net) {
     socket_ = net.open_socket(node, kDnsPort, [this](const simnet::Packet& p) {
       ++received_;
+      receive_times_.push_back(net_.now());
       if (drop_first_ > 0) {
         --drop_first_;
         return;
@@ -45,6 +46,9 @@ class ScriptedServer {
   }
 
   int received() const { return received_; }
+  /// Arrival time of every query (including dropped ones) — the probe the
+  /// retry-spacing tests measure retransmission gaps with.
+  const std::vector<SimTime>& receive_times() const { return receive_times_; }
   void drop_first(int n) { drop_first_ = n; }
   void mangle_question(bool v) { mangle_question_ = v; }
   void respond_servfail(bool v) { servfail_ = v; }
@@ -53,6 +57,7 @@ class ScriptedServer {
   simnet::Network& net_;
   simnet::UdpSocket* socket_;
   int received_ = 0;
+  std::vector<SimTime> receive_times_;
   int drop_first_ = 0;
   bool mangle_question_ = false;
   bool servfail_ = false;
@@ -417,6 +422,109 @@ TEST_F(TransportTest, BackoffRespectsCap) {
       });
   sim_.run();
   EXPECT_TRUE(done);
+}
+
+TEST_F(TransportTest, JitteredBackoffNeverExceedsCap) {
+  // Regression: the old retry_interval clamped to max_backoff *before*
+  // applying jitter, so every jittered retry overshot the cap by up to the
+  // full jitter fraction — a 150 ms cap with 0.5 jitter produced timers up
+  // to 225 ms. The cap is a hard bound; jitter must spread timers below it.
+  server_->drop_first(100);
+  bool done = false;
+  DnsTransport::Options options;
+  options.timeout = SimTime::millis(100);
+  options.max_retries = 4;
+  options.backoff_factor = 10.0;
+  options.max_backoff = SimTime::millis(150);
+  options.retry_jitter = 0.5;
+  transport_->query(
+      server_endpoint(),
+      make_query(0, DnsName::must_parse("x.test"), RecordType::kA), options,
+      [&](util::Result<Message> result, SimTime) {
+        done = true;
+        EXPECT_FALSE(result.ok());
+      });
+  sim_.run();
+  EXPECT_TRUE(done);
+
+  // 5 sends (initial + 4 retries); measure the gap between consecutive
+  // arrivals at the server (link latency is constant, so gaps == timers).
+  const auto& at = server_->receive_times();
+  ASSERT_EQ(at.size(), 5u);
+  int gaps_at_cap = 0;
+  for (std::size_t i = 1; i < at.size(); ++i) {
+    const SimTime gap = at[i] - at[i - 1];
+    EXPECT_LE(gap, options.max_backoff)
+        << "retry " << i << " fired past max_backoff";
+    if (gap == options.max_backoff) ++gaps_at_cap;
+  }
+  // Once backoff saturates the cap (attempt 2 onward: 100*10 >= 150), the
+  // jittered timer always lands above the cap and the re-clamp pins it at
+  // exactly 150 ms — under the old order these gaps all exceeded the cap
+  // with probability 1 (jitter draws are uniform over [0, 0.5)).
+  EXPECT_GE(gaps_at_cap, 3);
+}
+
+TEST_F(TransportTest, UncappedBackoffSaturatesInsteadOfOverflowing) {
+  // Regression: an uncapped aggressive backoff (factor 10) used to multiply
+  // the interval once per attempt with no bound — enough retries pushed the
+  // double to +inf and the nanosecond cast into UB. The interval must
+  // saturate at the one-hour ceiling and the transaction must complete.
+  server_->drop_first(100);
+  bool done = false;
+  DnsTransport::Options options;
+  options.timeout = SimTime::millis(100);
+  options.max_retries = 8;
+  options.backoff_factor = 10.0;  // uncapped: max_backoff stays zero
+  transport_->query(
+      server_endpoint(),
+      make_query(0, DnsName::must_parse("x.test"), RecordType::kA), options,
+      [&](util::Result<Message> result, SimTime rtt) {
+        done = true;
+        EXPECT_FALSE(result.ok());
+        // Intervals 0.1/1/10/100/1000 s, then four ticks pinned at the
+        // 3600 s ceiling: the failure lands at exactly 15511.1 s.
+        EXPECT_EQ(rtt, SimTime::millis(15511100));
+      });
+  sim_.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(server_->received(), 9);
+  EXPECT_EQ(transport_->timeouts(), 1u);
+}
+
+TEST_F(TransportTest, IdExhaustionFailsFastInsteadOfSpinning) {
+  // Regression: with all 65535 transaction ids in flight, the id allocator
+  // used to hunt a free id forever. The 65536th query must fail fast with
+  // an immediate (async, still never-reentrant) error.
+  DnsTransport::Options options;
+  options.timeout = SimTime::seconds(30);  // keep every query in flight
+  const Endpoint blackhole{Ipv4Address::must_parse("10.200.0.1"), kDnsPort};
+  int errors = 0;
+  for (int i = 0; i < 0xFFFF; ++i) {
+    transport_->query(blackhole,
+                      make_query(0, DnsName::must_parse("x.test"),
+                                 RecordType::kA),
+                      options,
+                      [&](util::Result<Message> result, SimTime) {
+                        if (!result.ok()) ++errors;
+                      });
+  }
+  EXPECT_EQ(transport_->id_exhausted(), 0u);
+
+  bool rejected = false;
+  transport_->query(blackhole,
+                    make_query(0, DnsName::must_parse("one-too-many.test"),
+                               RecordType::kA),
+                    options, [&](util::Result<Message> result, SimTime rtt) {
+                      rejected = true;
+                      EXPECT_FALSE(result.ok());
+                      EXPECT_EQ(rtt, SimTime::zero());
+                    });
+  EXPECT_FALSE(rejected);  // delivered from the event loop, not re-entrantly
+  sim_.run_until(sim_.now() + SimTime::millis(1));
+  EXPECT_TRUE(rejected);
+  EXPECT_EQ(transport_->id_exhausted(), 1u);
+  EXPECT_EQ(errors, 0);  // the 65535 in-flight queries are still pending
 }
 
 TEST_F(TransportTest, FailsOverToFallbackServerOnTimeout) {

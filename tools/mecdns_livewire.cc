@@ -1,0 +1,234 @@
+// Live-wire MEC L-DNS: the simulated stack on real UDP sockets.
+//
+// Serve mode runs the same PluginChainServer the benches exercise — zone
+// answers for the MEC-CDN namespace, optional ingress overload guard,
+// optional forwarding to a real upstream resolver, REFUSED for everything
+// else — bound to a real 127.0.0.1 port through the epoll runtime, so any
+// stock client (`dig @127.0.0.1 -p <port> video.mec.test`) can query it.
+// Probe mode is the matching client: one StubResolver query over its own
+// epoll runtime, exit status reporting whether a valid answer came back.
+//
+// The CI smoke job (tools/check.sh livewire-smoke) starts a serve instance
+// on an ephemeral port, probes it, and checks the answer plus the
+// `sockets_leaked=0` teardown line printed here.
+#include <csignal>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dns/plugin.h"
+#include "dns/stub.h"
+#include "mec/ingress.h"
+#include "netio/epoll_runtime.h"
+#include "obs/journal.h"
+#include "simnet/latency.h"
+#include "util/args.h"
+#include "util/perfcount.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace mecdns;
+
+volatile std::sig_atomic_t g_stop = 0;
+void handle_signal(int) { g_stop = 1; }
+
+/// Parses "a.b.c.d:port" (the port is required: this tool never assumes 53).
+util::Result<simnet::Endpoint> parse_endpoint(const std::string& text) {
+  const auto colon = text.rfind(':');
+  if (colon == std::string::npos) {
+    return util::Err("expected ip:port, got '" + text + "'");
+  }
+  auto addr = simnet::Ipv4Address::parse(text.substr(0, colon));
+  if (!addr.ok()) return util::Err(addr.error().message);
+  const int port = std::atoi(text.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    return util::Err("bad port in '" + text + "'");
+  }
+  return simnet::Endpoint{addr.value(), static_cast<std::uint16_t>(port)};
+}
+
+int run_probe(const util::ArgParser& args) {
+  auto server = parse_endpoint(args.get_string("server"));
+  if (!server.ok()) {
+    std::cerr << "error: " << server.error().message << "\n";
+    return 2;
+  }
+  netio::EpollRuntime rt;
+  dns::DnsTransport::Options options;
+  options.timeout = simnet::SimTime::millis(
+      static_cast<double>(args.get_int("timeout-ms")));
+  options.max_retries = static_cast<int>(args.get_int("retries"));
+  dns::StubResolver stub(rt, server.value(), options);
+
+  dns::StubResult result;
+  bool done = false;
+  stub.resolve(dns::DnsName::must_parse(args.get_string("probe")),
+               dns::RecordType::kA, [&](const dns::StubResult& r) {
+                 result = r;
+                 done = true;
+                 rt.stop();
+               });
+  // The transport's retry ladder owns the failure path; this deadline is a
+  // backstop against a wedged loop.
+  rt.run_until(rt.now() + options.timeout * (2 + options.max_retries) +
+               simnet::SimTime::seconds(1));
+  if (!done || !result.ok || !result.address.has_value()) {
+    std::cerr << "probe failed: "
+              << (done ? (result.error.empty() ? "no A record" : result.error)
+                       : "event loop deadline")
+              << "\n";
+    return 1;
+  }
+  std::cout << "ANSWER " << args.get_string("probe") << " A "
+            << result.address->to_string()
+            << " rtt_ms=" << result.latency.to_millis() << "\n";
+  const std::string expect = args.get_string("expect-a");
+  if (!expect.empty() && result.address->to_string() != expect) {
+    std::cerr << "probe failed: expected A " << expect << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+int run_serve(const util::ArgParser& args) {
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  netio::EpollRuntime rt;
+  obs::Journal journal;
+  const std::string journal_out = args.get_string("journal-out");
+
+  std::uint64_t served = 0;
+  {
+    dns::PluginChainServer server(
+        rt, "mec-ldns", simnet::LatencyModel::constant(simnet::SimTime::zero()),
+        static_cast<std::uint16_t>(args.get_int("port")));
+
+    // The MEC zone: --records name=ip[,name=ip...] under --zone's origin.
+    auto zone = std::make_shared<dns::Zone>(
+        dns::DnsName::must_parse(args.get_string("zone")));
+    for (const std::string& entry :
+         util::split(args.get_string("records"), ',')) {
+      if (entry.empty()) continue;
+      const auto eq = entry.find('=');
+      if (eq == std::string::npos) {
+        std::cerr << "error: --records entry '" << entry
+                  << "' is not name=ip\n";
+        return 2;
+      }
+      zone->must_add(dns::make_a(dns::DnsName::must_parse(entry.substr(0, eq)),
+                                 simnet::Ipv4Address::must_parse(
+                                     entry.substr(eq + 1)),
+                                 static_cast<std::uint32_t>(
+                                     args.get_int("ttl"))));
+    }
+
+    mec::IngressMonitor monitor;
+    dns::PluginChain& chain = server.add_default_view("public");
+    if (args.get_int("overload-qps") > 0) {
+      auto guard = std::make_unique<mec::OverloadGuardPlugin>(
+          monitor, static_cast<std::size_t>(args.get_int("overload-qps")),
+          mec::OverloadAction::kServFail);
+      guard->set_recovery_windows(2);
+      guard->set_journal(&journal);
+      chain.add(std::move(guard));
+    }
+    chain.add(std::make_unique<dns::ZonePlugin>(zone));
+    const std::string upstream_text = args.get_string("upstream");
+    if (!upstream_text.empty()) {
+      auto upstream = parse_endpoint(upstream_text);
+      if (!upstream.ok()) {
+        std::cerr << "error: " << upstream.error().message << "\n";
+        return 2;
+      }
+      auto forward = std::make_unique<dns::ForwardPlugin>(
+          dns::DnsName::root(),
+          std::vector<simnet::Endpoint>{upstream.value()},
+          server.transport());
+      forward->set_journal(&journal);
+      chain.add(std::move(forward));
+    }
+    chain.add(std::make_unique<dns::RefusePlugin>());
+
+    // The smoke harness greps this exact line for the resolved port.
+    std::cout << "LISTENING " << server.endpoint().to_string() << std::endl;
+
+    const std::int64_t duration_s = args.get_int("duration-s");
+    const simnet::SimTime deadline =
+        rt.now() + simnet::SimTime::seconds(static_cast<double>(duration_s));
+    // Chunked run_until keeps the SIGINT flag polled even while idle.
+    while (g_stop == 0 && (duration_s == 0 || rt.now() < deadline)) {
+      const simnet::SimTime slice = rt.now() + simnet::SimTime::millis(100);
+      rt.run_until(duration_s == 0 ? slice : std::min(slice, deadline));
+    }
+
+    const dns::ServerStats& stats = server.stats();
+    served = stats.responses;
+    std::cout << "queries=" << stats.queries
+              << " responses=" << stats.responses
+              << " refused=" << stats.refused
+              << " nxdomain=" << stats.nxdomain
+              << " servfail=" << stats.servfail
+              << " malformed=" << stats.malformed << "\n";
+    std::cout << "transport: timeouts=" << server.transport().timeouts()
+              << " retransmissions=" << server.transport().retransmissions()
+              << "\n";
+  }  // server (and its sockets) destroyed before the leak check
+
+  const util::perf::Counters& perf = util::perf::counters();
+  std::cout << "perf: dns_encoded=" << perf.dns_encoded
+            << " dns_decoded=" << perf.dns_decoded
+            << " bytes_encoded=" << perf.dns_bytes_encoded
+            << " queries_served=" << perf.dns_queries_served << "\n";
+  std::cout << "loop: packets_received=" << rt.packets_received()
+            << " packets_sent=" << rt.packets_sent()
+            << " send_errors=" << rt.send_errors()
+            << " timers_fired=" << rt.timers_fired()
+            << " timers_cancelled=" << rt.timers_cancelled() << "\n";
+  std::cout << "sockets_leaked=" << rt.open_sockets() << std::endl;
+
+  if (!journal_out.empty() && !journal.write_json(journal_out)) {
+    std::cerr << "error: cannot write " << journal_out << "\n";
+    return 2;
+  }
+  (void)served;
+  return rt.open_sockets() == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args(
+      "MEC L-DNS over real UDP: serve the MEC zone on a loopback port "
+      "(answerable by dig), or probe a running instance once.");
+  args.add_int("port", 5353, "UDP port to bind (0 = ephemeral)");
+  args.add_string("zone", "mec.test", "zone origin served authoritatively");
+  args.add_string("records", "video.mec.test=192.0.2.7",
+                  "comma-separated name=ip A records for the zone");
+  args.add_int("ttl", 60, "TTL for --records answers");
+  args.add_string("upstream", "",
+                  "ip:port of a real upstream resolver to forward misses to");
+  args.add_int("overload-qps", 0,
+               "ingress guard threshold in qps (0 = no guard)");
+  args.add_int("duration-s", 0, "serve duration in seconds (0 = until SIGINT)");
+  args.add_string("journal-out", "",
+                  "write the control-plane journal JSON here on exit");
+  args.add_string("probe", "",
+                  "probe mode: resolve this name against --server and exit");
+  args.add_string("server", "127.0.0.1:5353", "probe mode: server ip:port");
+  args.add_int("timeout-ms", 1000, "probe mode: per-attempt timeout");
+  args.add_int("retries", 2, "probe mode: retransmissions after first send");
+  args.add_string("expect-a", "",
+                  "probe mode: fail unless the answer matches this address");
+
+  auto parsed = args.parse(argc - 1, argv + 1);
+  if (!parsed.ok()) {
+    std::cerr << "error: " << parsed.error().message << "\n"
+              << args.usage(argv[0]);
+    return 2;
+  }
+  return args.get_string("probe").empty() ? run_serve(args) : run_probe(args);
+}
